@@ -1,0 +1,81 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **dnum** — the generalized key-switching decomposition number
+//!    (§II-B): more digits means a smaller special basis but more ModUp
+//!    conversions and inner-product work.
+//! 2. **Data layout** — `(L,B,N)` vs `(B,L,N)` for batched kernels (Fig. 9).
+//! 3. **Stream overlap** — the 16-stream plane-GEMM dispatch vs a single
+//!    serialised stream (only visible below the saturation batch).
+
+use tensorfhe_bench::{fmt, print_table};
+use tensorfhe_ckks::{CkksParams, KernelEvent};
+use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::engine::{Engine, EngineConfig, Layout, Variant};
+
+fn dnum_ablation() {
+    let mut rows = Vec::new();
+    // L = 44 admits dnum ∈ divisors of 45; K must be ≥ α = 45/dnum.
+    for (dnum, k) in [(45usize, 1usize), (15, 3), (9, 5), (5, 9), (3, 15)] {
+        let params = CkksParams::new("dnum-ablate", 1 << 16, 44, k, dnum, 29, 29, 128)
+            .expect("valid");
+        let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+        let r = api.run_op(FheOp::HMult, params.max_level(), 128);
+        rows.push(vec![
+            dnum.to_string(),
+            k.to_string(),
+            fmt(r.time_us / 1e3),
+            r.launches.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 1 — HMULT vs dnum (N=2^16, L=44, batch 128)",
+        &["dnum", "K", "HMULT (ms)", "launches"],
+        &rows,
+    );
+    println!("smaller dnum trades fewer digits against a larger special basis (K = α).");
+}
+
+fn layout_ablation() {
+    let params = CkksParams::table_v_default();
+    let ev = [KernelEvent::EleAdd { n: params.n(), limbs: params.max_level() + 1 }];
+    let mut rows = Vec::new();
+    for (name, layout) in [("(L,B,N)", Layout::Lbn), ("(B,L,N)", Layout::Bln)] {
+        let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore).with_layout(layout));
+        let s = e.run_schedule("Ele-Add", &ev, 128);
+        rows.push(vec![name.to_string(), fmt(s.time_us)]);
+    }
+    print_table(
+        "Ablation 2 — batched Ele-Add vs data layout (Fig. 9)",
+        &["layout", "time (µs)"],
+        &rows,
+    );
+}
+
+fn stream_ablation() {
+    // Below the fused-dispatch threshold the 16 plane GEMMs rely on stream
+    // overlap to hide launch latency; compare small-batch NTT events.
+    let params = CkksParams::table_v_default();
+    let ev = [KernelEvent::Ntt { n: params.n(), limbs: 1, inverse: false }];
+    let mut rows = Vec::new();
+    for batch in [1usize, 4, 16] {
+        let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore));
+        let s = e.run_schedule("NTT", &ev, batch);
+        rows.push(vec![
+            batch.to_string(),
+            fmt(s.time_us),
+            fmt(s.time_us / batch as f64),
+            s.launches.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 3 — small-batch NTT with 16-stream plane GEMMs",
+        &["batch", "time (µs)", "per-op (µs)", "launches"],
+        &rows,
+    );
+}
+
+fn main() {
+    dnum_ablation();
+    layout_ablation();
+    stream_ablation();
+}

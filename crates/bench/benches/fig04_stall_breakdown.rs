@@ -1,0 +1,45 @@
+//! Figure 4: GPGPU pipeline-stall breakdown of butterfly-based algorithms
+//! (NTT vs FFT vs DWT) on the simulated GTX 1080 Ti, with the paper's block
+//! sizes (128 / 192 / 256).
+
+use tensorfhe_bench::baselines::{FIG4_NTT_RAW_STALL, FIG4_NTT_TOTAL_STALL};
+use tensorfhe_bench::{fmt, print_table};
+use tensorfhe_gpu::{DeviceConfig, DeviceSim, KernelClass, KernelDesc, StallKind};
+
+fn main() {
+    let mut sim = DeviceSim::new(DeviceConfig::gtx1080ti());
+    let kernels = [
+        ("NTT", KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 14, batch: 4 }, "ntt")
+            .with_block_size(128)),
+        ("FFT", KernelDesc::new(KernelClass::FftButterfly { n: 1 << 14, batch: 4 }, "fft")
+            .with_block_size(192)),
+        ("DWT", KernelDesc::new(KernelClass::DwtLifting { n: 1 << 14, batch: 4 }, "dwt")
+            .with_block_size(256)),
+    ];
+    let mut rows = Vec::new();
+    for (name, desc) in &kernels {
+        let b = sim.stall_profile(desc);
+        let mut row = vec![(*name).to_string(), format!("{:.1}%", b.stall_fraction() * 100.0)];
+        for kind in StallKind::ALL {
+            row.push(format!("{:.1}%", b.fraction(kind) * 100.0));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 4 — pipeline-stall breakdown (simulated GTX 1080 Ti)",
+        &["kernel", "total", "RAW", "LongLat", "L1I", "Control", "FUBusy", "Barrier"],
+        &rows,
+    );
+    println!(
+        "\npaper targets for NTT: total = {}%, RAW = {}% (48.6% of stalls)",
+        fmt(FIG4_NTT_TOTAL_STALL * 100.0),
+        fmt(FIG4_NTT_RAW_STALL * 100.0)
+    );
+    let ntt = sim.stall_profile(&kernels[0].1);
+    println!(
+        "measured  for NTT: total = {:.1}%, RAW = {:.1}% ({:.1}% of stalls)",
+        ntt.stall_fraction() * 100.0,
+        ntt.fraction(StallKind::Raw) * 100.0,
+        ntt.fraction(StallKind::Raw) / ntt.stall_fraction().max(1e-12) * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 5: impact of the launched thread count (8K/16K/32K) on GPU
+//! occupancy and execution time for unbatched CKKS operations
+//! (TensorFHE-NT configuration).
+
+use tensorfhe_bench::print_table;
+use tensorfhe_gpu::{DeviceConfig, DeviceSim, KernelClass, KernelDesc};
+
+/// The dominant kernel of each CKKS operation at Default parameters with no
+/// batching (B = 1, limbs = 45).
+fn dominant_kernel(op: &str) -> KernelDesc {
+    let n = 1usize << 16;
+    let limbs = 45usize;
+    match op {
+        "HMULT" | "HROTATE" => {
+            KernelDesc::new(KernelClass::ButterflyNtt { n, batch: limbs }, op)
+        }
+        "RESCALE" => KernelDesc::new(KernelClass::ButterflyNtt { n, batch: 2 }, op),
+        "HADD" => KernelDesc::new(
+            KernelClass::Elementwise {
+                elems: (n * limbs * 2) as u64,
+                ops_per_elem: 1,
+                bytes_per_elem: 12,
+            },
+            op,
+        ),
+        "CMULT" => KernelDesc::new(
+            KernelClass::Elementwise {
+                elems: (n * limbs * 2) as u64,
+                ops_per_elem: 2,
+                bytes_per_elem: 12,
+            },
+            op,
+        ),
+        other => panic!("unknown op {other}"),
+    }
+}
+
+fn main() {
+    let mut sim = DeviceSim::new(DeviceConfig::a100());
+    let ops = ["HMULT", "HROTATE", "RESCALE", "HADD", "CMULT"];
+    let threads = [8192u64, 16384, 32768];
+
+    let mut rows = Vec::new();
+    for op in ops {
+        let base = dominant_kernel(op);
+        // Normalise execution time to the 8K-thread configuration.
+        let (t8, _, _) = sim.peek_cost(&base.clone().with_threads(threads[0]));
+        let mut row = vec![op.to_string()];
+        for &t in &threads {
+            let (time, _, occ) = sim.peek_cost(&base.clone().with_threads(t));
+            row.push(format!("{:.1}% / {:.2}x", occ * 100.0, time / t8));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 5 — occupancy / normalised time vs total threads (no batching)",
+        &["op", "8K threads", "16K threads", "32K threads"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: occupancy < 15% everywhere; best time at 16K; 32K regresses \
+         (more, smaller memory accesses)."
+    );
+}

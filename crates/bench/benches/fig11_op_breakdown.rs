@@ -1,0 +1,48 @@
+//! Figure 11: kernel-level execution-time breakdown of each CKKS operation.
+
+use tensorfhe_bench::print_table;
+use tensorfhe_ckks::CkksParams;
+use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::engine::{EngineConfig, Variant};
+
+fn main() {
+    let params = CkksParams::table_v_default();
+    let level = params.max_level();
+    let ops = [FheOp::HMult, FheOp::HRotate, FheOp::Rescale, FheOp::HAdd, FheOp::CMult];
+
+    let kernels = ["ntt/intt", "hada-mult", "ele-add", "ele-sub", "forbenius", "conjugate", "conv"];
+    let mut rows = Vec::new();
+    for op in ops {
+        let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+        let r = api.run_op(op, level, 128);
+        let total: f64 = r.by_kernel.iter().map(|(_, t)| t).sum();
+        let share = |pred: &dyn Fn(&str) -> bool| -> f64 {
+            r.by_kernel
+                .iter()
+                .filter(|(k, _)| pred(k))
+                .map(|(_, t)| t)
+                .sum::<f64>()
+                / total.max(1e-12)
+        };
+        let vals = [
+            share(&|k: &str| k.starts_with("ntt") || k.starts_with("intt")),
+            share(&|k: &str| k == "hada-mult"),
+            share(&|k: &str| k == "ele-add"),
+            share(&|k: &str| k == "ele-sub"),
+            share(&|k: &str| k == "forbenius-map"),
+            share(&|k: &str| k == "conjugate"),
+            share(&|k: &str| k == "conv"),
+        ];
+        let mut row = vec![op.name().to_string()];
+        row.extend(vals.iter().map(|v| format!("{:.1}%", v * 100.0)));
+        rows.push(row);
+    }
+    let mut header = vec!["op"];
+    header.extend(kernels);
+    print_table(
+        "Figure 11 — kernel-level breakdown per operation (Default, batch 128)",
+        &header,
+        &rows,
+    );
+    println!("\npaper shape: NTT ≈ 92.1% of HMULT and ≈ 95.4% of HROTATE.");
+}

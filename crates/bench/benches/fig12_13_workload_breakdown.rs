@@ -1,0 +1,71 @@
+//! Figures 12 and 13: kernel-level and operation-level execution-time
+//! breakdown of the four full workloads.
+
+use tensorfhe_bench::print_table;
+use tensorfhe_core::engine::{EngineConfig, Variant};
+use tensorfhe_workloads::schedules;
+use tensorfhe_workloads::spec::run_workload;
+
+fn main() {
+    let mut kernel_rows = Vec::new();
+    let mut op_rows = Vec::new();
+    for spec in schedules::all() {
+        let report = run_workload(&spec, EngineConfig::a100(Variant::TensorCore));
+
+        let ktotal: f64 = report.per_kernel_us.iter().map(|(_, t)| t).sum();
+        let kshare = |name: &str| -> f64 {
+            report
+                .per_kernel_us
+                .iter()
+                .filter(|(k, _)| {
+                    if name == "ntt" {
+                        k.starts_with("ntt") || k.starts_with("intt")
+                    } else {
+                        k == name
+                    }
+                })
+                .map(|(_, t)| t)
+                .sum::<f64>()
+                / ktotal.max(1e-12)
+        };
+        kernel_rows.push(vec![
+            spec.name.clone(),
+            format!("{:.1}%", kshare("ntt") * 100.0),
+            format!("{:.1}%", kshare("hada-mult") * 100.0),
+            format!("{:.1}%", (kshare("ele-add") + kshare("ele-sub")) * 100.0),
+            format!("{:.1}%", (kshare("forbenius-map") + kshare("conjugate")) * 100.0),
+            format!("{:.1}%", kshare("conv") * 100.0),
+        ]);
+
+        let ototal: f64 = report.per_op_us.iter().map(|(_, t)| t).sum();
+        let oshare = |name: &str| -> f64 {
+            report
+                .per_op_us
+                .iter()
+                .filter(|(k, _)| k == name)
+                .map(|(_, t)| t)
+                .sum::<f64>()
+                / ototal.max(1e-12)
+        };
+        op_rows.push(vec![
+            spec.name.clone(),
+            format!("{:.1}%", oshare("HMULT") * 100.0),
+            format!("{:.1}%", oshare("HROTATE") * 100.0),
+            format!("{:.1}%", oshare("RESCALE") * 100.0),
+            format!("{:.1}%", oshare("HADD") * 100.0),
+            format!("{:.1}%", oshare("CMULT") * 100.0),
+            format!("{:.1}%", oshare("BOOTSTRAP") * 100.0),
+        ]);
+    }
+    print_table(
+        "Figure 12 — kernel-level breakdown per workload",
+        &["workload", "NTT", "Hada-Mult", "Ele-Add/Sub", "Frobenius/Conj", "Conv"],
+        &kernel_rows,
+    );
+    print_table(
+        "Figure 13 — operation-level breakdown per workload",
+        &["workload", "HMULT", "HROTATE", "RESCALE", "HADD", "CMULT", "BOOTSTRAP"],
+        &op_rows,
+    );
+    println!("\npaper shape: NTT dominates everywhere (up to 92.8% in LR); HROTATE is the heaviest operation.");
+}

@@ -1,0 +1,48 @@
+//! Figure 14: impact of batch size (32 … 1024) on per-operation kernel
+//! execution time, normalised to the default batch of 128.
+
+use tensorfhe_bench::print_table;
+use tensorfhe_ckks::{CkksParams, KernelEvent};
+use tensorfhe_core::engine::{Engine, EngineConfig, Variant};
+
+fn kernel_events(params: &CkksParams) -> Vec<(&'static str, Vec<KernelEvent>)> {
+    let n = params.n();
+    let limbs = params.max_level() + 1;
+    let alpha = params.alpha();
+    vec![
+        ("Hada-Mult", vec![KernelEvent::HadaMult { n, limbs }]),
+        ("NTT", vec![KernelEvent::Ntt { n, limbs, inverse: false }]),
+        ("Ele-Add", vec![KernelEvent::EleAdd { n, limbs }]),
+        ("Conv", vec![KernelEvent::Conv { n, l_src: alpha, l_dst: limbs }]),
+        ("ForbeniusMap", vec![KernelEvent::FrobeniusMap { n, limbs }]),
+        ("Conjugate", vec![KernelEvent::Conjugate { n, limbs }]),
+    ]
+}
+
+fn main() {
+    let params = CkksParams::table_v_default();
+    let batches = [32usize, 64, 128, 256, 512, 1024];
+    let mut rows = Vec::new();
+    for (name, events) in kernel_events(&params) {
+        let mut engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
+        // Per-operation time, normalised to BS = 128.
+        let per_op: Vec<f64> = batches
+            .iter()
+            .map(|&b| engine.run_schedule(name, &events, b).time_us / b as f64)
+            .collect();
+        let base = per_op[2];
+        let mut row = vec![name.to_string()];
+        row.extend(per_op.iter().map(|t| format!("{:.2}", t / base)));
+        rows.push(row);
+    }
+    let header = ["kernel", "BS=32", "BS=64", "BS=128", "BS=256", "BS=512", "BS=1024"];
+    print_table(
+        "Figure 14 — normalised per-op kernel time vs batch size (1.0 = BS 128)",
+        &header,
+        &rows,
+    );
+    println!(
+        "\npaper shape: throughput improves with batch size and saturates; \
+         the default BS = 128 balances the kernels (VRAM bounds the maximum)."
+    );
+}

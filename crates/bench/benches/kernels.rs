@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks of the *functional* Rust kernels: the three
+//! NTT formulations, modular primitives and basis conversion. These measure
+//! real CPU wall time of this implementation (not the simulated GPU),
+//! anchoring the repository's arithmetic performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensorfhe_math::crt::{BasisConvTable, RnsBasis};
+use tensorfhe_math::prime::generate_ntt_primes;
+use tensorfhe_math::Modulus;
+use tensorfhe_ntt::{FourStepNtt, NttOps, NttTable, TensorCoreNtt};
+
+fn bench_ntt_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt-forward");
+    for log_n in [10usize, 12] {
+        let n = 1 << log_n;
+        let q = generate_ntt_primes(1, 30, n as u64)[0];
+        let bf = NttTable::new(n, q);
+        let fs = FourStepNtt::with_root(n, q, bf.psi());
+        let tc = TensorCoreNtt::with_root(n, q, bf.psi());
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+
+        group.bench_with_input(BenchmarkId::new("butterfly", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                bf.forward(&mut a);
+                a
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("four-step", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                fs.forward(&mut a);
+                a
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tensor-core", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = data.clone();
+                tc.forward(&mut a);
+                a
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_modmul(c: &mut Criterion) {
+    let q = generate_ntt_primes(1, 30, 1 << 10)[0];
+    let m = Modulus::new(q);
+    let mut rng = StdRng::seed_from_u64(2);
+    let xs: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..q)).collect();
+    c.bench_function("barrett-mulmod-4096", |b| {
+        b.iter(|| {
+            let mut acc = 1u64;
+            for &x in &xs {
+                acc = m.mul(acc, x);
+            }
+            acc
+        });
+    });
+}
+
+fn bench_basis_conversion(c: &mut Criterion) {
+    let primes = generate_ntt_primes(8, 30, 1 << 10);
+    let src = RnsBasis::new(&primes[..4]);
+    let dst: Vec<Modulus> = primes[4..].iter().map(|&p| Modulus::new(p)).collect();
+    let table = BasisConvTable::new(&src, &dst);
+    let mut rng = StdRng::seed_from_u64(3);
+    let coeffs: Vec<Vec<u64>> = (0..1024)
+        .map(|_| (0..4).map(|i| rng.gen_range(0..primes[i])).collect())
+        .collect();
+    c.bench_function("basis-conv-1024x4to4", |b| {
+        b.iter(|| {
+            coeffs
+                .iter()
+                .map(|r| table.convert_coeff(r))
+                .collect::<Vec<_>>()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ntt_variants, bench_modmul, bench_basis_conversion
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table VI: operation delay (batch-of-128 execution, ms) at the Default
+//! parameters, for TensorFHE-NT/-CO/full on A100 and full on V100, next to
+//! the paper's baselines (CPU, PrivFT, 100x and its own measurements).
+
+use tensorfhe_bench::baselines::{TABLE6, TABLE6_OPS};
+use tensorfhe_bench::{fmt, fmt_opt, print_table};
+use tensorfhe_ckks::CkksParams;
+use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::engine::{EngineConfig, Variant};
+
+fn run_row(cfg: EngineConfig, params: &CkksParams) -> Vec<f64> {
+    let mut api = TensorFhe::new(params, cfg);
+    let level = params.max_level();
+    [FheOp::HMult, FheOp::HRotate, FheOp::Rescale, FheOp::HAdd, FheOp::CMult]
+        .iter()
+        .map(|&op| api.run_op(op, level, 128).time_us / 1e3)
+        .collect()
+}
+
+fn main() {
+    let params = CkksParams::table_v_default();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (system, values) in TABLE6 {
+        let mut row = vec![format!("paper: {system}")];
+        row.extend(values.iter().map(|v| fmt_opt(*v)));
+        rows.push(row);
+    }
+    let ours: Vec<(&str, EngineConfig)> = vec![
+        ("ours: TensorFHE-NT", EngineConfig::a100(Variant::Butterfly)),
+        ("ours: TensorFHE-CO", EngineConfig::a100(Variant::FourStep)),
+        ("ours: TensorFHE(V100)", EngineConfig::v100(Variant::TensorCore)),
+        ("ours: TensorFHE(A100)", EngineConfig::a100(Variant::TensorCore)),
+    ];
+    let mut measured_a100 = Vec::new();
+    for (name, cfg) in ours {
+        let vals = run_row(cfg, &params);
+        if name.ends_with("(A100)") {
+            measured_a100 = vals.clone();
+        }
+        let mut row = vec![name.to_string()];
+        row.extend(vals.iter().map(|&v| fmt(v)));
+        rows.push(row);
+    }
+    let mut header = vec!["system"];
+    header.extend(TABLE6_OPS);
+    print_table("Table VI — operation delay (ms, batch 128, Default params)", &header, &rows);
+
+    // Headline ratios.
+    let paper_100x = TABLE6[2].1[0].expect("present");
+    let paper_tfhe = TABLE6[6].1[0].expect("present");
+    println!(
+        "\nHMULT speedup over 100x: paper {:.2}x, ours {:.2}x (vs quoted 100x)",
+        paper_100x / paper_tfhe,
+        paper_100x / measured_a100[0]
+    );
+}

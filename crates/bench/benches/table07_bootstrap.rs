@@ -1,0 +1,41 @@
+//! Table VII: Bootstrap execution time (batch 128, N = 2^16, L = 34,
+//! dnum = 5).
+
+use tensorfhe_bench::baselines::TABLE7;
+use tensorfhe_bench::{fmt, print_table};
+use tensorfhe_ckks::CkksParams;
+use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::engine::{EngineConfig, Variant};
+
+fn main() {
+    let params = CkksParams::table_vii_bootstrap();
+    let op = FheOp::Bootstrap { taylor_degree: 7, double_angles: 6 };
+
+    let mut rows: Vec<Vec<String>> = TABLE7
+        .iter()
+        .map(|(name, v)| vec![format!("paper: {name}"), fmt(*v)])
+        .collect();
+
+    for (name, variant) in [
+        ("ours: TensorFHE-NT", Variant::Butterfly),
+        ("ours: TensorFHE-CO", Variant::FourStep),
+        ("ours: TensorFHE", Variant::TensorCore),
+    ] {
+        let mut api = TensorFhe::new(&params, EngineConfig::a100(variant));
+        let r = api.run_op(op, params.max_level(), 128);
+        rows.push(vec![name.to_string(), fmt(r.time_us / 1e3)]);
+        if variant == Variant::TensorCore {
+            println!(
+                "TensorFHE bootstrap: {} launches, occupancy {:.1}%",
+                r.launches,
+                r.occupancy * 100.0
+            );
+        }
+    }
+    print_table(
+        "Table VII — Bootstrap time (ms, batch 128, N=2^16 L=34 dnum=5)",
+        &["system", "time (ms)"],
+        &rows,
+    );
+    println!("\npaper shape: TensorFHE ≈ 1.3× faster than 100x; NT/CO slower than 100x.");
+}

@@ -1,0 +1,55 @@
+//! Table XI: energy efficiency — OPs/W per CKKS operation and J/iteration
+//! per workload.
+
+use tensorfhe_bench::baselines::{TABLE11_J_PER_ITER, TABLE11_OPS_PER_WATT};
+use tensorfhe_bench::{fmt, fmt_opt, print_table};
+use tensorfhe_ckks::CkksParams;
+use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::engine::{EngineConfig, Variant};
+use tensorfhe_workloads::schedules;
+use tensorfhe_workloads::spec::run_workload;
+
+fn main() {
+    // Part 1: OPs per watt at Default parameters, batch 128.
+    let params = CkksParams::table_v_default();
+    let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+    let level = params.max_level();
+    let ops = [FheOp::HMult, FheOp::HRotate, FheOp::Rescale, FheOp::HAdd, FheOp::CMult];
+    let mut rows = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let r = api.run_op(*op, level, 128);
+        rows.push(vec![
+            op.name().to_string(),
+            fmt(TABLE11_OPS_PER_WATT[i].1),
+            fmt(r.ops_per_watt),
+        ]);
+    }
+    print_table(
+        "Table XI (a) — energy efficiency of CKKS operations (OPs/W)",
+        &["op", "paper", "ours"],
+        &rows,
+    );
+
+    // Part 2: J/iteration per workload.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (system, vals) in TABLE11_J_PER_ITER {
+        let mut row = vec![format!("paper: {system}")];
+        row.extend(vals.iter().map(|v| fmt_opt(*v)));
+        rows.push(row);
+    }
+    let mut ours = vec!["ours: TensorFHE".to_string()];
+    for spec in schedules::all() {
+        let report = run_workload(&spec, EngineConfig::a100(Variant::TensorCore));
+        ours.push(fmt(report.energy_per_iter_j));
+    }
+    rows.push(ours);
+    print_table(
+        "Table XI (b) — energy per workload iteration (J/iteration)",
+        &["system", "ResNet-20", "LR", "LSTM", "PackedBoot"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: the GPU is 1-2 orders of magnitude less energy-efficient \
+         than the ASICs (264 W board power)."
+    );
+}

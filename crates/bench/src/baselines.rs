@@ -1,0 +1,117 @@
+//! Literature baselines quoted from the paper's tables.
+//!
+//! The paper compares against numbers "directly collect[ed] from the
+//! literature" for every non-TensorFHE system; this module transcribes
+//! those tables so the harness can print paper-vs-measured side by side.
+
+/// Table VI — operation delay in ms (batch-of-128 execution at the Default
+/// parameters). Columns: HMULT, HROTATE, RESCALE, HADD, CMULT.
+pub const TABLE6_OPS: [&str; 5] = ["HMULT", "HROTATE", "RESCALE", "HADD", "CMULT"];
+
+/// Table VI rows: (system, values in ms; `None` = not reported).
+pub const TABLE6: [(&str, [Option<f64>; 5]); 7] = [
+    ("CPU", [Some(338_000.0), Some(330_000.0), Some(18_611.0), Some(3609.0), Some(3356.0)]),
+    ("PrivFT (V100)", [Some(7153.0), None, Some(208.0), Some(24.0), Some(21.0)]),
+    ("100x (V100)", [Some(2227.0), Some(2154.0), Some(81.0), Some(26.0), Some(22.0)]),
+    ("TensorFHE-NT", [Some(2124.0), Some(2111.0), Some(35.0), Some(6.0), Some(7.7)]),
+    ("TensorFHE-CO", [Some(1651.2), Some(1523.2), Some(9.2), Some(6.0), Some(7.7)]),
+    ("TensorFHE(V100)", [Some(1296.6), Some(1254.4), Some(15.4), Some(10.2), Some(11.5)]),
+    ("TensorFHE(A100)", [Some(851.0), Some(852.0), Some(7.7), Some(6.0), Some(7.7)]),
+];
+
+/// Table VII — Bootstrap execution time (ms, batch 128, N = 2^16, L = 34,
+/// dnum = 5).
+pub const TABLE7: [(&str, f64); 6] = [
+    ("CPU", 10_168.0),
+    ("GPGPU baseline", 54_904.0),
+    ("100x", 42_016.0),
+    ("TensorFHE-NT", 76_731.0),
+    ("TensorFHE-CO", 70_762.0),
+    ("TensorFHE", 32_058.0),
+];
+
+/// Table VIII — throughput (operations per second) for the HEAX parameter
+/// sets A/B/C. Rows: (system, metric, [A, B, C]).
+pub const TABLE8: [(&str, &str, [f64; 3]); 9] = [
+    ("CPU", "NTT/s", [7222.0, 3437.0, 1631.0]),
+    ("HEAX", "NTT/s", [195_313.0, 90_144.0, 41_853.0]),
+    ("TensorFHE", "NTT/s", [910_134.0, 449_974.0, 209_337.0]),
+    ("CPU", "INTT/s", [7568.0, 3539.0, 1659.0]),
+    ("HEAX", "INTT/s", [195_313.0, 90_144.0, 41_853.0]),
+    ("TensorFHE", "INTT/s", [913_267.0, 449_084.0, 209_178.0]),
+    ("CPU", "HMULT/s", [420.0, 84.0, 15.0]),
+    ("HEAX", "HMULT/s", [97_656.0, 22_536.0, 2616.0]),
+    ("TensorFHE", "HMULT/s", [88_048.0, 27_564.0, 3825.0]),
+];
+
+/// Table IX — GPGPU occupancy of the TensorFHE operations (fractions).
+pub const TABLE9: [(&str, f64); 5] = [
+    ("HMULT", 0.903),
+    ("HROTATE", 0.901),
+    ("RESCALE", 0.889),
+    ("HADD", 0.853),
+    ("CMULT", 0.881),
+];
+
+/// Table X — full workload execution time in seconds.
+/// Columns: ResNet-20, LR, LSTM, Packed Bootstrapping.
+pub const TABLE10_WORKLOADS: [&str; 4] = ["ResNet-20", "LR", "LSTM", "PackedBoot"];
+
+/// Table X rows (system, seconds; `None` = not reported).
+pub const TABLE10: [(&str, [Option<f64>; 4]); 7] = [
+    ("CPU", [Some(88_320.0), Some(22_784.0), Some(27_488.0), Some(550.4)]),
+    ("F1+", [Some(172.3), Some(40.9), Some(82.3), Some(1.8)]),
+    ("CraterLake", [Some(15.9), Some(7.6), Some(4.4), Some(0.1)]),
+    ("BTS", [Some(122.2), Some(1.8), None, None]),
+    ("ARK", [Some(18.8), Some(0.49), None, None]),
+    ("100x*", [Some(602.9), Some(49.6), None, Some(36.9)]),
+    ("TensorFHE", [Some(316.1), Some(14.1), Some(123.1), Some(13.5)]),
+];
+
+/// Table XI (top) — energy efficiency of CKKS operations, OPs per watt.
+pub const TABLE11_OPS_PER_WATT: [(&str, f64); 5] = [
+    ("HMULT", 0.57),
+    ("HROTATE", 0.57),
+    ("RESCALE", 66.67),
+    ("HADD", 81.30),
+    ("CMULT", 66.67),
+];
+
+/// Table XI (bottom) — energy per workload iteration (J/iteration).
+pub const TABLE11_J_PER_ITER: [(&str, [Option<f64>; 4]); 3] = [
+    ("ARK", [Some(32.5), Some(19.8), None, None]),
+    ("CraterLake", [Some(79.7), Some(38.1), Some(44.2), Some(1.3)]),
+    ("TensorFHE", [Some(1320.0), Some(58.27), Some(1015.3), Some(111.3)]),
+];
+
+/// Fig. 4 headline numbers: NTT total stall fraction and RAW fraction on
+/// the simulated GTX 1080Ti.
+pub const FIG4_NTT_TOTAL_STALL: f64 = 0.432;
+/// Fig. 4 RAW stall fraction for NTT.
+pub const FIG4_NTT_RAW_STALL: f64 = 0.209;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_speedups_recoverable_from_tables() {
+        // 397× HMULT over CPU (abstract) = 338 s / 851 ms.
+        let cpu = TABLE6[0].1[0].expect("present");
+        let tfhe = TABLE6[6].1[0].expect("present");
+        assert!((cpu / tfhe - 397.1).abs() < 1.0);
+        // 2.61× over 100x.
+        let x100 = TABLE6[2].1[0].expect("present");
+        assert!((x100 / tfhe - 2.61).abs() < 0.05);
+        // 2.9× over F1+ on LR (Table X).
+        let f1 = TABLE10[1].1[1].expect("present");
+        let t = TABLE10[6].1[1].expect("present");
+        assert!((f1 / t - 2.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn raw_is_half_of_ntt_stalls() {
+        // "RAW … 20.9%, which is 48.6% of its overall pipeline stalls".
+        assert!((FIG4_NTT_RAW_STALL / FIG4_NTT_TOTAL_STALL - 0.486).abs() < 0.01);
+    }
+}

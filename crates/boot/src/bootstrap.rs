@@ -1,0 +1,148 @@
+//! The bootstrap orchestrator (Fig. 6).
+
+use crate::dft::{dft_transform, DftMatrix, Half};
+use crate::linear::LinearTransform;
+use crate::modraise::mod_raise;
+use crate::sine::{eval_sine, SineConfig};
+use tensorfhe_ckks::{Ciphertext, CkksContext, CkksError, Evaluator, KeyChain};
+
+/// Bootstrap configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BootConfig {
+    /// Sine approximation parameters.
+    pub sine: SineConfig,
+}
+
+impl Default for BootConfig {
+    fn default() -> Self {
+        Self {
+            sine: SineConfig::default(),
+        }
+    }
+}
+
+impl BootConfig {
+    /// Multiplicative depth the bootstrap consumes (CoeffToSlot + sine +
+    /// SlotToCoeff).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        1 + self.sine.depth() + 1
+    }
+}
+
+/// Pre-computed bootstrapping transforms for one context.
+///
+/// # Examples
+///
+/// See `tests/bootstrap.rs` for the full end-to-end flow (key generation,
+/// level exhaustion, refresh, decryption).
+#[derive(Debug)]
+pub struct Bootstrapper<'a> {
+    ctx: &'a CkksContext,
+    cfg: BootConfig,
+    c2s_adj_low: LinearTransform,
+    c2s_tra_low: LinearTransform,
+    c2s_adj_high: LinearTransform,
+    c2s_tra_high: LinearTransform,
+    s2c_low: LinearTransform,
+    s2c_high: LinearTransform,
+}
+
+impl<'a> Bootstrapper<'a> {
+    /// Builds the DFT transforms for the context (CoeffToSlot and
+    /// SlotToCoeff halves).
+    #[must_use]
+    pub fn new(ctx: &'a CkksContext, cfg: BootConfig) -> Self {
+        let n = ctx.params().n();
+        Self {
+            ctx,
+            cfg,
+            c2s_adj_low: dft_transform(n, DftMatrix::DecodeAdjoint(Half::Low)),
+            c2s_tra_low: dft_transform(n, DftMatrix::DecodeTranspose(Half::Low)),
+            c2s_adj_high: dft_transform(n, DftMatrix::DecodeAdjoint(Half::High)),
+            c2s_tra_high: dft_transform(n, DftMatrix::DecodeTranspose(Half::High)),
+            s2c_low: dft_transform(n, DftMatrix::Encode(Half::Low)),
+            s2c_high: dft_transform(n, DftMatrix::Encode(Half::High)),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &BootConfig {
+        &self.cfg
+    }
+
+    /// All rotation steps the bootstrap needs keys for (the conjugation key
+    /// is needed additionally).
+    #[must_use]
+    pub fn required_rotations(&self) -> Vec<i64> {
+        let mut steps = std::collections::BTreeSet::new();
+        for lt in [
+            &self.c2s_adj_low,
+            &self.c2s_tra_low,
+            &self.c2s_adj_high,
+            &self.c2s_tra_high,
+            &self.s2c_low,
+            &self.s2c_high,
+        ] {
+            steps.extend(lt.required_rotations());
+        }
+        steps.into_iter().collect()
+    }
+
+    /// Refreshes an exhausted ciphertext: input at any level (its modulus is
+    /// dropped to `q_0` first), output at `L − depth` with the same slot
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-rotation-key and level errors; fails with
+    /// [`CkksError::LevelExhausted`] if the parameter set is too shallow for
+    /// the configured sine depth.
+    pub fn bootstrap(
+        &self,
+        eval: &mut Evaluator<'_>,
+        keys: &KeyChain<'_>,
+        ct: &Ciphertext,
+    ) -> Result<Ciphertext, CkksError> {
+        let ctx = self.ctx;
+        if ctx.params().max_level() < self.cfg.depth() {
+            return Err(CkksError::LevelExhausted);
+        }
+
+        // ModRaise: drop to q0, lift to the full chain (adds q0·I).
+        let ct0 = eval.mod_switch_to(ct, 0)?;
+        let raised = mod_raise(ctx, &ct0);
+
+        // CoeffToSlot: y_low/y_high = (1/N)(E_h† w + E_hᵀ w̄).
+        let wc = eval.conjugate(&raised, keys)?;
+        let a = self.c2s_adj_low.apply(eval, keys, &raised)?;
+        let b = self.c2s_tra_low.apply(eval, keys, &wc)?;
+        let ct_low = eval.hadd(&a, &b)?;
+        let a = self.c2s_adj_high.apply(eval, keys, &raised)?;
+        let b = self.c2s_tra_high.apply(eval, keys, &wc)?;
+        let ct_high = eval.hadd(&a, &b)?;
+
+        // SineEval removes the q0·I perturbation from each coefficient.
+        // In slot-value terms the period is q0/Δ.
+        let period = ctx.q_primes()[0] as f64 / ct.scale;
+        let s_low = eval_sine(eval, keys, &ct_low, period, &self.cfg.sine)?;
+        let s_high = eval_sine(eval, keys, &ct_high, period, &self.cfg.sine)?;
+
+        // SlotToCoeff recombination: slots = E_left·y_low + E_right·y_high.
+        let lo = self.s2c_low.apply(eval, keys, &s_low)?;
+        let hi = self.s2c_high.apply(eval, keys, &s_high)?;
+        eval.hadd(&lo, &hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_sine_plus_two() {
+        let cfg = BootConfig::default();
+        assert_eq!(cfg.depth(), cfg.sine.depth() + 2);
+    }
+}

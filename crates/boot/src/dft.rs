@@ -1,0 +1,170 @@
+//! The homomorphic (i)DFT matrices behind SlotToCoeff / CoeffToSlot.
+//!
+//! Let `E` be the `N/2 × N` decoding matrix `E[j][k] = ζ^{5^j·k}`
+//! (`ζ = e^{iπ/N}`), split by columns into `E = [E_left | E_right]`. Using
+//! the orthogonality of the full odd character group
+//! (`[E; Ē]† [E; Ē] = N·I`), for a *real* coefficient vector
+//! `y = (y_low, y_high)`:
+//!
+//! ```text
+//! slots      w = E_left·y_low + E_right·y_high
+//! y_low  = (1/N)·(E_left† w  + E_leftᵀ w̄)
+//! y_high = (1/N)·(E_right† w + E_rightᵀ w̄)
+//! ```
+//!
+//! so **CoeffToSlot** is four dense transforms plus one conjugation, and
+//! **SlotToCoeff** is the pair `E_left`, `E_right`. These are exactly the
+//! DFT matrices the paper's Fig. 6 BSGS boxes evaluate.
+
+use crate::linear::LinearTransform;
+use tensorfhe_math::Complex64;
+
+/// Which half (columns) of the decoding matrix to materialise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Half {
+    /// Columns `0..N/2` (low coefficients).
+    Low,
+    /// Columns `N/2..N` (high coefficients).
+    High,
+}
+
+/// Which variant of the matrix a transform needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DftMatrix {
+    /// `E_half` — SlotToCoeff direction.
+    Encode(Half),
+    /// `(1/N)·E_half†` — CoeffToSlot, applied to the ciphertext itself.
+    DecodeAdjoint(Half),
+    /// `(1/N)·E_halfᵀ` — CoeffToSlot, applied to the conjugated ciphertext.
+    DecodeTranspose(Half),
+}
+
+/// Materialises the requested matrix as a dense linear transform over
+/// `slots = N/2`.
+#[must_use]
+pub fn dft_transform(n: usize, which: DftMatrix) -> LinearTransform {
+    let slots = n / 2;
+    let mut matrix = vec![vec![Complex64::zero(); slots]; slots];
+    let two_n = 2 * n;
+    // rot_pows[j] = 5^j mod 2N.
+    let mut rot = 1usize;
+    let mut rot_pows = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        rot_pows.push(rot);
+        rot = rot * 5 % two_n;
+    }
+    let cis: Vec<Complex64> = (0..two_n)
+        .map(|i| Complex64::cis(std::f64::consts::PI * i as f64 / n as f64))
+        .collect();
+    let e = |j: usize, k: usize| cis[rot_pows[j] * k % two_n];
+
+    let offset = |half: Half| match half {
+        Half::Low => 0usize,
+        Half::High => slots,
+    };
+    let inv_n = 1.0 / n as f64;
+    for r in 0..slots {
+        for c in 0..slots {
+            matrix[r][c] = match which {
+                // E_half[r][c] = ζ^{5^r (c + offset)}
+                DftMatrix::Encode(h) => e(r, c + offset(h)),
+                // (1/N)·E_half†[r][c] = (1/N)·conj(E[c][r + offset])
+                DftMatrix::DecodeAdjoint(h) => e(c, r + offset(h)).conj().scale(inv_n),
+                // (1/N)·E_halfᵀ[r][c] = (1/N)·E[c][r + offset]
+                DftMatrix::DecodeTranspose(h) => e(c, r + offset(h)).scale(inv_n),
+            };
+        }
+    }
+    LinearTransform::from_matrix(&matrix)
+}
+
+/// Clear-domain check helper: slots of the polynomial with real coefficient
+/// vector `y` (length `N`).
+#[must_use]
+pub fn slots_of_coeffs(n: usize, y: &[f64]) -> Vec<Complex64> {
+    assert_eq!(y.len(), n);
+    let slots = n / 2;
+    let two_n = 2 * n;
+    let mut rot = 1usize;
+    let mut out = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        let mut z = Complex64::zero();
+        let mut idx = 0usize;
+        for &c in y {
+            z += Complex64::cis(std::f64::consts::PI * idx as f64 / n as f64).scale(c);
+            idx = (idx + rot) % two_n;
+        }
+        out.push(z);
+        rot = rot * 5 % two_n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The whole point: E_left† / E_leftᵀ recover y_low from (w, w̄), and the
+    /// encode halves map back. Verified in the clear.
+    #[test]
+    fn coeff_to_slot_matrices_invert_encode() {
+        let n = 32;
+        let slots = n / 2;
+        let mut rng = StdRng::seed_from_u64(11);
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+        let w = slots_of_coeffs(n, &y);
+        let wc: Vec<Complex64> = w.iter().map(|z| z.conj()).collect();
+
+        for (half, expect) in [(Half::Low, &y[..slots]), (Half::High, &y[slots..])] {
+            let adj = dft_transform(n, DftMatrix::DecodeAdjoint(half));
+            let tra = dft_transform(n, DftMatrix::DecodeTranspose(half));
+            let got: Vec<Complex64> = adj
+                .apply_clear(&w)
+                .iter()
+                .zip(tra.apply_clear(&wc))
+                .map(|(a, b)| *a + b)
+                .collect();
+            for t in 0..slots {
+                assert!(
+                    (got[t].re - expect[t]).abs() < 1e-9,
+                    "{half:?} slot {t}: {} vs {}",
+                    got[t].re,
+                    expect[t]
+                );
+                assert!(got[t].im.abs() < 1e-9, "imag residue {}", got[t].im);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_halves_reassemble_slots() {
+        let n = 32;
+        let slots = n / 2;
+        let mut rng = StdRng::seed_from_u64(12);
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let w = slots_of_coeffs(n, &y);
+
+        let y_low: Vec<Complex64> = y[..slots].iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let y_high: Vec<Complex64> = y[slots..].iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let el = dft_transform(n, DftMatrix::Encode(Half::Low));
+        let er = dft_transform(n, DftMatrix::Encode(Half::High));
+        let got: Vec<Complex64> = el
+            .apply_clear(&y_low)
+            .iter()
+            .zip(er.apply_clear(&y_high))
+            .map(|(a, b)| *a + b)
+            .collect();
+        for t in 0..slots {
+            assert!((got[t] - w[t]).norm() < 1e-9, "slot {t}");
+        }
+    }
+
+    #[test]
+    fn dft_matrices_are_dense() {
+        let lt = dft_transform(16, DftMatrix::Encode(Half::Low));
+        assert_eq!(lt.diagonal_count(), 8);
+    }
+}

@@ -1,0 +1,35 @@
+//! Slim bootstrapping for full-RNS CKKS (Fig. 6 of the paper).
+//!
+//! Bootstrapping refreshes an exhausted ciphertext's level budget. The
+//! pipeline, matching the paper's stage inventory:
+//!
+//! 1. **SlotToCoeff** — a homomorphic linear transform (BSGS over
+//!    `CMULT`/`HROTATE`/`HADD`) packing slot values into polynomial
+//!    coefficients.
+//! 2. **ModRaise** — re-interpret the level-0 ciphertext modulo the full
+//!    chain `Q_L`, which adds an unknown multiple `q_0·I(X)` to the
+//!    message.
+//! 3. **CoeffToSlot** — the inverse transforms, exposing every coefficient
+//!    in a slot (two ciphertexts for full packing, via conjugation).
+//! 4. **SineEval** — homomorphic evaluation of `(q_0/2π)·sin(2πx/q_0)`
+//!    through a Taylor expansion of `exp(iθ)` plus repeated squaring
+//!    (the double-angle ladder), removing the `q_0·I` term.
+//! 5. A final SlotToCoeff pair recombines the cleaned halves into the
+//!    refreshed slot ciphertext.
+//!
+//! The module decomposition follows the paper's Fig. 6 boxes: [`linear`]
+//! (BSGS `HMULT`/`CMULT`/`HROTATE` compositions), [`dft`] (the homomorphic
+//! (i)DFT matrices), [`sine`] (Taylor approximation), [`modraise`], and
+//! [`Bootstrapper`] gluing them together.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dft;
+pub mod linear;
+pub mod modraise;
+pub mod sine;
+
+mod bootstrap;
+
+pub use bootstrap::{BootConfig, Bootstrapper};

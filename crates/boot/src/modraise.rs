@@ -1,0 +1,105 @@
+//! ModRaise: re-interpreting a level-0 ciphertext modulo the full chain.
+//!
+//! A ciphertext at level 0 satisfies `c0 + c1·s ≡ m (mod q_0)`. Lifting the
+//! centered residues into every prime of the chain gives a level-`L`
+//! ciphertext satisfying `c0 + c1·s = m + q_0·I(X)` over `Q_L`, where the
+//! overflow polynomial `I(X)` has small coefficients (`‖I‖∞ ≲ ‖s‖₁/2 + 1`,
+//! which is why bootstrapping uses sparse secrets). The sine evaluation
+//! removes the `q_0·I` term afterwards.
+
+use tensorfhe_ckks::{Ciphertext, CkksContext, Domain, RnsPoly};
+
+/// Raises a level-0 ciphertext to the top of the modulus chain.
+///
+/// # Panics
+///
+/// Panics if the ciphertext is not at level 0 or not in NTT domain.
+#[must_use]
+pub fn mod_raise(ctx: &CkksContext, ct: &Ciphertext) -> Ciphertext {
+    assert_eq!(ct.level(), 0, "ModRaise input must be at level 0");
+    Ciphertext {
+        c0: raise_poly(ctx, &ct.c0),
+        c1: raise_poly(ctx, &ct.c1),
+        scale: ct.scale,
+    }
+}
+
+fn raise_poly(ctx: &CkksContext, poly: &RnsPoly) -> RnsPoly {
+    assert_eq!(poly.domain(), Domain::Ntt, "expected NTT-domain input");
+    let mut p = poly.clone();
+    p.ntt_inverse(ctx);
+    let m0 = ctx.q_mod(0);
+    let half = m0.value() / 2;
+    let centered: Vec<i64> = p
+        .limb(0)
+        .iter()
+        .map(|&x| {
+            if x > half {
+                x as i64 - m0.value() as i64
+            } else {
+                x as i64
+            }
+        })
+        .collect();
+    let mut raised = RnsPoly::from_signed(ctx, &centered, ctx.params().max_level());
+    raised.ntt_forward(ctx);
+    raised
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorfhe_ckks::{CkksParams, Evaluator, KeyChain};
+    use tensorfhe_math::Complex64;
+
+    #[test]
+    fn raised_ciphertext_decrypts_to_message_plus_q0_multiple() {
+        let params = CkksParams::toy();
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(31);
+        // Sparse secret keeps I(X) small enough to observe the structure.
+        let keys = KeyChain::generate_sparse(&ctx, 4, &mut rng);
+        let mut eval = Evaluator::new(&ctx);
+
+        let vals = vec![Complex64::new(0.25, 0.0), Complex64::new(-0.125, 0.0)];
+        let pt = ctx.encode(&vals, params.scale()).expect("encode");
+        let ct = keys.encrypt(&pt, &mut rng);
+        let ct0 = eval.mod_switch_to(&ct, 0).expect("drop");
+        let raised = mod_raise(&ctx, &ct0);
+
+        assert_eq!(raised.level(), params.max_level());
+        assert_eq!(raised.scale, ct.scale);
+
+        // Decrypting the raised ciphertext and reducing each coefficient
+        // modulo q0 (centered) must recover the original message poly.
+        let dec_raised = keys.decrypt(&raised);
+        let dec_orig = keys.decrypt(&ct0);
+        let mut p_raised = dec_raised.poly.clone();
+        p_raised.ntt_inverse(&ctx);
+        let mut p_orig = dec_orig.poly.clone();
+        p_orig.ntt_inverse(&ctx);
+        let q0 = ctx.q_mod(0);
+        for i in 0..ctx.params().n() {
+            // Compare mod q0: limb 0 of the raised decryption vs original.
+            assert_eq!(
+                p_raised.limb(0)[i], p_orig.limb(0)[i],
+                "coefficient {i} differs mod q0"
+            );
+            let _ = q0;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level 0")]
+    fn rejects_non_level_zero() {
+        let params = CkksParams::toy();
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(32);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let pt = ctx.encode(&[Complex64::one()], params.scale()).expect("encode");
+        let ct = keys.encrypt(&pt, &mut rng);
+        let _ = mod_raise(&ctx, &ct);
+    }
+}

@@ -1,0 +1,195 @@
+//! Homomorphic sine evaluation (the paper's "Sine Evaluation" stage).
+//!
+//! After ModRaise + CoeffToSlot, each slot holds `v = c/Δ + P·I` with
+//! `P = q_0/Δ` and integer `I`. The modular reduction `v mod P` is
+//! approximated by `(P/2π)·sin(2πv/P)`:
+//!
+//! 1. fold: `θ = 2πv/(P·2^r)` (one constant multiplication),
+//! 2. `u = exp(iθ)` via a degree-`d` Taylor polynomial in the *real*
+//!    ciphertext `θ` with complex coefficients `i^k/k!` (Horner),
+//! 3. `r` double-angle squarings: `u ← u²` gives `exp(2πiv/P)`,
+//! 4. `sin = (u - ū)/2i`, extracted with one conjugation (HCONJ in Fig. 6)
+//!    and a final complex constant multiplication that also applies the
+//!    `P/2π` rescaling.
+//!
+//! Total depth: `2 + d_levels + r` where `d_levels = d - 1` Horner
+//! multiplications.
+
+use tensorfhe_ckks::{Ciphertext, CkksError, Evaluator, KeyChain, Plaintext};
+use tensorfhe_math::Complex64;
+
+/// Configuration of the sine approximation.
+#[derive(Debug, Clone, Copy)]
+pub struct SineConfig {
+    /// Taylor degree `d` for `exp(iθ)` (7 is the paper's choice of a
+    /// Taylor polynomial approximation).
+    pub taylor_degree: usize,
+    /// Number of double-angle squarings `r`.
+    pub double_angles: usize,
+}
+
+impl Default for SineConfig {
+    fn default() -> Self {
+        Self {
+            taylor_degree: 7,
+            double_angles: 6,
+        }
+    }
+}
+
+impl SineConfig {
+    /// Multiplicative depth consumed by [`eval_sine`].
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        // fold + (d-1 Horner hmults + 1 initial cmult) + r squarings + final.
+        1 + self.taylor_degree + self.double_angles + 1
+    }
+}
+
+/// Encodes a constant complex vector at the ciphertext's level and scale.
+fn const_plain(
+    eval: &Evaluator<'_>,
+    z: Complex64,
+    level: usize,
+    scale: f64,
+) -> Result<Plaintext, CkksError> {
+    let ctx = eval.context();
+    let slots = ctx.params().slots();
+    ctx.encode_at(&vec![z; slots], scale, level)
+}
+
+/// Adds a complex constant to every slot (no level cost).
+fn add_const_z(
+    eval: &mut Evaluator<'_>,
+    ct: &Ciphertext,
+    z: Complex64,
+) -> Result<Ciphertext, CkksError> {
+    let pt = const_plain(eval, z, ct.level(), ct.scale)?;
+    eval.add_plain(ct, &pt)
+}
+
+/// Multiplies every slot by a complex constant (one level after rescale).
+fn mul_const_z(
+    eval: &mut Evaluator<'_>,
+    ct: &Ciphertext,
+    z: Complex64,
+) -> Result<Ciphertext, CkksError> {
+    let scale = eval.context().params().scale();
+    let pt = const_plain(eval, z, ct.level(), scale)?;
+    let out = eval.cmult(ct, &pt)?;
+    eval.rescale(&out)
+}
+
+/// Evaluates `(period/2π)·sin(2π·v/period)` on the slot values of `ct`.
+///
+/// The conjugation key must have been generated.
+///
+/// # Errors
+///
+/// Propagates level-exhaustion and missing-key errors.
+pub fn eval_sine(
+    eval: &mut Evaluator<'_>,
+    keys: &KeyChain<'_>,
+    ct: &Ciphertext,
+    period: f64,
+    cfg: &SineConfig,
+) -> Result<Ciphertext, CkksError> {
+    let d = cfg.taylor_degree;
+    let r = cfg.double_angles;
+    assert!(d >= 2, "Taylor degree must be at least 2");
+
+    // θ = v · 2π/(period·2^r)
+    let fold = 2.0 * std::f64::consts::PI / (period * (1u64 << r) as f64);
+    let theta = eval.mul_const(ct, fold);
+    let theta = eval.rescale(&theta)?;
+
+    // Taylor coefficients a_k = i^k / k!.
+    let mut coeffs = Vec::with_capacity(d + 1);
+    let mut fact = 1.0f64;
+    for k in 0..=d {
+        if k > 0 {
+            fact *= k as f64;
+        }
+        let ik = match k % 4 {
+            0 => Complex64::new(1.0, 0.0),
+            1 => Complex64::new(0.0, 1.0),
+            2 => Complex64::new(-1.0, 0.0),
+            _ => Complex64::new(0.0, -1.0),
+        };
+        coeffs.push(ik.scale(1.0 / fact));
+    }
+
+    // Horner: acc = a_d; acc = acc·θ + a_{k}.
+    let mut acc = mul_const_z(eval, &theta, coeffs[d])?;
+    acc = add_const_z(eval, &acc, coeffs[d - 1])?;
+    for k in (0..d - 1).rev() {
+        let theta_here = eval.mod_switch_to(&theta, acc.level())?;
+        acc = eval.hmult(&acc, &theta_here, keys)?;
+        acc = eval.rescale(&acc)?;
+        acc = add_const_z(eval, &acc, coeffs[k])?;
+    }
+
+    // Double-angle ladder: u ← u².
+    for _ in 0..r {
+        acc = eval.square(&acc, keys)?;
+        acc = eval.rescale(&acc)?;
+    }
+
+    // sin = (u - ū)/(2i), fused with the final (period/2π) scaling.
+    let conj = eval.conjugate(&acc, keys)?;
+    let diff = eval.hsub(&acc, &conj)?;
+    let z = Complex64::new(0.0, -0.5).scale(period / (2.0 * std::f64::consts::PI));
+    mul_const_z(eval, &diff, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorfhe_ckks::{CkksContext, CkksParams};
+
+    #[test]
+    fn depth_accounting() {
+        let cfg = SineConfig { taylor_degree: 7, double_angles: 6 };
+        assert_eq!(cfg.depth(), 15);
+    }
+
+    #[test]
+    fn sine_removes_integer_periods() {
+        // Slots hold v = x + P·I; the sine kernel must return ≈ x.
+        let params = CkksParams::new("sine-test", 1 << 7, 17, 3, 6, 29, 29, 1)
+            .expect("params valid");
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut keys = KeyChain::generate_sparse(&ctx, 8, &mut rng);
+        keys.gen_conjugation_key(&mut rng);
+        let mut eval = Evaluator::new(&ctx);
+
+        let period = 16.0f64;
+        let slots = ctx.params().slots();
+        let xs: Vec<f64> = (0..slots)
+            .map(|i| 0.3 * ((i as f64) * 0.17).sin())
+            .collect();
+        let is: Vec<f64> = (0..slots).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let vals: Vec<Complex64> = xs
+            .iter()
+            .zip(&is)
+            .map(|(&x, &i)| Complex64::new(x + period * i, 0.0))
+            .collect();
+
+        let pt = ctx.encode(&vals, params.scale()).expect("encode");
+        let ct = keys.encrypt(&pt, &mut rng);
+        let cfg = SineConfig { taylor_degree: 7, double_angles: 5 };
+        let out = eval_sine(&mut eval, &keys, &ct, period, &cfg).expect("sine");
+        let dec = ctx.decode(&keys.decrypt(&out)).expect("decode");
+
+        for (t, &x) in xs.iter().enumerate() {
+            // sin(2πx/P)·P/2π ≈ x for |x| ≪ P (here x ≤ 0.3, P = 16:
+            // linearisation error ≈ x³·(2π/P)²/6 ≲ 7e-4).
+            let err = (dec[t].re - x).abs();
+            assert!(err < 5e-3, "slot {t}: got {}, want {x} (err {err})", dec[t].re);
+            assert!(dec[t].im.abs() < 5e-3, "imaginary residue {}", dec[t].im);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end bootstrap: exhaust a ciphertext, refresh it, keep computing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensorfhe_boot::sine::SineConfig;
+use tensorfhe_boot::{BootConfig, Bootstrapper};
+use tensorfhe_ckks::{CkksContext, CkksParams, Evaluator, KeyChain};
+use tensorfhe_math::Complex64;
+
+/// Bootstrap-capable test parameters: N = 2^8, L = 19 (depth 17 pipeline),
+/// 29-bit primes with Δ = 2^29 so rescaling preserves the scale.
+fn boot_params() -> CkksParams {
+    CkksParams::new("boot-test", 1 << 8, 19, 4, 5, 29, 29, 1).expect("valid params")
+}
+
+fn boot_config() -> BootConfig {
+    BootConfig {
+        sine: SineConfig {
+            taylor_degree: 7,
+            double_angles: 6,
+        },
+    }
+}
+
+#[test]
+fn bootstrap_refreshes_exhausted_ciphertext() {
+    let params = boot_params();
+    let ctx = CkksContext::new(&params).expect("ctx");
+    let mut rng = StdRng::seed_from_u64(2024);
+    // Sparse secret bounds the ModRaise overflow I(X).
+    let mut keys = KeyChain::generate_sparse(&ctx, 8, &mut rng);
+
+    let cfg = boot_config();
+    let boot = Bootstrapper::new(&ctx, cfg);
+    keys.gen_rotation_keys(&boot.required_rotations(), &mut rng);
+    keys.gen_conjugation_key(&mut rng);
+
+    let slots = params.slots();
+    // Moderate magnitudes keep every polynomial coefficient well inside the
+    // sine approximation's linear region.
+    let vals: Vec<Complex64> = (0..slots)
+        .map(|i| Complex64::new(0.3 * ((i as f64) * 0.37).sin(), 0.0))
+        .collect();
+    let pt = ctx.encode(&vals, params.scale()).expect("encode");
+    let ct = keys.encrypt(&pt, &mut rng);
+
+    let mut eval = Evaluator::new(&ctx);
+    // Exhaust the level budget entirely.
+    let exhausted = eval.mod_switch_to(&ct, 0).expect("drop to level 0");
+    assert_eq!(exhausted.level(), 0);
+
+    let refreshed = boot
+        .bootstrap(&mut eval, &keys, &exhausted)
+        .expect("bootstrap");
+    assert!(
+        refreshed.level() >= 1,
+        "bootstrap must restore usable levels, got {}",
+        refreshed.level()
+    );
+    assert_eq!(refreshed.level(), params.max_level() - cfg.depth());
+
+    let dec = ctx.decode(&keys.decrypt(&refreshed)).expect("decode");
+    let max_err = vals
+        .iter()
+        .zip(&dec)
+        .map(|(a, b)| (*a - *b).norm())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_err < 0.02,
+        "bootstrap error {max_err} too large (first slots: {:?} vs {:?})",
+        &dec[..4],
+        &vals[..4]
+    );
+}
+
+#[test]
+fn bootstrap_output_supports_multiplication() {
+    let params = boot_params();
+    let ctx = CkksContext::new(&params).expect("ctx");
+    let mut rng = StdRng::seed_from_u64(4048);
+    let mut keys = KeyChain::generate_sparse(&ctx, 8, &mut rng);
+
+    let boot = Bootstrapper::new(&ctx, boot_config());
+    keys.gen_rotation_keys(&boot.required_rotations(), &mut rng);
+    keys.gen_conjugation_key(&mut rng);
+
+    let slots = params.slots();
+    let vals: Vec<Complex64> = (0..slots)
+        .map(|i| Complex64::new(0.25 * ((i as f64) * 0.11).cos(), 0.0))
+        .collect();
+    let pt = ctx.encode(&vals, params.scale()).expect("encode");
+    let ct = keys.encrypt(&pt, &mut rng);
+
+    let mut eval = Evaluator::new(&ctx);
+    let exhausted = eval.mod_switch_to(&ct, 0).expect("drop");
+    let refreshed = boot.bootstrap(&mut eval, &keys, &exhausted).expect("boot");
+
+    // The refreshed ciphertext must support real homomorphic work.
+    let squared = eval.square(&refreshed, &keys).expect("square");
+    let squared = eval.rescale(&squared).expect("rescale");
+    let dec = ctx.decode(&keys.decrypt(&squared)).expect("decode");
+    let max_err = vals
+        .iter()
+        .zip(&dec)
+        .map(|(a, b)| (*a * *a - *b).norm())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 0.03, "post-bootstrap square error {max_err}");
+}
+
+#[test]
+fn bootstrap_rejects_too_shallow_parameters() {
+    let params = CkksParams::new("shallow", 1 << 8, 7, 2, 4, 29, 29, 1).expect("valid");
+    let ctx = CkksContext::new(&params).expect("ctx");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut keys = KeyChain::generate_sparse(&ctx, 8, &mut rng);
+    let boot = Bootstrapper::new(&ctx, boot_config());
+    keys.gen_rotation_keys(&boot.required_rotations(), &mut rng);
+    keys.gen_conjugation_key(&mut rng);
+
+    let vals = vec![Complex64::new(0.1, 0.0)];
+    let pt = ctx.encode(&vals, params.scale()).expect("encode");
+    let ct = keys.encrypt(&pt, &mut rng);
+    let mut eval = Evaluator::new(&ctx);
+    assert!(boot.bootstrap(&mut eval, &keys, &ct).is_err());
+}
+
+#[test]
+fn kernel_trace_contains_fig6_inventory() {
+    // The bootstrap schedule must exercise the Fig. 6 kernel inventory:
+    // NTT, Hada-Mult, Conv (key switching), ForbeniusMap (BSGS rotations),
+    // Conjugate (HCONJ) and element-wise ops.
+    use tensorfhe_ckks::trace::RecordingTracer;
+
+    let params = boot_params();
+    let ctx = CkksContext::new(&params).expect("ctx");
+    let mut rng = StdRng::seed_from_u64(555);
+    let mut keys = KeyChain::generate_sparse(&ctx, 8, &mut rng);
+    let boot = Bootstrapper::new(&ctx, boot_config());
+    keys.gen_rotation_keys(&boot.required_rotations(), &mut rng);
+    keys.gen_conjugation_key(&mut rng);
+
+    let vals = vec![Complex64::new(0.2, 0.0); params.slots()];
+    let pt = ctx.encode(&vals, params.scale()).expect("encode");
+    let ct = keys.encrypt(&pt, &mut rng);
+
+    let mut rec = RecordingTracer::new();
+    {
+        let mut eval = Evaluator::with_tracer(&ctx, Box::new(&mut rec));
+        let ct0 = eval.mod_switch_to(&ct, 0).expect("drop");
+        let _ = boot.bootstrap(&mut eval, &keys, &ct0).expect("boot");
+    }
+    for kernel in ["NTT", "INTT", "Hada-Mult", "Ele-Add", "Conv", "ForbeniusMap", "Conjugate"] {
+        assert!(rec.count(kernel) > 0, "bootstrap never used kernel {kernel}");
+    }
+    // NTT should dominate the schedule in *work* terms (§VI-B2): weight each
+    // event by limbs × N log N for transforms vs limbs × N for element-wise.
+    use tensorfhe_ckks::KernelEvent;
+    let mut ntt_work = 0u64;
+    let mut ew_work = 0u64;
+    for e in &rec.events {
+        match *e {
+            KernelEvent::Ntt { n, limbs, .. } => {
+                ntt_work += (limbs * n) as u64 * n.trailing_zeros() as u64;
+            }
+            KernelEvent::EleAdd { n, limbs }
+            | KernelEvent::EleSub { n, limbs }
+            | KernelEvent::HadaMult { n, limbs } => ew_work += (limbs * n) as u64,
+            _ => {}
+        }
+    }
+    // At N = 2^8 the log-N factor is small; at paper scale (N = 2^16) the
+    // ratio grows to the >90% of Fig. 11.
+    assert!(
+        ntt_work > ew_work,
+        "NTT work ({ntt_work}) should dominate element-wise work ({ew_work})"
+    );
+}
+
+#[test]
+fn random_payload_survives_bootstrap() {
+    let params = boot_params();
+    let ctx = CkksContext::new(&params).expect("ctx");
+    let mut rng = StdRng::seed_from_u64(31337);
+    let mut keys = KeyChain::generate_sparse(&ctx, 8, &mut rng);
+    let boot = Bootstrapper::new(&ctx, boot_config());
+    keys.gen_rotation_keys(&boot.required_rotations(), &mut rng);
+    keys.gen_conjugation_key(&mut rng);
+
+    let slots = params.slots();
+    let vals: Vec<Complex64> = (0..slots)
+        .map(|_| Complex64::new(rng.gen_range(-0.25..0.25), 0.0))
+        .collect();
+    let pt = ctx.encode(&vals, params.scale()).expect("encode");
+    let ct = keys.encrypt(&pt, &mut rng);
+
+    let mut eval = Evaluator::new(&ctx);
+    let ct0 = eval.mod_switch_to(&ct, 0).expect("drop");
+    let refreshed = boot.bootstrap(&mut eval, &keys, &ct0).expect("boot");
+    let dec = ctx.decode(&keys.decrypt(&refreshed)).expect("decode");
+
+    let mean_err = vals
+        .iter()
+        .zip(&dec)
+        .map(|(a, b)| (*a - *b).norm())
+        .sum::<f64>()
+        / slots as f64;
+    assert!(mean_err < 0.01, "mean bootstrap error {mean_err}");
+}

@@ -1,0 +1,463 @@
+//! The CKKS context: primes, NTT tables, conversion caches, Galois maps.
+//!
+//! Everything here is a pure function of the parameter set and is computed
+//! lazily — benches that only need kernel schedules (TimingOnly mode) never
+//! pay for `N = 2^16` twiddle tables they don't touch.
+
+use crate::encoder::Encoder;
+use crate::error::CkksError;
+use crate::params::CkksParams;
+use crate::poly::Plaintext;
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use tensorfhe_math::crt::{BasisConvTable, RnsBasis};
+use tensorfhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
+use tensorfhe_math::{Complex64, Modulus};
+use tensorfhe_ntt::NttTable;
+
+/// Pre-computed tables for one Galois element `g` (rotation/conjugation).
+#[derive(Debug, Clone)]
+pub struct GaloisTables {
+    /// The Galois element (odd, `< 2N`).
+    pub g: u64,
+    /// NTT-domain slot permutation: `out[t] = in[perm[t]]` — the paper's
+    /// `π_r(x) = ([5^r(2x+1)]_{2N} - 1)/2` (ForbeniusMap kernel).
+    pub ntt_perm: Vec<u32>,
+    /// Coefficient-domain gather: `out[t] = ±in[src]`; entry is
+    /// `(src, negate)`.
+    pub coeff_map: Vec<(u32, bool)>,
+}
+
+/// Basis-extension tables for one key-switching digit at one level.
+#[derive(Debug)]
+pub struct ModUpTable {
+    /// First source limb index (inclusive).
+    pub src_start: usize,
+    /// One past the last source limb index.
+    pub src_end: usize,
+    /// Conversion from the digit's primes to the complement basis
+    /// (`q`s outside the digit followed by all `p`s).
+    pub conv: BasisConvTable,
+}
+
+/// Tables for `ModDown` at one level: conversion from the special basis `P`
+/// to `q_0..q_l` plus `P^{-1} mod q_i`.
+#[derive(Debug)]
+pub struct ModDownTable {
+    /// Conversion from `{p_k}` to `{q_0..q_l}`.
+    pub conv: BasisConvTable,
+    /// `P^{-1} mod q_i` for `i ≤ l`.
+    pub p_inv_mod_q: Vec<u64>,
+}
+
+/// The shared, immutable CKKS context.
+///
+/// Create once per parameter set; cheap to share by reference. Interior
+/// caches are lazily filled and deterministic.
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParams,
+    q_primes: Vec<u64>,
+    p_primes: Vec<u64>,
+    q_mods: Vec<Modulus>,
+    p_mods: Vec<Modulus>,
+    ntt_q: Vec<OnceCell<NttTable>>,
+    ntt_p: Vec<OnceCell<NttTable>>,
+    encoder: OnceCell<Encoder>,
+    rns_per_level: Vec<OnceCell<RnsBasis>>,
+    modup: RefCell<HashMap<(usize, usize), Rc<ModUpTable>>>,
+    moddown: RefCell<HashMap<usize, Rc<ModDownTable>>>,
+    galois: RefCell<HashMap<u64, Rc<GaloisTables>>>,
+    /// `rescale_inv[l][j] = q_l^{-1} mod q_j` for `j < l`.
+    rescale_inv: Vec<Vec<u64>>,
+}
+
+impl CkksContext {
+    /// Builds the context for a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParams`] if not enough NTT-friendly primes
+    /// of the requested size exist for the degree.
+    pub fn new(params: &CkksParams) -> Result<Self, CkksError> {
+        let n = params.n() as u64;
+        let l1 = params.max_level() + 1;
+        let k = params.special_primes();
+        // Deterministic prime chain: q's scan down from 2^bits, p's continue
+        // past them (disjoint by construction).
+        let q_primes =
+            std::panic::catch_unwind(|| generate_ntt_primes(l1, params.prime_bits(), n))
+                .map_err(|_| {
+                    CkksError::InvalidParams(format!(
+                        "not enough {}-bit NTT primes for N={}",
+                        params.prime_bits(),
+                        params.n()
+                    ))
+                })?;
+        let p_primes = std::panic::catch_unwind(|| {
+            generate_ntt_primes_excluding(k, params.prime_bits(), n, &q_primes)
+        })
+        .map_err(|_| {
+            CkksError::InvalidParams("not enough special primes for the parameter set".into())
+        })?;
+
+        let q_mods: Vec<Modulus> = q_primes.iter().map(|&q| Modulus::new(q)).collect();
+        let p_mods: Vec<Modulus> = p_primes.iter().map(|&p| Modulus::new(p)).collect();
+
+        let mut rescale_inv = Vec::with_capacity(l1);
+        for l in 0..l1 {
+            let mut row = Vec::with_capacity(l);
+            for j in 0..l {
+                row.push(q_mods[j].inv(q_mods[j].reduce(q_primes[l])));
+            }
+            rescale_inv.push(row);
+        }
+
+        Ok(Self {
+            params: params.clone(),
+            ntt_q: (0..l1).map(|_| OnceCell::new()).collect(),
+            ntt_p: (0..k).map(|_| OnceCell::new()).collect(),
+            encoder: OnceCell::new(),
+            rns_per_level: (0..l1).map(|_| OnceCell::new()).collect(),
+            modup: RefCell::new(HashMap::new()),
+            moddown: RefCell::new(HashMap::new()),
+            galois: RefCell::new(HashMap::new()),
+            q_primes,
+            p_primes,
+            q_mods,
+            p_mods,
+            rescale_inv,
+        })
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Ciphertext primes `q_0..q_L`.
+    #[must_use]
+    pub fn q_primes(&self) -> &[u64] {
+        &self.q_primes
+    }
+
+    /// Special primes `p_0..p_{K-1}`.
+    #[must_use]
+    pub fn p_primes(&self) -> &[u64] {
+        &self.p_primes
+    }
+
+    /// Modulus handle for ciphertext prime `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > L`.
+    #[must_use]
+    pub fn q_mod(&self, i: usize) -> &Modulus {
+        &self.q_mods[i]
+    }
+
+    /// Modulus handle for special prime `k`.
+    #[must_use]
+    pub fn p_mod(&self, k: usize) -> &Modulus {
+        &self.p_mods[k]
+    }
+
+    /// NTT table for ciphertext prime `i` (built on first use).
+    #[must_use]
+    pub fn ntt_q(&self, i: usize) -> &NttTable {
+        self.ntt_q[i].get_or_init(|| NttTable::new(self.params.n(), self.q_primes[i]))
+    }
+
+    /// NTT table for special prime `k` (built on first use).
+    #[must_use]
+    pub fn ntt_p(&self, k: usize) -> &NttTable {
+        self.ntt_p[k].get_or_init(|| NttTable::new(self.params.n(), self.p_primes[k]))
+    }
+
+    /// `q_l^{-1} mod q_j` (rescale constant).
+    #[must_use]
+    pub fn rescale_inv(&self, l: usize, j: usize) -> u64 {
+        self.rescale_inv[l][j]
+    }
+
+    /// The RNS basis `{q_0..q_l}` for a level (built on first use).
+    #[must_use]
+    pub fn rns_basis(&self, level: usize) -> &RnsBasis {
+        self.rns_per_level[level].get_or_init(|| RnsBasis::new(&self.q_primes[..=level]))
+    }
+
+    /// ModUp tables for key-switch digit `j` at ciphertext level `level`.
+    ///
+    /// The digit covers source limbs `[jα, min((j+1)α, level+1))`; the
+    /// conversion targets the complement `q`s and all special primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digit is empty at this level.
+    #[must_use]
+    pub fn modup_table(&self, digit: usize, level: usize) -> Rc<ModUpTable> {
+        if let Some(t) = self.modup.borrow().get(&(digit, level)) {
+            return Rc::clone(t);
+        }
+        let alpha = self.params.alpha();
+        let src_start = digit * alpha;
+        let src_end = ((digit + 1) * alpha).min(level + 1);
+        assert!(src_start < src_end, "digit {digit} empty at level {level}");
+        let src = RnsBasis::new(&self.q_primes[src_start..src_end]);
+        let mut dst: Vec<Modulus> = Vec::new();
+        for (i, m) in self.q_mods[..=level].iter().enumerate() {
+            if i < src_start || i >= src_end {
+                dst.push(*m);
+            }
+        }
+        dst.extend(self.p_mods.iter().copied());
+        let table = Rc::new(ModUpTable {
+            src_start,
+            src_end,
+            conv: BasisConvTable::new(&src, &dst),
+        });
+        self.modup
+            .borrow_mut()
+            .insert((digit, level), Rc::clone(&table));
+        table
+    }
+
+    /// ModDown tables at `level` (built on first use).
+    #[must_use]
+    pub fn moddown_table(&self, level: usize) -> Rc<ModDownTable> {
+        if let Some(t) = self.moddown.borrow().get(&level) {
+            return Rc::clone(t);
+        }
+        let src = RnsBasis::new(&self.p_primes);
+        let dst: Vec<Modulus> = self.q_mods[..=level].to_vec();
+        let conv = BasisConvTable::new(&src, &dst);
+        let p_inv_mod_q = self.q_mods[..=level]
+            .iter()
+            .map(|m| {
+                let mut p = 1u64;
+                for &pk in &self.p_primes {
+                    p = m.mul(p, m.reduce(pk));
+                }
+                m.inv(p)
+            })
+            .collect();
+        let table = Rc::new(ModDownTable { conv, p_inv_mod_q });
+        self.moddown.borrow_mut().insert(level, Rc::clone(&table));
+        table
+    }
+
+    /// The Galois element for a rotation by `r` slots: `5^r mod 2N`
+    /// (negative `r` rotates the other way).
+    #[must_use]
+    pub fn galois_element(&self, r: i64) -> u64 {
+        let two_n = 2 * self.params.n() as u64;
+        let half = self.params.n() as i64 / 2;
+        let r = r.rem_euclid(half) as u64;
+        let m = Modulus::new(two_n);
+        m.pow(5, r)
+    }
+
+    /// The Galois element of complex conjugation: `2N - 1`.
+    #[must_use]
+    pub fn conjugation_element(&self) -> u64 {
+        2 * self.params.n() as u64 - 1
+    }
+
+    /// Galois tables for element `g` (built on first use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even or out of range.
+    #[must_use]
+    pub fn galois_tables(&self, g: u64) -> Rc<GaloisTables> {
+        if let Some(t) = self.galois.borrow().get(&g) {
+            return Rc::clone(t);
+        }
+        let n = self.params.n() as u64;
+        let two_n = 2 * n;
+        assert!(g % 2 == 1 && g < two_n, "galois element must be odd and < 2N");
+
+        // NTT-domain permutation: out[t] = in[π(t)], π(t) = (g(2t+1) mod 2N - 1)/2.
+        let mut ntt_perm = Vec::with_capacity(n as usize);
+        for t in 0..n {
+            let x = (g as u128 * (2 * t + 1) as u128 % two_n as u128) as u64;
+            ntt_perm.push(((x - 1) / 2) as u32);
+        }
+
+        // Coefficient-domain gather with sign: source k maps to k·g mod 2N.
+        let mut coeff_map = vec![(0u32, false); n as usize];
+        for k in 0..n {
+            let idx = (k as u128 * g as u128 % two_n as u128) as u64;
+            if idx < n {
+                coeff_map[idx as usize] = (k as u32, false);
+            } else {
+                coeff_map[(idx - n) as usize] = (k as u32, true);
+            }
+        }
+
+        let t = Rc::new(GaloisTables { g, ntt_perm, coeff_map });
+        self.galois.borrow_mut().insert(g, Rc::clone(&t));
+        t
+    }
+
+    fn encoder(&self) -> &Encoder {
+        self.encoder.get_or_init(|| Encoder::new(self.params.n()))
+    }
+
+    /// Encodes complex values into a plaintext at the top level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] if more than `N/2` values are
+    /// given.
+    pub fn encode(&self, values: &[Complex64], scale: f64) -> Result<Plaintext, CkksError> {
+        self.encode_at(values, scale, self.params.max_level())
+    }
+
+    /// Encodes at a specific level (used after rescaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] if more than `N/2` values are
+    /// given.
+    pub fn encode_at(
+        &self,
+        values: &[Complex64],
+        scale: f64,
+        level: usize,
+    ) -> Result<Plaintext, CkksError> {
+        let coeffs = self.encoder().encode(values, scale)?;
+        let mut poly = crate::poly::RnsPoly::from_i128_coeffs(self, &coeffs, level);
+        poly.ntt_forward(self);
+        Ok(Plaintext { poly, scale })
+    }
+
+    /// Decodes a plaintext back to complex values.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for well-formed plaintexts, but kept fallible for
+    /// future strict-mode checks.
+    pub fn decode(&self, pt: &Plaintext) -> Result<Vec<Complex64>, CkksError> {
+        let mut poly = pt.poly.clone();
+        if poly.domain() == crate::poly::Domain::Ntt {
+            poly.ntt_inverse(self);
+        }
+        let level = poly.level();
+        let basis = self.rns_basis(level);
+        let n = self.params.n();
+        let mut coeffs = Vec::with_capacity(n);
+        let mut residues = vec![0u64; level + 1];
+        for i in 0..n {
+            for (l, r) in residues.iter_mut().enumerate() {
+                *r = poly.limb(l)[i];
+            }
+            coeffs.push(basis.compose_centered(&residues) as f64 / pt.scale);
+        }
+        Ok(self.encoder().decode(&coeffs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(&CkksParams::test_small()).expect("params valid")
+    }
+
+    #[test]
+    fn primes_are_distinct_and_ntt_friendly() {
+        let c = ctx();
+        let two_n = 2 * c.params().n() as u64;
+        let mut all: Vec<u64> = c.q_primes().to_vec();
+        all.extend_from_slice(c.p_primes());
+        for &q in &all {
+            assert_eq!(q % two_n, 1);
+        }
+        let unique: std::collections::HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn galois_element_structure() {
+        let c = ctx();
+        assert_eq!(c.galois_element(0), 1);
+        assert_eq!(c.galois_element(1), 5);
+        assert_eq!(c.galois_element(2), 25);
+        // Rotation by slots/2 wraps to identity.
+        let half = c.params().slots() as i64;
+        assert_eq!(c.galois_element(half), 1);
+        assert!(c.conjugation_element() % 2 == 1);
+    }
+
+    #[test]
+    fn ntt_perm_is_permutation() {
+        let c = ctx();
+        let t = c.galois_tables(c.galois_element(3));
+        let mut seen = vec![false; c.params().n()];
+        for &p in &t.ntt_perm {
+            assert!(!seen[p as usize], "duplicate target {p}");
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn galois_tables_cached() {
+        let c = ctx();
+        let a = c.galois_tables(5);
+        let b = c.galois_tables(5);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn modup_table_shapes() {
+        let c = ctx();
+        // test_small: L=7, dnum=4 → α=2. Digit 1 at level 7 covers limbs 2..4.
+        let t = c.modup_table(1, 7);
+        assert_eq!((t.src_start, t.src_end), (2, 4));
+        // Complement = 6 q-limbs + 2 p-limbs.
+        assert_eq!(t.conv.dst_moduli().len(), 6 + 2);
+    }
+
+    #[test]
+    fn moddown_p_inverse_correct() {
+        let c = ctx();
+        let t = c.moddown_table(3);
+        for (i, &inv) in t.p_inv_mod_q.iter().enumerate() {
+            let m = c.q_mod(i);
+            let mut p = 1u64;
+            for &pk in c.p_primes() {
+                p = m.mul(p, m.reduce(pk));
+            }
+            assert_eq!(m.mul(p, inv), 1);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = ctx();
+        let vals: Vec<Complex64> = (0..c.params().slots())
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let pt = c.encode(&vals, c.params().scale()).expect("fits");
+        let back = c.decode(&pt).expect("decode");
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((*a - *b).norm() < 1e-4, "slot error too large: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn encode_rejects_overflow() {
+        let c = ctx();
+        let too_many = vec![Complex64::one(); c.params().slots() + 1];
+        assert!(matches!(
+            c.encode(&too_many, c.params().scale()),
+            Err(CkksError::TooManySlots { .. })
+        ));
+    }
+}

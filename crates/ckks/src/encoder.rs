@@ -1,0 +1,188 @@
+//! Canonical-embedding encoder (Eq. 5 of the paper).
+//!
+//! CKKS packs `N/2` complex numbers into one polynomial by evaluating at the
+//! primitive `2N`-th roots `ζ^{5^j}`: decoding slot `j` is
+//! `z_j = m(ζ^{5^j}) / Δ`, and encoding is the conjugate-symmetric inverse
+//! `c_k = round(Δ · (2/N) · Re Σ_j z_j ζ^{-5^j k})`.
+//!
+//! Twiddles are table lookups into a length-`2N` unit-circle table with
+//! incremental index stepping, so encode/decode are `O(N · slots)` exact-ish
+//! float pipelines with no trig in the inner loop. (The GPU-side cost of
+//! encoding is not part of the paper's measurements — encoding happens on
+//! the client — so algorithmic elegance matters less than correctness
+//! here.)
+
+use crate::error::CkksError;
+use tensorfhe_math::Complex64;
+
+/// Encoder/decoder for one ring degree.
+#[derive(Debug)]
+pub struct Encoder {
+    n: usize,
+    /// `cis[i] = e^{iπ·i/N}` for `i < 2N`.
+    cis: Vec<Complex64>,
+    /// `5^j mod 2N` for `j < N/2`.
+    rot_pows: Vec<usize>,
+}
+
+impl Encoder {
+    /// Builds the tables for degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 4.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "invalid degree");
+        let two_n = 2 * n;
+        let cis = (0..two_n)
+            .map(|i| Complex64::cis(std::f64::consts::PI * i as f64 / n as f64))
+            .collect();
+        let mut rot_pows = Vec::with_capacity(n / 2);
+        let mut p = 1usize;
+        for _ in 0..n / 2 {
+            rot_pows.push(p);
+            p = p * 5 % two_n;
+        }
+        Self { n, cis, rot_pows }
+    }
+
+    /// Number of usable slots (`N/2`).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Encodes up to `N/2` complex values into integer coefficients at scale
+    /// `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] if too many values are supplied.
+    pub fn encode(&self, values: &[Complex64], scale: f64) -> Result<Vec<i128>, CkksError> {
+        let slots = self.slots();
+        if values.len() > slots {
+            return Err(CkksError::TooManySlots {
+                given: values.len(),
+                slots,
+            });
+        }
+        let two_n = 2 * self.n;
+        let norm = scale * 2.0 / self.n as f64;
+        let mut acc = vec![Complex64::zero(); self.n];
+        for (j, &z) in values.iter().enumerate() {
+            if z == Complex64::zero() {
+                continue;
+            }
+            let step = self.rot_pows[j];
+            // idx(k) = (-5^j · k) mod 2N, stepped incrementally.
+            let mut idx = 0usize;
+            for a in acc.iter_mut() {
+                *a += z * self.cis[idx];
+                idx = (idx + two_n - step) % two_n;
+            }
+        }
+        Ok(acc
+            .into_iter()
+            .map(|a| (a.re * norm).round() as i128)
+            .collect())
+    }
+
+    /// Decodes real-valued coefficients (already divided by the scale) into
+    /// the slot values.
+    #[must_use]
+    pub fn decode(&self, coeffs: &[f64]) -> Vec<Complex64> {
+        assert_eq!(coeffs.len(), self.n, "need N coefficients");
+        let two_n = 2 * self.n;
+        let mut out = Vec::with_capacity(self.slots());
+        for j in 0..self.slots() {
+            let step = self.rot_pows[j];
+            let mut idx = 0usize;
+            let mut z = Complex64::zero();
+            for &c in coeffs {
+                z += self.cis[idx].scale(c);
+                idx = (idx + step) % two_n;
+            }
+            out.push(z);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(n: usize, values: &[Complex64], scale: f64, tol: f64) {
+        let e = Encoder::new(n);
+        let coeffs = e.encode(values, scale).expect("fits");
+        let floats: Vec<f64> = coeffs.iter().map(|&c| c as f64 / scale).collect();
+        let back = e.decode(&floats);
+        for (i, v) in values.iter().enumerate() {
+            assert!(
+                (*v - back[i]).norm() < tol,
+                "slot {i}: {v} vs {}",
+                back[i]
+            );
+        }
+        // Unfilled slots decode to ~0.
+        for (i, b) in back.iter().enumerate().skip(values.len()) {
+            assert!(b.norm() < tol, "empty slot {i} = {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple_reals() {
+        let vals: Vec<Complex64> = [1.0, -2.5, 3.25, 0.125]
+            .iter()
+            .map(|&r| Complex64::new(r, 0.0))
+            .collect();
+        roundtrip(32, &vals, (1u64 << 30) as f64, 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_complex_full_packing() {
+        let n = 256;
+        let vals: Vec<Complex64> = (0..n / 2)
+            .map(|i| Complex64::new((i as f64 * 0.7).cos(), (i as f64 * 0.3).sin()))
+            .collect();
+        roundtrip(n, &vals, (1u64 << 30) as f64, 1e-5);
+    }
+
+    #[test]
+    fn encoding_is_additive() {
+        let e = Encoder::new(64);
+        let scale = (1u64 << 26) as f64;
+        let a = vec![Complex64::new(1.25, -0.5); 8];
+        let b = vec![Complex64::new(-0.75, 2.0); 8];
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let ca = e.encode(&a, scale).expect("fits");
+        let cb = e.encode(&b, scale).expect("fits");
+        let cs = e.encode(&sum, scale).expect("fits");
+        for i in 0..64 {
+            // Rounding makes this ±1 ULP exact.
+            assert!((ca[i] + cb[i] - cs[i]).abs() <= 2, "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn too_many_values_rejected() {
+        let e = Encoder::new(16);
+        let vals = vec![Complex64::one(); 9];
+        assert!(e.encode(&vals, 1024.0).is_err());
+    }
+
+    #[test]
+    fn constant_encodes_to_constant_coefficient() {
+        // Encoding the same real c in every slot gives m(X) ≈ Δ·c (constant
+        // polynomial), because Σ_j ζ^{-5^j k} vanishes for k ≠ 0.
+        let e = Encoder::new(32);
+        let scale = (1u64 << 24) as f64;
+        let vals = vec![Complex64::new(0.5, 0.0); 16];
+        let coeffs = e.encode(&vals, scale).expect("fits");
+        assert!((coeffs[0] as f64 - 0.5 * scale).abs() < 2.0);
+        for (k, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() <= 1, "coeff {k} should be ~0, got {c}");
+        }
+    }
+}

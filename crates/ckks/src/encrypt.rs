@@ -1,0 +1,144 @@
+//! RLWE sampling primitives shared by key generation and encryption.
+
+use crate::context::CkksContext;
+use crate::keyswitch::ExtPoly;
+use crate::poly::{Domain, RnsPoly};
+use rand::Rng;
+use tensorfhe_math::sampling;
+
+/// Samples a uniformly random polynomial over `{q_0..q_level}` directly in
+/// NTT domain (the NTT of a uniform polynomial is uniform).
+pub fn uniform_poly<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R, level: usize) -> RnsPoly {
+    let n = ctx.params().n();
+    let limbs = (0..=level)
+        .map(|l| sampling::sample_uniform(rng, n, ctx.q_primes()[l]))
+        .collect();
+    RnsPoly::from_limbs(limbs, Domain::Ntt)
+}
+
+/// Samples a centered Gaussian error polynomial (σ = 3.2) and returns it in
+/// NTT domain at the given level.
+pub fn noise_poly<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R, level: usize) -> RnsPoly {
+    let n = ctx.params().n();
+    let e = sampling::sample_gaussian(rng, n, sampling::DEFAULT_SIGMA);
+    let mut p = RnsPoly::from_signed(ctx, &e, level);
+    p.ntt_forward(ctx);
+    p
+}
+
+/// Samples a ternary polynomial (the encryption randomness `v`) in NTT
+/// domain.
+pub fn ternary_poly<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R, level: usize) -> RnsPoly {
+    let n = ctx.params().n();
+    let v = sampling::sample_ternary(rng, n);
+    let mut p = RnsPoly::from_signed(ctx, &v, level);
+    p.ntt_forward(ctx);
+    p
+}
+
+/// Uniform extended polynomial over the full basis `Q × P` (NTT domain).
+pub fn uniform_ext<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> ExtPoly {
+    let n = ctx.params().n();
+    let q_limbs = ctx
+        .q_primes()
+        .iter()
+        .map(|&q| sampling::sample_uniform(rng, n, q))
+        .collect();
+    let p_limbs = ctx
+        .p_primes()
+        .iter()
+        .map(|&p| sampling::sample_uniform(rng, n, p))
+        .collect();
+    ExtPoly {
+        q_limbs,
+        p_limbs,
+        domain: Domain::Ntt,
+    }
+}
+
+/// Gaussian noise over the full extended basis (NTT domain).
+pub fn noise_ext<R: Rng + ?Sized>(ctx: &CkksContext, rng: &mut R) -> ExtPoly {
+    let n = ctx.params().n();
+    let e = sampling::sample_gaussian(rng, n, sampling::DEFAULT_SIGMA);
+    signed_ext(ctx, &e)
+}
+
+/// Embeds small signed coefficients over the full extended basis (NTT
+/// domain).
+#[must_use]
+pub fn signed_ext(ctx: &CkksContext, values: &[i64]) -> ExtPoly {
+    let q_limbs = ctx
+        .q_primes()
+        .iter()
+        .map(|&q| {
+            let m = tensorfhe_math::Modulus::new(q);
+            values.iter().map(|&v| m.from_i64(v)).collect()
+        })
+        .collect();
+    let p_limbs = ctx
+        .p_primes()
+        .iter()
+        .map(|&p| {
+            let m = tensorfhe_math::Modulus::new(p);
+            values.iter().map(|&v| m.from_i64(v)).collect()
+        })
+        .collect();
+    let mut e = ExtPoly {
+        q_limbs,
+        p_limbs,
+        domain: Domain::Coeff,
+    };
+    e.ntt_forward(ctx);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(&CkksParams::toy()).expect("valid")
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = uniform_poly(&c, &mut rng, 3);
+        for l in 0..=3 {
+            let q = c.q_primes()[l];
+            assert!(p.limb(l).iter().all(|&x| x < q));
+        }
+    }
+
+    #[test]
+    fn noise_is_small_in_coeff_domain() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = noise_poly(&c, &mut rng, 2);
+        p.ntt_inverse(&c);
+        let m = c.q_mod(0);
+        for &x in p.limb(0) {
+            let centered = m.to_centered(x).unsigned_abs();
+            assert!(centered < 40, "noise coefficient too large: {centered}");
+        }
+    }
+
+    #[test]
+    fn signed_ext_consistent_across_bases() {
+        let c = ctx();
+        let n = c.params().n();
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i % 3) - 1).collect();
+        let mut e = signed_ext(&c, &vals);
+        e.ntt_inverse(&c);
+        for (i, &v) in vals.iter().enumerate() {
+            let m0 = c.q_mod(0);
+            assert_eq!(e.q_limbs[0][i], m0.from_i64(v));
+            let mp = c.p_mod(0);
+            assert_eq!(e.p_limbs[0][i], mp.from_i64(v));
+        }
+    }
+}

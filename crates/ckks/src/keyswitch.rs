@@ -1,0 +1,361 @@
+//! Hybrid (generalized) key switching — Algorithm 1 of the paper.
+//!
+//! `KeySwitch([d], evk)` re-encrypts a polynomial `d` (decryptable with some
+//! key `s'`) under the canonical secret `s`:
+//!
+//! 1. **Dcomp** — split the `l+1` active limbs into `⌈(l+1)/α⌉` digits of α
+//!    limbs (Han–Ki generalized decomposition; `dnum = (L+1)/α`).
+//! 2. **ModUp** — extend each digit from its α primes to the full basis
+//!    `{q_0..q_l} ∪ {p_0..p_{K-1}}` with the fast basis conversion (`Conv`
+//!    kernel), INTT/NTT sandwiched around it.
+//! 3. **Inner product** — accumulate `Σ_j ModUp(d_j) ⊙ evk_j` (Hada-Mult and
+//!    Ele-Add kernels) over the extended basis.
+//! 4. **ModDown** — divide by `P`: convert the special-prime part back,
+//!    subtract, and multiply by `P^{-1} mod q_i`.
+//!
+//! The evaluation key for digit `j` encrypts `P·Q̂_j·[Q̂_j^{-1}]_{Q_j}·s'`,
+//! whose RNS residues are simply `P mod q_i` inside digit `j` and `0`
+//! elsewhere — no big-integer arithmetic is ever needed.
+
+use crate::context::CkksContext;
+use crate::poly::{Domain, RnsPoly};
+use crate::trace::{KernelEvent, Tracing};
+use tensorfhe_ntt::NttOps;
+
+/// A polynomial over the extended basis `{q_0..q_l} ∪ {p_0..p_{K-1}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtPoly {
+    /// Residue limbs modulo the ciphertext primes.
+    pub q_limbs: Vec<Vec<u64>>,
+    /// Residue limbs modulo the special primes.
+    pub p_limbs: Vec<Vec<u64>>,
+    /// Representation domain (shared by every limb).
+    pub domain: Domain,
+}
+
+impl ExtPoly {
+    /// The all-zero extended polynomial for level `l`.
+    #[must_use]
+    pub fn zero(ctx: &CkksContext, level: usize, domain: Domain) -> Self {
+        let n = ctx.params().n();
+        Self {
+            q_limbs: vec![vec![0; n]; level + 1],
+            p_limbs: vec![vec![0; n]; ctx.params().special_primes()],
+            domain,
+        }
+    }
+
+    /// Level of the `q` part.
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.q_limbs.len() - 1
+    }
+
+    /// Total limb count (`q` + `p`).
+    #[must_use]
+    pub fn total_limbs(&self) -> usize {
+        self.q_limbs.len() + self.p_limbs.len()
+    }
+
+    /// In-place forward NTT on every limb.
+    pub fn ntt_forward(&mut self, ctx: &CkksContext) {
+        assert_eq!(self.domain, Domain::Coeff);
+        for (i, limb) in self.q_limbs.iter_mut().enumerate() {
+            ctx.ntt_q(i).forward(limb);
+        }
+        for (k, limb) in self.p_limbs.iter_mut().enumerate() {
+            ctx.ntt_p(k).forward(limb);
+        }
+        self.domain = Domain::Ntt;
+    }
+
+    /// In-place inverse NTT on every limb.
+    pub fn ntt_inverse(&mut self, ctx: &CkksContext) {
+        assert_eq!(self.domain, Domain::Ntt);
+        for (i, limb) in self.q_limbs.iter_mut().enumerate() {
+            ctx.ntt_q(i).inverse(limb);
+        }
+        for (k, limb) in self.p_limbs.iter_mut().enumerate() {
+            ctx.ntt_p(k).inverse(limb);
+        }
+        self.domain = Domain::Coeff;
+    }
+
+    /// `self += ext ⊙ key`, limb-wise over the shared basis prefix.
+    ///
+    /// `key` spans the full basis (`L+1` q-limbs); `self`/`ext` span only the
+    /// active `l+1` limbs, so the key is indexed by absolute prime index.
+    pub fn mul_acc(&mut self, ctx: &CkksContext, ext: &ExtPoly, key: &ExtPoly) {
+        assert_eq!(self.domain, Domain::Ntt);
+        assert_eq!(ext.domain, Domain::Ntt);
+        assert_eq!(key.domain, Domain::Ntt);
+        for (i, (acc, x)) in self.q_limbs.iter_mut().zip(&ext.q_limbs).enumerate() {
+            let m = ctx.q_mod(i);
+            let k_limb = &key.q_limbs[i];
+            for ((a, &xv), &kv) in acc.iter_mut().zip(x).zip(k_limb) {
+                *a = m.add(*a, m.mul(xv, kv));
+            }
+        }
+        for (k, (acc, x)) in self.p_limbs.iter_mut().zip(&ext.p_limbs).enumerate() {
+            let m = ctx.p_mod(k);
+            let k_limb = &key.p_limbs[k];
+            for ((a, &xv), &kv) in acc.iter_mut().zip(x).zip(k_limb) {
+                *a = m.add(*a, m.mul(xv, kv));
+            }
+        }
+    }
+}
+
+/// One digit of a key-switching key: an RLWE pair over the extended basis.
+#[derive(Debug, Clone)]
+pub struct KsDigit {
+    /// `b_j = -a_j·s + e_j + W_j·s'` (NTT domain, full basis).
+    pub b: ExtPoly,
+    /// Uniform `a_j` (NTT domain, full basis).
+    pub a: ExtPoly,
+}
+
+/// A key-switching key: one RLWE pair per decomposition digit.
+#[derive(Debug, Clone)]
+pub struct KsKey {
+    /// Digits in order `j = 0..dnum`.
+    pub digits: Vec<KsDigit>,
+}
+
+/// `Dcomp` + `ModUp`: extends digit `j` of `d` (coefficient domain, level
+/// `l`) to the full basis. Returns the extended polynomial in coefficient
+/// domain.
+#[must_use]
+pub fn mod_up(
+    ctx: &CkksContext,
+    tracing: &mut Tracing<'_>,
+    d_coeff: &RnsPoly,
+    digit: usize,
+) -> ExtPoly {
+    assert_eq!(d_coeff.domain(), Domain::Coeff);
+    let l = d_coeff.level();
+    let n = d_coeff.n();
+    let table = ctx.modup_table(digit, l);
+    let (s0, s1) = (table.src_start, table.src_end);
+    let k = ctx.params().special_primes();
+
+    let mut ext = ExtPoly::zero(ctx, l, Domain::Coeff);
+    // Own limbs are copied verbatim (the conversion is exact there).
+    for i in s0..s1 {
+        ext.q_limbs[i].copy_from_slice(d_coeff.limb(i));
+    }
+    // Complement limbs via the fast basis conversion.
+    let mut residues = vec![0u64; s1 - s0];
+    for c in 0..n {
+        for (r, i) in residues.iter_mut().zip(s0..s1) {
+            *r = d_coeff.limb(i)[c];
+        }
+        let y = table.conv.y_vector(&residues);
+        let mut dst_idx = 0usize;
+        for i in 0..=l {
+            if i >= s0 && i < s1 {
+                continue;
+            }
+            ext.q_limbs[i][c] = table.conv.convert_from_y(&y, dst_idx);
+            dst_idx += 1;
+        }
+        for kk in 0..k {
+            ext.p_limbs[kk][c] = table.conv.convert_from_y(&y, dst_idx);
+            dst_idx += 1;
+        }
+    }
+    tracing.emit(KernelEvent::Conv {
+        n,
+        l_src: s1 - s0,
+        l_dst: (l + 1 - (s1 - s0)) + k,
+    });
+    ext
+}
+
+/// `ModDown`: divides an extended accumulator by `P`, returning a normal
+/// RNS polynomial at the same level (NTT domain).
+#[must_use]
+pub fn mod_down(ctx: &CkksContext, tracing: &mut Tracing<'_>, acc: &ExtPoly) -> RnsPoly {
+    let l = acc.level();
+    let n = ctx.params().n();
+    let k = ctx.params().special_primes();
+    let table = ctx.moddown_table(l);
+
+    let mut acc = acc.clone();
+    acc.ntt_inverse(ctx);
+    tracing.emit(KernelEvent::Ntt {
+        n,
+        limbs: acc.total_limbs(),
+        inverse: true,
+    });
+
+    // Convert the special-prime part into the q basis.
+    let mut converted = vec![vec![0u64; n]; l + 1];
+    let mut residues = vec![0u64; k];
+    for c in 0..n {
+        for (r, limb) in residues.iter_mut().zip(&acc.p_limbs) {
+            *r = limb[c];
+        }
+        let y = table.conv.y_vector(&residues);
+        for (i, conv_limb) in converted.iter_mut().enumerate() {
+            conv_limb[c] = table.conv.convert_from_y(&y, i);
+        }
+    }
+    tracing.emit(KernelEvent::Conv { n, l_src: k, l_dst: l + 1 });
+
+    // out_i = (acc_i - conv_i) · P^{-1} mod q_i
+    let mut out_limbs = Vec::with_capacity(l + 1);
+    for i in 0..=l {
+        let m = ctx.q_mod(i);
+        let p_inv = table.p_inv_mod_q[i];
+        let limb = acc.q_limbs[i]
+            .iter()
+            .zip(&converted[i])
+            .map(|(&a, &t)| m.mul(m.sub(a, t), p_inv))
+            .collect();
+        out_limbs.push(limb);
+    }
+    tracing.emit(KernelEvent::EleSub { n, limbs: l + 1 });
+
+    let mut out = RnsPoly::from_limbs(out_limbs, Domain::Coeff);
+    out.ntt_forward(ctx);
+    tracing.emit(KernelEvent::Ntt { n, limbs: l + 1, inverse: false });
+    out
+}
+
+/// Full key switch (Algorithm 1): `d` must be in NTT domain.
+///
+/// Returns `(c0', c1')` such that `c0' + c1'·s ≈ d·s'` where `s'` is the key
+/// the `ksk` was generated for.
+#[must_use]
+pub fn key_switch(
+    ctx: &CkksContext,
+    tracing: &mut Tracing<'_>,
+    d: &RnsPoly,
+    ksk: &KsKey,
+) -> (RnsPoly, RnsPoly) {
+    assert_eq!(d.domain(), Domain::Ntt, "key switch input must be in NTT domain");
+    let l = d.level();
+    let n = d.n();
+    let alpha = ctx.params().alpha();
+    let digits = (l + 1).div_ceil(alpha);
+    assert!(digits <= ksk.digits.len(), "key has too few digits");
+
+    let mut d_coeff = d.clone();
+    d_coeff.ntt_inverse(ctx);
+    tracing.emit(KernelEvent::Ntt { n, limbs: l + 1, inverse: true });
+
+    let mut acc0 = ExtPoly::zero(ctx, l, Domain::Ntt);
+    let mut acc1 = ExtPoly::zero(ctx, l, Domain::Ntt);
+    for j in 0..digits {
+        let mut ext = mod_up(ctx, tracing, &d_coeff, j);
+        ext.ntt_forward(ctx);
+        tracing.emit(KernelEvent::Ntt {
+            n,
+            limbs: ext.total_limbs(),
+            inverse: false,
+        });
+        // Keys store the full basis; slice q-limbs down to the active level.
+        let key = &ksk.digits[j];
+        let b = slice_key(ctx, &key.b, l);
+        let a = slice_key(ctx, &key.a, l);
+        acc0.mul_acc(ctx, &ext, &b);
+        acc1.mul_acc(ctx, &ext, &a);
+        tracing.emit(KernelEvent::HadaMult { n, limbs: 2 * ext.total_limbs() });
+        tracing.emit(KernelEvent::EleAdd { n, limbs: 2 * ext.total_limbs() });
+    }
+
+    let c0 = mod_down(ctx, tracing, &acc0);
+    let c1 = mod_down(ctx, tracing, &acc1);
+    (c0, c1)
+}
+
+/// Borrows the active-level prefix of a full-basis key polynomial.
+fn slice_key(_ctx: &CkksContext, key: &ExtPoly, level: usize) -> ExtPoly {
+    ExtPoly {
+        q_limbs: key.q_limbs[..=level].to_vec(),
+        p_limbs: key.p_limbs.clone(),
+        domain: key.domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use tensorfhe_math::crt::RnsBasis;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(&CkksParams::toy()).expect("valid")
+    }
+
+    #[test]
+    fn mod_up_preserves_value_mod_sources() {
+        let c = ctx();
+        let n = c.params().n();
+        // Encode the constant value 42 across all limbs at level 3.
+        let coeffs = vec![42i128; n];
+        let d = RnsPoly::from_i128_coeffs(&c, &coeffs, 3);
+        let mut tr = Tracing::new(None);
+        let ext = mod_up(&c, &mut tr, &d, 0);
+        // Digit 0 covers limbs 0..2 (α = 2). Own limbs are exact.
+        for i in 0..2 {
+            assert_eq!(ext.q_limbs[i], d.limb(i));
+        }
+        // Other limbs equal 42 + e·Q_0 mod q_i for small e ≥ 0.
+        let q0q1 = RnsBasis::new(&c.q_primes()[..2]).product().to_i128().expect("fits");
+        for i in 2..=3 {
+            let m = c.q_mod(i);
+            let got = ext.q_limbs[i][0] as i128;
+            let ok = (0..=2i128).any(|e| (42 + e * q0q1).rem_euclid(m.value() as i128) == got);
+            assert!(ok, "limb {i} residue {got} not within overshoot range");
+        }
+    }
+
+    #[test]
+    fn mod_down_divides_by_p() {
+        // Build ext = P · v exactly (small v), then ModDown must return v.
+        let c = ctx();
+        let n = c.params().n();
+        let level = 2;
+        let p_product: i128 = c.p_primes().iter().map(|&p| p as i128).product();
+        let v = 7i128;
+        let scaled = vec![v * p_product; n];
+
+        let mut ext = ExtPoly::zero(&c, level, Domain::Coeff);
+        for i in 0..=level {
+            let m = c.q_mod(i);
+            for (dst, &s) in ext.q_limbs[i].iter_mut().zip(&scaled) {
+                *dst = m.from_i128(s);
+            }
+        }
+        for k in 0..c.params().special_primes() {
+            let m = c.p_mod(k);
+            for (dst, &s) in ext.p_limbs[k].iter_mut().zip(&scaled) {
+                *dst = m.from_i128(s);
+            }
+        }
+        ext.ntt_forward(&c);
+
+        let mut tr = Tracing::new(None);
+        let mut out = mod_down(&c, &mut tr, &ext);
+        out.ntt_inverse(&c);
+        for i in 0..=level {
+            let m = c.q_mod(i);
+            assert!(out.limb(i).iter().all(|&x| x == m.from_i128(v)));
+        }
+    }
+
+    #[test]
+    fn ext_poly_ntt_roundtrip() {
+        let c = ctx();
+        let mut e = ExtPoly::zero(&c, 2, Domain::Coeff);
+        e.q_limbs[0][3] = 17;
+        e.p_limbs[0][5] = 23;
+        let orig = e.clone();
+        e.ntt_forward(&c);
+        assert_ne!(e, orig);
+        e.ntt_inverse(&c);
+        assert_eq!(e, orig);
+    }
+}

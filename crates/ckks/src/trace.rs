@@ -1,0 +1,207 @@
+//! Kernel tracing: how the FHE layer reports work to the GPU cost model.
+//!
+//! The paper's hierarchical reconstruction (Table II) decomposes every CKKS
+//! operation into seven reusable kernels. The evaluator emits one
+//! [`KernelEvent`] per kernel invocation; `tensorfhe-core` implements
+//! [`KernelTracer`] by translating events into simulated GPU launches. The
+//! CPU math is oblivious to tracing — events are pure metadata.
+
+/// One kernel invocation, in the paper's kernel taxonomy (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// Forward or inverse NTT over `limbs` residue polynomials of degree `n`.
+    Ntt {
+        /// Polynomial degree.
+        n: usize,
+        /// Number of residue polynomials transformed.
+        limbs: usize,
+        /// `true` for INTT.
+        inverse: bool,
+    },
+    /// Hadamard multiplication over `limbs` residue polynomials.
+    HadaMult {
+        /// Polynomial degree.
+        n: usize,
+        /// Limb count.
+        limbs: usize,
+    },
+    /// Element-wise addition.
+    EleAdd {
+        /// Polynomial degree.
+        n: usize,
+        /// Limb count.
+        limbs: usize,
+    },
+    /// Element-wise subtraction.
+    EleSub {
+        /// Polynomial degree.
+        n: usize,
+        /// Limb count.
+        limbs: usize,
+    },
+    /// ForbeniusMap: the NTT-domain slot permutation of a Galois
+    /// automorphism.
+    FrobeniusMap {
+        /// Polynomial degree.
+        n: usize,
+        /// Limb count.
+        limbs: usize,
+    },
+    /// Conjugation (the Galois element `2N-1`).
+    Conjugate {
+        /// Polynomial degree.
+        n: usize,
+        /// Limb count.
+        limbs: usize,
+    },
+    /// Fast basis conversion of `n` coefficients from `l_src` to `l_dst`
+    /// limbs.
+    Conv {
+        /// Polynomial degree.
+        n: usize,
+        /// Source-basis size.
+        l_src: usize,
+        /// Destination-basis size.
+        l_dst: usize,
+    },
+}
+
+impl KernelEvent {
+    /// The paper's kernel name for this event.
+    #[must_use]
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            KernelEvent::Ntt { inverse: false, .. } => "NTT",
+            KernelEvent::Ntt { inverse: true, .. } => "INTT",
+            KernelEvent::HadaMult { .. } => "Hada-Mult",
+            KernelEvent::EleAdd { .. } => "Ele-Add",
+            KernelEvent::EleSub { .. } => "Ele-Sub",
+            KernelEvent::FrobeniusMap { .. } => "ForbeniusMap",
+            KernelEvent::Conjugate { .. } => "Conjugate",
+            KernelEvent::Conv { .. } => "Conv",
+        }
+    }
+}
+
+/// Observer of kernel-level activity.
+///
+/// Implementations must be cheap: the evaluator calls [`KernelTracer::kernel`]
+/// on every kernel of every operation.
+pub trait KernelTracer {
+    /// Called once per kernel invocation.
+    fn kernel(&mut self, event: KernelEvent);
+
+    /// Called when a CKKS operation begins (`"HMULT"`, `"RESCALE"`, …).
+    fn op_begin(&mut self, _name: &str) {}
+
+    /// Called when the operation completes.
+    fn op_end(&mut self, _name: &str) {}
+}
+
+impl<T: KernelTracer + ?Sized> KernelTracer for &mut T {
+    fn kernel(&mut self, event: KernelEvent) {
+        (**self).kernel(event);
+    }
+
+    fn op_begin(&mut self, name: &str) {
+        (**self).op_begin(name);
+    }
+
+    fn op_end(&mut self, name: &str) {
+        (**self).op_end(name);
+    }
+}
+
+/// A tracer that records every event — useful in tests and simple audits.
+#[derive(Debug, Default)]
+pub struct RecordingTracer {
+    /// All events, in order.
+    pub events: Vec<KernelEvent>,
+    /// Operation markers interleaved as (name, begin?).
+    pub ops: Vec<(String, bool)>,
+}
+
+impl RecordingTracer {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events whose kernel name matches.
+    #[must_use]
+    pub fn count(&self, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kernel_name() == name)
+            .count()
+    }
+}
+
+impl KernelTracer for RecordingTracer {
+    fn kernel(&mut self, event: KernelEvent) {
+        self.events.push(event);
+    }
+
+    fn op_begin(&mut self, name: &str) {
+        self.ops.push((name.to_string(), true));
+    }
+
+    fn op_end(&mut self, name: &str) {
+        self.ops.push((name.to_string(), false));
+    }
+}
+
+/// Helper holding an optional tracer borrow; used by the key-switching
+/// entry points so external engines can pass their tracer through.
+#[derive(Default)]
+pub struct Tracing<'t> {
+    tracer: Option<&'t mut dyn KernelTracer>,
+}
+
+impl<'t> Tracing<'t> {
+    /// Wraps an optional tracer borrow.
+    #[must_use]
+    pub fn new(tracer: Option<&'t mut dyn KernelTracer>) -> Self {
+        Self { tracer }
+    }
+
+    /// Emits an event if a tracer is attached.
+    pub fn emit(&mut self, event: KernelEvent) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.kernel(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_match_paper() {
+        assert_eq!(
+            KernelEvent::Ntt { n: 8, limbs: 1, inverse: false }.kernel_name(),
+            "NTT"
+        );
+        assert_eq!(
+            KernelEvent::FrobeniusMap { n: 8, limbs: 1 }.kernel_name(),
+            "ForbeniusMap"
+        );
+        assert_eq!(
+            KernelEvent::Conv { n: 8, l_src: 2, l_dst: 3 }.kernel_name(),
+            "Conv"
+        );
+    }
+
+    #[test]
+    fn recorder_counts() {
+        let mut r = RecordingTracer::new();
+        r.kernel(KernelEvent::EleAdd { n: 8, limbs: 2 });
+        r.kernel(KernelEvent::EleAdd { n: 8, limbs: 2 });
+        r.kernel(KernelEvent::HadaMult { n: 8, limbs: 2 });
+        assert_eq!(r.count("Ele-Add"), 2);
+        assert_eq!(r.count("Hada-Mult"), 1);
+        assert_eq!(r.count("NTT"), 0);
+    }
+}

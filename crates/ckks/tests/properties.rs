@@ -1,0 +1,86 @@
+//! Property-based tests of the CKKS scheme: homomorphism laws over random
+//! slot vectors.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensorfhe_ckks::{CkksContext, CkksParams, Evaluator, KeyChain};
+use tensorfhe_math::Complex64;
+
+fn slot_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, n)
+}
+
+fn to_z(v: &[f64]) -> Vec<Complex64> {
+    v.iter().map(|&x| Complex64::new(x, 0.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn encode_decode_roundtrip(v in slot_vec(16)) {
+        let params = CkksParams::toy();
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let pt = ctx.encode(&to_z(&v), params.scale()).expect("encode");
+        let back = ctx.decode(&pt).expect("decode");
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!((a - b.re).abs() < 1e-4, "{a} vs {}", b.re);
+        }
+    }
+
+    #[test]
+    fn addition_is_homomorphic(a in slot_vec(8), b in slot_vec(8)) {
+        let params = CkksParams::toy();
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let mut eval = Evaluator::new(&ctx);
+        let ca = keys.encrypt(&ctx.encode(&to_z(&a), params.scale()).expect("enc"), &mut rng);
+        let cb = keys.encrypt(&ctx.encode(&to_z(&b), params.scale()).expect("enc"), &mut rng);
+        let sum = eval.hadd(&ca, &cb).expect("hadd");
+        let dec = ctx.decode(&keys.decrypt(&sum)).expect("dec");
+        for i in 0..8 {
+            prop_assert!((dec[i].re - (a[i] + b[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_homomorphic(a in slot_vec(4), b in slot_vec(4)) {
+        let params = CkksParams::toy();
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let mut eval = Evaluator::new(&ctx);
+        let ca = keys.encrypt(&ctx.encode(&to_z(&a), params.scale()).expect("enc"), &mut rng);
+        let cb = keys.encrypt(&ctx.encode(&to_z(&b), params.scale()).expect("enc"), &mut rng);
+        let prod = eval.hmult(&ca, &cb, &keys).expect("hmult");
+        let prod = eval.rescale(&prod).expect("rescale");
+        let dec = ctx.decode(&keys.decrypt(&prod)).expect("dec");
+        for i in 0..4 {
+            prop_assert!(
+                (dec[i].re - a[i] * b[i]).abs() < 5e-2,
+                "slot {i}: {} vs {}",
+                dec[i].re,
+                a[i] * b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_permutes_slots(v in slot_vec(16), r in 1i64..8) {
+        let params = CkksParams::toy();
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        keys.gen_rotation_keys(&[r], &mut rng);
+        let mut eval = Evaluator::new(&ctx);
+        let ct = keys.encrypt(&ctx.encode(&to_z(&v), params.scale()).expect("enc"), &mut rng);
+        let rot = eval.hrotate(&ct, r, &keys).expect("rotate");
+        let dec = ctx.decode(&keys.decrypt(&rot)).expect("dec");
+        for i in 0..16 {
+            let want = v[(i + r as usize) % 16];
+            prop_assert!((dec[i].re - want).abs() < 1e-2);
+        }
+    }
+}

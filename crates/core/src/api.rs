@@ -1,0 +1,258 @@
+//! The API layer (§IV-E): operation requests → kernel workflows → reports.
+//!
+//! The API layer "collects and decomposes the requests for FHE operations
+//! from the user applications … automatically generates the best batch size
+//! … and sequentially invokes the kernels in the workflow". [`TensorFhe`]
+//! does exactly that over the simulated device.
+
+use crate::engine::{Engine, EngineConfig, OpStats};
+use crate::schedule;
+use tensorfhe_ckks::{CkksParams, KernelEvent};
+
+/// A CKKS operation request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FheOp {
+    /// Ciphertext addition.
+    HAdd,
+    /// Ciphertext multiplication (with relinearisation).
+    HMult,
+    /// Ciphertext × plaintext multiplication.
+    CMult,
+    /// Slot rotation.
+    HRotate,
+    /// Rescaling.
+    Rescale,
+    /// Conjugation.
+    Conjugate,
+    /// Full bootstrap with the given sine parameters.
+    Bootstrap {
+        /// Taylor degree of the `exp(iθ)` approximation.
+        taylor_degree: usize,
+        /// Double-angle squarings.
+        double_angles: usize,
+    },
+}
+
+impl FheOp {
+    /// Operation name as the paper prints it.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FheOp::HAdd => "HADD",
+            FheOp::HMult => "HMULT",
+            FheOp::CMult => "CMULT",
+            FheOp::HRotate => "HROTATE",
+            FheOp::Rescale => "RESCALE",
+            FheOp::Conjugate => "HCONJ",
+            FheOp::Bootstrap { .. } => "BOOTSTRAP",
+        }
+    }
+}
+
+/// Result of executing one batched operation.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// The operation.
+    pub op: FheOp,
+    /// Batch width used.
+    pub batch: usize,
+    /// Device wall time for the batch (µs).
+    pub time_us: f64,
+    /// Amortised time per operation (µs).
+    pub per_op_us: f64,
+    /// Time-weighted occupancy.
+    pub occupancy: f64,
+    /// Energy for the batch (J).
+    pub energy_j: f64,
+    /// Operations per second at this batch width.
+    pub ops_per_second: f64,
+    /// Operations per watt (Table XI's metric).
+    pub ops_per_watt: f64,
+    /// Kernel launches issued.
+    pub launches: usize,
+    /// Per-kernel device time (name → µs).
+    pub by_kernel: Vec<(String, f64)>,
+}
+
+/// The TensorFHE API layer bound to one parameter set and engine.
+#[derive(Debug)]
+pub struct TensorFhe {
+    params: CkksParams,
+    engine: Engine,
+}
+
+impl TensorFhe {
+    /// Creates the API layer.
+    #[must_use]
+    pub fn new(params: &CkksParams, cfg: EngineConfig) -> Self {
+        Self {
+            params: params.clone(),
+            engine: Engine::new(cfg),
+        }
+    }
+
+    /// Parameter set in use.
+    #[must_use]
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Access to the underlying engine (profiling, tracers).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Read access to the underlying engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The kernel schedule of an operation at a level.
+    #[must_use]
+    pub fn schedule_of(&self, op: FheOp, level: usize) -> Vec<KernelEvent> {
+        match op {
+            FheOp::HAdd => schedule::hadd_schedule(&self.params, level),
+            FheOp::HMult => schedule::hmult_schedule(&self.params, level),
+            FheOp::CMult => schedule::cmult_schedule(&self.params, level),
+            FheOp::HRotate => schedule::hrotate_schedule(&self.params, level),
+            FheOp::Rescale => schedule::rescale_schedule(&self.params, level),
+            FheOp::Conjugate => schedule::conjugate_schedule(&self.params, level),
+            FheOp::Bootstrap { taylor_degree, double_angles } => {
+                schedule::bootstrap_schedule(&self.params, taylor_degree, double_angles)
+            }
+        }
+    }
+
+    /// The batch size the API layer would choose (VRAM-bounded, capped at
+    /// the parameter preset's configured batch).
+    #[must_use]
+    pub fn auto_batch(&self) -> usize {
+        self.engine
+            .max_batch(&self.params)
+            .min(self.params.batch_size().max(1))
+    }
+
+    /// Executes one batched operation in TimingOnly mode and reports.
+    pub fn run_op(&mut self, op: FheOp, level: usize, batch: usize) -> OpReport {
+        let events = self.schedule_of(op, level);
+        let stats = self.engine.run_schedule(op.name(), &events, batch);
+        self.report(op, batch, stats)
+    }
+
+    /// Executes with the automatically chosen batch size.
+    pub fn run_op_auto(&mut self, op: FheOp, level: usize) -> OpReport {
+        let b = self.auto_batch();
+        self.run_op(op, level, b)
+    }
+
+    fn report(&self, op: FheOp, batch: usize, stats: OpStats) -> OpReport {
+        let per_op = stats.time_us / batch.max(1) as f64;
+        let ops_per_second = if stats.time_us > 0.0 {
+            batch as f64 / (stats.time_us * 1e-6)
+        } else {
+            0.0
+        };
+        let power = self.engine.config().device.power_watts;
+        OpReport {
+            op,
+            batch,
+            time_us: stats.time_us,
+            per_op_us: per_op,
+            occupancy: stats.occupancy,
+            energy_j: stats.energy_j,
+            ops_per_second,
+            ops_per_watt: ops_per_second / power,
+            launches: stats.launches,
+            by_kernel: stats.by_kernel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Variant;
+
+    fn api(variant: Variant) -> TensorFhe {
+        TensorFhe::new(&CkksParams::test_small(), EngineConfig::a100(variant))
+    }
+
+    #[test]
+    fn reports_are_self_consistent() {
+        let mut a = api(Variant::TensorCore);
+        let level = a.params().max_level();
+        let r = a.run_op(FheOp::HMult, level, 8);
+        assert_eq!(r.batch, 8);
+        assert!((r.per_op_us - r.time_us / 8.0).abs() < 1e-9);
+        assert!(r.ops_per_second > 0.0);
+        assert!(r.energy_j > 0.0);
+        let total: f64 = r.by_kernel.iter().map(|(_, t)| t).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn hmult_is_ntt_dominated() {
+        // §VI-B2: "the NTT kernels occupy the most significant proportion in
+        // HMULT … 92.1%".
+        let mut a = api(Variant::TensorCore);
+        let level = a.params().max_level();
+        let r = a.run_op(FheOp::HMult, level, 32);
+        let ntt_time: f64 = r
+            .by_kernel
+            .iter()
+            .filter(|(k, _)| k.starts_with("ntt") || k.starts_with("intt"))
+            .map(|(_, t)| t)
+            .sum();
+        let total: f64 = r.by_kernel.iter().map(|(_, t)| t).sum();
+        assert!(
+            ntt_time / total > 0.5,
+            "NTT share {} too small in {:?}",
+            ntt_time / total,
+            r.by_kernel
+        );
+    }
+
+    #[test]
+    fn auto_batch_respects_preset() {
+        let a = api(Variant::TensorCore);
+        let b = a.auto_batch();
+        assert!(b >= 1);
+        assert!(b <= a.params().batch_size().max(1));
+    }
+
+    #[test]
+    fn bootstrap_dwarfs_single_ops() {
+        let params =
+            CkksParams::new("api-boot", 1 << 10, 19, 4, 5, 28, 26, 8).expect("valid");
+        let mut a = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+        let level = params.max_level();
+        let mult = a.run_op(FheOp::HMult, level, 4);
+        let boot = a.run_op(
+            FheOp::Bootstrap { taylor_degree: 7, double_angles: 3 },
+            level,
+            4,
+        );
+        assert!(
+            boot.time_us > mult.time_us * 20.0,
+            "bootstrap {} vs hmult {}",
+            boot.time_us,
+            mult.time_us
+        );
+    }
+
+    #[test]
+    fn batching_improves_throughput() {
+        // Fig. 14: larger batches raise kernel throughput until saturation.
+        let mut a = api(Variant::TensorCore);
+        let level = a.params().max_level();
+        let b1 = a.run_op(FheOp::HMult, level, 1);
+        let b32 = a.run_op(FheOp::HMult, level, 32);
+        assert!(
+            b32.ops_per_second > b1.ops_per_second * 2.0,
+            "batched throughput {} vs single {}",
+            b32.ops_per_second,
+            b1.ops_per_second
+        );
+    }
+}

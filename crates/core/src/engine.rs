@@ -1,0 +1,292 @@
+//! The TensorFHE engine: device ownership, configuration, batching.
+
+use crate::tracer::GpuTracer;
+use std::cell::RefCell;
+use std::rc::Rc;
+use tensorfhe_ckks::{CkksParams, KernelEvent, KernelTracer};
+use tensorfhe_gpu::{DeviceConfig, DeviceSim, Profiler};
+
+/// The NTT lowering variant — Table IV's three TensorFHE configurations.
+pub type Variant = tensorfhe_ntt::NttAlgorithm;
+
+/// Batched-ciphertext memory layout (Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// `(L, B, N)` — limb-major, the paper's optimised layout.
+    Lbn,
+    /// `(B, L, N)` — operation-major, the naive layout.
+    Bln,
+}
+
+/// Whether operations execute their arithmetic or only their schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Functional math plus cost model (tests, small parameters).
+    Full,
+    /// Cost model only — lets paper-scale workloads run in seconds.
+    TimingOnly,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Simulated device.
+    pub device: DeviceConfig,
+    /// NTT lowering.
+    pub variant: Variant,
+    /// Batched data layout.
+    pub layout: Layout,
+}
+
+impl EngineConfig {
+    /// A100 with the chosen variant (the paper's primary platform).
+    #[must_use]
+    pub fn a100(variant: Variant) -> Self {
+        Self {
+            device: DeviceConfig::a100(),
+            variant,
+            layout: Layout::Lbn,
+        }
+    }
+
+    /// V100 (the 100x / PrivFT platform).
+    #[must_use]
+    pub fn v100(variant: Variant) -> Self {
+        Self {
+            device: DeviceConfig::v100(),
+            variant,
+            layout: Layout::Lbn,
+        }
+    }
+
+    /// Overrides the batched layout (the Fig. 9 ablation).
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+}
+
+/// Statistics for one executed operation window.
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// Wall time on the device for the whole batched operation (µs).
+    pub time_us: f64,
+    /// Time-weighted GPU occupancy in `[0, 1]`.
+    pub occupancy: f64,
+    /// Energy attributed to the window (J).
+    pub energy_j: f64,
+    /// Kernel launches in the window.
+    pub launches: usize,
+    /// Per-kernel time shares (name → µs).
+    pub by_kernel: Vec<(String, f64)>,
+}
+
+/// Owner of the simulated device plus the engine configuration.
+#[derive(Debug)]
+pub struct Engine {
+    sim: Rc<RefCell<DeviceSim>>,
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine for the configuration.
+    #[must_use]
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self {
+            sim: Rc::new(RefCell::new(DeviceSim::new(cfg.device.clone()))),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Shared handle to the simulated device.
+    #[must_use]
+    pub fn device(&self) -> Rc<RefCell<DeviceSim>> {
+        Rc::clone(&self.sim)
+    }
+
+    /// Creates a kernel tracer for `batch`-wide operations; attach it to a
+    /// `tensorfhe_ckks::Evaluator` for Full-mode execution.
+    #[must_use]
+    pub fn make_tracer(&self, batch: usize) -> GpuTracer {
+        GpuTracer::new(
+            Rc::clone(&self.sim),
+            self.cfg.variant,
+            self.cfg.layout,
+            batch,
+        )
+    }
+
+    /// Executes a synthetic kernel schedule (TimingOnly mode) under the
+    /// given operation tag and batch, returning the window statistics.
+    pub fn run_schedule(
+        &mut self,
+        tag: &str,
+        events: &[KernelEvent],
+        batch: usize,
+    ) -> OpStats {
+        let first = self.sim.borrow().stats().len();
+        let mut tracer = self.make_tracer(batch);
+        tracer.op_begin(tag);
+        for &e in events {
+            tracer.kernel(e);
+        }
+        self.sim.borrow_mut().synchronize();
+        self.window_stats(first)
+    }
+
+    /// Statistics over launches recorded since index `first`.
+    #[must_use]
+    pub fn window_stats(&self, first: usize) -> OpStats {
+        let sim = self.sim.borrow();
+        let window = &sim.stats()[first..];
+        let p = Profiler::new(window.to_vec());
+        OpStats {
+            time_us: p.span_us(),
+            occupancy: p.occupancy(),
+            energy_j: p.energy_j(),
+            launches: window.len(),
+            by_kernel: p.time_by_kernel(),
+        }
+    }
+
+    /// Number of launches recorded so far (window bookmarking).
+    #[must_use]
+    pub fn mark(&self) -> usize {
+        self.sim.borrow().stats().len()
+    }
+
+    /// Profiler over everything recorded so far.
+    #[must_use]
+    pub fn profiler(&self) -> Profiler {
+        Profiler::new(self.sim.borrow().stats().to_vec())
+    }
+
+    /// Total virtual time elapsed (µs).
+    #[must_use]
+    pub fn elapsed_us(&self) -> f64 {
+        self.sim.borrow().elapsed_us()
+    }
+
+    /// Clears recorded statistics (cost caches are kept).
+    pub fn reset(&mut self) {
+        self.sim.borrow_mut().reset();
+    }
+
+    /// The largest operation batch that fits in VRAM (§IV-E: "the batch
+    /// size of TensorFHE is mainly determined by the VRAM capacity").
+    ///
+    /// Uses a working-set factor of 6 ciphertexts per batched operation
+    /// (operands, extended key-switch accumulators, output).
+    #[must_use]
+    pub fn max_batch(&self, params: &CkksParams) -> usize {
+        let per_op = params.ciphertext_bytes() * 6;
+        let budget = (self.cfg.device.vram_bytes() as f64 * 0.85) as u64;
+        ((budget / per_op.max(1)) as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{hadd_schedule, hmult_schedule};
+
+    fn small() -> CkksParams {
+        CkksParams::test_small()
+    }
+
+    #[test]
+    fn run_schedule_produces_time() {
+        let params = small();
+        let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore));
+        let s = e.run_schedule("HADD", &hadd_schedule(&params, 7), 8);
+        assert!(s.time_us > 0.0);
+        assert!(s.launches >= 1);
+    }
+
+    #[test]
+    fn hmult_much_more_expensive_than_hadd() {
+        let params = small();
+        let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore));
+        let add = e.run_schedule("HADD", &hadd_schedule(&params, 7), 8);
+        let mult = e.run_schedule("HMULT", &hmult_schedule(&params, 7), 8);
+        assert!(
+            mult.time_us > add.time_us * 5.0,
+            "HMULT {} vs HADD {}",
+            mult.time_us,
+            add.time_us
+        );
+    }
+
+    #[test]
+    fn variant_ordering_tc_beats_co_beats_nt() {
+        // The paper's headline: TensorFHE > TensorFHE-CO > TensorFHE-NT for
+        // NTT-heavy operations at the default parameters.
+        let params = CkksParams::table_v_default();
+        let sched = hmult_schedule(&params, params.max_level());
+        let mut times = Vec::new();
+        for v in [Variant::Butterfly, Variant::FourStep, Variant::TensorCore] {
+            let mut e = Engine::new(EngineConfig::a100(v));
+            let s = e.run_schedule("HMULT", &sched, 16);
+            times.push((v.label(), s.time_us));
+        }
+        assert!(
+            times[0].1 > times[1].1,
+            "CO must beat NT: {times:?}"
+        );
+        assert!(
+            times[1].1 > times[2].1,
+            "TC must beat CO: {times:?}"
+        );
+    }
+
+    #[test]
+    fn lbn_layout_beats_bln_for_batched_ops() {
+        let params = small();
+        let sched = hadd_schedule(&params, 7);
+        let mut fast = Engine::new(EngineConfig::a100(Variant::TensorCore));
+        let mut slow =
+            Engine::new(EngineConfig::a100(Variant::TensorCore).with_layout(Layout::Bln));
+        let f = fast.run_schedule("HADD", &sched, 64);
+        let s = slow.run_schedule("HADD", &sched, 64);
+        assert!(
+            s.time_us > f.time_us * 1.3,
+            "(B,L,N) {} should lag (L,B,N) {}",
+            s.time_us,
+            f.time_us
+        );
+    }
+
+    #[test]
+    fn max_batch_tracks_vram() {
+        let e = Engine::new(EngineConfig::a100(Variant::TensorCore));
+        let b_default = e.max_batch(&CkksParams::table_v_default());
+        assert!(
+            (64..=512).contains(&b_default),
+            "A100 default-params batch {b_default} out of plausible range"
+        );
+        let b_small = e.max_batch(&small());
+        assert!(b_small > b_default, "smaller ciphertexts → bigger batches");
+    }
+
+    #[test]
+    fn occupancy_grows_with_batch() {
+        let params = small();
+        let sched = hmult_schedule(&params, 7);
+        let mut e = Engine::new(EngineConfig::a100(Variant::Butterfly));
+        let small_b = e.run_schedule("HMULT", &sched, 1);
+        let big_b = e.run_schedule("HMULT", &sched, 128);
+        assert!(
+            big_b.occupancy > small_b.occupancy * 2.0,
+            "batching must raise occupancy: {} vs {}",
+            big_b.occupancy,
+            small_b.occupancy
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The TensorFHE engine — the paper's contribution layer.
+//!
+//! `tensorfhe-core` glues the substrates together exactly as §IV-E
+//! describes:
+//!
+//! * **Kernel layer** ([`tracer`]) — translates the seven CKKS kernels into
+//!   simulated GPU launches. The NTT kernel has three lowerings matching
+//!   Table IV: butterfly launches (TensorFHE-NT), two modular GEMMs + a
+//!   twiddle Hadamard (TensorFHE-CO), or the five-stage segmented
+//!   tensor-core pipeline with 16 plane GEMMs across 16 streams
+//!   (full TensorFHE, Fig. 8).
+//! * **Schedule generator** ([`schedule`]) — a parameter-level mirror of the
+//!   evaluator's kernel emission (Algorithms 1–6), validated against real
+//!   execution traces; it lets paper-scale workloads (N = 2^16, L = 44,
+//!   batch 128) be *costed* without executing the arithmetic
+//!   (`ExecMode::TimingOnly`).
+//! * **API layer** ([`api`]) — decomposes operation requests into kernel
+//!   workflows, picks the VRAM-feasible batch size (§IV-E), runs the
+//!   engine, and reports per-operation statistics.
+//! * **Operation-level batching** ([`engine`]) — the `(L, B, N)` vs
+//!   `(B, L, N)` layout switch of Fig. 9 and the batch-size machinery of
+//!   Fig. 14.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensorfhe_core::api::TensorFhe;
+//! use tensorfhe_core::engine::{EngineConfig, Variant};
+//! use tensorfhe_ckks::CkksParams;
+//!
+//! // Cost one batched HMULT at small parameters on the simulated A100.
+//! let params = CkksParams::test_small();
+//! let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+//! let report = api.run_op(tensorfhe_core::api::FheOp::HMult, params.max_level(), 8);
+//! assert!(report.time_us > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod engine;
+pub mod multi_gpu;
+pub mod schedule;
+pub mod tracer;
+
+pub use api::{FheOp, OpReport, TensorFhe};
+pub use engine::{Engine, EngineConfig, ExecMode, Layout, Variant};
+pub use multi_gpu::{MultiGpu, MultiGpuStats};

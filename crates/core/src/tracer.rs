@@ -1,0 +1,334 @@
+//! The kernel layer: translating CKKS kernel events into GPU launches.
+//!
+//! [`GpuTracer`] implements [`KernelTracer`]; attach it to a
+//! `tensorfhe_ckks::Evaluator` (Full mode) or feed it a synthetic schedule
+//! (TimingOnly mode) and every kernel of every operation becomes a launch on
+//! the simulated device. The NTT lowering depends on the engine variant:
+//!
+//! * `Butterfly` — one monolithic butterfly kernel per launch
+//!   (TensorFHE-NT).
+//! * `FourStep` — `GEMM → twiddle Hadamard → GEMM` on the CUDA cores
+//!   (TensorFHE-CO, Eq. 9).
+//! * `TensorCore` — the five-stage Fig. 8 pipeline: segmentation, 16 u8
+//!   plane GEMMs spread over 16 CUDA streams, Booth fusion + Hadamard +
+//!   re-segmentation, 16 more plane GEMMs, final fusion/modulo.
+
+use crate::engine::{Layout, Variant};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tensorfhe_ckks::{KernelEvent, KernelTracer};
+use tensorfhe_gpu::{DeviceSim, KernelClass, KernelDesc, StreamId};
+
+/// Number of concurrent streams used for the segmented plane GEMMs
+/// (`SEGMENTS² = 16`, §IV-C "assigning each GEMM to a separate stream").
+pub const TCU_STREAMS: usize = 16;
+
+/// A [`KernelTracer`] that lowers kernel events onto a [`DeviceSim`].
+pub struct GpuTracer {
+    sim: Rc<RefCell<DeviceSim>>,
+    variant: Variant,
+    layout: Layout,
+    /// Operation-level batch: every event's limb count is multiplied by
+    /// this (the B dimension of Fig. 9).
+    batch: usize,
+    main: StreamId,
+    tcu: Vec<StreamId>,
+}
+
+impl std::fmt::Debug for GpuTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuTracer")
+            .field("variant", &self.variant.label())
+            .field("batch", &self.batch)
+            .finish()
+    }
+}
+
+impl GpuTracer {
+    /// Creates a tracer for the shared device.
+    #[must_use]
+    pub fn new(
+        sim: Rc<RefCell<DeviceSim>>,
+        variant: Variant,
+        layout: Layout,
+        batch: usize,
+    ) -> Self {
+        let (main, tcu) = {
+            let mut s = sim.borrow_mut();
+            let main = s.create_stream();
+            let tcu = (0..TCU_STREAMS).map(|_| s.create_stream()).collect();
+            (main, tcu)
+        };
+        Self {
+            sim,
+            variant,
+            layout,
+            batch: batch.max(1),
+            main,
+            tcu,
+        }
+    }
+
+    /// The operation batch width.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn coalesced(&self) -> bool {
+        // Batched loads from the (B, L, N) layout straddle discontiguous
+        // groups (Fig. 9a); the optimised (L, B, N) layout packs them.
+        self.batch == 1 || self.layout == Layout::Lbn
+    }
+
+    fn launch_main(&self, desc: KernelDesc) {
+        let desc = if self.coalesced() {
+            desc
+        } else {
+            desc.with_strided_layout()
+        };
+        // Unbatched execution reproduces the baseline launch configuration
+        // of §III-B (512 threads/SM was the best-performing unbatched
+        // config — 16K threads total); batching is what unlocks the full
+        // thread grid.
+        let desc = if self.batch == 1 && !matches!(desc.class, KernelClass::GemmTcu { .. }) {
+            let natural = desc.threads();
+            desc.with_threads(natural.min(16_384))
+        } else {
+            desc
+        };
+        self.sim.borrow_mut().launch(self.main, desc);
+    }
+
+    fn elementwise(&self, name: &str, elems: u64, ops: u32, bytes: u32) {
+        self.launch_main(KernelDesc::new(
+            KernelClass::Elementwise {
+                elems,
+                ops_per_elem: ops,
+                bytes_per_elem: bytes,
+            },
+            name,
+        ));
+    }
+
+    fn launch_ntt(&mut self, n: usize, limbs: usize, inverse: bool) {
+        let batch = limbs * self.batch;
+        let name = if inverse { "intt" } else { "ntt" };
+        match self.variant {
+            Variant::Butterfly => {
+                self.launch_main(KernelDesc::new(
+                    KernelClass::ButterflyNtt { n, batch },
+                    name,
+                ));
+            }
+            Variant::FourStep => {
+                let (n1, n2) = split(n);
+                self.launch_main(KernelDesc::new(
+                    KernelClass::GemmCuda { m: n1, k: n2, cols: n2, batch },
+                    name,
+                ));
+                self.elementwise(name, (n * batch) as u64, 2, 12);
+                self.launch_main(KernelDesc::new(
+                    KernelClass::GemmCuda { m: n1, k: n1, cols: n2, batch },
+                    name,
+                ));
+            }
+            Variant::TensorCore => {
+                let (n1, n2) = split(n);
+                // Stage 1: input segmentation (u32 → 4×u8 planes).
+                self.elementwise(name, (n * batch) as u64, 1, 8);
+                // Stage 2: 16 plane GEMMs across dedicated streams.
+                self.plane_gemms(name, n1, n2, n2, batch);
+                // Stage 3: Booth fusion + twiddle Hadamard + re-segmentation
+                // run as one fused epilogue kernel (partials stay L2
+                // resident; see the GemmTcu traffic model).
+                self.elementwise(name, (n * batch) as u64, 6, 8);
+                // Stage 4: 16 plane GEMMs with the outer DFT matrix.
+                self.plane_gemms(name, n1, n1, n2, batch);
+                // Stage 5: fusion + final modulo (+ N^{-1} fold for INTT).
+                self.elementwise(name, (n * batch) as u64, 4, 8);
+            }
+        }
+    }
+
+    fn plane_gemms(&mut self, name: &str, m: usize, k: usize, cols: usize, batch: usize) {
+        // At saturating batch the 16 plane GEMMs each fill the device on
+        // their own, so the streams no longer overlap anything; issue them
+        // as one fat launch (fewer host round trips — what a production
+        // CUTLASS grouped-GEMM call does).
+        if batch >= 64 {
+            self.sim.borrow_mut().launch(
+                self.main,
+                KernelDesc::new(
+                    KernelClass::GemmTcu { m, k, cols, batch: batch * TCU_STREAMS },
+                    format!("{name}-planes"),
+                ),
+            );
+            return;
+        }
+        {
+            let mut sim = self.sim.borrow_mut();
+            for (i, stream) in self.tcu.iter().enumerate() {
+                sim.launch(
+                    *stream,
+                    KernelDesc::new(
+                        KernelClass::GemmTcu { m, k, cols, batch },
+                        format!("{name}-plane{i}"),
+                    ),
+                );
+            }
+        }
+        // Stage barrier: fusion depends on all 16 plane products.
+        self.sim.borrow_mut().synchronize();
+    }
+}
+
+/// The four-step `(N1, N2)` split (`N1 ≥ N2`).
+#[must_use]
+pub fn split(n: usize) -> (usize, usize) {
+    let log = n.trailing_zeros();
+    let n1 = 1usize << log.div_ceil(2);
+    (n1, n / n1)
+}
+
+impl KernelTracer for GpuTracer {
+    fn kernel(&mut self, event: KernelEvent) {
+        let b = self.batch as u64;
+        match event {
+            KernelEvent::Ntt { n, limbs, inverse } => self.launch_ntt(n, limbs, inverse),
+            KernelEvent::HadaMult { n, limbs } => {
+                self.elementwise("hada-mult", (n * limbs) as u64 * b, 2, 12);
+            }
+            KernelEvent::EleAdd { n, limbs } => {
+                self.elementwise("ele-add", (n * limbs) as u64 * b, 1, 12);
+            }
+            KernelEvent::EleSub { n, limbs } => {
+                self.elementwise("ele-sub", (n * limbs) as u64 * b, 1, 12);
+            }
+            KernelEvent::FrobeniusMap { n, limbs } => {
+                self.launch_main(KernelDesc::new(
+                    KernelClass::Permute { elems: (n * limbs) as u64 * b },
+                    "forbenius-map",
+                ));
+            }
+            KernelEvent::Conjugate { n, limbs } => {
+                self.launch_main(KernelDesc::new(
+                    KernelClass::Permute { elems: (n * limbs) as u64 * b },
+                    "conjugate",
+                ));
+            }
+            KernelEvent::Conv { n, l_src, l_dst } => {
+                self.launch_main(KernelDesc::new(
+                    KernelClass::BasisConv {
+                        elems: (n * l_dst) as u64 * b,
+                        l_src,
+                    },
+                    "conv",
+                ));
+            }
+        }
+    }
+
+    fn op_begin(&mut self, name: &str) {
+        self.sim.borrow_mut().set_scope(name);
+    }
+
+    fn op_end(&mut self, _name: &str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorfhe_gpu::DeviceConfig;
+
+    fn sim() -> Rc<RefCell<DeviceSim>> {
+        Rc::new(RefCell::new(DeviceSim::new(DeviceConfig::a100())))
+    }
+
+    #[test]
+    fn split_shapes() {
+        assert_eq!(split(1 << 16), (256, 256));
+        assert_eq!(split(1 << 13), (128, 64));
+        assert_eq!(split(16), (4, 4));
+    }
+
+    #[test]
+    fn butterfly_variant_launches_one_kernel_per_ntt() {
+        let s = sim();
+        let mut t = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 1);
+        t.kernel(KernelEvent::Ntt { n: 1 << 12, limbs: 4, inverse: false });
+        s.borrow_mut().synchronize();
+        assert_eq!(s.borrow().stats().len(), 1);
+        assert_eq!(s.borrow().stats()[0].class_tag, "butterfly-ntt");
+    }
+
+    #[test]
+    fn tensor_core_variant_launches_fig8_pipeline() {
+        let s = sim();
+        let mut t = GpuTracer::new(Rc::clone(&s), Variant::TensorCore, Layout::Lbn, 1);
+        t.kernel(KernelEvent::Ntt { n: 1 << 12, limbs: 4, inverse: false });
+        s.borrow_mut().synchronize();
+        let stats = s.borrow().stats().to_vec();
+        let tcu = stats.iter().filter(|k| k.class_tag == "gemm-tcu").count();
+        assert_eq!(tcu, 32, "two stages of 16 plane GEMMs");
+        let ew = stats.iter().filter(|k| k.class_tag == "elementwise").count();
+        assert_eq!(ew, 3, "segment / fused-epilogue / final-fusion stages");
+    }
+
+    #[test]
+    fn plane_gemms_use_distinct_streams() {
+        let s = sim();
+        let mut t = GpuTracer::new(Rc::clone(&s), Variant::TensorCore, Layout::Lbn, 1);
+        t.kernel(KernelEvent::Ntt { n: 1 << 12, limbs: 1, inverse: false });
+        s.borrow_mut().synchronize();
+        let streams: std::collections::HashSet<usize> = s
+            .borrow()
+            .stats()
+            .iter()
+            .filter(|k| k.class_tag == "gemm-tcu")
+            .map(|k| k.stream)
+            .collect();
+        assert_eq!(streams.len(), TCU_STREAMS);
+    }
+
+    #[test]
+    fn bln_layout_marks_batched_kernels_strided() {
+        let s = sim();
+        let mut t = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Bln, 8);
+        t.kernel(KernelEvent::EleAdd { n: 1 << 12, limbs: 2 });
+        let mut t2 = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 8);
+        t2.kernel(KernelEvent::EleAdd { n: 1 << 12, limbs: 2 });
+        s.borrow_mut().synchronize();
+        let stats = s.borrow().stats().to_vec();
+        let strided = &stats[0];
+        let packed = &stats[1];
+        assert!(
+            strided.standalone_us > packed.standalone_us * 1.3,
+            "(B,L,N) layout must be slower: {} vs {}",
+            strided.standalone_us,
+            packed.standalone_us
+        );
+    }
+
+    #[test]
+    fn batch_multiplies_work() {
+        let s = sim();
+        let mut t1 = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 1);
+        t1.kernel(KernelEvent::HadaMult { n: 1 << 12, limbs: 4 });
+        let mut t64 = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 64);
+        t64.kernel(KernelEvent::HadaMult { n: 1 << 12, limbs: 4 });
+        s.borrow_mut().synchronize();
+        let stats = s.borrow().stats().to_vec();
+        assert!(stats[1].bytes > stats[0].bytes * 32);
+    }
+
+    #[test]
+    fn op_scope_propagates() {
+        let s = sim();
+        let mut t = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 1);
+        t.op_begin("HMULT");
+        t.kernel(KernelEvent::EleAdd { n: 64, limbs: 1 });
+        s.borrow_mut().synchronize();
+        assert_eq!(s.borrow().stats()[0].op_tag, "HMULT");
+    }
+}

@@ -1,0 +1,197 @@
+//! Static GPU machine descriptions.
+//!
+//! Numbers are taken from the vendor whitepapers cited by the paper
+//! ([NVIDIA V100/A100 architecture papers], [Jia et al. T4
+//! microbenchmarking]) and from Table III. Only first-order quantities are
+//! modelled: anything the paper's evaluation does not exercise (e.g. FP64
+//! pipes) is omitted.
+
+/// A GPU device description consumed by the simulator.
+///
+/// Construct via the presets ([`DeviceConfig::a100`], [`DeviceConfig::v100`],
+/// [`DeviceConfig::gtx1080ti`]) or customise a preset through the public
+/// fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Warp schedulers per SM (4 on Volta/Ampere).
+    pub schedulers_per_sm: u32,
+    /// CUDA (INT32/FP32) lanes per SM.
+    pub cuda_cores_per_sm: u32,
+    /// Tensor core units per SM (0 = no TCU support).
+    pub tensor_cores_per_sm: u32,
+    /// INT8 multiply-accumulates per TCU per cycle (A100 3rd-gen: 512;
+    /// V100 has no INT8 path so we model u8 GEMM via the FP16 pipe at 128).
+    pub tcu_int8_macs_per_cycle: u32,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Device memory capacity in GiB (bounds the feasible batch size, §VI-E).
+    pub vram_gib: f64,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Board power under sustained load, watts (the paper measures a stable
+    /// 264 W on the A100 via `nvidia-smi`, §VI-D).
+    pub power_watts: f64,
+    /// Host-side kernel launch overhead in microseconds.
+    pub kernel_launch_us: f64,
+    /// Global memory latency in cycles for a coalesced access.
+    pub mem_latency_cycles: u32,
+    /// Shared memory latency in cycles.
+    pub shared_latency_cycles: u32,
+}
+
+impl DeviceConfig {
+    /// NVIDIA A100-SXM-40GB — the paper's primary platform (Table III).
+    #[must_use]
+    pub fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100-SXM-40GB".to_string(),
+            sm_count: 108,
+            schedulers_per_sm: 4,
+            cuda_cores_per_sm: 64,
+            tensor_cores_per_sm: 4,
+            // 624 INT8 TOPS (dense) = 312 TMAC/s over 108 SM × 4 TCU × 1.41 GHz
+            // → ≈ 512 MAC/cycle/TCU.
+            tcu_int8_macs_per_cycle: 512,
+            clock_ghz: 1.41,
+            mem_bandwidth_gbps: 1555.0,
+            vram_gib: 40.0,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            warp_size: 32,
+            power_watts: 264.0,
+            kernel_launch_us: 4.0,
+            mem_latency_cycles: 380,
+            shared_latency_cycles: 25,
+        }
+    }
+
+    /// NVIDIA Tesla V100 16 GB — the platform of PrivFT and 100x.
+    #[must_use]
+    pub fn v100() -> Self {
+        Self {
+            name: "NVIDIA Tesla V100-16GB".to_string(),
+            sm_count: 80,
+            schedulers_per_sm: 4,
+            cuda_cores_per_sm: 64,
+            tensor_cores_per_sm: 8,
+            // First-gen tensor cores are FP16-only; u8 plane GEMMs run as
+            // promoted FP16 with dp4a assists on the CUDA cores, giving an
+            // effective 8-bit MAC rate of ~128/cycle/TCU.
+            tcu_int8_macs_per_cycle: 128,
+            clock_ghz: 1.38,
+            mem_bandwidth_gbps: 900.0,
+            vram_gib: 16.0,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            warp_size: 32,
+            power_watts: 250.0,
+            kernel_launch_us: 5.0,
+            mem_latency_cycles: 420,
+            shared_latency_cycles: 28,
+        }
+    }
+
+    /// NVIDIA GTX 1080 Ti — the GPGPUSim target of the Fig. 4/10 stall study.
+    #[must_use]
+    pub fn gtx1080ti() -> Self {
+        Self {
+            name: "NVIDIA GTX 1080 Ti".to_string(),
+            sm_count: 28,
+            schedulers_per_sm: 4,
+            cuda_cores_per_sm: 128,
+            tensor_cores_per_sm: 0,
+            tcu_int8_macs_per_cycle: 0,
+            clock_ghz: 1.58,
+            mem_bandwidth_gbps: 484.0,
+            vram_gib: 11.0,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            warp_size: 32,
+            power_watts: 250.0,
+            kernel_launch_us: 6.0,
+            mem_latency_cycles: 450,
+            shared_latency_cycles: 30,
+        }
+    }
+
+    /// Peak INT8 tensor-core MAC throughput, in MAC/s for the whole device.
+    #[must_use]
+    pub fn tcu_macs_per_second(&self) -> f64 {
+        self.sm_count as f64
+            * self.tensor_cores_per_sm as f64
+            * self.tcu_int8_macs_per_cycle as f64
+            * self.clock_ghz
+            * 1e9
+    }
+
+    /// Peak CUDA-core integer ops per second for the whole device.
+    #[must_use]
+    pub fn cuda_ops_per_second(&self) -> f64 {
+        self.sm_count as f64 * self.cuda_cores_per_sm as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Total resident-warp capacity of the device.
+    #[must_use]
+    pub fn total_warp_slots(&self) -> u64 {
+        self.sm_count as u64 * self.max_warps_per_sm as u64
+    }
+
+    /// Whether the device can run the TCU path at all.
+    #[must_use]
+    pub fn has_tensor_cores(&self) -> bool {
+        self.tensor_cores_per_sm > 0
+    }
+
+    /// VRAM capacity in bytes.
+    #[must_use]
+    pub fn vram_bytes(&self) -> u64 {
+        (self.vram_gib * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_headline_rates() {
+        let d = DeviceConfig::a100();
+        // ≈ 312 TMAC/s INT8 (624 TOPS counting mul+add separately).
+        let tmacs = d.tcu_macs_per_second() / 1e12;
+        assert!((tmacs - 312.0).abs() < 15.0, "A100 INT8 ≈ 312 TMAC/s, got {tmacs}");
+        // ≈ 9.7 TIOPS on CUDA cores.
+        let tiops = d.cuda_ops_per_second() / 1e12;
+        assert!((tiops - 9.75).abs() < 0.5, "A100 INT32 ≈ 9.7 TOPS, got {tiops}");
+    }
+
+    #[test]
+    fn v100_slower_than_a100_everywhere() {
+        let a = DeviceConfig::a100();
+        let v = DeviceConfig::v100();
+        assert!(v.tcu_macs_per_second() < a.tcu_macs_per_second());
+        assert!(v.mem_bandwidth_gbps < a.mem_bandwidth_gbps);
+        assert!(v.vram_gib < a.vram_gib);
+    }
+
+    #[test]
+    fn gtx1080ti_has_no_tcu() {
+        let g = DeviceConfig::gtx1080ti();
+        assert!(!g.has_tensor_cores());
+        assert_eq!(g.tcu_macs_per_second(), 0.0);
+    }
+
+    #[test]
+    fn vram_bytes_round() {
+        assert_eq!(DeviceConfig::a100().vram_bytes(), 40 * 1024 * 1024 * 1024);
+    }
+}

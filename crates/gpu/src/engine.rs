@@ -1,0 +1,726 @@
+//! The discrete-event device engine.
+//!
+//! Kernels are launched into CUDA streams; the engine advances virtual time,
+//! letting concurrently-runnable kernels share the machine. Each kernel's
+//! *standalone* cost (latency with the whole device to itself) comes from
+//! the warp simulator (CUDA-core kernels) or the tensor-core pipeline model
+//! (TCU GEMMs), combined with a bandwidth model; concurrent kernels then
+//! water-fill the two execution pools (CUDA cores and TCUs, which genuinely
+//! overlap on the hardware) subject to each kernel's maximum parallel
+//! fraction. This is what makes the paper's 16-streams-of-small-GEMMs
+//! pattern (Fig. 8) profitable in the model, for the same reason it is
+//! profitable on the real machine.
+//!
+//! Host-side launch overhead is modelled as a serial CPU enqueue: every
+//! launch advances the host clock by `kernel_launch_us`, and a kernel can
+//! never start before its enqueue completes.
+
+use crate::device::DeviceConfig;
+use crate::kernel::{KernelClass, KernelDesc};
+use crate::stall::{StallBreakdown, StallKind};
+use crate::warp_sim::simulate_scheduler;
+use std::collections::HashMap;
+
+/// Handle to a CUDA stream created by [`DeviceSim::create_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(usize);
+
+/// Which resource ultimately bounded a kernel's duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundBy {
+    /// Issue-limited on the CUDA cores.
+    Compute,
+    /// DRAM-bandwidth limited.
+    Memory,
+    /// Tensor-core throughput limited.
+    TensorCore,
+    /// Dominated by host launch overhead.
+    Launch,
+}
+
+/// Per-launch measurement record.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Kernel name from the descriptor.
+    pub name: String,
+    /// Class tag (`"butterfly-ntt"`, `"gemm-tcu"`, …).
+    pub class_tag: &'static str,
+    /// Operation scope active at launch time (`"HMULT"`, …).
+    pub op_tag: String,
+    /// Stream index.
+    pub stream: usize,
+    /// Virtual start time (µs).
+    pub start_us: f64,
+    /// Virtual end time (µs).
+    pub end_us: f64,
+    /// Wall duration on the device (µs).
+    pub duration_us: f64,
+    /// Standalone (exclusive-device) duration (µs).
+    pub standalone_us: f64,
+    /// Stall accounting from the warp simulator (empty for TCU kernels).
+    pub breakdown: StallBreakdown,
+    /// Achieved occupancy in `[0, 1]`.
+    pub occupancy: f64,
+    /// DRAM bytes moved.
+    pub bytes: u64,
+    /// Tensor-core MACs executed.
+    pub tcu_macs: u64,
+    /// Energy attributed to this kernel (J).
+    pub energy_j: f64,
+    /// Limiting resource.
+    pub bound: BoundBy,
+}
+
+/// Pool a kernel executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pool {
+    Cuda,
+    Tcu,
+}
+
+#[derive(Debug, Clone)]
+struct CostProfile {
+    standalone_us: f64,
+    parallel_fraction: f64,
+    breakdown: StallBreakdown,
+    occupancy: f64,
+    bound: BoundBy,
+    pool: Pool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CostKey {
+    class: ClassKey,
+    block: u32,
+    threads: Option<u64>,
+    coalesced: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ClassKey {
+    Butterfly(usize, usize),
+    GemmCuda(usize, usize, usize, usize),
+    GemmTcu(usize, usize, usize, usize),
+    Elementwise(u64, u32, u32),
+    Permute(u64),
+    BasisConv(u64, usize),
+    Fft(usize, usize),
+    Dwt(usize, usize),
+}
+
+fn class_key(c: &KernelClass) -> ClassKey {
+    match *c {
+        KernelClass::ButterflyNtt { n, batch } => ClassKey::Butterfly(n, batch),
+        KernelClass::GemmCuda { m, k, cols, batch } => ClassKey::GemmCuda(m, k, cols, batch),
+        KernelClass::GemmTcu { m, k, cols, batch } => ClassKey::GemmTcu(m, k, cols, batch),
+        KernelClass::Elementwise { elems, ops_per_elem, bytes_per_elem } => {
+            ClassKey::Elementwise(elems, ops_per_elem, bytes_per_elem)
+        }
+        KernelClass::Permute { elems } => ClassKey::Permute(elems),
+        KernelClass::BasisConv { elems, l_src } => ClassKey::BasisConv(elems, l_src),
+        KernelClass::FftButterfly { n, batch } => ClassKey::Fft(n, batch),
+        KernelClass::DwtLifting { n, batch } => ClassKey::Dwt(n, batch),
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    desc: KernelDesc,
+    op_tag: String,
+    stream: usize,
+    host_ready_us: f64,
+    cost: CostProfile,
+    /// Device-µs of work remaining (standalone_us × parallel_fraction).
+    remaining_work: f64,
+    started_us: Option<f64>,
+}
+
+/// Effective DRAM efficiency for a launch.
+fn mem_efficiency(desc: &KernelDesc) -> f64 {
+    let base = if desc.coalesced { 0.85 } else { 0.30 };
+    // Threads that each touch very little data waste transactions (the
+    // 32K-thread regression of Fig. 5).
+    let bytes_per_thread = desc.bytes_moved() as f64 / desc.threads().max(1) as f64;
+    let thin = (bytes_per_thread / 32.0).clamp(0.25, 1.0);
+    base * thin.sqrt()
+}
+
+/// Simulated GPU device executing [`KernelDesc`] launches on streams.
+#[derive(Debug)]
+pub struct DeviceSim {
+    config: DeviceConfig,
+    streams: usize,
+    host_clock_us: f64,
+    device_clock_us: f64,
+    /// FIFO launch queue per stream.
+    queues: Vec<std::collections::VecDeque<Pending>>,
+    pending_count: usize,
+    completed: Vec<KernelStats>,
+    cost_cache: HashMap<CostKey, CostProfile>,
+    op_tag: String,
+    seq: usize,
+    vram_used: u64,
+    /// Maximum warp-sim iterations before linear extrapolation.
+    sim_iter_cap: u64,
+}
+
+impl DeviceSim {
+    /// Creates a device simulator.
+    #[must_use]
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            config,
+            streams: 0,
+            host_clock_us: 0.0,
+            device_clock_us: 0.0,
+            queues: Vec::new(),
+            pending_count: 0,
+            completed: Vec::new(),
+            cost_cache: HashMap::new(),
+            op_tag: String::new(),
+            seq: 0,
+            vram_used: 0,
+            sim_iter_cap: 48,
+        }
+    }
+
+    /// The device description.
+    #[must_use]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Creates a new stream and returns its handle.
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(self.streams);
+        self.streams += 1;
+        self.queues.push(std::collections::VecDeque::new());
+        id
+    }
+
+    /// Tags subsequent launches with an operation scope (e.g. `"HMULT"`),
+    /// used by the profiler's per-operation breakdowns.
+    pub fn set_scope(&mut self, tag: impl Into<String>) {
+        self.op_tag = tag.into();
+    }
+
+    /// Current operation scope.
+    #[must_use]
+    pub fn scope(&self) -> &str {
+        &self.op_tag
+    }
+
+    /// Reserves device memory; returns `false` (and reserves nothing) if the
+    /// allocation would exceed VRAM. Batch-size selection queries this.
+    pub fn try_alloc(&mut self, bytes: u64) -> bool {
+        if self.vram_used + bytes > self.config.vram_bytes() {
+            false
+        } else {
+            self.vram_used += bytes;
+            true
+        }
+    }
+
+    /// Releases device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bytes are freed than are allocated.
+    pub fn free(&mut self, bytes: u64) {
+        assert!(bytes <= self.vram_used, "freeing unallocated VRAM");
+        self.vram_used -= bytes;
+    }
+
+    /// Bytes of VRAM currently reserved.
+    #[must_use]
+    pub fn vram_used(&self) -> u64 {
+        self.vram_used
+    }
+
+    /// Enqueues a kernel on a stream. Returns immediately (asynchronous
+    /// semantics); call [`DeviceSim::synchronize`] to drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream was not created by this simulator, or if a TCU
+    /// kernel is launched on a device without tensor cores.
+    pub fn launch(&mut self, stream: StreamId, desc: KernelDesc) {
+        assert!(stream.0 < self.streams, "unknown stream");
+        if matches!(desc.class, KernelClass::GemmTcu { .. }) {
+            assert!(
+                self.config.has_tensor_cores(),
+                "device {} has no tensor cores",
+                self.config.name
+            );
+        }
+        // Host enqueue cost.
+        self.host_clock_us = self.host_clock_us.max(self.device_clock_us);
+        self.host_clock_us += self.config.kernel_launch_us;
+        let cost = self.cost_of(&desc);
+        let work = cost.standalone_us * cost.parallel_fraction;
+        self.queues[stream.0].push_back(Pending {
+            op_tag: self.op_tag.clone(),
+            stream: stream.0,
+            host_ready_us: self.host_clock_us,
+            remaining_work: work.max(1e-9),
+            started_us: None,
+            cost,
+            desc,
+        });
+        self.pending_count += 1;
+        self.seq += 1;
+    }
+
+    /// Runs the event loop until every pending kernel has completed, and
+    /// returns the stats of kernels completed by *this* call in completion
+    /// order.
+    pub fn synchronize(&mut self) -> Vec<KernelStats> {
+        let first_new = self.completed.len();
+        while self.pending_count > 0 {
+            self.step();
+        }
+        self.device_clock_us = self.device_clock_us.max(self.host_clock_us);
+        // Completion order for the newly retired window (sorting once here
+        // instead of on every retire keeps long runs linear).
+        self.completed[first_new..]
+            .sort_by(|a, b| a.end_us.partial_cmp(&b.end_us).expect("finite times"));
+        self.completed[first_new..].to_vec()
+    }
+
+    /// Virtual time elapsed on the device so far (µs).
+    #[must_use]
+    pub fn elapsed_us(&self) -> f64 {
+        self.device_clock_us
+    }
+
+    /// All stats recorded since construction (or the last [`Self::reset`]).
+    #[must_use]
+    pub fn stats(&self) -> &[KernelStats] {
+        &self.completed
+    }
+
+    /// Clears recorded stats and clocks, keeping the cost cache.
+    pub fn reset(&mut self) {
+        assert!(self.pending_count == 0, "reset with kernels in flight");
+        self.completed.clear();
+        self.host_clock_us = 0.0;
+        self.device_clock_us = 0.0;
+        self.op_tag.clear();
+    }
+
+    /// One event-loop step: advance to the next arrival or completion.
+    /// Only the head of each stream queue is eligible (FIFO streams), so
+    /// every step is O(#streams).
+    fn step(&mut self) {
+        let t = self.device_clock_us;
+        // Head-of-line kernel per stream.
+        let mut active: Vec<usize> = Vec::new();
+        let mut next_arrival = f64::INFINITY;
+        for (sid, q) in self.queues.iter().enumerate() {
+            if let Some(p) = q.front() {
+                if p.host_ready_us <= t + 1e-12 {
+                    active.push(sid);
+                } else {
+                    next_arrival = next_arrival.min(p.host_ready_us);
+                }
+            }
+        }
+        if active.is_empty() {
+            assert!(next_arrival.is_finite(), "device engine stalled");
+            self.device_clock_us = next_arrival;
+            return;
+        }
+
+        // Water-fill each pool independently over the active heads.
+        let mut alloc: HashMap<usize, f64> = HashMap::new();
+        for pool in [Pool::Cuda, Pool::Tcu] {
+            let mut caps: Vec<(usize, f64)> = active
+                .iter()
+                .copied()
+                .filter(|&sid| self.queues[sid].front().expect("head").cost.pool == pool)
+                .map(|sid| {
+                    let cap = self.queues[sid]
+                        .front()
+                        .expect("head")
+                        .cost
+                        .parallel_fraction
+                        .clamp(1e-6, 1.0);
+                    (sid, cap)
+                })
+                .collect();
+            if caps.is_empty() {
+                continue;
+            }
+            caps.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fractions"));
+            let mut capacity = 1.0f64;
+            let mut remaining = caps.len();
+            for (sid, cap) in caps {
+                let share = capacity / remaining as f64;
+                let a = cap.min(share);
+                alloc.insert(sid, a);
+                capacity -= a;
+                remaining -= 1;
+            }
+        }
+
+        // Next event: earliest completion or next arrival.
+        let mut dt = next_arrival - t;
+        for (&sid, &a) in &alloc {
+            if a > 0.0 {
+                dt = dt.min(self.queues[sid].front().expect("head").remaining_work / a);
+            }
+        }
+        assert!(dt.is_finite(), "device engine stalled with work pending");
+        let dt = dt.max(1e-9);
+
+        // Progress the active heads.
+        for (&sid, &a) in &alloc {
+            let p = self.queues[sid].front_mut().expect("head");
+            if p.started_us.is_none() {
+                p.started_us = Some(t);
+            }
+            p.remaining_work -= a * dt;
+        }
+        self.device_clock_us = t + dt;
+
+        // Retire finished heads.
+        let now = self.device_clock_us;
+        let power = self.config.power_watts;
+        for (&sid, _) in &alloc {
+            let done = self.queues[sid]
+                .front()
+                .is_some_and(|p| p.remaining_work <= 1e-9);
+            if done {
+                let p = self.queues[sid].pop_front().expect("head");
+                self.pending_count -= 1;
+                let start = p.started_us.unwrap_or(now);
+                let work = p.cost.standalone_us * p.cost.parallel_fraction;
+                self.completed.push(KernelStats {
+                    name: p.desc.name.clone(),
+                    class_tag: p.desc.class.tag(),
+                    op_tag: p.op_tag,
+                    stream: p.stream,
+                    start_us: start,
+                    end_us: now,
+                    duration_us: now - start,
+                    standalone_us: p.cost.standalone_us,
+                    breakdown: p.cost.breakdown,
+                    occupancy: p.cost.occupancy,
+                    bytes: p.desc.bytes_moved(),
+                    tcu_macs: p.desc.tcu_macs(),
+                    energy_j: work * power / 1e6,
+                    bound: p.cost.bound,
+                });
+            }
+        }
+    }
+
+    /// Standalone cost of a launch (memoised).
+    fn cost_of(&mut self, desc: &KernelDesc) -> CostProfile {
+        let key = CostKey {
+            class: class_key(&desc.class),
+            block: desc.block_size,
+            threads: desc.threads_override,
+            coalesced: desc.coalesced,
+        };
+        if let Some(c) = self.cost_cache.get(&key) {
+            return c.clone();
+        }
+        let cost = self.compute_cost(desc);
+        self.cost_cache.insert(key, cost.clone());
+        cost
+    }
+
+    fn compute_cost(&self, desc: &KernelDesc) -> CostProfile {
+        let d = &self.config;
+        let mem_eff = mem_efficiency(desc);
+        let mem_us = desc.bytes_moved() as f64 / (d.mem_bandwidth_gbps * 1e3 * mem_eff);
+
+        if let KernelClass::GemmTcu { m, cols, batch, .. } = desc.class {
+            // Tensor-core pipeline model: padded MACs over peak rate, scaled
+            // by how many tiles the launch can spread over the TCUs.
+            let tiles = (m as f64 / 16.0).ceil() * (cols as f64 / 8.0).ceil() * batch as f64;
+            let tcu_slots = (d.sm_count * d.tensor_cores_per_sm) as f64 * 2.0;
+            let p = (tiles / tcu_slots).clamp(1e-4, 1.0);
+            let rate = d.tcu_macs_per_second().max(1.0);
+            let compute_us = desc.tcu_macs() as f64 / rate * 1e6 / p;
+            let (standalone, bound) = if mem_us > compute_us {
+                (mem_us, BoundBy::Memory)
+            } else {
+                (compute_us, BoundBy::TensorCore)
+            };
+            return CostProfile {
+                standalone_us: standalone.max(0.5),
+                parallel_fraction: p,
+                breakdown: StallBreakdown::new(),
+                occupancy: p * 0.92,
+                bound,
+                pool: Pool::Tcu,
+            };
+        }
+
+        let template = desc
+            .template()
+            .expect("every non-TCU class has a template");
+        let threads = desc.threads();
+        let warps_total = threads.div_ceil(d.warp_size as u64).max(1);
+        let sched_total = (d.sm_count * d.schedulers_per_sm) as u64;
+        let warps_per_block = (desc.block_size / d.warp_size).max(1) as u64;
+        let warps_per_sched_cap = ((d.max_warps_per_sm / d.schedulers_per_sm).max(1) as u64)
+            .min(desc.class.resident_warp_cap())
+            .max(warps_per_block.min(8));
+        let resident = (warps_total.div_ceil(sched_total)).clamp(1, warps_per_sched_cap);
+        let iters = desc.iters_per_thread();
+        let sim_iters = iters.min(self.sim_iter_cap).max(1);
+        let sim = simulate_scheduler(
+            d,
+            &template,
+            resident as usize,
+            sim_iters,
+            (warps_per_block as usize).min(resident as usize),
+        );
+        let cycles = sim.cycles as f64 * iters as f64 / sim_iters as f64;
+        let waves = (warps_total as f64 / (sched_total * resident) as f64).max(1.0);
+        let compute_us = waves * cycles / (d.clock_ghz * 1e3);
+
+        // The stall profile is the *pipeline* view (GPGPUSim-style); the
+        // bandwidth bound is reported separately via `bound` so Fig. 4/10
+        // percentages are not diluted by DRAM time.
+        let breakdown = sim.breakdown;
+        let (standalone, bound) = if mem_us > compute_us {
+            (mem_us, BoundBy::Memory)
+        } else {
+            (compute_us, BoundBy::Compute)
+        };
+
+        // Achieved occupancy is residency-driven (NSight counts resident
+        // warps per cycle; warps waiting on memory still count), with a
+        // small duty term separating saturated compute from pure streaming.
+        let resident_frac =
+            (warps_total as f64 / d.total_warp_slots() as f64).clamp(0.0, 1.0);
+        let duty = (compute_us / standalone.max(1e-12)).clamp(0.05, 1.0);
+        let occupancy = (resident_frac * (0.85 + 0.15 * duty)).clamp(0.0, 1.0);
+        let parallel_fraction = resident_frac.max(1e-4);
+
+        CostProfile {
+            standalone_us: standalone.max(0.5),
+            parallel_fraction,
+            breakdown,
+            occupancy,
+            bound,
+            pool: Pool::Cuda,
+        }
+    }
+
+    /// Exposes the standalone cost of a descriptor without launching it —
+    /// used by the API layer's batch-size search and by unit tests.
+    pub fn peek_cost(&mut self, desc: &KernelDesc) -> (f64, StallBreakdown, f64) {
+        let c = self.cost_of(desc);
+        (c.standalone_us, c.breakdown, c.occupancy)
+    }
+
+    /// Attribution of a full launch's stall profile (Fig. 4/10 data): runs
+    /// the kernel in isolation and returns its breakdown without touching
+    /// the clocks.
+    pub fn stall_profile(&mut self, desc: &KernelDesc) -> StallBreakdown {
+        self.cost_of(desc).breakdown
+    }
+
+    /// Convenience: fraction of cycles stalled for `kind` when the kernel
+    /// runs standalone.
+    pub fn stall_fraction(&mut self, desc: &KernelDesc, kind: StallKind) -> f64 {
+        self.stall_profile(desc).fraction(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> DeviceSim {
+        DeviceSim::new(DeviceConfig::a100())
+    }
+
+    fn ew(elems: u64) -> KernelDesc {
+        KernelDesc::new(
+            KernelClass::Elementwise { elems, ops_per_elem: 2, bytes_per_elem: 12 },
+            "ew",
+        )
+    }
+
+    #[test]
+    fn single_kernel_runs_and_reports() {
+        let mut s = sim();
+        let st = s.create_stream();
+        s.set_scope("HADD");
+        s.launch(st, ew(1 << 20));
+        let done = s.synchronize();
+        assert_eq!(done.len(), 1);
+        let k = &done[0];
+        assert!(k.duration_us > 0.0);
+        assert_eq!(k.op_tag, "HADD");
+        assert!(k.end_us >= k.start_us);
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut s = sim();
+        let st = s.create_stream();
+        s.launch(st, ew(1 << 22));
+        s.launch(st, ew(1 << 22));
+        let done = s.synchronize();
+        assert_eq!(done.len(), 2);
+        assert!(done[1].start_us >= done[0].end_us - 1e-6, "stream order violated");
+    }
+
+    #[test]
+    fn streams_overlap_small_kernels() {
+        // 16 deep-but-narrow TCU GEMMs (few tiles → small parallel fraction,
+        // deep k → real duration) across 16 streams vs serial on one stream.
+        let gemm = KernelDesc::new(
+            KernelClass::GemmTcu { m: 64, k: 65536, cols: 64, batch: 1 },
+            "gemm",
+        );
+        let mut serial = sim();
+        let st = serial.create_stream();
+        for _ in 0..16 {
+            serial.launch(st, gemm.clone());
+        }
+        serial.synchronize();
+        let t_serial = serial.elapsed_us();
+
+        let mut par = sim();
+        let streams: Vec<StreamId> = (0..16).map(|_| par.create_stream()).collect();
+        for s_id in &streams {
+            par.launch(*s_id, gemm.clone());
+        }
+        par.synchronize();
+        let t_par = par.elapsed_us();
+        assert!(
+            t_par < t_serial * 0.75,
+            "stream overlap must help small GEMMs: serial {t_serial} vs parallel {t_par}"
+        );
+    }
+
+    #[test]
+    fn bigger_launches_take_longer() {
+        let mut s = sim();
+        let (a, _, _) = s.peek_cost(&ew(1 << 18));
+        let (b, _, _) = s.peek_cost(&ew(1 << 24));
+        assert!(b > a * 10.0, "64× the elements must cost much more: {a} vs {b}");
+    }
+
+    #[test]
+    fn strided_layout_slower_than_coalesced() {
+        let mut s = sim();
+        let (fast, _, _) = s.peek_cost(&ew(1 << 22));
+        let (slow, _, _) = s.peek_cost(&ew(1 << 22).with_strided_layout());
+        assert!(slow > fast * 1.5, "strided {slow} should be ≥1.5× coalesced {fast}");
+    }
+
+    #[test]
+    fn butterfly_ntt_has_raw_stalls_gemm_does_not() {
+        let mut s = DeviceSim::new(DeviceConfig::gtx1080ti());
+        let ntt = KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 12, batch: 8 }, "ntt")
+            .with_block_size(128);
+        let gemm = KernelDesc::new(
+            KernelClass::GemmCuda { m: 64, k: 64, cols: 64, batch: 8 },
+            "gemm",
+        );
+        let raw_ntt = s.stall_fraction(&ntt, StallKind::Raw);
+        let raw_gemm = s.stall_fraction(&gemm, StallKind::Raw);
+        assert!(
+            raw_ntt > raw_gemm + 0.02,
+            "butterfly RAW ({raw_ntt}) must exceed GEMM RAW ({raw_gemm})"
+        );
+    }
+
+    #[test]
+    fn v100_slower_than_a100_for_same_kernel() {
+        let gemm = KernelDesc::new(
+            KernelClass::GemmTcu { m: 256, k: 256, cols: 256, batch: 45 },
+            "gemm",
+        );
+        let mut a = DeviceSim::new(DeviceConfig::a100());
+        let mut v = DeviceSim::new(DeviceConfig::v100());
+        let (ta, _, _) = a.peek_cost(&gemm);
+        let (tv, _, _) = v.peek_cost(&gemm);
+        assert!(tv > ta, "V100 ({tv}) must be slower than A100 ({ta})");
+    }
+
+    #[test]
+    fn tcu_kernel_rejected_without_tensor_cores() {
+        let mut s = DeviceSim::new(DeviceConfig::gtx1080ti());
+        let st = s.create_stream();
+        let gemm = KernelDesc::new(
+            KernelClass::GemmTcu { m: 16, k: 16, cols: 16, batch: 1 },
+            "gemm",
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.launch(st, gemm);
+        }));
+        assert!(r.is_err(), "launching TCU kernel on 1080Ti must panic");
+    }
+
+    #[test]
+    fn butterfly_profile_shows_barrier_stalls() {
+        // The Fig. 4 configuration produces a small but non-zero barrier
+        // component (blocks assemble while sibling blocks hold the issue
+        // slots).
+        let mut s = DeviceSim::new(DeviceConfig::gtx1080ti());
+        let ntt = KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 14, batch: 4 }, "ntt")
+            .with_block_size(128);
+        let b = s.stall_profile(&ntt);
+        assert!(b.get(StallKind::Barrier) > 0, "expected barrier stalls: {b:?}");
+        // And the headline Fig. 4 shape: roughly 40-50% total stalls.
+        let f = b.stall_fraction();
+        assert!((0.30..0.60).contains(&f), "NTT stall fraction {f} out of band");
+    }
+
+    #[test]
+    fn vram_accounting() {
+        let mut s = sim();
+        assert!(s.try_alloc(10 << 30));
+        assert!(!s.try_alloc(31 << 30), "40 GiB card cannot hold 41 GiB");
+        s.free(10 << 30);
+        assert_eq!(s.vram_used(), 0);
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let mut s = sim();
+        let st = s.create_stream();
+        s.launch(st, ew(1 << 20));
+        s.launch(st, ew(1 << 24));
+        let done = s.synchronize();
+        assert!(done[1].energy_j > done[0].energy_j * 4.0);
+    }
+
+    #[test]
+    fn batching_improves_throughput_per_item() {
+        // One batched launch of 64 polys beats 64 separate launches.
+        let mut s = sim();
+        let st = s.create_stream();
+        for _ in 0..64 {
+            s.launch(
+                st,
+                KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 12, batch: 1 }, "ntt"),
+            );
+        }
+        s.synchronize();
+        let t_individual = s.elapsed_us();
+
+        let mut s2 = sim();
+        let st2 = s2.create_stream();
+        s2.launch(
+            st2,
+            KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 12, batch: 64 }, "ntt"),
+        );
+        s2.synchronize();
+        let t_batched = s2.elapsed_us();
+        assert!(
+            t_batched < t_individual / 2.0,
+            "batching must amortise launches: {t_batched} vs {t_individual}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! A first-order GPGPU performance model — the hardware substrate of the
+//! TensorFHE reproduction.
+//!
+//! The paper evaluates on real NVIDIA GPUs (A100/V100) and on GPGPUSim (for
+//! the 1080Ti stall analysis). Neither is available here, so this crate
+//! models the three machines at the level the paper's numbers depend on:
+//!
+//! * [`device`] — static machine descriptions (SMs, clocks, CUDA cores,
+//!   tensor cores, HBM bandwidth, VRAM, power) for A100, V100 and GTX1080Ti.
+//! * [`warp_sim`] — an in-order, scoreboarded warp scheduler simulator that
+//!   executes per-thread instruction templates and classifies every unhidden
+//!   stall cycle into the six buckets of Fig. 4 (RAW, long latency, L1I
+//!   miss, control hazard, function-unit busy, barrier).
+//! * [`kernel`] — kernel descriptors: the instruction template, thread
+//!   geometry and memory traffic of each TensorFHE kernel class (butterfly
+//!   NTT, CUDA-core GEMM, TCU GEMM, element-wise, permutation, basis
+//!   conversion, plus the FFT/DWT reference kernels of Fig. 4).
+//! * [`engine`] — a discrete-event device engine with CUDA-stream semantics
+//!   (concurrent kernels water-fill the SM pool, which is how the 16
+//!   segmented GEMMs of Fig. 8 overlap), per-launch statistics, occupancy
+//!   and an energy model.
+//! * [`profiler`] — aggregation of per-launch stats into the per-kernel and
+//!   per-operation breakdowns reported in Figs. 10–13 and Tables IX/XI.
+//!
+//! Nothing in this crate knows about FHE; it executes abstract kernel
+//! descriptions. The kernel layer of `tensorfhe-core` translates CKKS
+//! kernels into [`kernel::KernelDesc`]s, so the performance ordering between
+//! TensorFHE-NT/-CO/full TensorFHE *emerges* from the model rather than
+//! being tabulated.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensorfhe_gpu::device::DeviceConfig;
+//! use tensorfhe_gpu::engine::DeviceSim;
+//! use tensorfhe_gpu::kernel::{KernelClass, KernelDesc};
+//!
+//! let mut sim = DeviceSim::new(DeviceConfig::a100());
+//! let s = sim.create_stream();
+//! sim.launch(s, KernelDesc::new(KernelClass::Elementwise {
+//!     elems: 1 << 20,
+//!     ops_per_elem: 2,
+//!     bytes_per_elem: 24,
+//! }, "ele-add"));
+//! let stats = sim.synchronize();
+//! assert_eq!(stats.len(), 1);
+//! assert!(stats[0].duration_us > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod device;
+pub mod engine;
+pub mod kernel;
+pub mod profiler;
+pub mod stall;
+pub mod warp_sim;
+
+pub use device::DeviceConfig;
+pub use engine::{DeviceSim, KernelStats, StreamId};
+pub use kernel::{KernelClass, KernelDesc};
+pub use profiler::Profiler;
+pub use stall::{StallBreakdown, StallKind};

@@ -1,0 +1,192 @@
+//! Pipeline-stall taxonomy of the Fig. 4 / Fig. 10 analysis.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The six unhidden-stall categories the paper measures with GPGPUSim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// Read-after-write dependency on an in-flight ALU result — the dominant
+    /// butterfly-NTT stall (20.9% of cycles in Fig. 4).
+    Raw,
+    /// Waiting on an outstanding long-latency (global memory) access.
+    LongLatency,
+    /// Instruction-cache miss on fetch.
+    L1iMiss,
+    /// Control hazard (branch redirect at loop boundaries).
+    ControlHazard,
+    /// Required function unit already occupied this cycle.
+    FunctionUnitBusy,
+    /// Blocked at a block-wide barrier (`__syncthreads`).
+    Barrier,
+}
+
+impl StallKind {
+    /// All categories in the paper's plotting order.
+    pub const ALL: [StallKind; 6] = [
+        StallKind::Raw,
+        StallKind::LongLatency,
+        StallKind::L1iMiss,
+        StallKind::ControlHazard,
+        StallKind::FunctionUnitBusy,
+        StallKind::Barrier,
+    ];
+
+    /// Label used in figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallKind::Raw => "RAW Stall",
+            StallKind::LongLatency => "Long Latency Stall",
+            StallKind::L1iMiss => "L1I Miss Stall",
+            StallKind::ControlHazard => "Control Hazard Stall",
+            StallKind::FunctionUnitBusy => "Function Unit Busy Stall",
+            StallKind::Barrier => "Barrier Stall",
+        }
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cycle counts per stall category, plus the issue/total cycle counters
+/// needed to express them as "% of total cycles" like the paper's plots.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StallBreakdown {
+    /// Cycles in which at least one instruction issued.
+    pub issued_cycles: u64,
+    /// Unhidden stall cycles attributed to each [`StallKind`]
+    /// (index = position in [`StallKind::ALL`]).
+    pub stalls: [u64; 6],
+}
+
+impl StallBreakdown {
+    /// A zeroed breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one stalled cycle of the given kind.
+    pub fn record(&mut self, kind: StallKind) {
+        let idx = StallKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind is in ALL");
+        self.stalls[idx] += 1;
+    }
+
+    /// Stall cycles of one category.
+    #[must_use]
+    pub fn get(&self, kind: StallKind) -> u64 {
+        let idx = StallKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind is in ALL");
+        self.stalls[idx]
+    }
+
+    /// All stall cycles.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Total pipeline cycles (issued + stalled).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.issued_cycles + self.total_stalls()
+    }
+
+    /// Fraction of total cycles lost to the given stall kind, in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self, kind: StallKind) -> f64 {
+        let t = self.total_cycles();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(kind) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of total cycles lost to any stall.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        let t = self.total_cycles();
+        if t == 0 {
+            0.0
+        } else {
+            self.total_stalls() as f64 / t as f64
+        }
+    }
+}
+
+impl Add for StallBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for StallBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.issued_cycles += rhs.issued_cycles;
+        for i in 0..6 {
+            self.stalls[i] += rhs.stalls[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fractions() {
+        let mut b = StallBreakdown::new();
+        b.issued_cycles = 60;
+        for _ in 0..30 {
+            b.record(StallKind::Raw);
+        }
+        for _ in 0..10 {
+            b.record(StallKind::Barrier);
+        }
+        assert_eq!(b.total_cycles(), 100);
+        assert!((b.fraction(StallKind::Raw) - 0.30).abs() < 1e-12);
+        assert!((b.stall_fraction() - 0.40).abs() < 1e-12);
+        assert_eq!(b.get(StallKind::L1iMiss), 0);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let mut a = StallBreakdown::new();
+        a.issued_cycles = 5;
+        a.record(StallKind::LongLatency);
+        let mut b = StallBreakdown::new();
+        b.issued_cycles = 7;
+        b.record(StallKind::LongLatency);
+        b.record(StallKind::ControlHazard);
+        let c = a + b;
+        assert_eq!(c.issued_cycles, 12);
+        assert_eq!(c.get(StallKind::LongLatency), 2);
+        assert_eq!(c.get(StallKind::ControlHazard), 1);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let b = StallBreakdown::new();
+        assert_eq!(b.stall_fraction(), 0.0);
+        assert_eq!(b.fraction(StallKind::Raw), 0.0);
+    }
+
+    #[test]
+    fn labels_are_paper_strings() {
+        assert_eq!(StallKind::Raw.label(), "RAW Stall");
+        assert_eq!(StallKind::Barrier.to_string(), "Barrier Stall");
+    }
+}

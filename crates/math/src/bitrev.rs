@@ -1,0 +1,75 @@
+//! Bit-reversal permutation helpers shared by the NTT implementations.
+
+/// Reverses the low `bits` bits of `x`.
+///
+/// # Examples
+///
+/// ```
+/// use tensorfhe_math::bitrev::reverse_bits;
+/// assert_eq!(reverse_bits(0b0011, 4), 0b1100);
+/// assert_eq!(reverse_bits(1, 3), 4);
+/// ```
+#[inline]
+#[must_use]
+pub fn reverse_bits(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Applies the in-place bit-reversal permutation to a slice whose length is a
+/// power of two.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = reverse_bits(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_roundtrip() {
+        for bits in 1..16u32 {
+            for x in [0usize, 1, (1 << bits) - 1, (1 << bits) / 3] {
+                assert_eq!(reverse_bits(reverse_bits(x, bits), bits), x);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_involution() {
+        let mut v: Vec<u32> = (0..64).collect();
+        let orig = v.clone();
+        bit_reverse_permute(&mut v);
+        assert_ne!(v, orig);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn known_order_8() {
+        let mut v: Vec<u32> = (0..8).collect();
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn singleton_is_fixed() {
+        let mut v = vec![42u8];
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, vec![42]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Scalar mathematics substrate for the TensorFHE reproduction.
+//!
+//! This crate provides everything the higher layers need to do exact
+//! arithmetic in prime fields `Z_q` and to move between residue bases:
+//!
+//! * [`Modulus`] — Barrett-reduced modular arithmetic over `u64` primes,
+//!   including Shoup multiplication for hot loops with a fixed multiplicand.
+//! * [`prime`] — Miller–Rabin primality testing and generation of
+//!   NTT-friendly primes (`q ≡ 1 mod 2N`) together with primitive roots.
+//! * [`crt`] — Chinese-Remainder reconstruction (Garner mixed radix) and the
+//!   pre-computed tables used by the fast basis conversion (`Conv`) kernel.
+//! * [`complex`] — a minimal `Complex64` used by the CKKS canonical-embedding
+//!   encoder.
+//! * [`sampling`] — the three random distributions CKKS needs (uniform mod
+//!   `q`, ternary secrets, centered discrete Gaussian noise).
+//!
+//! # Examples
+//!
+//! ```
+//! use tensorfhe_math::{Modulus, prime::generate_ntt_primes};
+//!
+//! let q = generate_ntt_primes(1, 30, 1 << 10)[0];
+//! let m = Modulus::new(q);
+//! let a = m.mul(12345, 67890);
+//! assert_eq!(a, (12345u128 * 67890 % q as u128) as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitrev;
+pub mod complex;
+pub mod crt;
+pub mod modulus;
+pub mod montgomery;
+pub mod prime;
+pub mod sampling;
+
+pub use complex::Complex64;
+pub use modulus::{Modulus, ShoupMul};

@@ -1,0 +1,356 @@
+//! Barrett-reduced modular arithmetic over word-sized primes.
+//!
+//! All TensorFHE residue arithmetic runs in `Z_q` for primes `q < 2^62`.
+//! [`Modulus`] caches the Barrett constant `⌊2^128 / q⌋` so multiplication
+//! costs two widening multiplies and at most one correction subtraction.
+//! [`ShoupMul`] specialises multiplication for a fixed multiplicand (twiddle
+//! factors), the trick used by every production NTT.
+
+/// A prime (or odd) modulus together with pre-computed Barrett constants.
+///
+/// # Examples
+///
+/// ```
+/// use tensorfhe_math::Modulus;
+///
+/// let m = Modulus::new(0x1000_0000_0600_1u64); // a 52-bit prime-like value
+/// assert_eq!(m.add(m.value() - 1, 2), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    q: u64,
+    /// High 64 bits of ⌊2^128 / q⌋.
+    barrett_hi: u64,
+    /// Low 64 bits of ⌊2^128 / q⌋.
+    barrett_lo: u64,
+}
+
+impl Modulus {
+    /// Creates a new modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2` or `q >= 2^62` (the headroom keeps lazy sums
+    /// correctable with a single subtraction).
+    #[must_use]
+    pub fn new(q: u64) -> Self {
+        assert!(q >= 2, "modulus must be >= 2");
+        assert!(q < (1u64 << 62), "modulus must be < 2^62");
+        // ⌊2^128 / q⌋ via 128-bit long division done in two halves.
+        let hi = u128::MAX / q as u128; // = ⌊(2^128 - 1)/q⌋ ; adjust below.
+        // (2^128 - 1)/q and (2^128)/q differ only when q divides 2^128,
+        // impossible for q >= 2 unless q is a power of two; handle exactly:
+        let (barrett, _rem) = {
+            let b = hi;
+            let r = u128::MAX - b * q as u128;
+            if r + 1 == q as u128 {
+                (b + 1, 0u128)
+            } else {
+                (b, r + 1)
+            }
+        };
+        Self {
+            q,
+            barrett_hi: (barrett >> 64) as u64,
+            barrett_lo: barrett as u64,
+        }
+    }
+
+    /// The raw modulus value.
+    #[inline]
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.q
+    }
+
+    /// Number of significant bits in `q`.
+    #[inline]
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        64 - self.q.leading_zeros()
+    }
+
+    /// Reduces an arbitrary 64-bit value into `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn reduce(&self, a: u64) -> u64 {
+        if a < self.q {
+            a
+        } else {
+            a % self.q
+        }
+    }
+
+    /// Reduces a 128-bit value into `[0, q)` using Barrett reduction.
+    #[inline]
+    #[must_use]
+    pub fn reduce_u128(&self, a: u128) -> u64 {
+        // Estimate quotient: ⌊a * barrett / 2^128⌋ where barrett ≈ 2^128/q.
+        let a_lo = a as u64;
+        let a_hi = (a >> 64) as u64;
+        // a * barrett = (a_hi*2^64 + a_lo) * (b_hi*2^64 + b_lo); we need bits >= 128.
+        let lo_lo = (a_lo as u128) * (self.barrett_lo as u128);
+        let lo_hi = (a_lo as u128) * (self.barrett_hi as u128);
+        let hi_lo = (a_hi as u128) * (self.barrett_lo as u128);
+        let hi_hi = (a_hi as u128) * (self.barrett_hi as u128);
+        let mid = (lo_lo >> 64) + (lo_hi & 0xFFFF_FFFF_FFFF_FFFF) + (hi_lo & 0xFFFF_FFFF_FFFF_FFFF);
+        let q_est = hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
+        let r = a.wrapping_sub(q_est.wrapping_mul(self.q as u128)) as u64;
+        // Barrett quotient may be short by at most 2.
+        let r = if r >= self.q { r - self.q } else { r };
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Modular addition of two values already in `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let s = a + b;
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of two values already in `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// Modular negation of a value already in `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        if a == 0 {
+            0
+        } else {
+            self.q - a
+        }
+    }
+
+    /// Modular multiplication via Barrett reduction.
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Fused multiply-add: `(a*b + c) mod q`.
+    #[inline]
+    #[must_use]
+    pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128 + c as u128)
+    }
+
+    /// Modular exponentiation by squaring.
+    #[must_use]
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        base = self.reduce(base);
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse for prime moduli via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0` (zero has no inverse).
+    #[must_use]
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a % self.q != 0, "zero has no modular inverse");
+        self.pow(a, self.q - 2)
+    }
+
+    /// Maps a signed integer into `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn from_i64(&self, a: i64) -> u64 {
+        let r = a.rem_euclid(self.q as i64);
+        r as u64
+    }
+
+    /// Maps a signed 128-bit integer into `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn from_i128(&self, a: i128) -> u64 {
+        a.rem_euclid(self.q as i128) as u64
+    }
+
+    /// Interprets a residue as a centered representative in `(-q/2, q/2]`.
+    #[inline]
+    #[must_use]
+    pub fn to_centered(&self, a: u64) -> i64 {
+        debug_assert!(a < self.q);
+        if a > self.q / 2 {
+            a as i64 - self.q as i64
+        } else {
+            a as i64
+        }
+    }
+}
+
+/// Shoup pre-scaled multiplication by a fixed constant.
+///
+/// For a constant `w` and modulus `q`, caches `w' = ⌊w·2^64/q⌋`; then
+/// `mul(x)` computes `w·x mod q` with one `mulhi`, one `mullo` and one
+/// conditional subtraction. This is the standard twiddle-factor fast path in
+/// butterfly NTTs.
+///
+/// # Examples
+///
+/// ```
+/// use tensorfhe_math::{Modulus, ShoupMul};
+///
+/// let m = Modulus::new((1 << 30) - 35); // 2^30 - 35 is prime
+/// let w = ShoupMul::new(123_456_789 % m.value(), &m);
+/// assert_eq!(w.mul(987_654_321 % m.value(), &m), m.mul(123_456_789 % m.value(), 987_654_321 % m.value()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoupMul {
+    /// The constant itself, in `[0, q)`.
+    pub w: u64,
+    /// Pre-scaled constant `⌊w·2^64/q⌋`.
+    pub w_shoup: u64,
+}
+
+impl ShoupMul {
+    /// Pre-computes the Shoup representation of `w` modulo `m`.
+    #[inline]
+    #[must_use]
+    pub fn new(w: u64, m: &Modulus) -> Self {
+        debug_assert!(w < m.value());
+        let w_shoup = ((w as u128) << 64) / m.value() as u128;
+        Self {
+            w,
+            w_shoup: w_shoup as u64,
+        }
+    }
+
+    /// Computes `w·x mod q` (result in `[0, q)`).
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, x: u64, m: &Modulus) -> u64 {
+        let q = m.value();
+        let hi = ((self.w_shoup as u128 * x as u128) >> 64) as u64;
+        let r = (self.w as u128 * x as u128 - hi as u128 * q as u128) as u64;
+        if r >= q {
+            r - q
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P30: u64 = (1 << 30) - 35;
+    const P61: u64 = (1 << 61) - 1; // Mersenne prime.
+
+    #[test]
+    fn barrett_matches_naive_small() {
+        let m = Modulus::new(97);
+        for a in 0..97u64 {
+            for b in 0..97u64 {
+                assert_eq!(m.mul(a, b), a * b % 97);
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_matches_naive_large() {
+        let m = Modulus::new(P61);
+        let cases = [
+            (0u64, 0u64),
+            (P61 - 1, P61 - 1),
+            (123_456_789_012_345, 987_654_321_098_765),
+            (1, P61 - 1),
+        ];
+        for (a, b) in cases {
+            assert_eq!(m.mul(a, b), (a as u128 * b as u128 % P61 as u128) as u64);
+        }
+    }
+
+    #[test]
+    fn reduce_u128_extremes() {
+        let m = Modulus::new(P30);
+        assert_eq!(m.reduce_u128(u128::MAX), (u128::MAX % P30 as u128) as u64);
+        assert_eq!(m.reduce_u128(0), 0);
+        assert_eq!(m.reduce_u128(P30 as u128), 0);
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let m = Modulus::new(P30);
+        let a = 123_456_789 % P30;
+        let b = 987_654_321 % P30;
+        assert_eq!(m.sub(m.add(a, b), b), a);
+        assert_eq!(m.add(a, m.neg(a)), 0);
+        assert_eq!(m.neg(0), 0);
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let m = Modulus::new(P30);
+        assert_eq!(m.pow(2, 10), 1024);
+        assert_eq!(m.pow(5, 0), 1);
+        let a = 424_242;
+        assert_eq!(m.mul(a, m.inv(a)), 1);
+    }
+
+    #[test]
+    fn signed_conversions() {
+        let m = Modulus::new(P30);
+        assert_eq!(m.from_i64(-1), P30 - 1);
+        assert_eq!(m.from_i64(P30 as i64), 0);
+        assert_eq!(m.to_centered(P30 - 1), -1);
+        assert_eq!(m.to_centered(1), 1);
+        assert_eq!(m.from_i128(-(P30 as i128) - 5), P30 - 5);
+    }
+
+    #[test]
+    fn shoup_matches_barrett() {
+        let m = Modulus::new(P30);
+        for w in [0u64, 1, 2, P30 / 2, P30 - 1] {
+            let s = ShoupMul::new(w, &m);
+            for x in [0u64, 1, 12345, P30 - 1] {
+                assert_eq!(s.mul(x, &m), m.mul(w, x), "w={w} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modular inverse")]
+    fn inv_zero_panics() {
+        let _ = Modulus::new(P30).inv(0);
+    }
+
+    #[test]
+    fn mul_add_matches() {
+        let m = Modulus::new(P61);
+        let (a, b, c) = (P61 - 2, P61 - 3, P61 - 4);
+        assert_eq!(m.mul_add(a, b, c), m.add(m.mul(a, b), c));
+    }
+}

@@ -1,0 +1,270 @@
+//! NTT-friendly prime generation and primitive roots of unity.
+//!
+//! Negacyclic NTT over `Z_q[X]/(X^N + 1)` needs a primitive `2N`-th root of
+//! unity `ψ` in `Z_q`, which exists exactly when `q ≡ 1 (mod 2N)`. The
+//! functions here generate such primes deterministically (scanning downward
+//! from a bit-size target, exactly as SEAL/Lattigo do) and find generators.
+
+use crate::modulus::Modulus;
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the fixed witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`
+/// which is known to be sufficient for every 64-bit integer.
+///
+/// # Examples
+///
+/// ```
+/// use tensorfhe_math::prime::is_prime;
+/// assert!(is_prime((1 << 61) - 1));
+/// assert!(!is_prime(1 << 61));
+/// ```
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    let mulmod = |a: u64, b: u64| (a as u128 * b as u128 % n as u128) as u64;
+    let powmod = |mut base: u64, mut exp: u64| {
+        let mut acc = 1u64;
+        base %= n;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = mulmod(acc, base);
+            }
+            base = mulmod(base, base);
+            exp >>= 1;
+        }
+        acc
+    };
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mulmod(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates `count` distinct primes of (at most) `bits` bits with
+/// `q ≡ 1 (mod 2N)`, scanning downward from `2^bits`.
+///
+/// The result is sorted in descending order and deterministic for a given
+/// `(count, bits, n)` triple, so parameter sets are reproducible.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, if `bits` is not in `[14, 61]`, or if
+/// fewer than `count` such primes exist above `2^(bits-1)`.
+///
+/// # Examples
+///
+/// ```
+/// use tensorfhe_math::prime::generate_ntt_primes;
+/// let primes = generate_ntt_primes(3, 30, 1 << 12);
+/// assert_eq!(primes.len(), 3);
+/// for q in primes {
+///     assert_eq!(q % (2 << 12), 1);
+/// }
+/// ```
+#[must_use]
+pub fn generate_ntt_primes(count: usize, bits: u32, n: u64) -> Vec<u64> {
+    assert!(n.is_power_of_two(), "polynomial degree must be a power of two");
+    assert!((14..=61).contains(&bits), "prime size must be in [14, 61] bits");
+    let two_n = 2 * n;
+    let mut primes = Vec::with_capacity(count);
+    // Largest candidate ≡ 1 (mod 2N) strictly below 2^bits.
+    let top = (1u64 << bits) - 1;
+    let mut candidate = top - ((top - 1) % two_n);
+    let floor = 1u64 << (bits - 1);
+    while primes.len() < count {
+        assert!(
+            candidate > floor,
+            "not enough {bits}-bit NTT primes for N={n} (found {})",
+            primes.len()
+        );
+        if is_prime(candidate) {
+            primes.push(candidate);
+        }
+        candidate -= two_n;
+    }
+    primes
+}
+
+/// Generates primes avoiding collisions with an existing set (used for the
+/// special primes `p_k`, which must differ from the `q_l`).
+#[must_use]
+pub fn generate_ntt_primes_excluding(count: usize, bits: u32, n: u64, exclude: &[u64]) -> Vec<u64> {
+    let mut all = generate_ntt_primes(count + exclude.len(), bits, n);
+    all.retain(|q| !exclude.contains(q));
+    all.truncate(count);
+    assert_eq!(all.len(), count, "insufficient primes after exclusion");
+    all
+}
+
+/// Finds the smallest generator of the multiplicative group `Z_q^*`.
+///
+/// # Panics
+///
+/// Panics if `q` is not prime (detected indirectly by factorization failure).
+#[must_use]
+pub fn primitive_root(m: &Modulus) -> u64 {
+    let q = m.value();
+    let phi = q - 1;
+    let factors = factorize(phi);
+    'candidate: for g in 2..q {
+        for &f in &factors {
+            if m.pow(g, phi / f) == 1 {
+                continue 'candidate;
+            }
+        }
+        return g;
+    }
+    unreachable!("no primitive root found; modulus {q} is not prime")
+}
+
+/// Returns a primitive `order`-th root of unity in `Z_q`.
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `q - 1`.
+///
+/// # Examples
+///
+/// ```
+/// use tensorfhe_math::{Modulus, prime::{generate_ntt_primes, root_of_unity}};
+/// let n = 1u64 << 10;
+/// let q = generate_ntt_primes(1, 30, n)[0];
+/// let m = Modulus::new(q);
+/// let psi = root_of_unity(&m, 2 * n);
+/// assert_eq!(m.pow(psi, 2 * n), 1);
+/// assert_ne!(m.pow(psi, n), 1); // primitive: ψ^N = -1
+/// ```
+#[must_use]
+pub fn root_of_unity(m: &Modulus, order: u64) -> u64 {
+    let q = m.value();
+    assert_eq!((q - 1) % order, 0, "order must divide q - 1");
+    let g = primitive_root(m);
+    let root = m.pow(g, (q - 1) / order);
+    debug_assert_eq!(m.pow(root, order), 1);
+    root
+}
+
+/// Trial-division factorization of a `u64` into distinct prime factors.
+fn factorize(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut push = |f: u64, n: &mut u64| {
+        factors.push(f);
+        while *n % f == 0 {
+            *n /= f;
+        }
+    };
+    if n % 2 == 0 {
+        push(2, &mut n);
+    }
+    let mut f = 3u64;
+    while f.saturating_mul(f) <= n {
+        if n % f == 0 {
+            push(f, &mut n);
+        }
+        f += 2;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognized() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 9973, 999_999_937];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in [1u64, 4, 9, 100, 9975, 999_999_938] {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // 561, 1105, 1729 are Carmichael numbers that fool Fermat tests.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(!is_prime(c), "{c} is a Carmichael number, not prime");
+        }
+    }
+
+    #[test]
+    fn ntt_primes_have_correct_residue() {
+        let n = 1u64 << 14;
+        let primes = generate_ntt_primes(5, 40, n);
+        assert_eq!(primes.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for q in primes {
+            assert!(is_prime(q));
+            assert_eq!(q % (2 * n), 1);
+            assert!(q < (1 << 40) && q > (1 << 39));
+            assert!(seen.insert(q), "primes must be distinct");
+        }
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let n = 1u64 << 10;
+        let base = generate_ntt_primes(3, 30, n);
+        let extra = generate_ntt_primes_excluding(2, 30, n, &base);
+        for p in &extra {
+            assert!(!base.contains(p));
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_are_primitive() {
+        let n = 1u64 << 10;
+        let q = generate_ntt_primes(1, 30, n)[0];
+        let m = Modulus::new(q);
+        let psi = root_of_unity(&m, 2 * n);
+        // ψ^N ≡ -1 (primitivity of the 2N-th root).
+        assert_eq!(m.pow(psi, n), q - 1);
+        // Orders below 2N never hit 1 for divisor-power checks.
+        assert_ne!(m.pow(psi, n / 2), 1);
+    }
+
+    #[test]
+    fn primitive_root_generates_group() {
+        let m = Modulus::new(97);
+        let g = primitive_root(&m);
+        let mut seen = std::collections::HashSet::new();
+        let mut x = 1u64;
+        for _ in 0..96 {
+            x = m.mul(x, g);
+            seen.insert(x);
+        }
+        assert_eq!(seen.len(), 96);
+    }
+}

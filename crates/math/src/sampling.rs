@@ -1,0 +1,121 @@
+//! Random distributions used by CKKS key generation and encryption.
+//!
+//! Three distributions appear in the scheme (Cheon et al. 2017):
+//! uniform polynomials over `Z_q` (the `a` component of ciphertexts and
+//! evaluation keys), ternary secrets with entries in `{-1, 0, 1}`, and a
+//! centered discrete Gaussian for the error `e` (σ = 3.2 by convention).
+
+use rand::Rng;
+
+/// Standard deviation of the CKKS error distribution.
+pub const DEFAULT_SIGMA: f64 = 3.2;
+
+/// Samples a polynomial with coefficients uniform in `[0, q)`.
+pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, q: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..q)).collect()
+}
+
+/// Samples a ternary polynomial with i.i.d. coefficients in `{-1, 0, 1}`.
+pub fn sample_ternary<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1..=1)).collect()
+}
+
+/// Samples a ternary polynomial with exactly `hamming_weight` non-zero
+/// coefficients (sparse secrets, as used by bootstrapping-oriented papers).
+///
+/// # Panics
+///
+/// Panics if `hamming_weight > n`.
+pub fn sample_sparse_ternary<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    hamming_weight: usize,
+) -> Vec<i64> {
+    assert!(hamming_weight <= n, "hamming weight exceeds degree");
+    let mut out = vec![0i64; n];
+    let mut placed = 0;
+    while placed < hamming_weight {
+        let idx = rng.gen_range(0..n);
+        if out[idx] == 0 {
+            out[idx] = if rng.gen_bool(0.5) { 1 } else { -1 };
+            placed += 1;
+        }
+    }
+    out
+}
+
+/// Samples a centered discrete Gaussian with standard deviation `sigma` by
+/// rounding a Box–Muller normal (the conventional software approximation).
+pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, n: usize, sigma: f64) -> Vec<i64> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Box–Muller produces two independent normals per draw.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt() * sigma;
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        out.push((r * theta.cos()).round() as i64);
+        if out.len() < n {
+            out.push((r * theta.sin()).round() as i64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = 1_000_003;
+        let v = sample_uniform(&mut rng, 4096, q);
+        assert_eq!(v.len(), 4096);
+        assert!(v.iter().all(|&x| x < q));
+        // Mean of U[0,q) is q/2; loose 5% sanity band.
+        let mean = v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!((mean - q as f64 / 2.0).abs() < q as f64 * 0.05);
+    }
+
+    #[test]
+    fn ternary_values_and_balance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = sample_ternary(&mut rng, 10_000);
+        assert!(v.iter().all(|&x| (-1..=1).contains(&x)));
+        let pos = v.iter().filter(|&&x| x == 1).count() as f64;
+        let neg = v.iter().filter(|&&x| x == -1).count() as f64;
+        assert!((pos / 10_000.0 - 1.0 / 3.0).abs() < 0.03);
+        assert!((neg / 10_000.0 - 1.0 / 3.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn sparse_ternary_weight_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = sample_sparse_ternary(&mut rng, 1024, 64);
+        assert_eq!(v.iter().filter(|&&x| x != 0).count(), 64);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = sample_gaussian(&mut rng, 100_000, DEFAULT_SIGMA);
+        let mean = v.iter().sum::<i64>() as f64 / v.len() as f64;
+        let var = v.iter().map(|&x| x as f64 * x as f64).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!(
+            (var - DEFAULT_SIGMA * DEFAULT_SIGMA).abs() < 0.5,
+            "variance {var} too far from σ²"
+        );
+        // Tails: essentially everything within 6σ.
+        assert!(v.iter().all(|&x| x.unsigned_abs() < 32));
+    }
+
+    #[test]
+    fn odd_length_gaussian() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sample_gaussian(&mut rng, 7, 1.0).len(), 7);
+    }
+}

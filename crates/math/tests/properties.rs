@@ -1,0 +1,92 @@
+//! Property-based tests of the modular arithmetic and CRT substrate.
+
+use proptest::prelude::*;
+use tensorfhe_math::crt::RnsBasis;
+use tensorfhe_math::prime::generate_ntt_primes;
+use tensorfhe_math::{Modulus, ShoupMul};
+
+const P30: u64 = (1 << 30) - 35;
+const P61: u64 = (1 << 61) - 1;
+
+proptest! {
+    #[test]
+    fn mul_matches_u128_reference(a in 0..P61, b in 0..P61) {
+        let m = Modulus::new(P61);
+        prop_assert_eq!(m.mul(a, b), (a as u128 * b as u128 % P61 as u128) as u64);
+    }
+
+    #[test]
+    fn reduce_u128_matches_reference(x in any::<u128>()) {
+        let m = Modulus::new(P30);
+        prop_assert_eq!(m.reduce_u128(x), (x % P30 as u128) as u64);
+    }
+
+    #[test]
+    fn field_axioms(a in 0..P30, b in 0..P30, c in 0..P30) {
+        let m = Modulus::new(P30);
+        // Commutativity and associativity of both operations.
+        prop_assert_eq!(m.add(a, b), m.add(b, a));
+        prop_assert_eq!(m.mul(a, b), m.mul(b, a));
+        prop_assert_eq!(m.add(m.add(a, b), c), m.add(a, m.add(b, c)));
+        prop_assert_eq!(m.mul(m.mul(a, b), c), m.mul(a, m.mul(b, c)));
+        // Distributivity.
+        prop_assert_eq!(m.mul(a, m.add(b, c)), m.add(m.mul(a, b), m.mul(a, c)));
+    }
+
+    #[test]
+    fn inverses_cancel(a in 1..P30) {
+        let m = Modulus::new(P30);
+        prop_assert_eq!(m.mul(a, m.inv(a)), 1);
+        prop_assert_eq!(m.add(a, m.neg(a)), 0);
+    }
+
+    #[test]
+    fn shoup_agrees_with_barrett(w in 0..P30, x in 0..P30) {
+        let m = Modulus::new(P30);
+        let s = ShoupMul::new(w, &m);
+        prop_assert_eq!(s.mul(x, &m), m.mul(w, x));
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(base in 0..P30, exp in 0u64..64) {
+        let m = Modulus::new(P30);
+        let mut want = 1u64;
+        for _ in 0..exp {
+            want = m.mul(want, base);
+        }
+        prop_assert_eq!(m.pow(base, exp), want);
+    }
+
+    #[test]
+    fn centered_representation_roundtrips(v in -(1i64 << 40)..(1i64 << 40)) {
+        let m = Modulus::new(P61);
+        prop_assert_eq!(m.to_centered(m.from_i64(v)), v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn crt_compose_decompose_roundtrip(v in -(1i128 << 80)..(1i128 << 80)) {
+        let primes = generate_ntt_primes(4, 28, 1 << 8);
+        let basis = RnsBasis::new(&primes);
+        let residues = basis.decompose_i128(v);
+        prop_assert_eq!(basis.compose_centered(&residues), v);
+    }
+
+    #[test]
+    fn crt_is_additive(a in -(1i128 << 60)..(1i128 << 60), b in -(1i128 << 60)..(1i128 << 60)) {
+        let primes = generate_ntt_primes(3, 28, 1 << 8);
+        let basis = RnsBasis::new(&primes);
+        let ra = basis.decompose_i128(a);
+        let rb = basis.decompose_i128(b);
+        let sum: Vec<u64> = ra
+            .iter()
+            .zip(&rb)
+            .zip(basis.moduli())
+            .map(|((&x, &y), m)| m.add(x, y))
+            .collect();
+        prop_assert_eq!(basis.compose_centered(&sum), a + b);
+    }
+}

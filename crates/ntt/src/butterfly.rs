@@ -1,0 +1,290 @@
+//! Butterfly negacyclic NTT (the paper's "TensorFHE-NT" baseline).
+//!
+//! Forward uses Cooley–Tukey (CT) butterflies with the `ψ` powers merged into
+//! the twiddle table (Longa–Naehrig style), inverse uses Gentleman–Sande
+//! (GS) butterflies — exactly the two butterfly flavours of Fig. 2. The raw
+//! CT pass produces bit-reversed output; the public [`NttOps`] interface
+//! hides this behind a final permutation so every variant in this crate
+//! agrees on natural ordering.
+
+use crate::NttOps;
+use tensorfhe_math::bitrev::{bit_reverse_permute, reverse_bits};
+use tensorfhe_math::prime::root_of_unity;
+use tensorfhe_math::{Modulus, ShoupMul};
+
+/// Pre-computed twiddle tables for one `(N, q)` pair.
+///
+/// Tables are built once per CKKS instance and shared by every NTT call —
+/// the "data reuse" property §IV-B credits to the matrix formulation holds
+/// for the butterfly tables as well.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    q: Modulus,
+    /// ψ, the primitive 2N-th root of unity.
+    psi: u64,
+    /// `psi_rev[i] = ψ^{brv(i)}` with Shoup pre-scaling (CT forward table).
+    psi_rev: Vec<ShoupMul>,
+    /// `psi_inv_rev[i] = ψ^{-brv(i)}` with Shoup pre-scaling (GS inverse).
+    psi_inv_rev: Vec<ShoupMul>,
+    /// `N^{-1} mod q`.
+    n_inv: ShoupMul,
+}
+
+impl NttTable {
+    /// Builds the tables for degree `n` (a power of two) and prime `q` with
+    /// `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q` lacks a `2n`-th root.
+    #[must_use]
+    pub fn new(n: usize, q: u64) -> Self {
+        assert!(n.is_power_of_two(), "degree must be a power of two");
+        let m = Modulus::new(q);
+        let psi = root_of_unity(&m, 2 * n as u64);
+        Self::with_root(n, q, psi)
+    }
+
+    /// Builds the tables with an explicit `2n`-th root (used by tests that
+    /// need a fixed root across variants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psi` is not a primitive `2n`-th root of unity mod `q`.
+    #[must_use]
+    pub fn with_root(n: usize, q: u64, psi: u64) -> Self {
+        let m = Modulus::new(q);
+        assert_eq!(m.pow(psi, 2 * n as u64), 1, "psi^2N must be 1");
+        assert_eq!(m.pow(psi, n as u64), q - 1, "psi must be primitive (ψ^N = -1)");
+        let bits = n.trailing_zeros();
+        let psi_inv = m.inv(psi);
+        let mut psi_rev = Vec::with_capacity(n);
+        let mut psi_inv_rev = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = reverse_bits(i, bits) as u64;
+            psi_rev.push(ShoupMul::new(m.pow(psi, r), &m));
+            psi_inv_rev.push(ShoupMul::new(m.pow(psi_inv, r), &m));
+        }
+        let n_inv = ShoupMul::new(m.inv(n as u64), &m);
+        Self {
+            n,
+            q: m,
+            psi,
+            psi_rev,
+            psi_inv_rev,
+            n_inv,
+        }
+    }
+
+    /// The primitive 2N-th root of unity ψ used by this table.
+    #[must_use]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// Underlying modulus handle.
+    #[must_use]
+    pub fn modulus_handle(&self) -> &Modulus {
+        &self.q
+    }
+
+    /// Number of butterfly stages (`log2 N`), the quantity that drives the
+    /// RAW-dependency chain measured in Fig. 4.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        self.n.trailing_zeros()
+    }
+
+    /// CT forward pass: natural-order input → bit-reversed output.
+    ///
+    /// Exposed because the GPU cost model replays the exact stage structure.
+    pub fn forward_bitrev(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        let q = &self.q;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let w = &self.psi_rev[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    // CT butterfly: (u, v) -> (u + w·v, u - w·v)
+                    let u = a[j];
+                    let v = w.mul(a[j + t], q);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// GS inverse pass: bit-reversed input → natural-order output, including
+    /// the final `N^{-1}` scaling.
+    pub fn inverse_from_bitrev(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        let q = &self.q;
+        let n = self.n;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = &self.psi_inv_rev[h + i];
+                for j in j1..j1 + t {
+                    // GS butterfly: (u, v) -> (u + v, (u - v)·w)
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = q.add(u, v);
+                    a[j + t] = w.mul(q.sub(u, v), q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = self.n_inv.mul(*x, q);
+        }
+    }
+}
+
+impl NttOps for NttTable {
+    fn degree(&self) -> usize {
+        self.n
+    }
+
+    fn modulus(&self) -> u64 {
+        self.q.value()
+    }
+
+    fn forward(&self, a: &mut [u64]) {
+        self.forward_bitrev(a);
+        bit_reverse_permute(a);
+    }
+
+    fn inverse(&self, a: &mut [u64]) {
+        bit_reverse_permute(a);
+        self.inverse_from_bitrev(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveNtt;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorfhe_math::prime::generate_ntt_primes;
+
+    fn random_poly(rng: &mut StdRng, n: usize, q: u64) -> Vec<u64> {
+        (0..n).map(|_| rng.gen_range(0..q)).collect()
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for log_n in [2u32, 4, 6, 8, 10, 12] {
+            let n = 1usize << log_n;
+            let q = generate_ntt_primes(1, 30, n as u64)[0];
+            let t = NttTable::new(n, q);
+            let a = random_poly(&mut rng, n, q);
+            let mut b = a.clone();
+            t.forward(&mut b);
+            assert_ne!(a, b, "transform should not be identity");
+            t.inverse(&mut b);
+            assert_eq!(a, b, "roundtrip failed for N={n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for n in [8usize, 32, 128] {
+            let q = generate_ntt_primes(1, 28, n as u64)[0];
+            let t = NttTable::new(n, q);
+            let naive = NaiveNtt::with_root(n, q, t.psi());
+            let a = random_poly(&mut rng, n, q);
+            let mut fast = a.clone();
+            t.forward(&mut fast);
+            let mut reference = a.clone();
+            naive.forward(&mut reference);
+            assert_eq!(fast, reference, "butterfly != naive at N={n}");
+        }
+    }
+
+    #[test]
+    fn large_prime_support() {
+        // 59-bit prime exercises the full Barrett width on the butterfly path.
+        let n = 256;
+        let q = generate_ntt_primes(1, 59, n as u64)[0];
+        let t = NttTable::new(n, q);
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_poly(&mut rng, n, q);
+        let mut b = a.clone();
+        t.forward(&mut b);
+        t.inverse(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let n = 64;
+        let q = generate_ntt_primes(1, 30, n as u64)[0];
+        let m = Modulus::new(q);
+        let t = NttTable::new(n, q);
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = random_poly(&mut rng, n, q);
+        let b = random_poly(&mut rng, n, q);
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.add(x, y)).collect();
+
+        let (mut fa, mut fb, mut fsum) = (a, b, sum);
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fsum);
+        for i in 0..n {
+            assert_eq!(fsum[i], m.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn constant_polynomial_transforms_to_constant_vector() {
+        // NTT of (c, 0, 0, …) is (c, c, …, c): ψ^0 contribution only.
+        let n = 32;
+        let q = generate_ntt_primes(1, 30, n as u64)[0];
+        let t = NttTable::new(n, q);
+        let mut a = vec![0u64; n];
+        a[0] = 12345;
+        t.forward(&mut a);
+        assert!(a.iter().all(|&x| x == 12345));
+    }
+
+    #[test]
+    fn x_transforms_to_psi_odd_powers() {
+        // NTT of X is (ψ^{2k+1})_k in natural order.
+        let n = 16;
+        let q = generate_ntt_primes(1, 30, n as u64)[0];
+        let t = NttTable::new(n, q);
+        let m = Modulus::new(q);
+        let mut a = vec![0u64; n];
+        a[1] = 1;
+        t.forward(&mut a);
+        for (k, &v) in a.iter().enumerate() {
+            assert_eq!(v, m.pow(t.psi(), 2 * k as u64 + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let n = 16;
+        let q = generate_ntt_primes(1, 30, n as u64)[0];
+        let t = NttTable::new(n, q);
+        let mut a = vec![0u64; n / 2];
+        t.forward(&mut a);
+    }
+}

@@ -1,0 +1,277 @@
+//! Four-step GEMM NTT — the paper's "TensorFHE-CO" algorithm (Eq. 9).
+//!
+//! The length-`N` negacyclic NTT is decomposed over `N = N1·N2` into
+//! *three matrix products* with no inter-stage butterfly dependencies:
+//!
+//! ```text
+//! index split:  n = n1 + N1·n2,   k = k2 + N2·k1
+//!
+//! A[k2 + N2·k1] = Σ_{n1} W_dft[k1][n1] · ( W_tw[n1][k2] ⊙ Σ_{n2} a[n1][n2]·W_n2[n2][k2] )
+//!
+//!   W_n2[n2][k2] = ψ_{2N2}^{2·n2·k2 + n2}   (N2×N2 negacyclic NTT matrix)
+//!   W_tw[n1][k2] = ψ_{2N}^{2·n1·k2 + n1}    (N1×N2 twiddle Hadamard)
+//!   W_dft[k1][n1] = ψ_{2N1}^{2·k1·n1}       (N1×N1 cyclic DFT matrix)
+//! ```
+//!
+//! with `ψ_{2N2} = ψ^{N1}` and `ψ_{2N1} = ψ^{N2}`. These are exactly the
+//! three twiddle forms of Eq. 9 (`ψ_{2N1}^{2ij+j}`, `ψ_{2N}^{2ij+j}`,
+//! `ψ_{2N2}^{2ij}`); the paper writes the mirrored split (negacyclic factor
+//! on the `N1` side), which is the same factorisation with `N1`/`N2`
+//! exchanged. We derive and verify ours against the butterfly reference.
+//!
+//! The three GEMMs replace the `log N` dependent butterfly stages — this is
+//! what removes the RAW pipeline stalls measured in Fig. 10 — and each
+//! output element incurs exactly one modulo reduction.
+
+use crate::mat::{gemm_mod, hadamard_mod, Mat};
+use crate::NttOps;
+use tensorfhe_math::prime::root_of_unity;
+use tensorfhe_math::Modulus;
+
+/// Plan (pre-computed twiddle matrices) for the four-step NTT.
+///
+/// The twiddle factor matrices depend only on `(N, q)` and are reused by all
+/// NTT calls of a CKKS instance — the *Data Reuse* property of §IV-B.
+#[derive(Debug, Clone)]
+pub struct FourStepNtt {
+    n: usize,
+    n1: usize,
+    n2: usize,
+    q: Modulus,
+    psi: u64,
+    w_n2: Mat,
+    w_tw: Mat,
+    w_dft: Mat,
+    w_idft: Mat,
+    w_tw_inv: Mat,
+    /// Inverse N2-side matrix with `N^{-1}` folded in.
+    w_n2_inv: Mat,
+}
+
+impl FourStepNtt {
+    /// Builds the plan for degree `n` (power of two) and prime `q < 2^32`
+    /// with `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 4, or `q ≥ 2^32` (the GEMM
+    /// single-reduction accumulator argument requires 32-bit residues,
+    /// matching the paper's RNS limb width).
+    #[must_use]
+    pub fn new(n: usize, q: u64) -> Self {
+        let m = Modulus::new(q);
+        let psi = root_of_unity(&m, 2 * n as u64);
+        Self::with_root(n, q, psi)
+    }
+
+    /// Builds the plan with an explicit primitive `2n`-th root.
+    ///
+    /// # Panics
+    ///
+    /// See [`FourStepNtt::new`]; additionally panics if `psi` is not
+    /// primitive.
+    #[must_use]
+    pub fn with_root(n: usize, q: u64, psi: u64) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "degree must be a power of two >= 4");
+        let m = Modulus::new(q);
+        assert!(m.bits() <= 32, "four-step NTT requires q < 2^32");
+        assert_eq!(m.pow(psi, n as u64), q - 1, "psi must be primitive");
+        let log_n = n.trailing_zeros();
+        let n1 = 1usize << log_n.div_ceil(2);
+        let n2 = n / n1;
+        let psi_inv = m.inv(psi);
+        // ψ_{2N2} = ψ^{N1}, ψ_{2N1} = ψ^{N2}.
+        let psi_2n2 = m.pow(psi, n1 as u64);
+        let psi_2n2_inv = m.inv(psi_2n2);
+        let psi_2n1 = m.pow(psi, n2 as u64);
+        let psi_2n1_inv = m.inv(psi_2n1);
+        let n_inv = m.inv(n as u64);
+
+        let w_n2 = Mat::from_fn(n2, n2, |r, c| m.pow(psi_2n2, (2 * r * c + r) as u64));
+        let w_tw = Mat::from_fn(n1, n2, |r, c| m.pow(psi, (2 * r * c + r) as u64));
+        let w_dft = Mat::from_fn(n1, n1, |r, c| m.pow(psi_2n1, (2 * r * c) as u64));
+        let w_idft = Mat::from_fn(n1, n1, |r, c| m.pow(psi_2n1_inv, (2 * r * c) as u64));
+        let w_tw_inv = Mat::from_fn(n1, n2, |r, c| m.pow(psi_inv, (2 * r * c + r) as u64));
+        let w_n2_inv = Mat::from_fn(n2, n2, |r, c| {
+            m.mul(m.pow(psi_2n2_inv, (2 * r * c + c) as u64), n_inv)
+        });
+
+        Self {
+            n,
+            n1,
+            n2,
+            q: m,
+            psi,
+            w_n2,
+            w_tw,
+            w_dft,
+            w_idft,
+            w_tw_inv,
+            w_n2_inv,
+        }
+    }
+
+    /// The `(N1, N2)` split, `N1 ≥ N2`, `N1·N2 = N`.
+    #[must_use]
+    pub fn split(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// The primitive root used by the plan.
+    #[must_use]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// Gathers the input vector into the `N1×N2` matrix `A[n1][n2] =
+    /// a[n1 + N1·n2]` (stage 1 of Fig. 8).
+    pub(crate) fn reshape_in(&self, a: &[u64]) -> Mat {
+        Mat::from_fn(self.n1, self.n2, |n1, n2| a[n1 + self.n1 * n2])
+    }
+
+    pub(crate) fn twiddle_forward(&self) -> &Mat {
+        &self.w_tw
+    }
+
+    pub(crate) fn twiddle_inverse(&self) -> &Mat {
+        &self.w_tw_inv
+    }
+
+    pub(crate) fn mat_n2(&self) -> &Mat {
+        &self.w_n2
+    }
+
+    pub(crate) fn mat_dft(&self) -> &Mat {
+        &self.w_dft
+    }
+
+    pub(crate) fn mat_idft(&self) -> &Mat {
+        &self.w_idft
+    }
+
+    pub(crate) fn mat_n2_inv(&self) -> &Mat {
+        &self.w_n2_inv
+    }
+
+    pub(crate) fn modulus_handle(&self) -> &Modulus {
+        &self.q
+    }
+
+    /// Scatters the forward-output matrix `Out[k1][k2]` to the vector
+    /// `A[k2 + N2·k1]` — row-major flattening.
+    pub(crate) fn flatten_out(&self, out: &Mat, dst: &mut [u64]) {
+        dst.copy_from_slice(&out.data);
+    }
+
+    /// Scatters the inverse-output matrix `A[n1][n2]` to
+    /// `a[n1 + N1·n2]` — column-major flattening.
+    pub(crate) fn flatten_in(&self, out: &Mat, dst: &mut [u64]) {
+        for n1 in 0..self.n1 {
+            for n2 in 0..self.n2 {
+                dst[n1 + self.n1 * n2] = out.at(n1, n2);
+            }
+        }
+    }
+}
+
+impl NttOps for FourStepNtt {
+    fn degree(&self) -> usize {
+        self.n
+    }
+
+    fn modulus(&self) -> u64 {
+        self.q.value()
+    }
+
+    fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        let mat = self.reshape_in(a);
+        // GEMM 1: inner negacyclic N2-NTT along each row.
+        let t = gemm_mod(&mat, &self.w_n2, &self.q);
+        // Hadamard twiddle.
+        let u = hadamard_mod(&t, &self.w_tw, &self.q);
+        // GEMM 2: outer cyclic N1-DFT. Out = W_dft × U.
+        let out = gemm_mod(&self.w_dft, &u, &self.q);
+        self.flatten_out(&out, a);
+    }
+
+    fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        let out = Mat {
+            rows: self.n1,
+            cols: self.n2,
+            data: a.to_vec(),
+        };
+        // GEMM 1: inverse cyclic N1-DFT. V = W_idft × Out.
+        let v = gemm_mod(&self.w_idft, &out, &self.q);
+        // Hadamard inverse twiddle.
+        let vp = hadamard_mod(&v, &self.w_tw_inv, &self.q);
+        // GEMM 2: inverse negacyclic N2-NTT (with N^{-1} folded in).
+        let res = gemm_mod(&vp, &self.w_n2_inv, &self.q);
+        self.flatten_in(&res, a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterfly::NttTable;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorfhe_math::prime::generate_ntt_primes;
+
+    #[test]
+    fn split_shapes() {
+        let q = generate_ntt_primes(1, 28, 1 << 6)[0];
+        let t = FourStepNtt::new(64, q);
+        assert_eq!(t.split(), (8, 8));
+        let q = generate_ntt_primes(1, 28, 1 << 7)[0];
+        let t = FourStepNtt::new(128, q);
+        assert_eq!(t.split(), (16, 8));
+    }
+
+    #[test]
+    fn matches_butterfly_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for log_n in [2u32, 4, 5, 6, 8, 10] {
+            let n = 1usize << log_n;
+            let q = generate_ntt_primes(1, 28, n as u64)[0];
+            let bf = NttTable::new(n, q);
+            let fs = FourStepNtt::with_root(n, q, bf.psi());
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+
+            let mut x = a.clone();
+            let mut y = a.clone();
+            bf.forward(&mut x);
+            fs.forward(&mut y);
+            assert_eq!(x, y, "forward mismatch at N={n}");
+
+            bf.inverse(&mut x);
+            fs.inverse(&mut y);
+            assert_eq!(x, y, "inverse mismatch at N={n}");
+            assert_eq!(x, a);
+        }
+    }
+
+    #[test]
+    fn roundtrip_rectangular_split() {
+        // N = 2^9 → N1=32, N2=16 exercises the non-square path.
+        let n = 512;
+        let q = generate_ntt_primes(1, 30, n as u64)[0];
+        let t = FourStepNtt::new(n, q);
+        let mut rng = StdRng::seed_from_u64(12);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut b = a.clone();
+        t.forward(&mut b);
+        t.inverse(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "q < 2^32")]
+    fn large_prime_rejected() {
+        let n = 64;
+        let q = generate_ntt_primes(1, 40, n as u64)[0];
+        let _ = FourStepNtt::new(n, q);
+    }
+}

@@ -1,0 +1,168 @@
+//! Reference `O(N²)` matrix–vector NTT (Eq. 8 of the paper).
+//!
+//! `A = (W_{N×N} × aᵀ) mod q` with `w_{ij} = ψ^{2ij+j}`. This is the
+//! formulation TensorFHE-CO starts from before the four-step split; we keep
+//! it as the trusted reference every fast variant is validated against, and
+//! as the demonstration of the "one modulo per output element" property
+//! (§IV-B *Modulo Reduction*).
+
+use crate::NttOps;
+use tensorfhe_math::prime::root_of_unity;
+use tensorfhe_math::Modulus;
+
+/// Dense-matrix negacyclic NTT. Only sensible for small `N`; construction is
+/// `O(N²)` memory.
+#[derive(Debug, Clone)]
+pub struct NaiveNtt {
+    n: usize,
+    q: Modulus,
+    psi: u64,
+    /// Row-major forward matrix: `w[k][n] = ψ^{2kn+n}`.
+    w: Vec<u64>,
+    /// Row-major inverse matrix: `w_inv[n][k] = ψ^{-(2n+1)k} · N^{-1}`.
+    w_inv: Vec<u64>,
+}
+
+impl NaiveNtt {
+    /// Builds the dense transform matrices for degree `n` and prime `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q ≢ 1 (mod 2n)`.
+    #[must_use]
+    pub fn new(n: usize, q: u64) -> Self {
+        let m = Modulus::new(q);
+        let psi = root_of_unity(&m, 2 * n as u64);
+        Self::with_root(n, q, psi)
+    }
+
+    /// Builds the matrices with an explicit `2n`-th root of unity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psi` is not a primitive `2n`-th root of unity.
+    #[must_use]
+    pub fn with_root(n: usize, q: u64, psi: u64) -> Self {
+        assert!(n.is_power_of_two(), "degree must be a power of two");
+        let m = Modulus::new(q);
+        assert_eq!(m.pow(psi, n as u64), q - 1, "psi must be primitive");
+        let psi_inv = m.inv(psi);
+        let n_inv = m.inv(n as u64);
+        let mut w = vec![0u64; n * n];
+        let mut w_inv = vec![0u64; n * n];
+        for k in 0..n {
+            for j in 0..n {
+                // Forward: A_k = Σ_j a_j ψ^{(2k+1) j}
+                w[k * n + j] = m.pow(psi, ((2 * k + 1) * j) as u64);
+                // Inverse: a_j = N^{-1} Σ_k A_k ψ^{-(2k+1) j}
+                w_inv[j * n + k] = m.mul(m.pow(psi_inv, ((2 * k + 1) * j) as u64), n_inv);
+            }
+        }
+        Self { n, q: m, psi, w, w_inv }
+    }
+
+    /// The 2N-th root used by the matrices.
+    #[must_use]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    fn apply(&self, mat: &[u64], a: &[u64]) -> Vec<u64> {
+        let n = self.n;
+        let q = &self.q;
+        (0..n)
+            .map(|row| {
+                // One modulo per output element: accumulate in u128.
+                let mut acc: u128 = 0;
+                for (j, &x) in a.iter().enumerate() {
+                    acc += mat[row * n + j] as u128 * x as u128;
+                    if acc >= 1u128 << 120 {
+                        acc = q.reduce_u128(acc) as u128;
+                    }
+                }
+                q.reduce_u128(acc)
+            })
+            .collect()
+    }
+}
+
+impl NttOps for NaiveNtt {
+    fn degree(&self) -> usize {
+        self.n
+    }
+
+    fn modulus(&self) -> u64 {
+        self.q.value()
+    }
+
+    fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        let out = self.apply(&self.w, a);
+        a.copy_from_slice(&out);
+    }
+
+    fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length mismatch");
+        let out = self.apply(&self.w_inv, a);
+        a.copy_from_slice(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorfhe_math::prime::generate_ntt_primes;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [4usize, 16, 64] {
+            let q = generate_ntt_primes(1, 28, n as u64)[0];
+            let t = NaiveNtt::new(n, q);
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let mut b = a.clone();
+            t.forward(&mut b);
+            t.inverse(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn definition_matches_direct_sum() {
+        // Check A_k against the textbook sum for a tiny case.
+        let n = 8;
+        let q = generate_ntt_primes(1, 20, n as u64)[0];
+        let m = Modulus::new(q);
+        let t = NaiveNtt::new(n, q);
+        let a: Vec<u64> = (1..=n as u64).collect();
+        let mut out = a.clone();
+        t.forward(&mut out);
+        for k in 0..n {
+            let mut acc = 0u64;
+            for (j, &x) in a.iter().enumerate() {
+                let tw = m.pow(t.psi(), ((2 * k + 1) * j) as u64);
+                acc = m.add(acc, m.mul(x, tw));
+            }
+            assert_eq!(out[k], acc);
+        }
+    }
+
+    #[test]
+    fn negacyclic_wraparound_property() {
+        // Multiplying by X^N must equal negation: NTT(X^N mod (X^N+1)) = -1.
+        // Equivalently NTT(X)^N ⊙-style check: evaluate poly X at ψ^{2k+1},
+        // raise to N-th power → ψ^{(2k+1)N} = ψ^N·(ψ^{2N})^k = -1.
+        let n = 16;
+        let q = generate_ntt_primes(1, 24, n as u64)[0];
+        let m = Modulus::new(q);
+        let t = NaiveNtt::new(n, q);
+        let mut x = vec![0u64; n];
+        x[1] = 1;
+        t.forward(&mut x);
+        for &v in &x {
+            assert_eq!(m.pow(v, n as u64), q - 1);
+        }
+    }
+}

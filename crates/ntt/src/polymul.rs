@@ -1,0 +1,128 @@
+//! Negacyclic polynomial multiplication built on any NTT variant.
+//!
+//! `A(X)·B(X) mod (X^N + 1)` is `INTT(NTT(a) ⊙ NTT(b))` (Eq. 3); the
+//! [`negacyclic_mul`] helper packages this, and [`schoolbook_negacyclic`]
+//! provides the `O(N²)` reference used to validate the whole NTT stack end
+//! to end.
+
+use crate::NttOps;
+use tensorfhe_math::Modulus;
+
+/// Multiplies two polynomials in `Z_q[X]/(X^N + 1)` with the supplied NTT.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ from the engine degree.
+///
+/// # Examples
+///
+/// ```
+/// use tensorfhe_ntt::{NttTable, polymul::{negacyclic_mul, schoolbook_negacyclic}};
+/// use tensorfhe_math::prime::generate_ntt_primes;
+///
+/// let n = 16;
+/// let q = generate_ntt_primes(1, 28, n as u64)[0];
+/// let t = NttTable::new(n, q);
+/// let a: Vec<u64> = (1..=n as u64).collect();
+/// let b: Vec<u64> = (2..=n as u64 + 1).collect();
+/// assert_eq!(negacyclic_mul(&t, &a, &b), schoolbook_negacyclic(&a, &b, q));
+/// ```
+#[must_use]
+pub fn negacyclic_mul<T: NttOps + ?Sized>(ntt: &T, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let q = Modulus::new(ntt.modulus());
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    ntt.forward(&mut fa);
+    ntt.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = q.mul(*x, *y);
+    }
+    ntt.inverse(&mut fa);
+    fa
+}
+
+/// `O(N²)` reference negacyclic product.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+#[must_use]
+pub fn schoolbook_negacyclic(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    let m = Modulus::new(q);
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = m.mul(ai, bj);
+            let idx = i + j;
+            if idx < n {
+                out[idx] = m.add(out[idx], prod);
+            } else {
+                // X^N ≡ -1: wrapped terms subtract.
+                out[idx - n] = m.sub(out[idx - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FourStepNtt, NttTable, TensorCoreNtt};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorfhe_math::prime::generate_ntt_primes;
+
+    fn rand_poly(rng: &mut StdRng, n: usize, q: u64) -> Vec<u64> {
+        (0..n).map(|_| rng.gen_range(0..q)).collect()
+    }
+
+    #[test]
+    fn all_engines_agree_with_schoolbook() {
+        let n = 64;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = rand_poly(&mut rng, n, q);
+        let b = rand_poly(&mut rng, n, q);
+        let want = schoolbook_negacyclic(&a, &b, q);
+
+        let bf = NttTable::new(n, q);
+        assert_eq!(negacyclic_mul(&bf, &a, &b), want, "butterfly");
+        let fs = FourStepNtt::with_root(n, q, bf.psi());
+        assert_eq!(negacyclic_mul(&fs, &a, &b), want, "four-step");
+        let tc = TensorCoreNtt::with_root(n, q, bf.psi());
+        assert_eq!(negacyclic_mul(&tc, &a, &b), want, "tensor-core");
+    }
+
+    #[test]
+    fn x_times_x_pow_nm1_is_minus_one() {
+        // X · X^{N-1} = X^N ≡ -1 mod (X^N + 1).
+        let n = 32;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        a[1] = 1;
+        b[n - 1] = 1;
+        let got = schoolbook_negacyclic(&a, &b, q);
+        let mut want = vec![0u64; n];
+        want[0] = q - 1;
+        assert_eq!(got, want);
+
+        let t = NttTable::new(n, q);
+        assert_eq!(negacyclic_mul(&t, &a, &b), want);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity() {
+        let n = 16;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = rand_poly(&mut rng, n, q);
+        let mut one = vec![0u64; n];
+        one[0] = 1;
+        let t = NttTable::new(n, q);
+        assert_eq!(negacyclic_mul(&t, &a, &one), a);
+    }
+}

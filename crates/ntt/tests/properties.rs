@@ -1,0 +1,88 @@
+//! Property-based tests: every NTT variant is a ring isomorphism and all
+//! variants agree bit-exactly.
+
+use proptest::prelude::*;
+use tensorfhe_ntt::polymul::{negacyclic_mul, schoolbook_negacyclic};
+use tensorfhe_ntt::{FourStepNtt, NttOps, NttTable, TensorCoreNtt};
+
+fn poly_strategy(n: usize, q: u64) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0..q, n)
+}
+
+fn setup(n: usize) -> (u64, NttTable, FourStepNtt, TensorCoreNtt) {
+    let q = tensorfhe_math::prime::generate_ntt_primes(1, 28, n as u64)[0];
+    let bf = NttTable::new(n, q);
+    let fs = FourStepNtt::with_root(n, q, bf.psi());
+    let tc = TensorCoreNtt::with_root(n, q, bf.psi());
+    (q, bf, fs, tc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip_and_cross_variant_agreement(a in poly_strategy(64, (1 << 28) - 57)) {
+        let (q, bf, fs, tc) = setup(64);
+        // Clamp the random values into [0, q).
+        let a: Vec<u64> = a.into_iter().map(|x| x % q).collect();
+
+        let mut x = a.clone();
+        bf.forward(&mut x);
+        let mut y = a.clone();
+        fs.forward(&mut y);
+        let mut z = a.clone();
+        tc.forward(&mut z);
+        prop_assert_eq!(&x, &y, "butterfly vs four-step");
+        prop_assert_eq!(&x, &z, "butterfly vs tensor-core");
+
+        bf.inverse(&mut x);
+        prop_assert_eq!(x, a, "roundtrip");
+    }
+
+    #[test]
+    fn convolution_theorem(
+        a in poly_strategy(32, (1 << 24) - 63),
+        b in poly_strategy(32, (1 << 24) - 63),
+    ) {
+        let n = 32;
+        let q = tensorfhe_math::prime::generate_ntt_primes(1, 24, n as u64)[0];
+        let a: Vec<u64> = a.into_iter().map(|x| x % q).collect();
+        let b: Vec<u64> = b.into_iter().map(|x| x % q).collect();
+        let t = NttTable::new(n, q);
+        prop_assert_eq!(
+            negacyclic_mul(&t, &a, &b),
+            schoolbook_negacyclic(&a, &b, q)
+        );
+    }
+
+    #[test]
+    fn transform_is_linear(
+        a in poly_strategy(64, (1 << 28) - 57),
+        b in poly_strategy(64, (1 << 28) - 57),
+    ) {
+        let (q, bf, _, _) = setup(64);
+        let m = tensorfhe_math::Modulus::new(q);
+        let a: Vec<u64> = a.into_iter().map(|x| x % q).collect();
+        let b: Vec<u64> = b.into_iter().map(|x| x % q).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.add(x, y)).collect();
+
+        let (mut fa, mut fb, mut fsum) = (a, b, sum);
+        bf.forward(&mut fa);
+        bf.forward(&mut fb);
+        bf.forward(&mut fsum);
+        for i in 0..64 {
+            prop_assert_eq!(fsum[i], m.add(fa[i], fb[i]));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn segmentation_is_lossless(vals in proptest::collection::vec(0u64..(1 << 32), 1..64)) {
+        let rows = vals.len();
+        let seg = tensorfhe_ntt::SegmentedMatrix::from_rows(rows, 1, &vals);
+        prop_assert_eq!(seg.fuse_planes(), vals);
+    }
+}

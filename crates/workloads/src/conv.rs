@@ -1,0 +1,134 @@
+//! Functional encrypted convolution (the ResNet-20 building block).
+//!
+//! Packed convolution over slots: a kernel of width `k` becomes `k`
+//! rotations + plaintext multiplications + additions — exactly the
+//! rotate/CMULT/HADD pattern the ResNet-20 schedule charges per layer.
+
+use tensorfhe_ckks::{Ciphertext, CkksError, Evaluator, KeyChain};
+use tensorfhe_math::Complex64;
+
+/// Rotation steps needed for a width-`k` kernel (centered taps).
+#[must_use]
+pub fn required_rotations(k: usize, slots: usize) -> Vec<i64> {
+    let half = (k / 2) as i64;
+    let slots = slots as i64;
+    (-half..=half)
+        .filter(|&d| d != 0)
+        .map(|d| d.rem_euclid(slots / 2 * 2)) // normalised positive step
+        .map(|d| if d == 0 { 0 } else { d })
+        .filter(|&d| d != 0)
+        .collect()
+}
+
+/// Encrypted 1-D convolution with centered plaintext taps.
+///
+/// `out[i] = Σ_d taps[d+half] · in[(i+d) mod slots]` — cyclic boundary, which
+/// is what slot rotation gives (real CNNs mask the wraparound with a
+/// plaintext zero mask, an extra CMULT the schedule also charges).
+///
+/// # Errors
+///
+/// Propagates rotation-key and level errors.
+pub fn conv1d(
+    eval: &mut Evaluator<'_>,
+    keys: &KeyChain<'_>,
+    ct: &Ciphertext,
+    taps: &[f64],
+) -> Result<Ciphertext, CkksError> {
+    assert!(taps.len() % 2 == 1, "kernel width must be odd");
+    let ctx = eval.context();
+    let slots = ctx.params().slots();
+    let half = (taps.len() / 2) as i64;
+    let scale = ctx.params().scale();
+
+    let mut acc: Option<Ciphertext> = None;
+    for (t, &w) in taps.iter().enumerate() {
+        let d = t as i64 - half;
+        let rotated = if d == 0 {
+            ct.clone()
+        } else {
+            let step = d.rem_euclid(slots as i64 / 2 * 2);
+            eval.hrotate(ct, step, keys)?
+        };
+        let tap_pt = ctx.encode_at(
+            &vec![Complex64::new(w, 0.0); slots],
+            scale,
+            rotated.level(),
+        )?;
+        let term = eval.cmult(&rotated, &tap_pt)?;
+        acc = Some(match acc {
+            None => term,
+            Some(a) => eval.hadd(&a, &term)?,
+        });
+    }
+    eval.rescale(&acc.expect("non-empty kernel"))
+}
+
+/// Plaintext reference with the same cyclic semantics.
+#[must_use]
+pub fn conv1d_clear(input: &[f64], taps: &[f64]) -> Vec<f64> {
+    let n = input.len();
+    let half = (taps.len() / 2) as i64;
+    (0..n)
+        .map(|i| {
+            taps.iter()
+                .enumerate()
+                .map(|(t, &w)| {
+                    let d = t as i64 - half;
+                    let idx = (i as i64 + d).rem_euclid(n as i64) as usize;
+                    w * input[idx]
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorfhe_ckks::{CkksContext, CkksParams};
+
+    #[test]
+    fn encrypted_conv_matches_clear() {
+        let params = CkksParams::new("conv-test", 1 << 7, 8, 2, 9, 29, 29, 1)
+            .expect("valid");
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        let slots = params.slots();
+        keys.gen_rotation_keys(&[1, slots as i64 - 1], &mut rng);
+
+        let input: Vec<f64> = (0..slots).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let taps = [0.25, 0.5, -0.125];
+        let z: Vec<Complex64> = input.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+        let ct = keys.encrypt(&ctx.encode(&z, params.scale()).expect("enc"), &mut rng);
+
+        let mut eval = Evaluator::new(&ctx);
+        let out = conv1d(&mut eval, &keys, &ct, &taps).expect("conv");
+        let dec = ctx.decode(&keys.decrypt(&out)).expect("dec");
+        let want = conv1d_clear(&input, &taps);
+        for i in 0..slots {
+            assert!(
+                (dec[i].re - want[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                dec[i].re,
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn clear_reference_identity_kernel() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(conv1d_clear(&x, &[0.0, 1.0, 0.0]), x);
+    }
+
+    #[test]
+    fn clear_reference_shift_kernel() {
+        // Tap at d=+1 picks the next (cyclically) element.
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(conv1d_clear(&x, &[0.0, 0.0, 1.0]), vec![2.0, 3.0, 4.0, 1.0]);
+    }
+}

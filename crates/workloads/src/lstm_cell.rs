@@ -1,0 +1,242 @@
+//! Functional encrypted LSTM cell (the NLP workload's building block).
+//!
+//! One recurrent step with encrypted input `x` and state `(h, c)`,
+//! plaintext weight matrices applied as BSGS linear transforms, and
+//! degree-3 polynomial activations — the composition the LSTM schedule
+//! charges per timestep (4 gate transforms + activations + gating).
+
+use tensorfhe_boot::linear::LinearTransform;
+use tensorfhe_ckks::{Ciphertext, CkksError, Evaluator, KeyChain};
+use tensorfhe_math::Complex64;
+
+/// Degree-3 sigmoid approximation on `[-1, 1]`.
+pub const SIG3: [f64; 4] = [0.5, 0.25, 0.0, -1.0 / 48.0];
+/// Degree-3 tanh approximation on `[-1, 1]`.
+pub const TANH3: [f64; 4] = [0.0, 1.0, 0.0, -1.0 / 3.0];
+
+/// Plaintext weights of one LSTM cell over `dim`-sized vectors.
+#[derive(Debug, Clone)]
+pub struct LstmWeights {
+    /// Input transforms for the four gates (i, f, o, g).
+    pub w: [Vec<Vec<f64>>; 4],
+    /// Recurrent transforms for the four gates.
+    pub u: [Vec<Vec<f64>>; 4],
+}
+
+impl LstmWeights {
+    /// Random small weights keeping pre-activations within `[-1, 1]`.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R, dim: usize) -> Self {
+        let mut mat = || -> Vec<Vec<f64>> {
+            (0..dim)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| rng.gen_range(-0.5..0.5) / dim as f64)
+                        .collect()
+                })
+                .collect()
+        };
+        Self {
+            w: [mat(), mat(), mat(), mat()],
+            u: [mat(), mat(), mat(), mat()],
+        }
+    }
+}
+
+fn to_transform(m: &[Vec<f64>], slots: usize) -> LinearTransform {
+    // Embed the dim×dim matrix into the full slot space (block-diagonal with
+    // identity padding is unnecessary — unused slots stay zero).
+    let dim = m.len();
+    let mut full = vec![vec![Complex64::zero(); slots]; slots];
+    for r in 0..dim {
+        for c in 0..dim {
+            full[r][c] = Complex64::new(m[r][c], 0.0);
+        }
+    }
+    LinearTransform::from_matrix(&full)
+}
+
+/// Evaluates a degree-3 polynomial on a ciphertext (2 levels).
+fn poly3(
+    eval: &mut Evaluator<'_>,
+    keys: &KeyChain<'_>,
+    ct: &Ciphertext,
+    coeffs: &[f64; 4],
+) -> Result<Ciphertext, CkksError> {
+    // c0 + c1·x + c3·x³ (c2 = 0 for odd activations).
+    let x2 = eval.square(ct, keys)?;
+    let x2 = eval.rescale(&x2)?;
+    let x_al = eval.mod_switch_to(ct, x2.level())?;
+    let x3 = eval.hmult(&x2, &x_al, keys)?;
+    let x3 = eval.rescale(&x3)?;
+
+    let t1 = eval.mul_const(ct, coeffs[1]);
+    let t1 = eval.rescale(&t1)?;
+    let t3 = eval.mul_const(&x3, coeffs[3]);
+    let t3 = eval.rescale(&t3)?;
+    let t1 = eval.mod_switch_to(&t1, t3.level())?;
+    // Sibling branches rescale by different primes; the lenient add absorbs
+    // the sub-percent scale drift.
+    let sum = eval.hadd_lenient(&t1, &t3, 1e-2)?;
+    Ok(eval.add_const(&sum, coeffs[0]))
+}
+
+/// Output of one encrypted LSTM step.
+#[derive(Debug, Clone)]
+pub struct LstmState {
+    /// Hidden state.
+    pub h: Ciphertext,
+    /// Cell state.
+    pub c: Ciphertext,
+}
+
+/// One encrypted LSTM step: returns the new `(h, c)`.
+///
+/// # Errors
+///
+/// Propagates key/level errors; the caller must have generated the rotation
+/// keys of every gate transform (see [`LinearTransform::required_rotations`]).
+pub fn lstm_step(
+    eval: &mut Evaluator<'_>,
+    keys: &KeyChain<'_>,
+    weights: &LstmWeights,
+    x: &Ciphertext,
+    state: &LstmState,
+) -> Result<LstmState, CkksError> {
+    let slots = eval.context().params().slots();
+    let mut gates = Vec::with_capacity(4);
+    for g in 0..4 {
+        let wt = to_transform(&weights.w[g], slots);
+        let ut = to_transform(&weights.u[g], slots);
+        let wx = wt.apply(eval, keys, x)?;
+        let h_al = eval.mod_switch_to(&state.h, state.h.level().min(x.level()))?;
+        let uh = ut.apply(eval, keys, &h_al)?;
+        let uh = eval.mod_switch_to(&uh, wx.level().min(uh.level()))?;
+        let wx = eval.mod_switch_to(&wx, uh.level())?;
+        gates.push(eval.hadd_lenient(&wx, &uh, 1e-2)?);
+    }
+    let i = poly3(eval, keys, &gates[0], &SIG3)?;
+    let f = poly3(eval, keys, &gates[1], &SIG3)?;
+    let o = poly3(eval, keys, &gates[2], &SIG3)?;
+    let g = poly3(eval, keys, &gates[3], &TANH3)?;
+
+    // c' = f ⊙ c + i ⊙ g
+    let c_al = eval.mod_switch_to(&state.c, f.level())?;
+    let fc = eval.hmult(&f, &c_al, keys)?;
+    let fc = eval.rescale(&fc)?;
+    let ig = eval.hmult(&i, &g, keys)?;
+    let ig = eval.rescale(&ig)?;
+    let fc = eval.mod_switch_to(&fc, ig.level())?;
+    let c_new = eval.hadd_lenient(&fc, &ig, 1e-2)?;
+
+    // h' = o ⊙ tanh(c')
+    let tc = poly3(eval, keys, &c_new, &TANH3)?;
+    let o_al = eval.mod_switch_to(&o, tc.level())?;
+    let h_new = eval.hmult(&o_al, &tc, keys)?;
+    let h_new = eval.rescale(&h_new)?;
+
+    Ok(LstmState { h: h_new, c: c_new })
+}
+
+/// Plaintext reference with identical polynomials.
+#[must_use]
+pub fn lstm_step_clear(
+    weights: &LstmWeights,
+    x: &[f64],
+    h: &[f64],
+    c: &[f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let dim = x.len();
+    let matvec = |m: &Vec<Vec<f64>>, v: &[f64]| -> Vec<f64> {
+        (0..dim)
+            .map(|r| (0..dim).map(|cc| m[r][cc] * v[cc]).sum())
+            .collect()
+    };
+    let p3 = |v: f64, k: &[f64; 4]| k[0] + k[1] * v + k[3] * v * v * v;
+    let gate = |g: usize, act: &[f64; 4]| -> Vec<f64> {
+        let wx = matvec(&weights.w[g], x);
+        let uh = matvec(&weights.u[g], h);
+        (0..dim).map(|t| p3(wx[t] + uh[t], act)).collect()
+    };
+    let i = gate(0, &SIG3);
+    let f = gate(1, &SIG3);
+    let o = gate(2, &SIG3);
+    let g = gate(3, &TANH3);
+    let c_new: Vec<f64> = (0..dim).map(|t| f[t] * c[t] + i[t] * g[t]).collect();
+    let h_new: Vec<f64> = (0..dim).map(|t| o[t] * p3(c_new[t], &TANH3)).collect();
+    (h_new, c_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorfhe_ckks::{CkksContext, CkksParams};
+
+    #[test]
+    fn encrypted_step_matches_clear() {
+        let params = CkksParams::new("lstm-test", 1 << 6, 17, 3, 6, 29, 29, 1)
+            .expect("valid");
+        let ctx = CkksContext::new(&params).expect("ctx");
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        let slots = params.slots();
+        let dim = 8;
+
+        let weights = LstmWeights::random(&mut rng, dim);
+        // Generate keys for every transform involved.
+        let mut steps = std::collections::BTreeSet::new();
+        for g in 0..4 {
+            steps.extend(to_transform(&weights.w[g], slots).required_rotations());
+            steps.extend(to_transform(&weights.u[g], slots).required_rotations());
+        }
+        let steps: Vec<i64> = steps.into_iter().collect();
+        keys.gen_rotation_keys(&steps, &mut rng);
+
+        let pad = |v: &[f64]| -> Vec<Complex64> {
+            let mut z: Vec<Complex64> = v.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+            z.resize(slots, Complex64::zero());
+            z
+        };
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let h: Vec<f64> = (0..dim).map(|_| rng.gen_range(-0.3..0.3)).collect();
+        let c: Vec<f64> = (0..dim).map(|_| rng.gen_range(-0.3..0.3)).collect();
+
+        let enc = |v: &[f64], rng: &mut StdRng| {
+            keys.encrypt(&ctx.encode(&pad(v), params.scale()).expect("enc"), rng)
+        };
+        let x_ct = enc(&x, &mut rng);
+        let state = LstmState { h: enc(&h, &mut rng), c: enc(&c, &mut rng) };
+
+        let mut eval = Evaluator::new(&ctx);
+        let out = lstm_step(&mut eval, &keys, &weights, &x_ct, &state).expect("step");
+        let (h_want, c_want) = lstm_step_clear(&weights, &x, &h, &c);
+
+        let h_dec = ctx.decode(&keys.decrypt(&out.h)).expect("dec");
+        let c_dec = ctx.decode(&keys.decrypt(&out.c)).expect("dec");
+        for t in 0..dim {
+            assert!(
+                (h_dec[t].re - h_want[t]).abs() < 2e-2,
+                "h[{t}]: {} vs {}",
+                h_dec[t].re,
+                h_want[t]
+            );
+            assert!(
+                (c_dec[t].re - c_want[t]).abs() < 2e-2,
+                "c[{t}]: {} vs {}",
+                c_dec[t].re,
+                c_want[t]
+            );
+        }
+    }
+
+    #[test]
+    fn clear_reference_gates_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = LstmWeights::random(&mut rng, 8);
+        let v: Vec<f64> = (0..8).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let (h, c) = lstm_step_clear(&w, &v, &v, &v);
+        assert!(h.iter().all(|x| x.abs() < 1.5));
+        assert!(c.iter().all(|x| x.abs() < 1.5));
+    }
+}

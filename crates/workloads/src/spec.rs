@@ -1,0 +1,177 @@
+//! Workload specifications and the engine-backed runner.
+
+use tensorfhe_ckks::CkksParams;
+use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::engine::EngineConfig;
+use tensorfhe_gpu::Profiler;
+
+/// One batched operation step of a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Step {
+    /// The operation.
+    pub op: FheOp,
+    /// Ciphertext level at which it runs.
+    pub level: usize,
+    /// How many times it repeats at this point of the program.
+    pub count: usize,
+}
+
+/// A full workload: parameters plus operation sequence.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Workload name as the paper prints it.
+    pub name: String,
+    /// Table V parameter preset.
+    pub params: CkksParams,
+    /// Operation sequence.
+    pub steps: Vec<Step>,
+    /// Batch width (Table V's batch column).
+    pub batch: usize,
+    /// Logical iterations (images / training steps / timesteps) represented,
+    /// used for per-iteration energy (Table XI).
+    pub iterations: usize,
+}
+
+impl WorkloadSpec {
+    /// Total operation invocations.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.steps.iter().map(|s| s.count).sum()
+    }
+
+    /// Count of one specific operation name.
+    #[must_use]
+    pub fn count_of(&self, name: &str) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.op.name() == name)
+            .map(|s| s.count)
+            .sum()
+    }
+}
+
+/// Result of running a workload through the engine.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Workload name.
+    pub name: String,
+    /// Total device time in seconds.
+    pub time_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Energy per logical iteration (Table XI's J/iteration).
+    pub energy_per_iter_j: f64,
+    /// Device time grouped by operation (Fig. 13).
+    pub per_op_us: Vec<(String, f64)>,
+    /// Device time grouped by kernel (Fig. 12).
+    pub per_kernel_us: Vec<(String, f64)>,
+    /// Time-weighted occupancy.
+    pub occupancy: f64,
+}
+
+/// Executes a workload schedule in TimingOnly mode.
+///
+/// Steps are costed once per distinct `(op, level)` shape and multiplied by
+/// their counts — kernel launches for repeated shapes are identical, so this
+/// keeps paper-scale workloads (tens of thousands of operations) tractable
+/// while preserving exact totals.
+#[must_use]
+pub fn run_workload(spec: &WorkloadSpec, cfg: EngineConfig) -> WorkloadReport {
+    let mut api = TensorFhe::new(&spec.params, cfg);
+    let mut time_us = 0.0f64;
+    let mut energy = 0.0f64;
+    let mut by_op: std::collections::BTreeMap<String, f64> = Default::default();
+    let mut by_kernel: std::collections::BTreeMap<String, f64> = Default::default();
+    let mut cache: std::collections::HashMap<(String, usize), ReportLite> = Default::default();
+    let mut occ_weighted = 0.0f64;
+
+    for step in &spec.steps {
+        let key = (step.op.name().to_string(), step.level);
+        let lite = cache.entry(key).or_insert_with(|| {
+            let r = api.run_op(step.op, step.level, spec.batch);
+            ReportLite {
+                time_us: r.time_us,
+                energy_j: r.energy_j,
+                occupancy: r.occupancy,
+                by_kernel: r.by_kernel.clone(),
+            }
+        });
+        let c = step.count as f64;
+        time_us += lite.time_us * c;
+        energy += lite.energy_j * c;
+        occ_weighted += lite.occupancy * lite.time_us * c;
+        *by_op.entry(step.op.name().to_string()).or_insert(0.0) += lite.time_us * c;
+        for (k, t) in &lite.by_kernel {
+            *by_kernel.entry(normalise_kernel(k)).or_insert(0.0) += t * c;
+        }
+    }
+
+    let mut per_op_us: Vec<_> = by_op.into_iter().collect();
+    per_op_us.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let mut per_kernel_us: Vec<_> = by_kernel.into_iter().collect();
+    per_kernel_us.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    WorkloadReport {
+        name: spec.name.clone(),
+        time_s: time_us * 1e-6,
+        energy_j: energy,
+        energy_per_iter_j: energy / spec.iterations.max(1) as f64,
+        per_op_us,
+        per_kernel_us,
+        occupancy: if time_us > 0.0 { occ_weighted / time_us } else { 0.0 },
+    }
+}
+
+/// Collapses per-stream plane-GEMM names into the parent kernel.
+fn normalise_kernel(name: &str) -> String {
+    let base = name.split("-plane").next().unwrap_or(name);
+    base.to_string()
+}
+
+/// Allows callers to inspect the raw profiler if they run manually.
+#[must_use]
+pub fn profiler_of(api: &TensorFhe) -> Profiler {
+    api.engine().profiler()
+}
+
+#[derive(Debug, Clone)]
+struct ReportLite {
+    time_us: f64,
+    energy_j: f64,
+    occupancy: f64,
+    by_kernel: Vec<(String, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorfhe_core::engine::Variant;
+
+    #[test]
+    fn runner_aggregates_counts() {
+        let params = CkksParams::test_small();
+        let spec = WorkloadSpec {
+            name: "mini".into(),
+            params: params.clone(),
+            steps: vec![
+                Step { op: FheOp::HMult, level: 7, count: 3 },
+                Step { op: FheOp::HAdd, level: 7, count: 5 },
+            ],
+            batch: 4,
+            iterations: 2,
+        };
+        let r = run_workload(&spec, EngineConfig::a100(Variant::TensorCore));
+        assert!(r.time_s > 0.0);
+        assert_eq!(r.per_op_us.len(), 2);
+        let hmult = r.per_op_us.iter().find(|(k, _)| k == "HMULT").expect("hmult");
+        let hadd = r.per_op_us.iter().find(|(k, _)| k == "HADD").expect("hadd");
+        assert!(hmult.1 > hadd.1, "3 HMULTs outweigh 5 HADDs");
+        assert!((r.energy_per_iter_j - r.energy_j / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_names_are_normalised() {
+        assert_eq!(normalise_kernel("ntt-plane13"), "ntt");
+        assert_eq!(normalise_kernel("hada-mult"), "hada-mult");
+    }
+}

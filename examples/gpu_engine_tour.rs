@@ -1,0 +1,43 @@
+//! A tour of the simulated GPU engine: the three NTT lowerings of Table IV,
+//! the batching effect of Fig. 14, and the data-layout ablation of Fig. 9.
+//!
+//! Run with: `cargo run --release --example gpu_engine_tour`
+
+use tensorfhe::ckks::{CkksParams, KernelEvent};
+use tensorfhe::core::engine::{Engine, EngineConfig, Layout, Variant};
+
+fn main() {
+    let params = CkksParams::table_v_default();
+    let event = [KernelEvent::Ntt {
+        n: params.n(),
+        limbs: params.max_level() + 1,
+        inverse: false,
+    }];
+
+    println!("one batched NTT event (45 limbs × batch 16) per variant:");
+    for v in [Variant::Butterfly, Variant::FourStep, Variant::TensorCore] {
+        let mut e = Engine::new(EngineConfig::a100(v));
+        let s = e.run_schedule("NTT", &event, 16);
+        println!(
+            "  {:14} {:9.1} µs  ({} launches)",
+            v.label(),
+            s.time_us,
+            s.launches
+        );
+    }
+
+    println!("\nbatching sweep (full TensorFHE, per-op µs):");
+    for b in [1usize, 8, 32, 128, 512] {
+        let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore));
+        let s = e.run_schedule("NTT", &event, b);
+        println!("  batch {b:4}: {:9.2} µs/op", s.time_us / b as f64);
+    }
+
+    println!("\ndata layout ablation (batch 128 Ele-Add):");
+    let add = [KernelEvent::EleAdd { n: params.n(), limbs: params.max_level() + 1 }];
+    for (name, layout) in [("(L,B,N) packed", Layout::Lbn), ("(B,L,N) strided", Layout::Bln)] {
+        let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore).with_layout(layout));
+        let s = e.run_schedule("Ele-Add", &add, 128);
+        println!("  {name}: {:9.1} µs", s.time_us);
+    }
+}

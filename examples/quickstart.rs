@@ -1,0 +1,71 @@
+//! Quickstart: encrypt a vector, compute on it homomorphically, decrypt —
+//! and see what the TensorFHE engine would charge for the same operations
+//! on the simulated A100.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensorfhe::ckks::{CkksContext, CkksParams, Evaluator, KeyChain};
+use tensorfhe::core::api::{FheOp, TensorFhe};
+use tensorfhe::core::engine::{EngineConfig, Variant};
+use tensorfhe::math::Complex64;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Functional CKKS at test-sized parameters (N = 2^10).
+    let params = CkksParams::test_small();
+    let ctx = CkksContext::new(&params)?;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut keys = KeyChain::generate(&ctx, &mut rng);
+    keys.gen_rotation_keys(&[1], &mut rng);
+    let mut eval = Evaluator::new(&ctx);
+
+    let xs = vec![
+        Complex64::new(1.5, 0.0),
+        Complex64::new(-2.25, 0.0),
+        Complex64::new(0.5, 0.0),
+    ];
+    let ys = vec![
+        Complex64::new(2.0, 0.0),
+        Complex64::new(0.5, 0.0),
+        Complex64::new(-4.0, 0.0),
+    ];
+    let ct_x = keys.encrypt(&ctx.encode(&xs, params.scale())?, &mut rng);
+    let ct_y = keys.encrypt(&ctx.encode(&ys, params.scale())?, &mut rng);
+
+    // (x + y) · x, then rotate one slot left.
+    let sum = eval.hadd(&ct_x, &ct_y)?;
+    let prod = eval.hmult(&sum, &ct_x, &keys)?;
+    let prod = eval.rescale(&prod)?;
+    let rotated = eval.hrotate(&prod, 1, &keys)?;
+
+    let dec = ctx.decode(&keys.decrypt(&rotated))?;
+    println!("slot values of rot((x+y)*x, 1):");
+    for i in 0..3 {
+        // Rotation pulls slot i+1 into slot i; slot 3 onward was never
+        // encoded, so slot 2 reads back ≈ 0.
+        let want = if i + 1 < xs.len() {
+            ((xs[i + 1] + ys[i + 1]) * xs[i + 1]).re
+        } else {
+            0.0
+        };
+        println!("  slot {i}: {:8.4}  (expected {:8.4})", dec[i].re, want);
+    }
+
+    // 2. What would the batched version cost on an A100?
+    let paper_params = CkksParams::table_v_default();
+    let mut api = TensorFhe::new(&paper_params, EngineConfig::a100(Variant::TensorCore));
+    let batch = api.auto_batch();
+    for op in [FheOp::HAdd, FheOp::HMult, FheOp::HRotate] {
+        let r = api.run_op(op, paper_params.max_level(), batch);
+        println!(
+            "simulated A100, batch {}: {:8} = {:9.2} ms ({:7.0} ops/s, occupancy {:4.1}%)",
+            r.batch,
+            r.op.name(),
+            r.time_us / 1e3,
+            r.ops_per_second,
+            r.occupancy * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! TensorFHE — a reproduction of "TensorFHE: Achieving Practical Computation
+//! on Encrypted Data Using GPGPU" (HPCA 2023) in pure Rust.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`math`] — modular arithmetic, primes, CRT, sampling.
+//! * [`ntt`] — butterfly / four-step GEMM / tensor-core NTT variants.
+//! * [`gpu`] — the simulated GPGPU substrate (A100/V100/GTX1080Ti models).
+//! * [`ckks`] — full-RNS CKKS with hybrid key switching.
+//! * [`boot`] — slim bootstrapping.
+//! * [`core`] — the TensorFHE engine: kernel layer, API layer, batching.
+//! * [`workloads`] — ResNet-20, HELR logistic regression, LSTM and packed
+//!   bootstrapping evaluation workloads.
+//!
+//! See `examples/` for runnable entry points and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use tensorfhe_boot as boot;
+pub use tensorfhe_ckks as ckks;
+pub use tensorfhe_core as core;
+pub use tensorfhe_gpu as gpu;
+pub use tensorfhe_math as math;
+pub use tensorfhe_ntt as ntt;
+pub use tensorfhe_workloads as workloads;

@@ -1,0 +1,125 @@
+//! Cross-crate integration: functional CKKS traced through the TensorFHE
+//! engine onto the simulated GPU — the full stack of the paper in one test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensorfhe::ckks::{CkksContext, CkksParams, Evaluator, KeyChain};
+use tensorfhe::core::api::{FheOp, TensorFhe};
+use tensorfhe::core::engine::{Engine, EngineConfig, Variant};
+use tensorfhe::gpu::Profiler;
+use tensorfhe::math::Complex64;
+
+/// Full-mode execution: real homomorphic math with every kernel costed on
+/// the simulated device, then decrypt and check both the value and the
+/// profile.
+#[test]
+fn traced_full_mode_pipeline() {
+    let params = CkksParams::toy();
+    let ctx = CkksContext::new(&params).expect("ctx");
+    let mut rng = StdRng::seed_from_u64(11);
+    let keys = KeyChain::generate(&ctx, &mut rng);
+
+    let engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
+    let tracer = engine.make_tracer(1);
+    let mut eval = Evaluator::with_tracer(&ctx, Box::new(tracer));
+
+    let xs = vec![Complex64::new(1.25, 0.0), Complex64::new(-0.5, 0.0)];
+    let ct = keys.encrypt(&ctx.encode(&xs, params.scale()).expect("enc"), &mut rng);
+    let sq = eval.hmult(&ct, &ct, &keys).expect("hmult");
+    let sq = eval.rescale(&sq).expect("rescale");
+
+    // Drain the simulated device and inspect the profile.
+    engine.device().borrow_mut().synchronize();
+    let profiler = Profiler::new(engine.device().borrow().stats().to_vec());
+    assert!(profiler.span_us() > 0.0, "GPU time must have been charged");
+    let ops = profiler.time_by_op();
+    assert!(
+        ops.iter().any(|(o, _)| o == "HMULT"),
+        "HMULT scope missing from {ops:?}"
+    );
+
+    // The math still decrypts correctly with tracing attached.
+    let dec = ctx.decode(&keys.decrypt(&sq)).expect("decode");
+    assert!((dec[0].re - 1.5625).abs() < 1e-2);
+    assert!((dec[1].re - 0.25).abs() < 1e-2);
+}
+
+/// TimingOnly mode and Full mode charge consistent kernel schedules: the
+/// synthetic schedule executed by the API layer matches what a real traced
+/// execution produces (same launches ⇒ same simulated time).
+#[test]
+fn timing_only_matches_traced_execution() {
+    let params = CkksParams::toy();
+    let ctx = CkksContext::new(&params).expect("ctx");
+    let mut rng = StdRng::seed_from_u64(13);
+    let keys = KeyChain::generate(&ctx, &mut rng);
+
+    // Full-mode trace of one HMULT.
+    let engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
+    let mark = engine.mark();
+    {
+        let tracer = engine.make_tracer(1);
+        let mut eval = Evaluator::with_tracer(&ctx, Box::new(tracer));
+        let xs = vec![Complex64::new(0.5, 0.0)];
+        let ct = keys.encrypt(&ctx.encode(&xs, params.scale()).expect("enc"), &mut rng);
+        let _ = eval.hmult(&ct, &ct, &keys).expect("hmult");
+    }
+    engine.device().borrow_mut().synchronize();
+    let full_stats = engine.window_stats(mark);
+
+    // TimingOnly execution of the same op.
+    let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+    let report = api.run_op(FheOp::HMult, params.max_level(), 1);
+
+    assert_eq!(
+        full_stats.launches, report.launches,
+        "synthetic schedule must launch exactly the kernels the real op does"
+    );
+    let rel = (full_stats.time_us - report.time_us).abs() / report.time_us;
+    assert!(
+        rel < 0.2,
+        "timing-only ({}) vs traced ({}) drifted {rel}",
+        report.time_us,
+        full_stats.time_us
+    );
+}
+
+/// The three engine variants produce the paper's performance ordering on a
+/// real traced workload, not just on synthetic schedules.
+#[test]
+fn variant_ordering_holds_for_traced_math() {
+    let params = CkksParams::test_small();
+    let ctx = CkksContext::new(&params).expect("ctx");
+    let mut rng = StdRng::seed_from_u64(17);
+    let keys = KeyChain::generate(&ctx, &mut rng);
+    let xs = vec![Complex64::new(0.75, 0.0)];
+    let ct = keys.encrypt(&ctx.encode(&xs, params.scale()).expect("enc"), &mut rng);
+
+    let mut times = Vec::new();
+    for variant in [Variant::Butterfly, Variant::FourStep, Variant::TensorCore] {
+        let engine = Engine::new(EngineConfig::a100(variant));
+        let mark = engine.mark();
+        {
+            let tracer = engine.make_tracer(64);
+            let mut eval = Evaluator::with_tracer(&ctx, Box::new(tracer));
+            let _ = eval.hmult(&ct, &ct, &keys).expect("hmult");
+        }
+        engine.device().borrow_mut().synchronize();
+        times.push(engine.window_stats(mark).time_us);
+    }
+    assert!(times[0] > times[1], "NT {} ≤ CO {}", times[0], times[1]);
+    assert!(times[1] > times[2], "CO {} ≤ TC {}", times[1], times[2]);
+}
+
+/// Batch scaling through the whole stack: 64 batched HMULTs cost far less
+/// than 64× one HMULT (§IV-D).
+#[test]
+fn operation_level_batching_amortises() {
+    let params = CkksParams::test_small();
+    let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+    let level = params.max_level();
+    let single = api.run_op(FheOp::HMult, level, 1);
+    let batched = api.run_op(FheOp::HMult, level, 64);
+    assert!(batched.time_us < single.time_us * 64.0 * 0.5);
+    assert!(batched.occupancy > single.occupancy);
+}
