@@ -1,4 +1,4 @@
-//! Ablations of the design choices DESIGN.md calls out:
+//! Ablations of the reproduction's load-bearing design choices:
 //!
 //! 1. **dnum** — the generalized key-switching decomposition number
 //!    (§II-B): more digits means a smaller special basis but more ModUp
@@ -16,9 +16,11 @@ fn dnum_ablation() {
     let mut rows = Vec::new();
     // L = 44 admits dnum ∈ divisors of 45; K must be ≥ α = 45/dnum.
     for (dnum, k) in [(45usize, 1usize), (15, 3), (9, 5), (5, 9), (3, 15)] {
-        let params = CkksParams::new("dnum-ablate", 1 << 16, 44, k, dnum, 29, 29, 128)
-            .expect("valid");
-        let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+        let params =
+            CkksParams::new("dnum-ablate", 1 << 16, 44, k, dnum, 29, 29, 128).expect("valid");
+        let mut api = TensorFhe::builder(&params)
+            .build()
+            .expect("single-device build");
         let r = api.run_op(FheOp::HMult, params.max_level(), 128);
         rows.push(vec![
             dnum.to_string(),
@@ -37,7 +39,10 @@ fn dnum_ablation() {
 
 fn layout_ablation() {
     let params = CkksParams::table_v_default();
-    let ev = [KernelEvent::EleAdd { n: params.n(), limbs: params.max_level() + 1 }];
+    let ev = [KernelEvent::EleAdd {
+        n: params.n(),
+        limbs: params.max_level() + 1,
+    }];
     let mut rows = Vec::new();
     for (name, layout) in [("(L,B,N)", Layout::Lbn), ("(B,L,N)", Layout::Bln)] {
         let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore).with_layout(layout));
@@ -55,7 +60,11 @@ fn stream_ablation() {
     // Below the fused-dispatch threshold the 16 plane GEMMs rely on stream
     // overlap to hide launch latency; compare small-batch NTT events.
     let params = CkksParams::table_v_default();
-    let ev = [KernelEvent::Ntt { n: params.n(), limbs: 1, inverse: false }];
+    let ev = [KernelEvent::Ntt {
+        n: params.n(),
+        limbs: 1,
+        inverse: false,
+    }];
     let mut rows = Vec::new();
     for batch in [1usize, 4, 16] {
         let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore));

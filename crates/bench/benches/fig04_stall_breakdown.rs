@@ -9,17 +9,47 @@ use tensorfhe_gpu::{DeviceConfig, DeviceSim, KernelClass, KernelDesc, StallKind}
 fn main() {
     let mut sim = DeviceSim::new(DeviceConfig::gtx1080ti());
     let kernels = [
-        ("NTT", KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 14, batch: 4 }, "ntt")
-            .with_block_size(128)),
-        ("FFT", KernelDesc::new(KernelClass::FftButterfly { n: 1 << 14, batch: 4 }, "fft")
-            .with_block_size(192)),
-        ("DWT", KernelDesc::new(KernelClass::DwtLifting { n: 1 << 14, batch: 4 }, "dwt")
-            .with_block_size(256)),
+        (
+            "NTT",
+            KernelDesc::new(
+                KernelClass::ButterflyNtt {
+                    n: 1 << 14,
+                    batch: 4,
+                },
+                "ntt",
+            )
+            .with_block_size(128),
+        ),
+        (
+            "FFT",
+            KernelDesc::new(
+                KernelClass::FftButterfly {
+                    n: 1 << 14,
+                    batch: 4,
+                },
+                "fft",
+            )
+            .with_block_size(192),
+        ),
+        (
+            "DWT",
+            KernelDesc::new(
+                KernelClass::DwtLifting {
+                    n: 1 << 14,
+                    batch: 4,
+                },
+                "dwt",
+            )
+            .with_block_size(256),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, desc) in &kernels {
         let b = sim.stall_profile(desc);
-        let mut row = vec![(*name).to_string(), format!("{:.1}%", b.stall_fraction() * 100.0)];
+        let mut row = vec![
+            (*name).to_string(),
+            format!("{:.1}%", b.stall_fraction() * 100.0),
+        ];
         for kind in StallKind::ALL {
             row.push(format!("{:.1}%", b.fraction(kind) * 100.0));
         }
@@ -27,7 +57,9 @@ fn main() {
     }
     print_table(
         "Figure 4 — pipeline-stall breakdown (simulated GTX 1080 Ti)",
-        &["kernel", "total", "RAW", "LongLat", "L1I", "Control", "FUBusy", "Barrier"],
+        &[
+            "kernel", "total", "RAW", "LongLat", "L1I", "Control", "FUBusy", "Barrier",
+        ],
         &rows,
     );
     println!(

@@ -11,9 +11,7 @@ fn dominant_kernel(op: &str) -> KernelDesc {
     let n = 1usize << 16;
     let limbs = 45usize;
     match op {
-        "HMULT" | "HROTATE" => {
-            KernelDesc::new(KernelClass::ButterflyNtt { n, batch: limbs }, op)
-        }
+        "HMULT" | "HROTATE" => KernelDesc::new(KernelClass::ButterflyNtt { n, batch: limbs }, op),
         "RESCALE" => KernelDesc::new(KernelClass::ButterflyNtt { n, batch: 2 }, op),
         "HADD" => KernelDesc::new(
             KernelClass::Elementwise {

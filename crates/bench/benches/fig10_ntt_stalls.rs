@@ -6,12 +6,22 @@ use tensorfhe_gpu::{DeviceConfig, DeviceSim, KernelClass, KernelDesc, StallKind}
 
 fn main() {
     let mut sim = DeviceSim::new(DeviceConfig::gtx1080ti());
-    let butterfly =
-        KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 14, batch: 4 }, "ntt")
-            .with_block_size(128);
+    let butterfly = KernelDesc::new(
+        KernelClass::ButterflyNtt {
+            n: 1 << 14,
+            batch: 4,
+        },
+        "ntt",
+    )
+    .with_block_size(128);
     // The four-step lowering of the same transform: (128×128)·(128×128).
     let gemm = KernelDesc::new(
-        KernelClass::GemmCuda { m: 128, k: 128, cols: 128, batch: 4 },
+        KernelClass::GemmCuda {
+            m: 128,
+            k: 128,
+            cols: 128,
+            batch: 4,
+        },
         "tensorfhe-co",
     );
 
@@ -29,7 +39,9 @@ fn main() {
     }
     print_table(
         "Figure 10 — butterfly vs GEMM NTT stall profile",
-        &["kernel", "compute", "RAW", "LongLat", "L1I", "Control", "FUBusy", "Barrier"],
+        &[
+            "kernel", "compute", "RAW", "LongLat", "L1I", "Control", "FUBusy", "Barrier",
+        ],
         &rows,
     );
 

@@ -3,17 +3,32 @@
 use tensorfhe_bench::print_table;
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
-use tensorfhe_core::engine::{EngineConfig, Variant};
 
 fn main() {
     let params = CkksParams::table_v_default();
     let level = params.max_level();
-    let ops = [FheOp::HMult, FheOp::HRotate, FheOp::Rescale, FheOp::HAdd, FheOp::CMult];
+    let ops = [
+        FheOp::HMult,
+        FheOp::HRotate,
+        FheOp::Rescale,
+        FheOp::HAdd,
+        FheOp::CMult,
+    ];
 
-    let kernels = ["ntt/intt", "hada-mult", "ele-add", "ele-sub", "forbenius", "conjugate", "conv"];
+    let kernels = [
+        "ntt/intt",
+        "hada-mult",
+        "ele-add",
+        "ele-sub",
+        "forbenius",
+        "conjugate",
+        "conv",
+    ];
     let mut rows = Vec::new();
     for op in ops {
-        let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+        let mut api = TensorFhe::builder(&params)
+            .build()
+            .expect("single-device build");
         let r = api.run_op(op, level, 128);
         let total: f64 = r.by_kernel.iter().map(|(_, t)| t).sum();
         let share = |pred: &dyn Fn(&str) -> bool| -> f64 {

@@ -2,7 +2,7 @@
 //! breakdown of the four full workloads.
 
 use tensorfhe_bench::print_table;
-use tensorfhe_core::engine::{EngineConfig, Variant};
+use tensorfhe_core::engine::Variant;
 use tensorfhe_workloads::schedules;
 use tensorfhe_workloads::spec::run_workload;
 
@@ -10,7 +10,7 @@ fn main() {
     let mut kernel_rows = Vec::new();
     let mut op_rows = Vec::new();
     for spec in schedules::all() {
-        let report = run_workload(&spec, EngineConfig::a100(Variant::TensorCore));
+        let report = run_workload(&spec, Variant::TensorCore);
 
         let ktotal: f64 = report.per_kernel_us.iter().map(|(_, t)| t).sum();
         let kshare = |name: &str| -> f64 {
@@ -33,7 +33,10 @@ fn main() {
             format!("{:.1}%", kshare("ntt") * 100.0),
             format!("{:.1}%", kshare("hada-mult") * 100.0),
             format!("{:.1}%", (kshare("ele-add") + kshare("ele-sub")) * 100.0),
-            format!("{:.1}%", (kshare("forbenius-map") + kshare("conjugate")) * 100.0),
+            format!(
+                "{:.1}%",
+                (kshare("forbenius-map") + kshare("conjugate")) * 100.0
+            ),
             format!("{:.1}%", kshare("conv") * 100.0),
         ]);
 
@@ -59,12 +62,27 @@ fn main() {
     }
     print_table(
         "Figure 12 — kernel-level breakdown per workload",
-        &["workload", "NTT", "Hada-Mult", "Ele-Add/Sub", "Frobenius/Conj", "Conv"],
+        &[
+            "workload",
+            "NTT",
+            "Hada-Mult",
+            "Ele-Add/Sub",
+            "Frobenius/Conj",
+            "Conv",
+        ],
         &kernel_rows,
     );
     print_table(
         "Figure 13 — operation-level breakdown per workload",
-        &["workload", "HMULT", "HROTATE", "RESCALE", "HADD", "CMULT", "BOOTSTRAP"],
+        &[
+            "workload",
+            "HMULT",
+            "HROTATE",
+            "RESCALE",
+            "HADD",
+            "CMULT",
+            "BOOTSTRAP",
+        ],
         &op_rows,
     );
     println!("\npaper shape: NTT dominates everywhere (up to 92.8% in LR); HROTATE is the heaviest operation.");

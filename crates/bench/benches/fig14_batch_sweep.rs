@@ -11,9 +11,23 @@ fn kernel_events(params: &CkksParams) -> Vec<(&'static str, Vec<KernelEvent>)> {
     let alpha = params.alpha();
     vec![
         ("Hada-Mult", vec![KernelEvent::HadaMult { n, limbs }]),
-        ("NTT", vec![KernelEvent::Ntt { n, limbs, inverse: false }]),
+        (
+            "NTT",
+            vec![KernelEvent::Ntt {
+                n,
+                limbs,
+                inverse: false,
+            }],
+        ),
         ("Ele-Add", vec![KernelEvent::EleAdd { n, limbs }]),
-        ("Conv", vec![KernelEvent::Conv { n, l_src: alpha, l_dst: limbs }]),
+        (
+            "Conv",
+            vec![KernelEvent::Conv {
+                n,
+                l_src: alpha,
+                l_dst: limbs,
+            }],
+        ),
         ("ForbeniusMap", vec![KernelEvent::FrobeniusMap { n, limbs }]),
         ("Conjugate", vec![KernelEvent::Conjugate { n, limbs }]),
     ]
@@ -35,7 +49,9 @@ fn main() {
         row.extend(per_op.iter().map(|t| format!("{:.2}", t / base)));
         rows.push(row);
     }
-    let header = ["kernel", "BS=32", "BS=64", "BS=128", "BS=256", "BS=512", "BS=1024"];
+    let header = [
+        "kernel", "BS=32", "BS=64", "BS=128", "BS=256", "BS=512", "BS=1024",
+    ];
     print_table(
         "Figure 14 — normalised per-op kernel time vs batch size (1.0 = BS 128)",
         &header,

@@ -5,17 +5,45 @@ use tensorfhe_bench::print_table;
 use tensorfhe_ckks::KernelEvent;
 use tensorfhe_core::engine::{Engine, EngineConfig, Variant};
 
+type KernelCtor = Box<dyn Fn(usize) -> KernelEvent>;
+
 fn main() {
     let ns = [2048usize, 4096, 8192, 16384, 32768, 65536];
     let limbs = 45usize;
     let alpha = 1usize;
-    let kernels: Vec<(&str, Box<dyn Fn(usize) -> KernelEvent>)> = vec![
-        ("Hada-Mult", Box::new(move |n| KernelEvent::HadaMult { n, limbs })),
-        ("NTT", Box::new(move |n| KernelEvent::Ntt { n, limbs, inverse: false })),
-        ("Ele-Add", Box::new(move |n| KernelEvent::EleAdd { n, limbs })),
-        ("Conv", Box::new(move |n| KernelEvent::Conv { n, l_src: alpha, l_dst: limbs })),
-        ("ForbeniusMap", Box::new(move |n| KernelEvent::FrobeniusMap { n, limbs })),
-        ("Conjugate", Box::new(move |n| KernelEvent::Conjugate { n, limbs })),
+    let kernels: Vec<(&str, KernelCtor)> = vec![
+        (
+            "Hada-Mult",
+            Box::new(move |n| KernelEvent::HadaMult { n, limbs }),
+        ),
+        (
+            "NTT",
+            Box::new(move |n| KernelEvent::Ntt {
+                n,
+                limbs,
+                inverse: false,
+            }),
+        ),
+        (
+            "Ele-Add",
+            Box::new(move |n| KernelEvent::EleAdd { n, limbs }),
+        ),
+        (
+            "Conv",
+            Box::new(move |n| KernelEvent::Conv {
+                n,
+                l_src: alpha,
+                l_dst: limbs,
+            }),
+        ),
+        (
+            "ForbeniusMap",
+            Box::new(move |n| KernelEvent::FrobeniusMap { n, limbs }),
+        ),
+        (
+            "Conjugate",
+            Box::new(move |n| KernelEvent::Conjugate { n, limbs }),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -34,7 +62,9 @@ fn main() {
         row.extend(times.iter().map(|t| format!("{:.3}", t / base)));
         rows.push(row);
     }
-    let header = ["kernel", "N=2048", "N=4096", "N=8192", "N=16384", "N=32768", "N=65536"];
+    let header = [
+        "kernel", "N=2048", "N=4096", "N=8192", "N=16384", "N=32768", "N=65536",
+    ];
     print_table(
         "Figure 15 — normalised kernel time vs polynomial length (1.0 = N 65536)",
         &header,

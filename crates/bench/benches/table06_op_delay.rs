@@ -5,16 +5,23 @@
 use tensorfhe_bench::baselines::{TABLE6, TABLE6_OPS};
 use tensorfhe_bench::{fmt, fmt_opt, print_table};
 use tensorfhe_ckks::CkksParams;
-use tensorfhe_core::api::{FheOp, TensorFhe};
-use tensorfhe_core::engine::{EngineConfig, Variant};
+use tensorfhe_core::api::{FheOp, TensorFhe, TensorFheBuilder};
+use tensorfhe_core::engine::Variant;
+use tensorfhe_gpu::DeviceConfig;
 
-fn run_row(cfg: EngineConfig, params: &CkksParams) -> Vec<f64> {
-    let mut api = TensorFhe::new(params, cfg);
+fn run_row(builder: TensorFheBuilder, params: &CkksParams) -> Vec<f64> {
+    let mut api = builder.build().expect("single-device build");
     let level = params.max_level();
-    [FheOp::HMult, FheOp::HRotate, FheOp::Rescale, FheOp::HAdd, FheOp::CMult]
-        .iter()
-        .map(|&op| api.run_op(op, level, 128).time_us / 1e3)
-        .collect()
+    [
+        FheOp::HMult,
+        FheOp::HRotate,
+        FheOp::Rescale,
+        FheOp::HAdd,
+        FheOp::CMult,
+    ]
+    .iter()
+    .map(|&op| api.run_op(op, level, 128).time_us / 1e3)
+    .collect()
 }
 
 fn main() {
@@ -25,15 +32,24 @@ fn main() {
         row.extend(values.iter().map(|v| fmt_opt(*v)));
         rows.push(row);
     }
-    let ours: Vec<(&str, EngineConfig)> = vec![
-        ("ours: TensorFHE-NT", EngineConfig::a100(Variant::Butterfly)),
-        ("ours: TensorFHE-CO", EngineConfig::a100(Variant::FourStep)),
-        ("ours: TensorFHE(V100)", EngineConfig::v100(Variant::TensorCore)),
-        ("ours: TensorFHE(A100)", EngineConfig::a100(Variant::TensorCore)),
+    let ours: Vec<(&str, TensorFheBuilder)> = vec![
+        (
+            "ours: TensorFHE-NT",
+            TensorFhe::builder(&params).variant(Variant::Butterfly),
+        ),
+        (
+            "ours: TensorFHE-CO",
+            TensorFhe::builder(&params).variant(Variant::FourStep),
+        ),
+        (
+            "ours: TensorFHE(V100)",
+            TensorFhe::builder(&params).device(DeviceConfig::v100()),
+        ),
+        ("ours: TensorFHE(A100)", TensorFhe::builder(&params)),
     ];
     let mut measured_a100 = Vec::new();
-    for (name, cfg) in ours {
-        let vals = run_row(cfg, &params);
+    for (name, builder) in ours {
+        let vals = run_row(builder, &params);
         if name.ends_with("(A100)") {
             measured_a100 = vals.clone();
         }
@@ -43,7 +59,11 @@ fn main() {
     }
     let mut header = vec!["system"];
     header.extend(TABLE6_OPS);
-    print_table("Table VI — operation delay (ms, batch 128, Default params)", &header, &rows);
+    print_table(
+        "Table VI — operation delay (ms, batch 128, Default params)",
+        &header,
+        &rows,
+    );
 
     // Headline ratios.
     let paper_100x = TABLE6[2].1[0].expect("present");

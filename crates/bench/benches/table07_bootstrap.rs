@@ -5,11 +5,14 @@ use tensorfhe_bench::baselines::TABLE7;
 use tensorfhe_bench::{fmt, print_table};
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
-use tensorfhe_core::engine::{EngineConfig, Variant};
+use tensorfhe_core::engine::Variant;
 
 fn main() {
     let params = CkksParams::table_vii_bootstrap();
-    let op = FheOp::Bootstrap { taylor_degree: 7, double_angles: 6 };
+    let op = FheOp::Bootstrap {
+        taylor_degree: 7,
+        double_angles: 6,
+    };
 
     let mut rows: Vec<Vec<String>> = TABLE7
         .iter()
@@ -21,7 +24,10 @@ fn main() {
         ("ours: TensorFHE-CO", Variant::FourStep),
         ("ours: TensorFHE", Variant::TensorCore),
     ] {
-        let mut api = TensorFhe::new(&params, EngineConfig::a100(variant));
+        let mut api = TensorFhe::builder(&params)
+            .variant(variant)
+            .build()
+            .expect("single-device build");
         let r = api.run_op(op, params.max_level(), 128);
         rows.push(vec![name.to_string(), fmt(r.time_us / 1e3)]);
         if variant == Variant::TensorCore {

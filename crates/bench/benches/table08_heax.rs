@@ -12,13 +12,19 @@ fn ntt_throughput(params: &CkksParams, inverse: bool) -> f64 {
     let mut engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
     let batch = 128usize;
     let limbs = params.max_level() + 1 + params.special_primes();
-    let ev = [KernelEvent::Ntt { n: params.n(), limbs, inverse }];
+    let ev = [KernelEvent::Ntt {
+        n: params.n(),
+        limbs,
+        inverse,
+    }];
     let stats = engine.run_schedule("NTT", &ev, batch);
     (limbs * batch) as f64 / (stats.time_us * 1e-6)
 }
 
 fn hmult_throughput(params: &CkksParams) -> f64 {
-    let mut api = TensorFhe::new(params, EngineConfig::a100(Variant::TensorCore));
+    let mut api = TensorFhe::builder(params)
+        .build()
+        .expect("single-device build");
     let r = api.run_op(FheOp::HMult, params.max_level(), 128);
     r.ops_per_second
 }

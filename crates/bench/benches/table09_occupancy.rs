@@ -4,19 +4,28 @@ use tensorfhe_bench::baselines::TABLE9;
 use tensorfhe_bench::print_table;
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
-use tensorfhe_core::engine::{EngineConfig, Variant};
 
 fn main() {
     let params = CkksParams::table_v_default();
-    let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+    let mut api = TensorFhe::builder(&params)
+        .build()
+        .expect("single-device build");
     let level = params.max_level();
-    let ops = [FheOp::HMult, FheOp::HRotate, FheOp::Rescale, FheOp::HAdd, FheOp::CMult];
+    let ops = [
+        FheOp::HMult,
+        FheOp::HRotate,
+        FheOp::Rescale,
+        FheOp::HAdd,
+        FheOp::CMult,
+    ];
 
     let mut rows = Vec::new();
     for (i, op) in ops.iter().enumerate() {
         let r = api.run_op(*op, level, 128);
         let unbatched = {
-            let mut solo = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+            let mut solo = TensorFhe::builder(&params)
+                .build()
+                .expect("single-device build");
             solo.run_op(*op, level, 1).occupancy
         };
         rows.push(vec![

@@ -3,7 +3,7 @@
 
 use tensorfhe_bench::baselines::{TABLE10, TABLE10_WORKLOADS};
 use tensorfhe_bench::{fmt, fmt_opt, print_table};
-use tensorfhe_core::engine::{EngineConfig, Variant};
+use tensorfhe_core::engine::Variant;
 use tensorfhe_workloads::schedules;
 use tensorfhe_workloads::spec::run_workload;
 
@@ -18,7 +18,7 @@ fn main() {
     let mut ours = vec!["ours: TensorFHE".to_string()];
     let mut lr_time = 0.0;
     for spec in schedules::all() {
-        let report = run_workload(&spec, EngineConfig::a100(Variant::TensorCore));
+        let report = run_workload(&spec, Variant::TensorCore);
         if spec.name == "Logistic Regression" {
             lr_time = report.time_s;
         }
@@ -35,7 +35,11 @@ fn main() {
 
     let mut header = vec!["system"];
     header.extend(TABLE10_WORKLOADS);
-    print_table("Table X — workload execution time (seconds)", &header, &rows);
+    print_table(
+        "Table X — workload execution time (seconds)",
+        &header,
+        &rows,
+    );
 
     let f1_lr = TABLE10[1].1[1].expect("present");
     println!(

@@ -5,16 +5,24 @@ use tensorfhe_bench::baselines::{TABLE11_J_PER_ITER, TABLE11_OPS_PER_WATT};
 use tensorfhe_bench::{fmt, fmt_opt, print_table};
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
-use tensorfhe_core::engine::{EngineConfig, Variant};
+use tensorfhe_core::engine::Variant;
 use tensorfhe_workloads::schedules;
 use tensorfhe_workloads::spec::run_workload;
 
 fn main() {
     // Part 1: OPs per watt at Default parameters, batch 128.
     let params = CkksParams::table_v_default();
-    let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+    let mut api = TensorFhe::builder(&params)
+        .build()
+        .expect("single-device build");
     let level = params.max_level();
-    let ops = [FheOp::HMult, FheOp::HRotate, FheOp::Rescale, FheOp::HAdd, FheOp::CMult];
+    let ops = [
+        FheOp::HMult,
+        FheOp::HRotate,
+        FheOp::Rescale,
+        FheOp::HAdd,
+        FheOp::CMult,
+    ];
     let mut rows = Vec::new();
     for (i, op) in ops.iter().enumerate() {
         let r = api.run_op(*op, level, 128);
@@ -39,7 +47,7 @@ fn main() {
     }
     let mut ours = vec!["ours: TensorFHE".to_string()];
     for spec in schedules::all() {
-        let report = run_workload(&spec, EngineConfig::a100(Variant::TensorCore));
+        let report = run_workload(&spec, Variant::TensorCore);
         ours.push(fmt(report.energy_per_iter_j));
     }
     rows.push(ours);

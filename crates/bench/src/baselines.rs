@@ -10,13 +10,52 @@ pub const TABLE6_OPS: [&str; 5] = ["HMULT", "HROTATE", "RESCALE", "HADD", "CMULT
 
 /// Table VI rows: (system, values in ms; `None` = not reported).
 pub const TABLE6: [(&str, [Option<f64>; 5]); 7] = [
-    ("CPU", [Some(338_000.0), Some(330_000.0), Some(18_611.0), Some(3609.0), Some(3356.0)]),
-    ("PrivFT (V100)", [Some(7153.0), None, Some(208.0), Some(24.0), Some(21.0)]),
-    ("100x (V100)", [Some(2227.0), Some(2154.0), Some(81.0), Some(26.0), Some(22.0)]),
-    ("TensorFHE-NT", [Some(2124.0), Some(2111.0), Some(35.0), Some(6.0), Some(7.7)]),
-    ("TensorFHE-CO", [Some(1651.2), Some(1523.2), Some(9.2), Some(6.0), Some(7.7)]),
-    ("TensorFHE(V100)", [Some(1296.6), Some(1254.4), Some(15.4), Some(10.2), Some(11.5)]),
-    ("TensorFHE(A100)", [Some(851.0), Some(852.0), Some(7.7), Some(6.0), Some(7.7)]),
+    (
+        "CPU",
+        [
+            Some(338_000.0),
+            Some(330_000.0),
+            Some(18_611.0),
+            Some(3609.0),
+            Some(3356.0),
+        ],
+    ),
+    (
+        "PrivFT (V100)",
+        [Some(7153.0), None, Some(208.0), Some(24.0), Some(21.0)],
+    ),
+    (
+        "100x (V100)",
+        [
+            Some(2227.0),
+            Some(2154.0),
+            Some(81.0),
+            Some(26.0),
+            Some(22.0),
+        ],
+    ),
+    (
+        "TensorFHE-NT",
+        [Some(2124.0), Some(2111.0), Some(35.0), Some(6.0), Some(7.7)],
+    ),
+    (
+        "TensorFHE-CO",
+        [Some(1651.2), Some(1523.2), Some(9.2), Some(6.0), Some(7.7)],
+    ),
+    (
+        "TensorFHE(V100)",
+        [
+            Some(1296.6),
+            Some(1254.4),
+            Some(15.4),
+            Some(10.2),
+            Some(11.5),
+        ],
+    ),
+    (
+        "TensorFHE(A100)",
+        [Some(851.0), Some(852.0), Some(7.7), Some(6.0), Some(7.7)],
+    ),
 ];
 
 /// Table VII — Bootstrap execution time (ms, batch 128, N = 2^16, L = 34,
@@ -59,13 +98,19 @@ pub const TABLE10_WORKLOADS: [&str; 4] = ["ResNet-20", "LR", "LSTM", "PackedBoot
 
 /// Table X rows (system, seconds; `None` = not reported).
 pub const TABLE10: [(&str, [Option<f64>; 4]); 7] = [
-    ("CPU", [Some(88_320.0), Some(22_784.0), Some(27_488.0), Some(550.4)]),
+    (
+        "CPU",
+        [Some(88_320.0), Some(22_784.0), Some(27_488.0), Some(550.4)],
+    ),
     ("F1+", [Some(172.3), Some(40.9), Some(82.3), Some(1.8)]),
     ("CraterLake", [Some(15.9), Some(7.6), Some(4.4), Some(0.1)]),
     ("BTS", [Some(122.2), Some(1.8), None, None]),
     ("ARK", [Some(18.8), Some(0.49), None, None]),
     ("100x*", [Some(602.9), Some(49.6), None, Some(36.9)]),
-    ("TensorFHE", [Some(316.1), Some(14.1), Some(123.1), Some(13.5)]),
+    (
+        "TensorFHE",
+        [Some(316.1), Some(14.1), Some(123.1), Some(13.5)],
+    ),
 ];
 
 /// Table XI (top) — energy efficiency of CKKS operations, OPs per watt.
@@ -80,8 +125,14 @@ pub const TABLE11_OPS_PER_WATT: [(&str, f64); 5] = [
 /// Table XI (bottom) — energy per workload iteration (J/iteration).
 pub const TABLE11_J_PER_ITER: [(&str, [Option<f64>; 4]); 3] = [
     ("ARK", [Some(32.5), Some(19.8), None, None]),
-    ("CraterLake", [Some(79.7), Some(38.1), Some(44.2), Some(1.3)]),
-    ("TensorFHE", [Some(1320.0), Some(58.27), Some(1015.3), Some(111.3)]),
+    (
+        "CraterLake",
+        [Some(79.7), Some(38.1), Some(44.2), Some(1.3)],
+    ),
+    (
+        "TensorFHE",
+        [Some(1320.0), Some(58.27), Some(1015.3), Some(111.3)],
+    ),
 ];
 
 /// Fig. 4 headline numbers: NTT total stall fraction and RAW fraction on

@@ -7,18 +7,10 @@ use crate::sine::{eval_sine, SineConfig};
 use tensorfhe_ckks::{Ciphertext, CkksContext, CkksError, Evaluator, KeyChain};
 
 /// Bootstrap configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BootConfig {
     /// Sine approximation parameters.
     pub sine: SineConfig,
-}
-
-impl Default for BootConfig {
-    fn default() -> Self {
-        Self {
-            sine: SineConfig::default(),
-        }
-    }
 }
 
 impl BootConfig {

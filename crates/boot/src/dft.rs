@@ -63,9 +63,9 @@ pub fn dft_transform(n: usize, which: DftMatrix) -> LinearTransform {
         Half::High => slots,
     };
     let inv_n = 1.0 / n as f64;
-    for r in 0..slots {
-        for c in 0..slots {
-            matrix[r][c] = match which {
+    for (r, row) in matrix.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            *cell = match which {
                 // E_half[r][c] = ζ^{5^r (c + offset)}
                 DftMatrix::Encode(h) => e(r, c + offset(h)),
                 // (1/N)·E_half†[r][c] = (1/N)·conj(E[c][r + offset])

@@ -27,12 +27,13 @@ impl LinearTransform {
     #[must_use]
     pub fn from_matrix(matrix: &[Vec<Complex64>]) -> Self {
         let slots = matrix.len();
-        assert!(matrix.iter().all(|r| r.len() == slots), "matrix must be square");
+        assert!(
+            matrix.iter().all(|r| r.len() == slots),
+            "matrix must be square"
+        );
         let mut diags = BTreeMap::new();
         for d in 0..slots {
-            let diag: Vec<Complex64> = (0..slots)
-                .map(|t| matrix[t][(t + d) % slots])
-                .collect();
+            let diag: Vec<Complex64> = (0..slots).map(|t| matrix[t][(t + d) % slots]).collect();
             if diag.iter().any(|z| z.norm() > 1e-12) {
                 diags.insert(d, diag);
             }
@@ -215,7 +216,10 @@ mod tests {
         let n1 = lt.baby_width();
         for r in lt.required_rotations() {
             let r = r as usize;
-            assert!(r < n1 || r % n1 == 0, "rotation {r} is neither baby nor giant");
+            assert!(
+                r < n1 || r.is_multiple_of(n1),
+                "rotation {r} is neither baby nor giant"
+            );
         }
     }
 

@@ -84,7 +84,8 @@ mod tests {
         for i in 0..ctx.params().n() {
             // Compare mod q0: limb 0 of the raised decryption vs original.
             assert_eq!(
-                p_raised.limb(0)[i], p_orig.limb(0)[i],
+                p_raised.limb(0)[i],
+                p_orig.limb(0)[i],
                 "coefficient {i} differs mod q0"
             );
             let _ = q0;
@@ -98,7 +99,9 @@ mod tests {
         let ctx = CkksContext::new(&params).expect("ctx");
         let mut rng = StdRng::seed_from_u64(32);
         let keys = KeyChain::generate(&ctx, &mut rng);
-        let pt = ctx.encode(&[Complex64::one()], params.scale()).expect("encode");
+        let pt = ctx
+            .encode(&[Complex64::one()], params.scale())
+            .expect("encode");
         let ct = keys.encrypt(&pt, &mut rng);
         let _ = mod_raise(&ctx, &ct);
     }

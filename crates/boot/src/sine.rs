@@ -151,15 +151,18 @@ mod tests {
 
     #[test]
     fn depth_accounting() {
-        let cfg = SineConfig { taylor_degree: 7, double_angles: 6 };
+        let cfg = SineConfig {
+            taylor_degree: 7,
+            double_angles: 6,
+        };
         assert_eq!(cfg.depth(), 15);
     }
 
     #[test]
     fn sine_removes_integer_periods() {
         // Slots hold v = x + P·I; the sine kernel must return ≈ x.
-        let params = CkksParams::new("sine-test", 1 << 7, 17, 3, 6, 29, 29, 1)
-            .expect("params valid");
+        let params =
+            CkksParams::new("sine-test", 1 << 7, 17, 3, 6, 29, 29, 1).expect("params valid");
         let ctx = CkksContext::new(&params).expect("ctx");
         let mut rng = StdRng::seed_from_u64(77);
         let mut keys = KeyChain::generate_sparse(&ctx, 8, &mut rng);
@@ -180,7 +183,10 @@ mod tests {
 
         let pt = ctx.encode(&vals, params.scale()).expect("encode");
         let ct = keys.encrypt(&pt, &mut rng);
-        let cfg = SineConfig { taylor_degree: 7, double_angles: 5 };
+        let cfg = SineConfig {
+            taylor_degree: 7,
+            double_angles: 5,
+        };
         let out = eval_sine(&mut eval, &keys, &ct, period, &cfg).expect("sine");
         let dec = ctx.decode(&keys.decrypt(&out)).expect("decode");
 
@@ -188,7 +194,11 @@ mod tests {
             // sin(2πx/P)·P/2π ≈ x for |x| ≪ P (here x ≤ 0.3, P = 16:
             // linearisation error ≈ x³·(2π/P)²/6 ≲ 7e-4).
             let err = (dec[t].re - x).abs();
-            assert!(err < 5e-3, "slot {t}: got {}, want {x} (err {err})", dec[t].re);
+            assert!(
+                err < 5e-3,
+                "slot {t}: got {}, want {x} (err {err})",
+                dec[t].re
+            );
             assert!(dec[t].im.abs() < 5e-3, "imaginary residue {}", dec[t].im);
         }
     }

@@ -149,8 +149,19 @@ fn kernel_trace_contains_fig6_inventory() {
         let ct0 = eval.mod_switch_to(&ct, 0).expect("drop");
         let _ = boot.bootstrap(&mut eval, &keys, &ct0).expect("boot");
     }
-    for kernel in ["NTT", "INTT", "Hada-Mult", "Ele-Add", "Conv", "ForbeniusMap", "Conjugate"] {
-        assert!(rec.count(kernel) > 0, "bootstrap never used kernel {kernel}");
+    for kernel in [
+        "NTT",
+        "INTT",
+        "Hada-Mult",
+        "Ele-Add",
+        "Conv",
+        "ForbeniusMap",
+        "Conjugate",
+    ] {
+        assert!(
+            rec.count(kernel) > 0,
+            "bootstrap never used kernel {kernel}"
+        );
     }
     // NTT should dominate the schedule in *work* terms (§VI-B2): weight each
     // event by limbs × N log N for transforms vs limbs × N for element-wise.

@@ -86,15 +86,14 @@ impl CkksContext {
         let k = params.special_primes();
         // Deterministic prime chain: q's scan down from 2^bits, p's continue
         // past them (disjoint by construction).
-        let q_primes =
-            std::panic::catch_unwind(|| generate_ntt_primes(l1, params.prime_bits(), n))
-                .map_err(|_| {
-                    CkksError::InvalidParams(format!(
-                        "not enough {}-bit NTT primes for N={}",
-                        params.prime_bits(),
-                        params.n()
-                    ))
-                })?;
+        let q_primes = std::panic::catch_unwind(|| generate_ntt_primes(l1, params.prime_bits(), n))
+            .map_err(|_| {
+                CkksError::InvalidParams(format!(
+                    "not enough {}-bit NTT primes for N={}",
+                    params.prime_bits(),
+                    params.n()
+                ))
+            })?;
         let p_primes = std::panic::catch_unwind(|| {
             generate_ntt_primes_excluding(k, params.prime_bits(), n, &q_primes)
         })
@@ -106,11 +105,8 @@ impl CkksContext {
         let p_mods: Vec<Modulus> = p_primes.iter().map(|&p| Modulus::new(p)).collect();
 
         let mut rescale_inv = Vec::with_capacity(l1);
-        for l in 0..l1 {
-            let mut row = Vec::with_capacity(l);
-            for j in 0..l {
-                row.push(q_mods[j].inv(q_mods[j].reduce(q_primes[l])));
-            }
+        for (l, &ql) in q_primes.iter().enumerate().take(l1) {
+            let row = q_mods[..l].iter().map(|mj| mj.inv(mj.reduce(ql))).collect();
             rescale_inv.push(row);
         }
 
@@ -278,7 +274,10 @@ impl CkksContext {
         }
         let n = self.params.n() as u64;
         let two_n = 2 * n;
-        assert!(g % 2 == 1 && g < two_n, "galois element must be odd and < 2N");
+        assert!(
+            g % 2 == 1 && g < two_n,
+            "galois element must be odd and < 2N"
+        );
 
         // NTT-domain permutation: out[t] = in[π(t)], π(t) = (g(2t+1) mod 2N - 1)/2.
         let mut ntt_perm = Vec::with_capacity(n as usize);
@@ -298,7 +297,11 @@ impl CkksContext {
             }
         }
 
-        let t = Rc::new(GaloisTables { g, ntt_perm, coeff_map });
+        let t = Rc::new(GaloisTables {
+            g,
+            ntt_perm,
+            coeff_map,
+        });
         self.galois.borrow_mut().insert(g, Rc::clone(&t));
         t
     }

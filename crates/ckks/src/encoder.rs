@@ -119,11 +119,7 @@ mod tests {
         let floats: Vec<f64> = coeffs.iter().map(|&c| c as f64 / scale).collect();
         let back = e.decode(&floats);
         for (i, v) in values.iter().enumerate() {
-            assert!(
-                (*v - back[i]).norm() < tol,
-                "slot {i}: {v} vs {}",
-                back[i]
-            );
+            assert!((*v - back[i]).norm() < tol, "slot {i}: {v} vs {}", back[i]);
         }
         // Unfilled slots decode to ~0.
         for (i, b) in back.iter().enumerate().skip(values.len()) {

@@ -47,7 +47,10 @@ mod tests {
 
     #[test]
     fn display_messages_lowercase_and_informative() {
-        let e = CkksError::TooManySlots { given: 10, slots: 4 };
+        let e = CkksError::TooManySlots {
+            given: 10,
+            slots: 4,
+        };
         assert_eq!(e.to_string(), "cannot encode 10 values into 4 slots");
         assert!(CkksError::LevelExhausted.to_string().contains("level"));
     }

@@ -110,9 +110,16 @@ impl<'a> Evaluator<'a> {
         c0.add_assign(self.ctx, &b.c0);
         let mut c1 = a.c1.clone();
         c1.add_assign(self.ctx, &b.c1);
-        self.emit(KernelEvent::EleAdd { n, limbs: 2 * limbs });
+        self.emit(KernelEvent::EleAdd {
+            n,
+            limbs: 2 * limbs,
+        });
         self.end("HADD");
-        Ok(Ciphertext { c0, c1, scale: a.scale })
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale: a.scale,
+        })
     }
 
     /// `HADD` tolerating small scale drift between operands.
@@ -186,9 +193,16 @@ impl<'a> Evaluator<'a> {
         c0.sub_assign(self.ctx, &b.c0);
         let mut c1 = a.c1.clone();
         c1.sub_assign(self.ctx, &b.c1);
-        self.emit(KernelEvent::EleSub { n, limbs: 2 * limbs });
+        self.emit(KernelEvent::EleSub {
+            n,
+            limbs: 2 * limbs,
+        });
         self.end("HADD");
-        Ok(Ciphertext { c0, c1, scale: a.scale })
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale: a.scale,
+        })
     }
 
     /// `HMULT`: ciphertext multiplication with relinearisation
@@ -226,7 +240,10 @@ impl<'a> Evaluator<'a> {
         let mut t = a.c1.clone();
         t.hada_assign(ctx, &b.c0);
         d1.add_assign(ctx, &t);
-        self.emit(KernelEvent::HadaMult { n, limbs: 4 * limbs });
+        self.emit(KernelEvent::HadaMult {
+            n,
+            limbs: 4 * limbs,
+        });
         self.emit(KernelEvent::EleAdd { n, limbs });
 
         // KeySwitch(d2) folds the s² component back onto (1, s).
@@ -236,7 +253,10 @@ impl<'a> Evaluator<'a> {
         };
         d0.add_assign(ctx, &ks0);
         d1.add_assign(ctx, &ks1);
-        self.emit(KernelEvent::EleAdd { n, limbs: 2 * limbs });
+        self.emit(KernelEvent::EleAdd {
+            n,
+            limbs: 2 * limbs,
+        });
 
         self.end("HMULT");
         Ok(Ciphertext {
@@ -276,7 +296,10 @@ impl<'a> Evaluator<'a> {
         c0.hada_assign(self.ctx, &pt.poly);
         let mut c1 = ct.c1.clone();
         c1.hada_assign(self.ctx, &pt.poly);
-        self.emit(KernelEvent::HadaMult { n, limbs: 2 * limbs });
+        self.emit(KernelEvent::HadaMult {
+            n,
+            limbs: 2 * limbs,
+        });
         self.end("CMULT");
         Ok(Ciphertext {
             c0,
@@ -329,7 +352,10 @@ impl<'a> Evaluator<'a> {
         c0.scale_limbs(ctx, &scalars);
         let mut c1 = ct.c1.clone();
         c1.scale_limbs(ctx, &scalars);
-        self.emit(KernelEvent::HadaMult { n, limbs: 2 * limbs });
+        self.emit(KernelEvent::HadaMult {
+            n,
+            limbs: 2 * limbs,
+        });
         self.end("CMULT");
         Ciphertext {
             c0,
@@ -375,7 +401,11 @@ impl<'a> Evaluator<'a> {
             limbs: 2 * (ct.level() + 1),
         });
         self.end("HADD");
-        Ciphertext { c0, c1, scale: ct.scale }
+        Ciphertext {
+            c0,
+            c1,
+            scale: ct.scale,
+        }
     }
 
     /// `RESCALE` (Algorithm 6): divides by the top prime `q_l`, dropping one
@@ -395,8 +425,16 @@ impl<'a> Evaluator<'a> {
         let q_l = ctx.q_primes()[l];
         let c0 = self.rescale_poly(&ct.c0);
         let c1 = self.rescale_poly(&ct.c1);
-        self.emit(KernelEvent::Ntt { n, limbs: 2, inverse: true });
-        self.emit(KernelEvent::Ntt { n, limbs: 2 * l, inverse: false });
+        self.emit(KernelEvent::Ntt {
+            n,
+            limbs: 2,
+            inverse: true,
+        });
+        self.emit(KernelEvent::Ntt {
+            n,
+            limbs: 2 * l,
+            inverse: false,
+        });
         self.emit(KernelEvent::EleSub { n, limbs: 2 * l });
         self.end("RESCALE");
         Ok(Ciphertext {
@@ -418,13 +456,16 @@ impl<'a> Evaluator<'a> {
         ctx.ntt_q(l).inverse(&mut top);
 
         // Centered representative of [c]_{q_l}.
-        let centered: Vec<i64> = top.iter().map(|&x| {
-            if x > half {
-                x as i64 - m_l.value() as i64
-            } else {
-                x as i64
-            }
-        }).collect();
+        let centered: Vec<i64> = top
+            .iter()
+            .map(|&x| {
+                if x > half {
+                    x as i64 - m_l.value() as i64
+                } else {
+                    x as i64
+                }
+            })
+            .collect();
 
         let mut limbs = Vec::with_capacity(l);
         for j in 0..l {
@@ -466,7 +507,11 @@ impl<'a> Evaluator<'a> {
         c0.truncate_level(level);
         let mut c1 = ct.c1.clone();
         c1.truncate_level(level);
-        Ok(Ciphertext { c0, c1, scale: ct.scale })
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale: ct.scale,
+        })
     }
 
     /// `HROTATE` (Algorithm 4): rotates slots by `r` via the Galois
@@ -526,9 +571,15 @@ impl<'a> Evaluator<'a> {
         let c0_rot = ct.c0.automorphism_ntt(&tables);
         let c1_rot = ct.c1.automorphism_ntt(&tables);
         if g == ctx.conjugation_element() {
-            self.emit(KernelEvent::Conjugate { n, limbs: 2 * limbs });
+            self.emit(KernelEvent::Conjugate {
+                n,
+                limbs: 2 * limbs,
+            });
         } else {
-            self.emit(KernelEvent::FrobeniusMap { n, limbs: 2 * limbs });
+            self.emit(KernelEvent::FrobeniusMap {
+                n,
+                limbs: 2 * limbs,
+            });
         }
 
         // Switch σ(c1) from σ(s) back to s.
@@ -629,7 +680,12 @@ mod tests {
         let rs = eval.rescale(&prod).expect("rescale");
         assert_eq!(rs.level(), level_before - 1);
         let dec = decode(&ctx, &keys, &rs);
-        assert!((dec[0] - a[0] * b[0]).norm() < 1e-2, "{} vs {}", dec[0], a[0] * b[0]);
+        assert!(
+            (dec[0] - a[0] * b[0]).norm() < 1e-2,
+            "{} vs {}",
+            dec[0],
+            a[0] * b[0]
+        );
     }
 
     #[test]
@@ -765,7 +821,7 @@ mod tests {
             let aligned = eval.mod_switch_to(&ct, acc.level()).expect("align");
             acc = eval.hmult(&acc, &aligned, &keys).expect("mult");
             acc = eval.rescale(&acc).expect("rs");
-            expected = expected * x;
+            expected *= x;
         }
         let dec = decode(&ctx, &keys, &acc);
         assert!(

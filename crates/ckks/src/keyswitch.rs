@@ -201,16 +201,20 @@ pub fn mod_down(ctx: &CkksContext, tracing: &mut Tracing<'_>, acc: &ExtPoly) -> 
             conv_limb[c] = table.conv.convert_from_y(&y, i);
         }
     }
-    tracing.emit(KernelEvent::Conv { n, l_src: k, l_dst: l + 1 });
+    tracing.emit(KernelEvent::Conv {
+        n,
+        l_src: k,
+        l_dst: l + 1,
+    });
 
     // out_i = (acc_i - conv_i) · P^{-1} mod q_i
     let mut out_limbs = Vec::with_capacity(l + 1);
-    for i in 0..=l {
+    for (i, conv_limb) in converted.iter().enumerate().take(l + 1) {
         let m = ctx.q_mod(i);
         let p_inv = table.p_inv_mod_q[i];
         let limb = acc.q_limbs[i]
             .iter()
-            .zip(&converted[i])
+            .zip(conv_limb)
             .map(|(&a, &t)| m.mul(m.sub(a, t), p_inv))
             .collect();
         out_limbs.push(limb);
@@ -219,7 +223,11 @@ pub fn mod_down(ctx: &CkksContext, tracing: &mut Tracing<'_>, acc: &ExtPoly) -> 
 
     let mut out = RnsPoly::from_limbs(out_limbs, Domain::Coeff);
     out.ntt_forward(ctx);
-    tracing.emit(KernelEvent::Ntt { n, limbs: l + 1, inverse: false });
+    tracing.emit(KernelEvent::Ntt {
+        n,
+        limbs: l + 1,
+        inverse: false,
+    });
     out
 }
 
@@ -234,7 +242,11 @@ pub fn key_switch(
     d: &RnsPoly,
     ksk: &KsKey,
 ) -> (RnsPoly, RnsPoly) {
-    assert_eq!(d.domain(), Domain::Ntt, "key switch input must be in NTT domain");
+    assert_eq!(
+        d.domain(),
+        Domain::Ntt,
+        "key switch input must be in NTT domain"
+    );
     let l = d.level();
     let n = d.n();
     let alpha = ctx.params().alpha();
@@ -243,7 +255,11 @@ pub fn key_switch(
 
     let mut d_coeff = d.clone();
     d_coeff.ntt_inverse(ctx);
-    tracing.emit(KernelEvent::Ntt { n, limbs: l + 1, inverse: true });
+    tracing.emit(KernelEvent::Ntt {
+        n,
+        limbs: l + 1,
+        inverse: true,
+    });
 
     let mut acc0 = ExtPoly::zero(ctx, l, Domain::Ntt);
     let mut acc1 = ExtPoly::zero(ctx, l, Domain::Ntt);
@@ -261,8 +277,14 @@ pub fn key_switch(
         let a = slice_key(ctx, &key.a, l);
         acc0.mul_acc(ctx, &ext, &b);
         acc1.mul_acc(ctx, &ext, &a);
-        tracing.emit(KernelEvent::HadaMult { n, limbs: 2 * ext.total_limbs() });
-        tracing.emit(KernelEvent::EleAdd { n, limbs: 2 * ext.total_limbs() });
+        tracing.emit(KernelEvent::HadaMult {
+            n,
+            limbs: 2 * ext.total_limbs(),
+        });
+        tracing.emit(KernelEvent::EleAdd {
+            n,
+            limbs: 2 * ext.total_limbs(),
+        });
     }
 
     let c0 = mod_down(ctx, tracing, &acc0);
@@ -303,7 +325,10 @@ mod tests {
             assert_eq!(ext.q_limbs[i], d.limb(i));
         }
         // Other limbs equal 42 + e·Q_0 mod q_i for small e ≥ 0.
-        let q0q1 = RnsBasis::new(&c.q_primes()[..2]).product().to_i128().expect("fits");
+        let q0q1 = RnsBasis::new(&c.q_primes()[..2])
+            .product()
+            .to_i128()
+            .expect("fits");
         for i in 2..=3 {
             let m = c.q_mod(i);
             let got = ext.q_limbs[i][0] as i128;

@@ -38,6 +38,9 @@ impl CkksParams {
     /// ≥ 16, `dnum` does not divide `L+1`, the prime size is outside
     /// `[20, 31]` bits (the GEMM/tensor-core paths need 32-bit residues), or
     /// the scale exceeds the prime size headroom.
+    // Eight arguments mirror Table V's eight columns one-to-one; a config
+    // struct would just rename them.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         n: usize,
@@ -53,7 +56,7 @@ impl CkksParams {
                 "degree {n} must be a power of two >= 16"
             )));
         }
-        if (max_level + 1) % dnum != 0 {
+        if !(max_level + 1).is_multiple_of(dnum) {
             return Err(CkksError::InvalidParams(format!(
                 "dnum {dnum} must divide L+1 = {}",
                 max_level + 1
@@ -107,8 +110,8 @@ impl CkksParams {
     /// Table V lists K = 1, which under hybrid key switching forces
     /// `dnum = L+1` — inconsistent with the paper's own workload runtimes
     /// (its Table VII bootstrap uses dnum = 5). Workload presets therefore
-    /// use a moderate decomposition (α = 3, K = 3), documented in
-    /// EXPERIMENTS.md.
+    /// use a moderate decomposition (α = 3, K = 3); see the preset docs in
+    /// this module for the reasoning.
     #[must_use]
     pub fn table_v_resnet20() -> Self {
         Self::new("ResNet-20", 1 << 16, 29, 3, 10, 28, 28, 64).expect("preset is valid")
@@ -260,7 +263,10 @@ mod tests {
     #[test]
     fn table_v_presets_match_paper() {
         let d = CkksParams::table_v_default();
-        assert_eq!((d.n(), d.max_level(), d.special_primes(), d.batch_size()), (1 << 16, 44, 1, 128));
+        assert_eq!(
+            (d.n(), d.max_level(), d.special_primes(), d.batch_size()),
+            (1 << 16, 44, 1, 128)
+        );
         // logPQ ≈ 1306 in the paper; 29 × 45 = 1305.
         assert!((d.log_pq() as i64 - 1306).abs() < 10);
 
@@ -287,10 +293,22 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(CkksParams::new("x", 100, 3, 1, 2, 28, 26, 1).is_err(), "non-power-of-two N");
-        assert!(CkksParams::new("x", 64, 4, 1, 3, 28, 26, 1).is_err(), "dnum ∤ L+1");
-        assert!(CkksParams::new("x", 64, 3, 1, 2, 40, 26, 1).is_err(), "prime too large");
-        assert!(CkksParams::new("x", 64, 3, 0, 2, 28, 26, 1).is_err(), "no special primes");
+        assert!(
+            CkksParams::new("x", 100, 3, 1, 2, 28, 26, 1).is_err(),
+            "non-power-of-two N"
+        );
+        assert!(
+            CkksParams::new("x", 64, 4, 1, 3, 28, 26, 1).is_err(),
+            "dnum ∤ L+1"
+        );
+        assert!(
+            CkksParams::new("x", 64, 3, 1, 2, 40, 26, 1).is_err(),
+            "prime too large"
+        );
+        assert!(
+            CkksParams::new("x", 64, 3, 0, 2, 28, 26, 1).is_err(),
+            "no special primes"
+        );
         assert!(
             CkksParams::new("x", 64, 8, 2, 3, 28, 26, 1).is_err(),
             "K = 2 < α = 3 must be rejected"

@@ -181,7 +181,12 @@ mod tests {
     #[test]
     fn kernel_names_match_paper() {
         assert_eq!(
-            KernelEvent::Ntt { n: 8, limbs: 1, inverse: false }.kernel_name(),
+            KernelEvent::Ntt {
+                n: 8,
+                limbs: 1,
+                inverse: false
+            }
+            .kernel_name(),
             "NTT"
         );
         assert_eq!(
@@ -189,7 +194,12 @@ mod tests {
             "ForbeniusMap"
         );
         assert_eq!(
-            KernelEvent::Conv { n: 8, l_src: 2, l_dst: 3 }.kernel_name(),
+            KernelEvent::Conv {
+                n: 8,
+                l_src: 2,
+                l_dst: 3
+            }
+            .kernel_name(),
             "Conv"
         );
     }

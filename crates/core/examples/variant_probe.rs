@@ -5,11 +5,20 @@ use tensorfhe_core::engine::{Engine, EngineConfig, Variant};
 
 fn main() {
     let params = CkksParams::table_v_default();
-    let ev = [KernelEvent::Ntt { n: params.n(), limbs: params.max_level() + 1, inverse: false }];
+    let ev = [KernelEvent::Ntt {
+        n: params.n(),
+        limbs: params.max_level() + 1,
+        inverse: false,
+    }];
     for v in [Variant::Butterfly, Variant::FourStep, Variant::TensorCore] {
         let mut e = Engine::new(EngineConfig::a100(v));
         let s = e.run_schedule("NTT", &ev, 16);
-        println!("{:14} total={:9.1}us launches={}", v.label(), s.time_us, s.launches);
+        println!(
+            "{:14} total={:9.1}us launches={}",
+            v.label(),
+            s.time_us,
+            s.launches
+        );
         for (k, t) in &s.by_kernel {
             println!("    {k:14} {t:9.1}us");
         }

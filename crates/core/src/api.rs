@@ -2,15 +2,30 @@
 //!
 //! The API layer "collects and decomposes the requests for FHE operations
 //! from the user applications … automatically generates the best batch size
-//! … and sequentially invokes the kernels in the workflow". [`TensorFhe`]
-//! does exactly that over the simulated device.
+//! … and sequentially invokes the kernels in the workflow". Two entry
+//! points build on it:
+//!
+//! * [`TensorFhe`] — a direct, single-caller handle over one engine. Its
+//!   [`TensorFhe::run_op`] / [`TensorFhe::run_op_auto`] remain as thin
+//!   shims for costing one batched operation at a time (the figure/table
+//!   benches drive these).
+//! * [`crate::service::FheService`] — the request-stream front end: many
+//!   clients submit [`crate::service::FheRequest`]s and the *service*
+//!   coalesces them into batches. New code should prefer it; see the
+//!   migration note in the crate docs.
+//!
+//! Both are configured through [`TensorFhe::builder`], which replaces the
+//! old `TensorFhe::new(params, EngineConfig)` constructor threading.
 
-use crate::engine::{Engine, EngineConfig, OpStats};
+use crate::engine::{Engine, EngineConfig, ExecMode, Layout, OpStats, Variant};
+use crate::error::{CoreError, CoreResult};
 use crate::schedule;
+use crate::service::FheService;
 use tensorfhe_ckks::{CkksParams, KernelEvent};
+use tensorfhe_gpu::DeviceConfig;
 
 /// A CKKS operation request.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FheOp {
     /// Ciphertext addition.
     HAdd,
@@ -49,6 +64,25 @@ impl FheOp {
     }
 }
 
+/// The kernel schedule of an operation at a level — the workflow the API
+/// layer "sequentially invokes" (§IV-E). Shared by [`TensorFhe`] and the
+/// request service.
+#[must_use]
+pub fn schedule_events(params: &CkksParams, op: FheOp, level: usize) -> Vec<KernelEvent> {
+    match op {
+        FheOp::HAdd => schedule::hadd_schedule(params, level),
+        FheOp::HMult => schedule::hmult_schedule(params, level),
+        FheOp::CMult => schedule::cmult_schedule(params, level),
+        FheOp::HRotate => schedule::hrotate_schedule(params, level),
+        FheOp::Rescale => schedule::rescale_schedule(params, level),
+        FheOp::Conjugate => schedule::conjugate_schedule(params, level),
+        FheOp::Bootstrap {
+            taylor_degree,
+            double_angles,
+        } => schedule::bootstrap_schedule(params, taylor_degree, double_angles),
+    }
+}
+
 /// Result of executing one batched operation.
 #[derive(Debug, Clone)]
 pub struct OpReport {
@@ -74,6 +108,160 @@ pub struct OpReport {
     pub by_kernel: Vec<(String, f64)>,
 }
 
+/// Builds an [`OpReport`] from raw window statistics at a given device
+/// power draw.
+pub(crate) fn report_from_stats(
+    op: FheOp,
+    batch: usize,
+    power_watts: f64,
+    stats: OpStats,
+) -> OpReport {
+    let per_op = stats.time_us / batch.max(1) as f64;
+    let ops_per_second = if stats.time_us > 0.0 {
+        batch as f64 / (stats.time_us * 1e-6)
+    } else {
+        0.0
+    };
+    OpReport {
+        op,
+        batch,
+        time_us: stats.time_us,
+        per_op_us: per_op,
+        occupancy: stats.occupancy,
+        energy_j: stats.energy_j,
+        ops_per_second,
+        ops_per_watt: ops_per_second / power_watts,
+        launches: stats.launches,
+        by_kernel: stats.by_kernel,
+    }
+}
+
+/// Configures a [`TensorFhe`] handle or an [`FheService`]: parameters,
+/// device model, NTT variant, data layout, execution mode and device count.
+#[derive(Debug, Clone)]
+pub struct TensorFheBuilder {
+    pub(crate) params: CkksParams,
+    pub(crate) device: DeviceConfig,
+    pub(crate) variant: Variant,
+    pub(crate) layout: Layout,
+    pub(crate) exec_mode: ExecMode,
+    pub(crate) devices: usize,
+    pub(crate) batch_cap: Option<usize>,
+}
+
+impl TensorFheBuilder {
+    /// Starts from the paper's defaults: one simulated A100 running the
+    /// full tensor-core variant in the `(L, B, N)` layout, TimingOnly.
+    #[must_use]
+    pub fn new(params: &CkksParams) -> Self {
+        Self {
+            params: params.clone(),
+            device: DeviceConfig::a100(),
+            variant: Variant::TensorCore,
+            layout: Layout::Lbn,
+            exec_mode: ExecMode::TimingOnly,
+            devices: 1,
+            batch_cap: None,
+        }
+    }
+
+    /// Replaces the parameter set (e.g. to re-target a configured builder
+    /// at a workload's preset).
+    #[must_use]
+    pub fn params(mut self, params: &CkksParams) -> Self {
+        self.params = params.clone();
+        self
+    }
+
+    /// Simulated device model (A100/V100/GTX1080Ti or custom).
+    #[must_use]
+    pub fn device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// NTT lowering variant (Table IV).
+    #[must_use]
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Batched-ciphertext layout (Fig. 9).
+    #[must_use]
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Execution mode. [`ExecMode::Full`] is for driving the engine with
+    /// [`Engine::make_tracer`] attached to a `tensorfhe_ckks::Evaluator`
+    /// (real arithmetic, every kernel costed); the costing paths —
+    /// [`TensorFhe::run_op`] and the request service — are schedule-only,
+    /// so [`TensorFheBuilder::service`] rejects `Full`.
+    #[must_use]
+    pub fn exec_mode(mut self, exec_mode: ExecMode) -> Self {
+        self.exec_mode = exec_mode;
+        self
+    }
+
+    /// Number of identical devices (`> 1` shards batches, §VII).
+    #[must_use]
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Overrides the service's coalesced batch cap (defaults to the
+    /// VRAM-feasible `auto_batch`, scaled by the device count).
+    #[must_use]
+    pub fn batch_cap(mut self, cap: usize) -> Self {
+        self.batch_cap = Some(cap);
+        self
+    }
+
+    /// The engine configuration this builder describes.
+    pub(crate) fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            device: self.device.clone(),
+            variant: self.variant,
+            layout: self.layout,
+            exec_mode: self.exec_mode,
+        }
+    }
+
+    /// Finishes as a direct single-device [`TensorFhe`] handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] unless exactly one device is
+    /// configured — multi-device execution goes through
+    /// [`TensorFheBuilder::service`].
+    pub fn build(self) -> CoreResult<TensorFhe> {
+        if self.devices != 1 {
+            return Err(CoreError::InvalidConfig(format!(
+                "TensorFhe binds exactly one device (got {}); use .service() for clusters",
+                self.devices
+            )));
+        }
+        let cfg = self.engine_config();
+        Ok(TensorFhe {
+            params: self.params,
+            engine: Engine::new(cfg),
+        })
+    }
+
+    /// Finishes as a request-stream [`FheService`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero device count or a
+    /// zero batch cap.
+    pub fn service(self) -> CoreResult<FheService> {
+        FheService::from_builder(self)
+    }
+}
+
 /// The TensorFHE API layer bound to one parameter set and engine.
 #[derive(Debug)]
 pub struct TensorFhe {
@@ -82,13 +270,10 @@ pub struct TensorFhe {
 }
 
 impl TensorFhe {
-    /// Creates the API layer.
+    /// Starts configuring a handle (or a service) for a parameter set.
     #[must_use]
-    pub fn new(params: &CkksParams, cfg: EngineConfig) -> Self {
-        Self {
-            params: params.clone(),
-            engine: Engine::new(cfg),
-        }
+    pub fn builder(params: &CkksParams) -> TensorFheBuilder {
+        TensorFheBuilder::new(params)
     }
 
     /// Parameter set in use.
@@ -111,61 +296,32 @@ impl TensorFhe {
     /// The kernel schedule of an operation at a level.
     #[must_use]
     pub fn schedule_of(&self, op: FheOp, level: usize) -> Vec<KernelEvent> {
-        match op {
-            FheOp::HAdd => schedule::hadd_schedule(&self.params, level),
-            FheOp::HMult => schedule::hmult_schedule(&self.params, level),
-            FheOp::CMult => schedule::cmult_schedule(&self.params, level),
-            FheOp::HRotate => schedule::hrotate_schedule(&self.params, level),
-            FheOp::Rescale => schedule::rescale_schedule(&self.params, level),
-            FheOp::Conjugate => schedule::conjugate_schedule(&self.params, level),
-            FheOp::Bootstrap { taylor_degree, double_angles } => {
-                schedule::bootstrap_schedule(&self.params, taylor_degree, double_angles)
-            }
-        }
+        schedule_events(&self.params, op, level)
     }
 
     /// The batch size the API layer would choose (VRAM-bounded, capped at
     /// the parameter preset's configured batch).
     #[must_use]
     pub fn auto_batch(&self) -> usize {
-        self.engine
-            .max_batch(&self.params)
-            .min(self.params.batch_size().max(1))
+        self.engine.auto_batch(&self.params)
     }
 
     /// Executes one batched operation in TimingOnly mode and reports.
+    ///
+    /// Legacy shim kept for the figure/table benches: one caller, one
+    /// operation, caller-chosen batch. Streams of requests belong on
+    /// [`crate::service::FheService`].
     pub fn run_op(&mut self, op: FheOp, level: usize, batch: usize) -> OpReport {
         let events = self.schedule_of(op, level);
         let stats = self.engine.run_schedule(op.name(), &events, batch);
-        self.report(op, batch, stats)
+        let power = self.engine.config().device.power_watts;
+        report_from_stats(op, batch, power, stats)
     }
 
     /// Executes with the automatically chosen batch size.
     pub fn run_op_auto(&mut self, op: FheOp, level: usize) -> OpReport {
         let b = self.auto_batch();
         self.run_op(op, level, b)
-    }
-
-    fn report(&self, op: FheOp, batch: usize, stats: OpStats) -> OpReport {
-        let per_op = stats.time_us / batch.max(1) as f64;
-        let ops_per_second = if stats.time_us > 0.0 {
-            batch as f64 / (stats.time_us * 1e-6)
-        } else {
-            0.0
-        };
-        let power = self.engine.config().device.power_watts;
-        OpReport {
-            op,
-            batch,
-            time_us: stats.time_us,
-            per_op_us: per_op,
-            occupancy: stats.occupancy,
-            energy_j: stats.energy_j,
-            ops_per_second,
-            ops_per_watt: ops_per_second / power,
-            launches: stats.launches,
-            by_kernel: stats.by_kernel,
-        }
     }
 }
 
@@ -175,7 +331,34 @@ mod tests {
     use crate::engine::Variant;
 
     fn api(variant: Variant) -> TensorFhe {
-        TensorFhe::new(&CkksParams::test_small(), EngineConfig::a100(variant))
+        TensorFhe::builder(&CkksParams::test_small())
+            .variant(variant)
+            .build()
+            .expect("single-device build")
+    }
+
+    #[test]
+    fn builder_defaults_match_the_paper() {
+        let api = api(Variant::TensorCore);
+        let cfg = api.engine().config();
+        assert_eq!(cfg.variant, Variant::TensorCore);
+        assert_eq!(cfg.layout, Layout::Lbn);
+        assert_eq!(cfg.exec_mode, ExecMode::TimingOnly);
+        assert_eq!(cfg.device.name, DeviceConfig::a100().name);
+    }
+
+    #[test]
+    fn builder_rejects_multi_device_direct_handles() {
+        let err = TensorFhe::builder(&CkksParams::test_small())
+            .devices(4)
+            .build()
+            .expect_err("clusters need the service");
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+        let err = TensorFhe::builder(&CkksParams::test_small())
+            .devices(0)
+            .build()
+            .expect_err("zero devices");
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
     }
 
     #[test]
@@ -223,13 +406,15 @@ mod tests {
 
     #[test]
     fn bootstrap_dwarfs_single_ops() {
-        let params =
-            CkksParams::new("api-boot", 1 << 10, 19, 4, 5, 28, 26, 8).expect("valid");
-        let mut a = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+        let params = CkksParams::new("api-boot", 1 << 10, 19, 4, 5, 28, 26, 8).expect("valid");
+        let mut a = TensorFhe::builder(&params).build().expect("build");
         let level = params.max_level();
         let mult = a.run_op(FheOp::HMult, level, 4);
         let boot = a.run_op(
-            FheOp::Bootstrap { taylor_degree: 7, double_angles: 3 },
+            FheOp::Bootstrap {
+                taylor_degree: 7,
+                double_angles: 3,
+            },
             level,
             4,
         );

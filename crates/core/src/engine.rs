@@ -36,6 +36,8 @@ pub struct EngineConfig {
     pub variant: Variant,
     /// Batched data layout.
     pub layout: Layout,
+    /// Whether operations execute their arithmetic or only their schedules.
+    pub exec_mode: ExecMode,
 }
 
 impl EngineConfig {
@@ -46,6 +48,7 @@ impl EngineConfig {
             device: DeviceConfig::a100(),
             variant,
             layout: Layout::Lbn,
+            exec_mode: ExecMode::TimingOnly,
         }
     }
 
@@ -56,6 +59,7 @@ impl EngineConfig {
             device: DeviceConfig::v100(),
             variant,
             layout: Layout::Lbn,
+            exec_mode: ExecMode::TimingOnly,
         }
     }
 
@@ -63,6 +67,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Overrides the execution mode (Full-mode arithmetic vs cost model).
+    #[must_use]
+    pub fn with_exec_mode(mut self, exec_mode: ExecMode) -> Self {
+        self.exec_mode = exec_mode;
         self
     }
 }
@@ -125,12 +136,7 @@ impl Engine {
 
     /// Executes a synthetic kernel schedule (TimingOnly mode) under the
     /// given operation tag and batch, returning the window statistics.
-    pub fn run_schedule(
-        &mut self,
-        tag: &str,
-        events: &[KernelEvent],
-        batch: usize,
-    ) -> OpStats {
+    pub fn run_schedule(&mut self, tag: &str, events: &[KernelEvent], batch: usize) -> OpStats {
         let first = self.sim.borrow().stats().len();
         let mut tracer = self.make_tracer(batch);
         tracer.op_begin(tag);
@@ -190,6 +196,15 @@ impl Engine {
         let budget = (self.cfg.device.vram_bytes() as f64 * 0.85) as u64;
         ((budget / per_op.max(1)) as usize).max(1)
     }
+
+    /// The batch size the API layer auto-selects: VRAM-bounded
+    /// ([`Engine::max_batch`]), capped at the parameter preset's
+    /// configured batch. Single source of the policy for both
+    /// `TensorFhe::auto_batch` and the request service's default cap.
+    #[must_use]
+    pub fn auto_batch(&self, params: &CkksParams) -> usize {
+        self.max_batch(params).min(params.batch_size().max(1))
+    }
 }
 
 #[cfg(test)]
@@ -236,14 +251,8 @@ mod tests {
             let s = e.run_schedule("HMULT", &sched, 16);
             times.push((v.label(), s.time_us));
         }
-        assert!(
-            times[0].1 > times[1].1,
-            "CO must beat NT: {times:?}"
-        );
-        assert!(
-            times[1].1 > times[2].1,
-            "TC must beat CO: {times:?}"
-        );
+        assert!(times[0].1 > times[1].1, "CO must beat NT: {times:?}");
+        assert!(times[1].1 > times[2].1, "TC must beat CO: {times:?}");
     }
 
     #[test]

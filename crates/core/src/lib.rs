@@ -1,7 +1,10 @@
-//! The TensorFHE engine — the paper's contribution layer.
+//! The TensorFHE engine — the paper's contribution layer, fronted by a
+//! request-stream service.
 //!
-//! `tensorfhe-core` glues the substrates together exactly as §IV-E
-//! describes:
+//! `tensorfhe-core` glues the substrates together as §IV-E describes, and
+//! exposes them the way the paper frames the API layer: clients send
+//! streams of FHE operation *requests*; the system decomposes them, picks
+//! the batch size, and invokes the kernel workflows.
 //!
 //! * **Kernel layer** ([`tracer`]) — translates the seven CKKS kernels into
 //!   simulated GPU launches. The NTT kernel has three lowerings matching
@@ -14,36 +17,73 @@
 //!   execution traces; it lets paper-scale workloads (N = 2^16, L = 44,
 //!   batch 128) be *costed* without executing the arithmetic
 //!   (`ExecMode::TimingOnly`).
-//! * **API layer** ([`api`]) — decomposes operation requests into kernel
-//!   workflows, picks the VRAM-feasible batch size (§IV-E), runs the
-//!   engine, and reports per-operation statistics.
+//! * **API layer** ([`api`]) — [`TensorFhe::builder`] configures params,
+//!   device model, NTT variant, layout, execution mode and device count;
+//!   [`api::TensorFhe::run_op`] remains as the single-caller shim.
+//! * **Request service** ([`service`]) — the batching front end:
+//!   [`service::FheService`] enqueues [`service::FheRequest`]s from many
+//!   clients, coalesces compatible ones (same op, same level) into
+//!   VRAM-feasible batches, dispatches to one engine or a multi-GPU
+//!   cluster, and reports per-request cost plus service-level stats
+//!   (queue latency, batch-fill efficiency, aggregate ops/s and ops/W).
 //! * **Operation-level batching** ([`engine`]) — the `(L, B, N)` vs
 //!   `(B, L, N)` layout switch of Fig. 9 and the batch-size machinery of
-//!   Fig. 14.
+//!   Fig. 14; [`multi_gpu`] shards batches across devices (§VII).
+//! * **Errors** ([`error`]) — every fallible entry point returns
+//!   [`error::CoreError`] instead of panicking.
 //!
-//! # Examples
+//! # Migrating from `run_op` to `submit`/`drain`
+//!
+//! Seed-era code chose its own batch and called `run_op`:
 //!
 //! ```
-//! use tensorfhe_core::api::TensorFhe;
-//! use tensorfhe_core::engine::{EngineConfig, Variant};
+//! use tensorfhe_core::api::{FheOp, TensorFhe};
 //! use tensorfhe_ckks::CkksParams;
 //!
-//! // Cost one batched HMULT at small parameters on the simulated A100.
 //! let params = CkksParams::test_small();
-//! let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
-//! let report = api.run_op(tensorfhe_core::api::FheOp::HMult, params.max_level(), 8);
+//! let mut api = TensorFhe::builder(&params).build()?;
+//! let report = api.run_op(FheOp::HMult, params.max_level(), 8);
 //! assert!(report.time_us > 0.0);
+//! # Ok::<(), tensorfhe_core::error::CoreError>(())
 //! ```
+//!
+//! Service-era code submits requests and lets the system batch:
+//!
+//! ```
+//! use tensorfhe_core::api::{FheOp, TensorFhe};
+//! use tensorfhe_core::service::FheRequest;
+//! use tensorfhe_ckks::CkksParams;
+//!
+//! let params = CkksParams::test_small();
+//! let mut svc = TensorFhe::builder(&params).service()?;
+//! let level = params.max_level();
+//! svc.submit(FheRequest::new(FheOp::HMult, level, 12, "alice"))?;
+//! svc.submit(FheRequest::new(FheOp::HRotate, level, 4, "bob"))?;
+//! let reports = svc.drain();
+//! assert_eq!(reports.len(), 2);
+//! assert!(svc.stats().ops_per_second > 0.0);
+//! # Ok::<(), tensorfhe_core::error::CoreError>(())
+//! ```
+//!
+//! | seed API | service API |
+//! |---|---|
+//! | `TensorFhe::new(&params, EngineConfig::a100(v))` | `TensorFhe::builder(&params).variant(v).build()?` |
+//! | `MultiGpu::new(cfg, n, &params)` (panicked on 0) | `MultiGpu::new(cfg, n, &params)?` or `builder.devices(n).service()?` |
+//! | caller-chosen `run_op(op, level, batch)` | `submit(FheRequest)` + `drain()` |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod api;
 pub mod engine;
+pub mod error;
 pub mod multi_gpu;
 pub mod schedule;
+pub mod service;
 pub mod tracer;
 
-pub use api::{FheOp, OpReport, TensorFhe};
+pub use api::{FheOp, OpReport, TensorFhe, TensorFheBuilder};
 pub use engine::{Engine, EngineConfig, ExecMode, Layout, Variant};
+pub use error::{CoreError, CoreResult};
 pub use multi_gpu::{MultiGpu, MultiGpuStats};
+pub use service::{FheRequest, FheService, RequestId, RequestReport, RequestStatus, ServiceStats};

@@ -12,6 +12,7 @@
 //! one-time evaluation-key broadcast, which this model charges explicitly.
 
 use crate::engine::{Engine, EngineConfig, OpStats};
+use crate::error::{CoreError, CoreResult};
 use tensorfhe_ckks::{CkksParams, KernelEvent};
 
 /// A cluster of identical simulated devices executing sharded batches.
@@ -28,12 +29,13 @@ impl MultiGpu {
     /// broadcast (keys are replicated once over PCIe/NVLink; we charge PCIe
     /// 4.0 ×16 ≈ 25 GB/s as the conservative path).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `devices == 0`.
-    #[must_use]
-    pub fn new(cfg: &EngineConfig, devices: usize, params: &CkksParams) -> Self {
-        assert!(devices > 0, "need at least one device");
+    /// Returns [`CoreError::InvalidConfig`] if `devices == 0`.
+    pub fn new(cfg: &EngineConfig, devices: usize, params: &CkksParams) -> CoreResult<Self> {
+        if devices == 0 {
+            return Err(CoreError::InvalidConfig("need at least one device".into()));
+        }
         let engines = (0..devices).map(|_| Engine::new(cfg.clone())).collect();
         // Key material ≈ dnum digit keys × 2 polys × (L+1+K) limbs × N × 4 B.
         let key_bytes = params.dnum() as u64
@@ -46,10 +48,10 @@ impl MultiGpu {
         } else {
             0.0
         };
-        Self {
+        Ok(Self {
             engines,
             broadcast_us,
-        }
+        })
     }
 
     /// Number of devices.
@@ -75,6 +77,19 @@ impl MultiGpu {
         events: &[KernelEvent],
         batch: usize,
     ) -> MultiGpuStats {
+        self.run_schedule_detailed(tag, events, batch).0
+    }
+
+    /// Like [`MultiGpu::run_schedule`], but also returns merged per-kernel
+    /// statistics (summed kernel times, time-weighted occupancy, total
+    /// launches) so the service layer can report cluster batches with the
+    /// same fidelity as single-device ones.
+    pub fn run_schedule_detailed(
+        &mut self,
+        tag: &str,
+        events: &[KernelEvent],
+        batch: usize,
+    ) -> (MultiGpuStats, OpStats) {
         let devices = self.engines.len();
         let shard = batch.div_ceil(devices);
         let mut per_device: Vec<OpStats> = Vec::with_capacity(devices);
@@ -87,12 +102,26 @@ impl MultiGpu {
             per_device.push(engine.run_schedule(tag, events, this));
             assigned += this;
         }
-        let wall_us = per_device
-            .iter()
-            .map(|s| s.time_us)
-            .fold(0.0f64, f64::max);
-        let energy_j = per_device.iter().map(|s| s.energy_j).sum();
-        MultiGpuStats {
+        let wall_us = per_device.iter().map(|s| s.time_us).fold(0.0f64, f64::max);
+        let energy_j: f64 = per_device.iter().map(|s| s.energy_j).sum();
+        let launches = per_device.iter().map(|s| s.launches).sum();
+        let busy_us: f64 = per_device.iter().map(|s| s.time_us).sum();
+        let occupancy = if busy_us > 0.0 {
+            per_device
+                .iter()
+                .map(|s| s.occupancy * s.time_us)
+                .sum::<f64>()
+                / busy_us
+        } else {
+            0.0
+        };
+        let mut by_kernel: std::collections::BTreeMap<String, f64> = Default::default();
+        for s in &per_device {
+            for (k, t) in &s.by_kernel {
+                *by_kernel.entry(k.clone()).or_insert(0.0) += t;
+            }
+        }
+        let stats = MultiGpuStats {
             wall_us,
             energy_j,
             ops_per_second: if wall_us > 0.0 {
@@ -101,7 +130,15 @@ impl MultiGpu {
                 0.0
             },
             devices_used: per_device.len(),
-        }
+        };
+        let detail = OpStats {
+            time_us: wall_us,
+            occupancy,
+            energy_j,
+            launches,
+            by_kernel: by_kernel.into_iter().collect(),
+        };
+        (stats, detail)
     }
 }
 
@@ -126,8 +163,17 @@ mod tests {
 
     fn setup(devices: usize) -> (CkksParams, MultiGpu) {
         let params = CkksParams::test_small();
-        let cluster = MultiGpu::new(&EngineConfig::a100(Variant::TensorCore), devices, &params);
+        let cluster = MultiGpu::new(&EngineConfig::a100(Variant::TensorCore), devices, &params)
+            .expect("non-zero device count");
         (params, cluster)
+    }
+
+    #[test]
+    fn zero_devices_is_a_config_error_not_a_panic() {
+        let params = CkksParams::test_small();
+        let err = MultiGpu::new(&EngineConfig::a100(Variant::TensorCore), 0, &params)
+            .expect_err("zero devices must be rejected");
+        assert!(matches!(err, crate::error::CoreError::InvalidConfig(_)));
     }
 
     #[test]
@@ -158,7 +204,10 @@ mod tests {
         let s4 = four.run_schedule("HMULT", &sched, 64);
         let rel = (s4.energy_j - s1.energy_j).abs() / s1.energy_j;
         // Smaller shards utilise each device slightly worse.
-        assert!(rel < 0.6, "energy should stay the same order across sharding: {rel}");
+        assert!(
+            rel < 0.6,
+            "energy should stay the same order across sharding: {rel}"
+        );
     }
 
     #[test]

@@ -19,23 +19,53 @@ pub fn key_switch_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent
     let digits = limbs.div_ceil(alpha);
     let mut ev = Vec::new();
     // INTT of the input.
-    ev.push(KernelEvent::Ntt { n, limbs, inverse: true });
+    ev.push(KernelEvent::Ntt {
+        n,
+        limbs,
+        inverse: true,
+    });
     for j in 0..digits {
         let src = alpha.min(limbs - j * alpha);
         let ext_limbs = limbs + k;
         // ModUp: Conv to the complement basis, then NTT of the extension.
-        ev.push(KernelEvent::Conv { n, l_src: src, l_dst: limbs - src + k });
-        ev.push(KernelEvent::Ntt { n, limbs: ext_limbs, inverse: false });
+        ev.push(KernelEvent::Conv {
+            n,
+            l_src: src,
+            l_dst: limbs - src + k,
+        });
+        ev.push(KernelEvent::Ntt {
+            n,
+            limbs: ext_limbs,
+            inverse: false,
+        });
         // Inner product accumulate against both key components.
-        ev.push(KernelEvent::HadaMult { n, limbs: 2 * ext_limbs });
-        ev.push(KernelEvent::EleAdd { n, limbs: 2 * ext_limbs });
+        ev.push(KernelEvent::HadaMult {
+            n,
+            limbs: 2 * ext_limbs,
+        });
+        ev.push(KernelEvent::EleAdd {
+            n,
+            limbs: 2 * ext_limbs,
+        });
     }
     // ModDown of both accumulators.
     for _ in 0..2 {
-        ev.push(KernelEvent::Ntt { n, limbs: limbs + k, inverse: true });
-        ev.push(KernelEvent::Conv { n, l_src: k, l_dst: limbs });
+        ev.push(KernelEvent::Ntt {
+            n,
+            limbs: limbs + k,
+            inverse: true,
+        });
+        ev.push(KernelEvent::Conv {
+            n,
+            l_src: k,
+            l_dst: limbs,
+        });
         ev.push(KernelEvent::EleSub { n, limbs });
-        ev.push(KernelEvent::Ntt { n, limbs, inverse: false });
+        ev.push(KernelEvent::Ntt {
+            n,
+            limbs,
+            inverse: false,
+        });
     }
     ev
 }
@@ -46,11 +76,17 @@ pub fn hmult_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent> {
     let n = params.n();
     let limbs = level + 1;
     let mut ev = vec![
-        KernelEvent::HadaMult { n, limbs: 4 * limbs },
+        KernelEvent::HadaMult {
+            n,
+            limbs: 4 * limbs,
+        },
         KernelEvent::EleAdd { n, limbs },
     ];
     ev.extend(key_switch_schedule(params, level));
-    ev.push(KernelEvent::EleAdd { n, limbs: 2 * limbs });
+    ev.push(KernelEvent::EleAdd {
+        n,
+        limbs: 2 * limbs,
+    });
     ev
 }
 
@@ -77,9 +113,20 @@ pub fn hadd_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent> {
 pub fn rescale_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent> {
     let n = params.n();
     vec![
-        KernelEvent::Ntt { n, limbs: 2, inverse: true },
-        KernelEvent::Ntt { n, limbs: 2 * level, inverse: false },
-        KernelEvent::EleSub { n, limbs: 2 * level },
+        KernelEvent::Ntt {
+            n,
+            limbs: 2,
+            inverse: true,
+        },
+        KernelEvent::Ntt {
+            n,
+            limbs: 2 * level,
+            inverse: false,
+        },
+        KernelEvent::EleSub {
+            n,
+            limbs: 2 * level,
+        },
     ]
 }
 
@@ -88,7 +135,10 @@ pub fn rescale_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent> {
 pub fn hrotate_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent> {
     let n = params.n();
     let limbs = level + 1;
-    let mut ev = vec![KernelEvent::FrobeniusMap { n, limbs: 2 * limbs }];
+    let mut ev = vec![KernelEvent::FrobeniusMap {
+        n,
+        limbs: 2 * limbs,
+    }];
     ev.extend(key_switch_schedule(params, level));
     ev.push(KernelEvent::EleAdd { n, limbs });
     ev
@@ -99,7 +149,10 @@ pub fn hrotate_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent> {
 pub fn conjugate_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent> {
     let n = params.n();
     let limbs = level + 1;
-    let mut ev = vec![KernelEvent::Conjugate { n, limbs: 2 * limbs }];
+    let mut ev = vec![KernelEvent::Conjugate {
+        n,
+        limbs: 2 * limbs,
+    }];
     ev.extend(key_switch_schedule(params, level));
     ev.push(KernelEvent::EleAdd { n, limbs });
     ev
@@ -186,8 +239,16 @@ pub fn bootstrap_schedule(
     let mut level = top;
 
     // ModRaise: INTT at level 0, NTT at the top of the chain.
-    ev.push(KernelEvent::Ntt { n: params.n(), limbs: 2, inverse: true });
-    ev.push(KernelEvent::Ntt { n: params.n(), limbs: 2 * (top + 1), inverse: false });
+    ev.push(KernelEvent::Ntt {
+        n: params.n(),
+        limbs: 2,
+        inverse: true,
+    });
+    ev.push(KernelEvent::Ntt {
+        n: params.n(),
+        limbs: 2 * (top + 1),
+        inverse: false,
+    });
 
     // CoeffToSlot: conjugation + 4 factorized transforms + 2 additions.
     ev.extend(conjugate_schedule(params, level));
@@ -197,7 +258,10 @@ pub fn bootstrap_schedule(
         ev.extend(t);
         stages = st;
     }
-    ev.push(KernelEvent::EleAdd { n: params.n(), limbs: 4 * level });
+    ev.push(KernelEvent::EleAdd {
+        n: params.n(),
+        limbs: 4 * level,
+    });
     level -= stages;
 
     // Two sine evaluations, one per coefficient half; they run on parallel
@@ -213,7 +277,10 @@ pub fn bootstrap_schedule(
         let (t, _) = faster_dft_schedule(params, level);
         ev.extend(t);
     }
-    ev.push(KernelEvent::EleAdd { n: params.n(), limbs: 2 * level });
+    ev.push(KernelEvent::EleAdd {
+        n: params.n(),
+        limbs: 2 * level,
+    });
     ev
 }
 
@@ -228,20 +295,29 @@ fn sine_schedule(
     let n = params.n();
     let mut level = start_level;
     // Fold constant.
-    ev.push(KernelEvent::HadaMult { n, limbs: 2 * (level + 1) });
+    ev.push(KernelEvent::HadaMult {
+        n,
+        limbs: 2 * (level + 1),
+    });
     ev.extend(rescale_schedule(params, level));
     level -= 1;
     // Initial Taylor constant multiply.
     ev.extend(cmult_schedule(params, level));
     ev.extend(rescale_schedule(params, level));
     level -= 1;
-    ev.push(KernelEvent::EleAdd { n, limbs: level + 1 });
+    ev.push(KernelEvent::EleAdd {
+        n,
+        limbs: level + 1,
+    });
     // Horner multiplications.
     for _ in 0..taylor_degree.saturating_sub(1) {
         ev.extend(hmult_schedule(params, level));
         ev.extend(rescale_schedule(params, level));
         level -= 1;
-        ev.push(KernelEvent::EleAdd { n, limbs: level + 1 });
+        ev.push(KernelEvent::EleAdd {
+            n,
+            limbs: level + 1,
+        });
     }
     // Double-angle squarings.
     for _ in 0..double_angles {
@@ -251,7 +327,10 @@ fn sine_schedule(
     }
     // Conjugate, subtract, final complex constant multiply.
     ev.extend(conjugate_schedule(params, level));
-    ev.push(KernelEvent::EleSub { n, limbs: 2 * (level + 1) });
+    ev.push(KernelEvent::EleSub {
+        n,
+        limbs: 2 * (level + 1),
+    });
     ev.extend(cmult_schedule(params, level));
     ev.extend(rescale_schedule(params, level));
     level - 1
@@ -346,10 +425,7 @@ mod tests {
         let (params, real) = capture("rescale");
         let hmult_len = hmult_schedule(&params, params.max_level()).len();
         let real_rescale = &real[hmult_len..];
-        assert_eq!(
-            rescale_schedule(&params, params.max_level()),
-            real_rescale
-        );
+        assert_eq!(rescale_schedule(&params, params.max_level()), real_rescale);
     }
 
     #[test]

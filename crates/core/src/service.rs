@@ -1,0 +1,672 @@
+//! The request-stream service front end (§IV-E as a *system* job).
+//!
+//! The paper's API layer "collects and decomposes the requests for FHE
+//! operations from the user applications … automatically generates the best
+//! batch size … and sequentially invokes the kernels in the workflow". The
+//! seed code put the batch in the caller's hands; this module moves it where
+//! the paper puts it — the service:
+//!
+//! 1. Many clients [`FheService::submit`] heterogeneous [`FheRequest`]s
+//!    (operation + level + count + client tag) and get typed [`RequestId`]
+//!    handles back.
+//! 2. [`FheService::drain`] coalesces *compatible* queued requests — same
+//!    operation at the same level — into VRAM-feasible batches (the
+//!    `auto_batch` bound of §IV-E, multiplied across devices), preserving
+//!    FIFO order across client tags.
+//! 3. Each batch is dispatched to the single-device [`Engine`] or sharded
+//!    over a [`MultiGpu`] cluster, and its cost is attributed back to the
+//!    requests that rode in it: every request receives an [`OpReport`]
+//!    plus queue latency, and the service accumulates aggregate
+//!    [`ServiceStats`] (batch-fill efficiency, ops/s, ops/W).
+//!
+//! Time is *virtual* (simulated-device microseconds), consistent with the
+//! rest of the reproduction: the service clock advances by the wall time of
+//! each dispatched batch, so queue latency measures exactly the time a
+//! request waited behind earlier batches.
+//!
+//! Identical batches — same `(op, level, width)` in TimingOnly mode — cost
+//! the same by construction, so dispatch results are cached. This is the
+//! same device-time-preserving shortcut the workload runner has always used,
+//! and it keeps paper-scale streams (tens of thousands of operations)
+//! tractable.
+
+use crate::api::{schedule_events, FheOp, OpReport, TensorFheBuilder};
+use crate::engine::{Engine, ExecMode, OpStats};
+use crate::error::{CoreError, CoreResult};
+use crate::multi_gpu::MultiGpu;
+use std::collections::{HashMap, VecDeque};
+use tensorfhe_ckks::CkksParams;
+
+/// Typed handle to a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// The raw numeric id (monotonically increasing per service).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One client request: `count` invocations of `op` at ciphertext `level`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FheRequest {
+    /// The operation.
+    pub op: FheOp,
+    /// Ciphertext level the operation runs at.
+    pub level: usize,
+    /// How many independent instances of the operation are requested.
+    pub count: usize,
+    /// Client tag (for fairness accounting and per-tenant reporting).
+    pub client: String,
+}
+
+impl FheRequest {
+    /// Creates a request.
+    pub fn new(op: FheOp, level: usize, count: usize, client: impl Into<String>) -> Self {
+        Self {
+            op,
+            level,
+            count,
+            client: client.into(),
+        }
+    }
+}
+
+/// Completion report for one request: its attributed share of the batches
+/// it rode in, plus queueing behaviour.
+#[derive(Debug, Clone)]
+pub struct RequestReport {
+    /// The request handle.
+    pub id: RequestId,
+    /// Client tag the request carried.
+    pub client: String,
+    /// Level the request ran at.
+    pub level: usize,
+    /// Virtual time spent queued: submission → last instance completed (µs).
+    pub queue_us: f64,
+    /// Device batches this request's instances were coalesced into.
+    pub batches: usize,
+    /// The attributed operation report (`batch` = the request's `count`;
+    /// time/energy/kernel shares are the request's proportional slice of
+    /// the batches it shared with other requests).
+    pub report: OpReport,
+}
+
+/// Queue state of a submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Still queued, with this many operation instances left to run.
+    Queued {
+        /// Instances not yet dispatched.
+        remaining: usize,
+    },
+    /// Fully served; its report was (or will be) returned by the drain
+    /// that completed it.
+    Completed,
+}
+
+/// Aggregate service statistics since construction.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests fully served.
+    pub requests_completed: usize,
+    /// Operation instances executed.
+    pub ops_completed: usize,
+    /// Device batches dispatched.
+    pub batches_dispatched: usize,
+    /// Coalesced batch width the service will not exceed.
+    pub batch_cap: usize,
+    /// Devices serving the queue.
+    pub devices: usize,
+    /// Mean fraction of the batch cap actually filled, in `(0, 1]`.
+    pub batch_fill: f64,
+    /// Total device busy time (µs, virtual).
+    pub busy_us: f64,
+    /// Total energy charged (J).
+    pub energy_j: f64,
+    /// Mean queue latency over completed requests (µs, virtual).
+    pub mean_queue_us: f64,
+    /// Aggregate throughput: completed operations per second of busy time.
+    pub ops_per_second: f64,
+    /// Aggregate operations per watt (Table XI's service-level metric).
+    pub ops_per_watt: f64,
+}
+
+/// A queued request with its accumulated attribution.
+#[derive(Debug)]
+struct Pending {
+    id: RequestId,
+    req: FheRequest,
+    remaining: usize,
+    submitted_us: f64,
+    time_us: f64,
+    energy_j: f64,
+    occ_weighted: f64,
+    launches: f64,
+    by_kernel: std::collections::BTreeMap<String, f64>,
+    batches: usize,
+}
+
+/// Execution backend: one engine or a sharded cluster.
+#[derive(Debug)]
+enum Backend {
+    Single(Engine),
+    Cluster(MultiGpu),
+}
+
+/// The batching FHE service front end.
+#[derive(Debug)]
+pub struct FheService {
+    params: CkksParams,
+    backend: Backend,
+    batch_cap: usize,
+    power_watts: f64,
+    queue: VecDeque<Pending>,
+    next_id: u64,
+    clock_us: f64,
+    // Cumulative accounting.
+    requests_completed: usize,
+    ops_completed: usize,
+    batches_dispatched: usize,
+    fill_sum: f64,
+    busy_us: f64,
+    energy_j: f64,
+    queue_latency_sum_us: f64,
+    cost_cache: HashMap<(FheOp, usize, usize), OpStats>,
+}
+
+impl FheService {
+    /// Starts configuring a service — equivalent to
+    /// [`crate::api::TensorFhe::builder`] followed by
+    /// [`TensorFheBuilder::service`].
+    #[must_use]
+    pub fn builder(params: &CkksParams) -> TensorFheBuilder {
+        TensorFheBuilder::new(params)
+    }
+
+    pub(crate) fn from_builder(b: TensorFheBuilder) -> CoreResult<Self> {
+        if b.devices == 0 {
+            return Err(CoreError::InvalidConfig("need at least one device".into()));
+        }
+        if b.exec_mode == ExecMode::Full {
+            return Err(CoreError::InvalidConfig(
+                "the request service is schedule-only (TimingOnly); Full-mode \
+                 arithmetic runs through Engine::make_tracer + an Evaluator"
+                    .into(),
+            ));
+        }
+        let cfg = b.engine_config();
+        let power_watts = cfg.device.power_watts * b.devices as f64;
+        // §IV-E: the batch size is chosen by the API layer, bounded by VRAM
+        // (and the parameter preset's configured batch), scaled across the
+        // cluster — each device only ever holds its own shard.
+        let probe = Engine::new(cfg.clone());
+        let auto = probe.auto_batch(&b.params);
+        let batch_cap = match b.batch_cap {
+            Some(0) => {
+                return Err(CoreError::InvalidConfig(
+                    "batch cap must be non-zero".into(),
+                ))
+            }
+            Some(cap) => cap,
+            None => auto * b.devices,
+        };
+        let backend = if b.devices == 1 {
+            Backend::Single(probe)
+        } else {
+            Backend::Cluster(MultiGpu::new(&cfg, b.devices, &b.params)?)
+        };
+        Ok(Self {
+            params: b.params,
+            backend,
+            batch_cap,
+            power_watts,
+            queue: VecDeque::new(),
+            next_id: 0,
+            clock_us: 0.0,
+            requests_completed: 0,
+            ops_completed: 0,
+            batches_dispatched: 0,
+            fill_sum: 0.0,
+            busy_us: 0.0,
+            energy_j: 0.0,
+            queue_latency_sum_us: 0.0,
+            cost_cache: HashMap::new(),
+        })
+    }
+
+    /// Parameter set the service runs.
+    #[must_use]
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// Number of devices serving the queue.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 1,
+            Backend::Cluster(c) => c.devices(),
+        }
+    }
+
+    /// The widest batch the service will coalesce.
+    #[must_use]
+    pub fn batch_cap(&self) -> usize {
+        self.batch_cap
+    }
+
+    /// Operation instances currently queued.
+    #[must_use]
+    pub fn pending_ops(&self) -> usize {
+        self.queue.iter().map(|p| p.remaining).sum()
+    }
+
+    /// Requests currently queued.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue state of a request handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRequest`] for a handle this service
+    /// never issued.
+    pub fn status(&self, id: RequestId) -> CoreResult<RequestStatus> {
+        if id.0 >= self.next_id {
+            return Err(CoreError::UnknownRequest(id));
+        }
+        Ok(match self.queue.iter().find(|p| p.id == id) {
+            Some(p) => RequestStatus::Queued {
+                remaining: p.remaining,
+            },
+            None => RequestStatus::Completed,
+        })
+    }
+
+    /// Enqueues a request, returning its typed handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidRequest`] for a zero `count` or a level
+    /// above the parameter set's modulus chain.
+    pub fn submit(&mut self, req: FheRequest) -> CoreResult<RequestId> {
+        if req.count == 0 {
+            return Err(CoreError::InvalidRequest("count must be non-zero".into()));
+        }
+        if req.level > self.params.max_level() {
+            return Err(CoreError::InvalidRequest(format!(
+                "level {} exceeds max level {}",
+                req.level,
+                self.params.max_level()
+            )));
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let remaining = req.count;
+        self.queue.push_back(Pending {
+            id,
+            req,
+            remaining,
+            submitted_us: self.clock_us,
+            time_us: 0.0,
+            energy_j: 0.0,
+            occ_weighted: 0.0,
+            launches: 0.0,
+            by_kernel: Default::default(),
+            batches: 0,
+        });
+        Ok(id)
+    }
+
+    /// Enqueues a whole stream of requests.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid request; earlier ones stay enqueued.
+    pub fn submit_stream(
+        &mut self,
+        reqs: impl IntoIterator<Item = FheRequest>,
+    ) -> CoreResult<Vec<RequestId>> {
+        reqs.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Serves the queue to exhaustion: repeatedly coalesces the largest
+    /// FIFO-compatible batch (same operation, same level, up to the batch
+    /// cap), dispatches it, and attributes its cost to the requests that
+    /// rode in it. Returns the completion reports in completion order.
+    /// Draining an empty queue is a no-op returning no reports.
+    pub fn drain(&mut self) -> Vec<RequestReport> {
+        let mut done = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let op = front.req.op;
+            let level = front.req.level;
+
+            // FIFO coalescing pass: walk the queue in submission order and
+            // take instances from every request compatible with the head.
+            let cap = self.batch_cap;
+            let mut width = 0usize;
+            let mut takes: Vec<(usize, usize)> = Vec::new();
+            for (i, p) in self.queue.iter().enumerate() {
+                if p.req.op != op || p.req.level != level {
+                    continue;
+                }
+                let take = p.remaining.min(cap - width);
+                if take > 0 {
+                    takes.push((i, take));
+                    width += take;
+                }
+                if width == cap {
+                    break;
+                }
+            }
+
+            let stats = self.dispatch(op, level, width);
+            self.clock_us += stats.time_us;
+            self.busy_us += stats.time_us;
+            self.energy_j += stats.energy_j;
+            self.batches_dispatched += 1;
+            self.fill_sum += width as f64 / cap as f64;
+            self.ops_completed += width;
+
+            for &(i, take) in &takes {
+                let share = take as f64 / width as f64;
+                let p = &mut self.queue[i];
+                p.remaining -= take;
+                p.batches += 1;
+                p.time_us += stats.time_us * share;
+                p.energy_j += stats.energy_j * share;
+                p.occ_weighted += stats.occupancy * stats.time_us * share;
+                p.launches += stats.launches as f64 * share;
+                for (k, t) in &stats.by_kernel {
+                    *p.by_kernel.entry(k.clone()).or_insert(0.0) += t * share;
+                }
+            }
+
+            // Sweep out completed requests in queue (= submission) order so
+            // reports come back FIFO within each completion instant.
+            let mut idx = 0;
+            while idx < self.queue.len() {
+                if self.queue[idx].remaining == 0 {
+                    let p = self.queue.remove(idx).expect("index in bounds");
+                    done.push(self.finalize(p));
+                } else {
+                    idx += 1;
+                }
+            }
+        }
+        done
+    }
+
+    /// Cumulative service statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let ops_per_second = if self.busy_us > 0.0 {
+            self.ops_completed as f64 / (self.busy_us * 1e-6)
+        } else {
+            0.0
+        };
+        ServiceStats {
+            requests_completed: self.requests_completed,
+            ops_completed: self.ops_completed,
+            batches_dispatched: self.batches_dispatched,
+            batch_cap: self.batch_cap,
+            devices: self.devices(),
+            batch_fill: if self.batches_dispatched > 0 {
+                self.fill_sum / self.batches_dispatched as f64
+            } else {
+                0.0
+            },
+            busy_us: self.busy_us,
+            energy_j: self.energy_j,
+            mean_queue_us: if self.requests_completed > 0 {
+                self.queue_latency_sum_us / self.requests_completed as f64
+            } else {
+                0.0
+            },
+            ops_per_second,
+            ops_per_watt: ops_per_second / self.power_watts,
+        }
+    }
+
+    /// Executes one coalesced batch, consulting the dispatch cache.
+    fn dispatch(&mut self, op: FheOp, level: usize, width: usize) -> OpStats {
+        if let Some(hit) = self.cost_cache.get(&(op, level, width)) {
+            return hit.clone();
+        }
+        let events = schedule_events(&self.params, op, level);
+        let stats = match &mut self.backend {
+            Backend::Single(engine) => engine.run_schedule(op.name(), &events, width),
+            Backend::Cluster(cluster) => cluster.run_schedule_detailed(op.name(), &events, width).1,
+        };
+        self.cost_cache.insert((op, level, width), stats.clone());
+        stats
+    }
+
+    fn finalize(&mut self, p: Pending) -> RequestReport {
+        let queue_us = self.clock_us - p.submitted_us;
+        self.requests_completed += 1;
+        self.queue_latency_sum_us += queue_us;
+        let count = p.req.count;
+        let ops_per_second = if p.time_us > 0.0 {
+            count as f64 / (p.time_us * 1e-6)
+        } else {
+            0.0
+        };
+        RequestReport {
+            id: p.id,
+            client: p.req.client,
+            level: p.req.level,
+            queue_us,
+            batches: p.batches,
+            report: OpReport {
+                op: p.req.op,
+                batch: count,
+                time_us: p.time_us,
+                per_op_us: p.time_us / count.max(1) as f64,
+                occupancy: if p.time_us > 0.0 {
+                    p.occ_weighted / p.time_us
+                } else {
+                    0.0
+                },
+                energy_j: p.energy_j,
+                ops_per_second,
+                ops_per_watt: ops_per_second / self.power_watts,
+                launches: p.launches.round() as usize,
+                by_kernel: p.by_kernel.into_iter().collect(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::TensorFhe;
+    use crate::engine::Variant;
+
+    fn service() -> FheService {
+        TensorFhe::builder(&CkksParams::test_small())
+            .variant(Variant::TensorCore)
+            .service()
+            .expect("valid service config")
+    }
+
+    #[test]
+    fn empty_queue_drain_is_a_noop() {
+        let mut svc = service();
+        let reports = svc.drain();
+        assert!(reports.is_empty());
+        let s = svc.stats();
+        assert_eq!(s.batches_dispatched, 0);
+        assert_eq!(s.ops_completed, 0);
+        assert_eq!(s.busy_us, 0.0);
+    }
+
+    #[test]
+    fn mixed_op_stream_coalesces_into_full_batches() {
+        let mut svc = service();
+        let cap = svc.batch_cap();
+        assert!(cap >= 2, "test needs a coalescible cap, got {cap}");
+        let level = svc.params().max_level();
+        // Interleave two ops; each op's total fills its batch cap exactly
+        // twice, but no single request does.
+        for _ in 0..4 {
+            svc.submit(FheRequest::new(FheOp::HMult, level, cap / 2, "a"))
+                .expect("valid");
+            svc.submit(FheRequest::new(FheOp::Rescale, level, cap / 2, "b"))
+                .expect("valid");
+        }
+        let reports = svc.drain();
+        assert_eq!(reports.len(), 8);
+        let s = svc.stats();
+        assert_eq!(s.ops_completed, 4 * cap);
+        // Coalescing must have produced full batches: 2 per op if cap is
+        // even, never one batch per request.
+        assert!(
+            s.batches_dispatched < 8,
+            "requests were not coalesced: {} batches",
+            s.batches_dispatched
+        );
+        assert!(
+            s.batch_fill > 0.99,
+            "expected full batches, fill = {}",
+            s.batch_fill
+        );
+    }
+
+    #[test]
+    fn per_request_reports_sum_to_service_totals() {
+        let mut svc = service();
+        let level = svc.params().max_level();
+        let stream = vec![
+            FheRequest::new(FheOp::HMult, level, 5, "a"),
+            FheRequest::new(FheOp::HRotate, level, 3, "b"),
+            FheRequest::new(FheOp::HMult, level, 7, "c"),
+            FheRequest::new(FheOp::Rescale, level - 1, 2, "a"),
+            FheRequest::new(FheOp::HRotate, level, 9, "c"),
+        ];
+        svc.submit_stream(stream).expect("valid stream");
+        let reports = svc.drain();
+        let s = svc.stats();
+        let time: f64 = reports.iter().map(|r| r.report.time_us).sum();
+        let energy: f64 = reports.iter().map(|r| r.report.energy_j).sum();
+        let ops: usize = reports.iter().map(|r| r.report.batch).sum();
+        assert!((time - s.busy_us).abs() < 1e-6 * s.busy_us.max(1.0));
+        assert!((energy - s.energy_j).abs() < 1e-6 * s.energy_j.max(1.0));
+        assert_eq!(ops, s.ops_completed);
+        assert_eq!(reports.len(), s.requests_completed);
+    }
+
+    #[test]
+    fn fifo_fairness_across_client_tags() {
+        let mut svc = service();
+        let level = svc.params().max_level();
+        let clients = ["alice", "bob", "carol"];
+        let mut expected = Vec::new();
+        for round in 0..3 {
+            for c in clients {
+                let id = svc
+                    .submit(FheRequest::new(FheOp::HMult, level, round + 1, c))
+                    .expect("valid");
+                expected.push(id);
+            }
+        }
+        let reports = svc.drain();
+        let got: Vec<RequestId> = reports.iter().map(|r| r.id).collect();
+        assert_eq!(got, expected, "completion order must be FIFO");
+        // Queue latency must be non-decreasing in submission order.
+        for w in reports.windows(2) {
+            assert!(
+                w[1].queue_us >= w[0].queue_us - 1e-9,
+                "later submission finished earlier: {} then {}",
+                w[0].queue_us,
+                w[1].queue_us
+            );
+        }
+    }
+
+    #[test]
+    fn status_tracks_request_lifecycle() {
+        let mut svc = service();
+        let level = svc.params().max_level();
+        let id = svc
+            .submit(FheRequest::new(FheOp::HMult, level, 5, "a"))
+            .expect("valid");
+        assert_eq!(
+            svc.status(id).expect("known"),
+            RequestStatus::Queued { remaining: 5 }
+        );
+        svc.drain();
+        assert_eq!(svc.status(id).expect("known"), RequestStatus::Completed);
+        let bogus = svc.status(RequestId(999)).expect_err("never issued");
+        assert!(matches!(bogus, CoreError::UnknownRequest(_)));
+    }
+
+    #[test]
+    fn full_exec_mode_is_rejected_for_services() {
+        let err = TensorFhe::builder(&CkksParams::test_small())
+            .exec_mode(crate::engine::ExecMode::Full)
+            .service()
+            .expect_err("service is schedule-only");
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_not_panicked() {
+        let mut svc = service();
+        let level = svc.params().max_level();
+        let err = svc
+            .submit(FheRequest::new(FheOp::HAdd, level, 0, "a"))
+            .expect_err("zero count");
+        assert!(matches!(err, CoreError::InvalidRequest(_)));
+        let err = svc
+            .submit(FheRequest::new(FheOp::HAdd, level + 1, 4, "a"))
+            .expect_err("level too deep");
+        assert!(matches!(err, CoreError::InvalidRequest(_)));
+        assert_eq!(svc.pending_requests(), 0);
+    }
+
+    #[test]
+    fn oversized_requests_span_multiple_batches() {
+        let mut svc = service();
+        let cap = svc.batch_cap();
+        let level = svc.params().max_level();
+        let id = svc
+            .submit(FheRequest::new(FheOp::HMult, level, cap * 3 + 1, "big"))
+            .expect("valid");
+        let reports = svc.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].id, id);
+        assert_eq!(reports[0].batches, 4, "3 full batches plus a remainder");
+        assert_eq!(svc.stats().batches_dispatched, 4);
+    }
+
+    #[test]
+    fn cluster_service_outpaces_single_device() {
+        let params = CkksParams::test_small();
+        let level = params.max_level();
+        let run = |devices: usize| {
+            let mut svc = TensorFhe::builder(&params)
+                .devices(devices)
+                .service()
+                .expect("valid");
+            for c in 0..4 {
+                svc.submit(FheRequest::new(FheOp::HMult, level, 64, format!("c{c}")))
+                    .expect("valid");
+            }
+            svc.drain();
+            svc.stats().ops_per_second
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four > one * 2.0,
+            "4-device service should scale throughput: {four} vs {one}"
+        );
+    }
+}

@@ -124,12 +124,22 @@ impl GpuTracer {
             Variant::FourStep => {
                 let (n1, n2) = split(n);
                 self.launch_main(KernelDesc::new(
-                    KernelClass::GemmCuda { m: n1, k: n2, cols: n2, batch },
+                    KernelClass::GemmCuda {
+                        m: n1,
+                        k: n2,
+                        cols: n2,
+                        batch,
+                    },
                     name,
                 ));
                 self.elementwise(name, (n * batch) as u64, 2, 12);
                 self.launch_main(KernelDesc::new(
-                    KernelClass::GemmCuda { m: n1, k: n1, cols: n2, batch },
+                    KernelClass::GemmCuda {
+                        m: n1,
+                        k: n1,
+                        cols: n2,
+                        batch,
+                    },
                     name,
                 ));
             }
@@ -160,7 +170,12 @@ impl GpuTracer {
             self.sim.borrow_mut().launch(
                 self.main,
                 KernelDesc::new(
-                    KernelClass::GemmTcu { m, k, cols, batch: batch * TCU_STREAMS },
+                    KernelClass::GemmTcu {
+                        m,
+                        k,
+                        cols,
+                        batch: batch * TCU_STREAMS,
+                    },
                     format!("{name}-planes"),
                 ),
             );
@@ -207,13 +222,17 @@ impl KernelTracer for GpuTracer {
             }
             KernelEvent::FrobeniusMap { n, limbs } => {
                 self.launch_main(KernelDesc::new(
-                    KernelClass::Permute { elems: (n * limbs) as u64 * b },
+                    KernelClass::Permute {
+                        elems: (n * limbs) as u64 * b,
+                    },
                     "forbenius-map",
                 ));
             }
             KernelEvent::Conjugate { n, limbs } => {
                 self.launch_main(KernelDesc::new(
-                    KernelClass::Permute { elems: (n * limbs) as u64 * b },
+                    KernelClass::Permute {
+                        elems: (n * limbs) as u64 * b,
+                    },
                     "conjugate",
                 ));
             }
@@ -256,7 +275,11 @@ mod tests {
     fn butterfly_variant_launches_one_kernel_per_ntt() {
         let s = sim();
         let mut t = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 1);
-        t.kernel(KernelEvent::Ntt { n: 1 << 12, limbs: 4, inverse: false });
+        t.kernel(KernelEvent::Ntt {
+            n: 1 << 12,
+            limbs: 4,
+            inverse: false,
+        });
         s.borrow_mut().synchronize();
         assert_eq!(s.borrow().stats().len(), 1);
         assert_eq!(s.borrow().stats()[0].class_tag, "butterfly-ntt");
@@ -266,12 +289,19 @@ mod tests {
     fn tensor_core_variant_launches_fig8_pipeline() {
         let s = sim();
         let mut t = GpuTracer::new(Rc::clone(&s), Variant::TensorCore, Layout::Lbn, 1);
-        t.kernel(KernelEvent::Ntt { n: 1 << 12, limbs: 4, inverse: false });
+        t.kernel(KernelEvent::Ntt {
+            n: 1 << 12,
+            limbs: 4,
+            inverse: false,
+        });
         s.borrow_mut().synchronize();
         let stats = s.borrow().stats().to_vec();
         let tcu = stats.iter().filter(|k| k.class_tag == "gemm-tcu").count();
         assert_eq!(tcu, 32, "two stages of 16 plane GEMMs");
-        let ew = stats.iter().filter(|k| k.class_tag == "elementwise").count();
+        let ew = stats
+            .iter()
+            .filter(|k| k.class_tag == "elementwise")
+            .count();
         assert_eq!(ew, 3, "segment / fused-epilogue / final-fusion stages");
     }
 
@@ -279,7 +309,11 @@ mod tests {
     fn plane_gemms_use_distinct_streams() {
         let s = sim();
         let mut t = GpuTracer::new(Rc::clone(&s), Variant::TensorCore, Layout::Lbn, 1);
-        t.kernel(KernelEvent::Ntt { n: 1 << 12, limbs: 1, inverse: false });
+        t.kernel(KernelEvent::Ntt {
+            n: 1 << 12,
+            limbs: 1,
+            inverse: false,
+        });
         s.borrow_mut().synchronize();
         let streams: std::collections::HashSet<usize> = s
             .borrow()
@@ -295,9 +329,15 @@ mod tests {
     fn bln_layout_marks_batched_kernels_strided() {
         let s = sim();
         let mut t = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Bln, 8);
-        t.kernel(KernelEvent::EleAdd { n: 1 << 12, limbs: 2 });
+        t.kernel(KernelEvent::EleAdd {
+            n: 1 << 12,
+            limbs: 2,
+        });
         let mut t2 = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 8);
-        t2.kernel(KernelEvent::EleAdd { n: 1 << 12, limbs: 2 });
+        t2.kernel(KernelEvent::EleAdd {
+            n: 1 << 12,
+            limbs: 2,
+        });
         s.borrow_mut().synchronize();
         let stats = s.borrow().stats().to_vec();
         let strided = &stats[0];
@@ -314,9 +354,15 @@ mod tests {
     fn batch_multiplies_work() {
         let s = sim();
         let mut t1 = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 1);
-        t1.kernel(KernelEvent::HadaMult { n: 1 << 12, limbs: 4 });
+        t1.kernel(KernelEvent::HadaMult {
+            n: 1 << 12,
+            limbs: 4,
+        });
         let mut t64 = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 64);
-        t64.kernel(KernelEvent::HadaMult { n: 1 << 12, limbs: 4 });
+        t64.kernel(KernelEvent::HadaMult {
+            n: 1 << 12,
+            limbs: 4,
+        });
         s.borrow_mut().synchronize();
         let stats = s.borrow().stats().to_vec();
         assert!(stats[1].bytes > stats[0].bytes * 32);

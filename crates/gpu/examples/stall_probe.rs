@@ -8,29 +8,59 @@ fn main() {
     let kernels = [
         (
             "NTT (block 128)",
-            KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 14, batch: 4 }, "ntt")
-                .with_block_size(128),
+            KernelDesc::new(
+                KernelClass::ButterflyNtt {
+                    n: 1 << 14,
+                    batch: 4,
+                },
+                "ntt",
+            )
+            .with_block_size(128),
         ),
         (
             "FFT (block 192)",
-            KernelDesc::new(KernelClass::FftButterfly { n: 1 << 14, batch: 4 }, "fft")
-                .with_block_size(192),
+            KernelDesc::new(
+                KernelClass::FftButterfly {
+                    n: 1 << 14,
+                    batch: 4,
+                },
+                "fft",
+            )
+            .with_block_size(192),
         ),
         (
             "DWT (block 256)",
-            KernelDesc::new(KernelClass::DwtLifting { n: 1 << 14, batch: 4 }, "dwt")
-                .with_block_size(256),
+            KernelDesc::new(
+                KernelClass::DwtLifting {
+                    n: 1 << 14,
+                    batch: 4,
+                },
+                "dwt",
+            )
+            .with_block_size(256),
         ),
         (
             "TensorFHE-CO GEMM",
-            KernelDesc::new(KernelClass::GemmCuda { m: 128, k: 128, cols: 128, batch: 4 }, "gemm"),
+            KernelDesc::new(
+                KernelClass::GemmCuda {
+                    m: 128,
+                    k: 128,
+                    cols: 128,
+                    batch: 4,
+                },
+                "gemm",
+            ),
         ),
     ];
     for (name, k) in kernels {
         let b = sim.stall_profile(&k);
         print!("{name:22} total={:5.1}%", b.stall_fraction() * 100.0);
         for kind in StallKind::ALL {
-            print!(" {}={:4.1}%", kind.label().split(' ').next().unwrap_or(""), b.fraction(kind) * 100.0);
+            print!(
+                " {}={:4.1}%",
+                kind.label().split(' ').next().unwrap_or(""),
+                b.fraction(kind) * 100.0
+            );
         }
         println!();
     }

@@ -168,10 +168,16 @@ mod tests {
         let d = DeviceConfig::a100();
         // ≈ 312 TMAC/s INT8 (624 TOPS counting mul+add separately).
         let tmacs = d.tcu_macs_per_second() / 1e12;
-        assert!((tmacs - 312.0).abs() < 15.0, "A100 INT8 ≈ 312 TMAC/s, got {tmacs}");
+        assert!(
+            (tmacs - 312.0).abs() < 15.0,
+            "A100 INT8 ≈ 312 TMAC/s, got {tmacs}"
+        );
         // ≈ 9.7 TIOPS on CUDA cores.
         let tiops = d.cuda_ops_per_second() / 1e12;
-        assert!((tiops - 9.75).abs() < 0.5, "A100 INT32 ≈ 9.7 TOPS, got {tiops}");
+        assert!(
+            (tiops - 9.75).abs() < 0.5,
+            "A100 INT32 ≈ 9.7 TOPS, got {tiops}"
+        );
     }
 
     #[test]

@@ -113,9 +113,11 @@ fn class_key(c: &KernelClass) -> ClassKey {
         KernelClass::ButterflyNtt { n, batch } => ClassKey::Butterfly(n, batch),
         KernelClass::GemmCuda { m, k, cols, batch } => ClassKey::GemmCuda(m, k, cols, batch),
         KernelClass::GemmTcu { m, k, cols, batch } => ClassKey::GemmTcu(m, k, cols, batch),
-        KernelClass::Elementwise { elems, ops_per_elem, bytes_per_elem } => {
-            ClassKey::Elementwise(elems, ops_per_elem, bytes_per_elem)
-        }
+        KernelClass::Elementwise {
+            elems,
+            ops_per_elem,
+            bytes_per_elem,
+        } => ClassKey::Elementwise(elems, ops_per_elem, bytes_per_elem),
         KernelClass::Permute { elems } => ClassKey::Permute(elems),
         KernelClass::BasisConv { elems, l_src } => ClassKey::BasisConv(elems, l_src),
         KernelClass::FftButterfly { n, batch } => ClassKey::Fft(n, batch),
@@ -386,7 +388,7 @@ impl DeviceSim {
         // Retire finished heads.
         let now = self.device_clock_us;
         let power = self.config.power_watts;
-        for (&sid, _) in &alloc {
+        for &sid in alloc.keys() {
             let done = self.queues[sid]
                 .front()
                 .is_some_and(|p| p.remaining_work <= 1e-9);
@@ -459,9 +461,7 @@ impl DeviceSim {
             };
         }
 
-        let template = desc
-            .template()
-            .expect("every non-TCU class has a template");
+        let template = desc.template().expect("every non-TCU class has a template");
         let threads = desc.threads();
         let warps_total = threads.div_ceil(d.warp_size as u64).max(1);
         let sched_total = (d.sm_count * d.schedulers_per_sm) as u64;
@@ -496,8 +496,7 @@ impl DeviceSim {
         // Achieved occupancy is residency-driven (NSight counts resident
         // warps per cycle; warps waiting on memory still count), with a
         // small duty term separating saturated compute from pure streaming.
-        let resident_frac =
-            (warps_total as f64 / d.total_warp_slots() as f64).clamp(0.0, 1.0);
+        let resident_frac = (warps_total as f64 / d.total_warp_slots() as f64).clamp(0.0, 1.0);
         let duty = (compute_us / standalone.max(1e-12)).clamp(0.05, 1.0);
         let occupancy = (resident_frac * (0.85 + 0.15 * duty)).clamp(0.0, 1.0);
         let parallel_fraction = resident_frac.max(1e-4);
@@ -543,7 +542,11 @@ mod tests {
 
     fn ew(elems: u64) -> KernelDesc {
         KernelDesc::new(
-            KernelClass::Elementwise { elems, ops_per_elem: 2, bytes_per_elem: 12 },
+            KernelClass::Elementwise {
+                elems,
+                ops_per_elem: 2,
+                bytes_per_elem: 12,
+            },
             "ew",
         )
     }
@@ -570,7 +573,10 @@ mod tests {
         s.launch(st, ew(1 << 22));
         let done = s.synchronize();
         assert_eq!(done.len(), 2);
-        assert!(done[1].start_us >= done[0].end_us - 1e-6, "stream order violated");
+        assert!(
+            done[1].start_us >= done[0].end_us - 1e-6,
+            "stream order violated"
+        );
     }
 
     #[test]
@@ -578,7 +584,12 @@ mod tests {
         // 16 deep-but-narrow TCU GEMMs (few tiles → small parallel fraction,
         // deep k → real duration) across 16 streams vs serial on one stream.
         let gemm = KernelDesc::new(
-            KernelClass::GemmTcu { m: 64, k: 65536, cols: 64, batch: 1 },
+            KernelClass::GemmTcu {
+                m: 64,
+                k: 65536,
+                cols: 64,
+                batch: 1,
+            },
             "gemm",
         );
         let mut serial = sim();
@@ -607,7 +618,10 @@ mod tests {
         let mut s = sim();
         let (a, _, _) = s.peek_cost(&ew(1 << 18));
         let (b, _, _) = s.peek_cost(&ew(1 << 24));
-        assert!(b > a * 10.0, "64× the elements must cost much more: {a} vs {b}");
+        assert!(
+            b > a * 10.0,
+            "64× the elements must cost much more: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -615,16 +629,30 @@ mod tests {
         let mut s = sim();
         let (fast, _, _) = s.peek_cost(&ew(1 << 22));
         let (slow, _, _) = s.peek_cost(&ew(1 << 22).with_strided_layout());
-        assert!(slow > fast * 1.5, "strided {slow} should be ≥1.5× coalesced {fast}");
+        assert!(
+            slow > fast * 1.5,
+            "strided {slow} should be ≥1.5× coalesced {fast}"
+        );
     }
 
     #[test]
     fn butterfly_ntt_has_raw_stalls_gemm_does_not() {
         let mut s = DeviceSim::new(DeviceConfig::gtx1080ti());
-        let ntt = KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 12, batch: 8 }, "ntt")
-            .with_block_size(128);
+        let ntt = KernelDesc::new(
+            KernelClass::ButterflyNtt {
+                n: 1 << 12,
+                batch: 8,
+            },
+            "ntt",
+        )
+        .with_block_size(128);
         let gemm = KernelDesc::new(
-            KernelClass::GemmCuda { m: 64, k: 64, cols: 64, batch: 8 },
+            KernelClass::GemmCuda {
+                m: 64,
+                k: 64,
+                cols: 64,
+                batch: 8,
+            },
             "gemm",
         );
         let raw_ntt = s.stall_fraction(&ntt, StallKind::Raw);
@@ -638,7 +666,12 @@ mod tests {
     #[test]
     fn v100_slower_than_a100_for_same_kernel() {
         let gemm = KernelDesc::new(
-            KernelClass::GemmTcu { m: 256, k: 256, cols: 256, batch: 45 },
+            KernelClass::GemmTcu {
+                m: 256,
+                k: 256,
+                cols: 256,
+                batch: 45,
+            },
             "gemm",
         );
         let mut a = DeviceSim::new(DeviceConfig::a100());
@@ -653,7 +686,12 @@ mod tests {
         let mut s = DeviceSim::new(DeviceConfig::gtx1080ti());
         let st = s.create_stream();
         let gemm = KernelDesc::new(
-            KernelClass::GemmTcu { m: 16, k: 16, cols: 16, batch: 1 },
+            KernelClass::GemmTcu {
+                m: 16,
+                k: 16,
+                cols: 16,
+                batch: 1,
+            },
             "gemm",
         );
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -668,13 +706,25 @@ mod tests {
         // component (blocks assemble while sibling blocks hold the issue
         // slots).
         let mut s = DeviceSim::new(DeviceConfig::gtx1080ti());
-        let ntt = KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 14, batch: 4 }, "ntt")
-            .with_block_size(128);
+        let ntt = KernelDesc::new(
+            KernelClass::ButterflyNtt {
+                n: 1 << 14,
+                batch: 4,
+            },
+            "ntt",
+        )
+        .with_block_size(128);
         let b = s.stall_profile(&ntt);
-        assert!(b.get(StallKind::Barrier) > 0, "expected barrier stalls: {b:?}");
+        assert!(
+            b.get(StallKind::Barrier) > 0,
+            "expected barrier stalls: {b:?}"
+        );
         // And the headline Fig. 4 shape: roughly 40-50% total stalls.
         let f = b.stall_fraction();
-        assert!((0.30..0.60).contains(&f), "NTT stall fraction {f} out of band");
+        assert!(
+            (0.30..0.60).contains(&f),
+            "NTT stall fraction {f} out of band"
+        );
     }
 
     #[test]
@@ -704,7 +754,13 @@ mod tests {
         for _ in 0..64 {
             s.launch(
                 st,
-                KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 12, batch: 1 }, "ntt"),
+                KernelDesc::new(
+                    KernelClass::ButterflyNtt {
+                        n: 1 << 12,
+                        batch: 1,
+                    },
+                    "ntt",
+                ),
             );
         }
         s.synchronize();
@@ -714,7 +770,13 @@ mod tests {
         let st2 = s2.create_stream();
         s2.launch(
             st2,
-            KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 12, batch: 64 }, "ntt"),
+            KernelDesc::new(
+                KernelClass::ButterflyNtt {
+                    n: 1 << 12,
+                    batch: 64,
+                },
+                "ntt",
+            ),
         );
         s2.synchronize();
         let t_batched = s2.elapsed_us();

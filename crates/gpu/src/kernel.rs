@@ -233,7 +233,8 @@ impl KernelDesc {
     /// Threads actually launched.
     #[must_use]
     pub fn threads(&self) -> u64 {
-        self.threads_override.unwrap_or_else(|| self.natural_threads())
+        self.threads_override
+            .unwrap_or_else(|| self.natural_threads())
     }
 
     /// Template iterations per thread.
@@ -267,9 +268,11 @@ impl KernelDesc {
                 // out.
                 (m * k * batch) as u64 / 4 + (k * cols * batch) as u64 / 16
             }
-            KernelClass::Elementwise { elems, bytes_per_elem, .. } => {
-                elems * bytes_per_elem as u64
-            }
+            KernelClass::Elementwise {
+                elems,
+                bytes_per_elem,
+                ..
+            } => elems * bytes_per_elem as u64,
             KernelClass::Permute { elems } => elems * RESIDUE_BYTES * 2,
             KernelClass::BasisConv { elems, l_src } => {
                 // y-vector reused through shared memory; charge source reads
@@ -315,20 +318,53 @@ impl KernelDesc {
                     // Consume the element prefetched by the previous
                     // iteration (double-buffered global traffic), then issue
                     // the next prefetch — distance ≈ one full body.
-                    Instr::Alu { dst: 1, srcs: [10, 0] },
-                    Instr::LdGlobal { dst: 10, coalesced: self.coalesced },
+                    Instr::Alu {
+                        dst: 1,
+                        srcs: [10, 0],
+                    },
+                    Instr::LdGlobal {
+                        dst: 10,
+                        coalesced: self.coalesced,
+                    },
                     Instr::LdShared { dst: 2 },
                     // 32-bit Barrett/Shoup modmul lowers to a serial
                     // mul.lo/mul.hi/correction sequence on INT32 cores.
-                    Instr::Mul { dst: 3, srcs: [2, 0] },
-                    Instr::Mul { dst: 4, srcs: [3, 0] },
-                    Instr::Mul { dst: 5, srcs: [4, 0] },
-                    Instr::Mul { dst: 11, srcs: [5, 0] },
-                    Instr::Mul { dst: 12, srcs: [11, 0] },
-                    Instr::Alu { dst: 6, srcs: [12, 2] },
-                    Instr::Alu { dst: 7, srcs: [6, 0] },
-                    Instr::Alu { dst: 8, srcs: [1, 7] },
-                    Instr::Alu { dst: 9, srcs: [1, 7] },
+                    Instr::Mul {
+                        dst: 3,
+                        srcs: [2, 0],
+                    },
+                    Instr::Mul {
+                        dst: 4,
+                        srcs: [3, 0],
+                    },
+                    Instr::Mul {
+                        dst: 5,
+                        srcs: [4, 0],
+                    },
+                    Instr::Mul {
+                        dst: 11,
+                        srcs: [5, 0],
+                    },
+                    Instr::Mul {
+                        dst: 12,
+                        srcs: [11, 0],
+                    },
+                    Instr::Alu {
+                        dst: 6,
+                        srcs: [12, 2],
+                    },
+                    Instr::Alu {
+                        dst: 7,
+                        srcs: [6, 0],
+                    },
+                    Instr::Alu {
+                        dst: 8,
+                        srcs: [1, 7],
+                    },
+                    Instr::Alu {
+                        dst: 9,
+                        srcs: [1, 7],
+                    },
                     Instr::StGlobal { src: 8 },
                     Instr::StGlobal { src: 9 },
                     Instr::Bar,
@@ -343,21 +379,38 @@ impl KernelDesc {
                 body: vec![
                     Instr::LdShared { dst: 1 },
                     Instr::LdShared { dst: 2 },
-                    Instr::Mad { dst: 3, srcs: [1, 2] },
-                    Instr::Mad { dst: 4, srcs: [1, 2] },
-                    Instr::Mad { dst: 5, srcs: [1, 2] },
+                    Instr::Mad {
+                        dst: 3,
+                        srcs: [1, 2],
+                    },
+                    Instr::Mad {
+                        dst: 4,
+                        srcs: [1, 2],
+                    },
+                    Instr::Mad {
+                        dst: 5,
+                        srcs: [1, 2],
+                    },
                 ],
                 code_footprint: 1.0,
                 loop_redirect_cycles: 2,
             },
             KernelClass::Elementwise { ops_per_elem, .. } => {
-                let mut body = vec![Instr::LdGlobal { dst: 1, coalesced: self.coalesced }];
+                let mut body = vec![Instr::LdGlobal {
+                    dst: 1,
+                    coalesced: self.coalesced,
+                }];
                 for i in 0..ops_per_elem.min(4) {
                     let dst = 2 + i as u8;
                     let src = 1 + i as u8;
-                    body.push(Instr::Mul { dst, srcs: [src, 0] });
+                    body.push(Instr::Mul {
+                        dst,
+                        srcs: [src, 0],
+                    });
                 }
-                body.push(Instr::StGlobal { src: 2 + ops_per_elem.min(4) as u8 - 1 });
+                body.push(Instr::StGlobal {
+                    src: 2 + ops_per_elem.min(4) as u8 - 1,
+                });
                 InstrTemplate {
                     body,
                     code_footprint: 0.8,
@@ -366,7 +419,10 @@ impl KernelDesc {
             }
             KernelClass::Permute { .. } => InstrTemplate {
                 body: vec![
-                    Instr::LdGlobal { dst: 1, coalesced: false },
+                    Instr::LdGlobal {
+                        dst: 1,
+                        coalesced: false,
+                    },
                     Instr::StGlobal { src: 1 },
                 ],
                 code_footprint: 0.8,
@@ -376,14 +432,35 @@ impl KernelDesc {
                 // Complex butterfly (shared-memory staged): cross mul/add
                 // with a shorter dependency chain than the Shoup sequence.
                 body: vec![
-                    Instr::Alu { dst: 1, srcs: [10, 0] },
-                    Instr::LdGlobal { dst: 10, coalesced: self.coalesced },
+                    Instr::Alu {
+                        dst: 1,
+                        srcs: [10, 0],
+                    },
+                    Instr::LdGlobal {
+                        dst: 10,
+                        coalesced: self.coalesced,
+                    },
                     Instr::LdShared { dst: 2 },
-                    Instr::Mul { dst: 3, srcs: [2, 0] },
-                    Instr::Mul { dst: 4, srcs: [2, 0] },
-                    Instr::Alu { dst: 5, srcs: [3, 4] },
-                    Instr::Alu { dst: 6, srcs: [1, 5] },
-                    Instr::Alu { dst: 7, srcs: [1, 5] },
+                    Instr::Mul {
+                        dst: 3,
+                        srcs: [2, 0],
+                    },
+                    Instr::Mul {
+                        dst: 4,
+                        srcs: [2, 0],
+                    },
+                    Instr::Alu {
+                        dst: 5,
+                        srcs: [3, 4],
+                    },
+                    Instr::Alu {
+                        dst: 6,
+                        srcs: [1, 5],
+                    },
+                    Instr::Alu {
+                        dst: 7,
+                        srcs: [1, 5],
+                    },
                     Instr::StGlobal { src: 6 },
                     Instr::StGlobal { src: 7 },
                     Instr::Bar,
@@ -395,11 +472,23 @@ impl KernelDesc {
                 // Lifting step: neighbour loads from shared memory feed two
                 // independent MADs.
                 body: vec![
-                    Instr::Alu { dst: 1, srcs: [10, 0] },
-                    Instr::LdGlobal { dst: 10, coalesced: self.coalesced },
+                    Instr::Alu {
+                        dst: 1,
+                        srcs: [10, 0],
+                    },
+                    Instr::LdGlobal {
+                        dst: 10,
+                        coalesced: self.coalesced,
+                    },
                     Instr::LdShared { dst: 2 },
-                    Instr::Mad { dst: 3, srcs: [1, 2] },
-                    Instr::Mad { dst: 4, srcs: [1, 2] },
+                    Instr::Mad {
+                        dst: 3,
+                        srcs: [1, 2],
+                    },
+                    Instr::Mad {
+                        dst: 4,
+                        srcs: [1, 2],
+                    },
                     Instr::StGlobal { src: 3 },
                     Instr::Bar,
                 ],
@@ -435,7 +524,12 @@ mod tests {
     #[test]
     fn tcu_macs_padded_to_tiles() {
         let k = KernelDesc::new(
-            KernelClass::GemmTcu { m: 17, k: 33, cols: 9, batch: 1 },
+            KernelClass::GemmTcu {
+                m: 17,
+                k: 33,
+                cols: 9,
+                batch: 1,
+            },
             "gemm",
         );
         // 17→32, 9→16, 33→64.
@@ -447,10 +541,22 @@ mod tests {
     fn templates_exist_for_cuda_classes() {
         let classes = [
             KernelClass::ButterflyNtt { n: 64, batch: 1 },
-            KernelClass::GemmCuda { m: 8, k: 8, cols: 8, batch: 1 },
-            KernelClass::Elementwise { elems: 64, ops_per_elem: 2, bytes_per_elem: 12 },
+            KernelClass::GemmCuda {
+                m: 8,
+                k: 8,
+                cols: 8,
+                batch: 1,
+            },
+            KernelClass::Elementwise {
+                elems: 64,
+                ops_per_elem: 2,
+                bytes_per_elem: 12,
+            },
             KernelClass::Permute { elems: 64 },
-            KernelClass::BasisConv { elems: 64, l_src: 8 },
+            KernelClass::BasisConv {
+                elems: 64,
+                l_src: 8,
+            },
             KernelClass::FftButterfly { n: 64, batch: 1 },
             KernelClass::DwtLifting { n: 64, batch: 1 },
         ];
@@ -465,13 +571,23 @@ mod tests {
     #[test]
     fn strided_layout_marks_uncoalesced_loads() {
         let k = KernelDesc::new(
-            KernelClass::Elementwise { elems: 64, ops_per_elem: 1, bytes_per_elem: 12 },
+            KernelClass::Elementwise {
+                elems: 64,
+                ops_per_elem: 1,
+                bytes_per_elem: 12,
+            },
             "e",
         )
         .with_strided_layout();
         let t = k.template().expect("template");
         let has_uncoalesced = t.body.iter().any(|i| {
-            matches!(i, Instr::LdGlobal { coalesced: false, .. })
+            matches!(
+                i,
+                Instr::LdGlobal {
+                    coalesced: false,
+                    ..
+                }
+            )
         });
         assert!(has_uncoalesced);
     }

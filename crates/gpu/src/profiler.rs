@@ -178,19 +178,33 @@ mod tests {
         sim.launch(
             st,
             KernelDesc::new(
-                KernelClass::Elementwise { elems: 1 << 20, ops_per_elem: 1, bytes_per_elem: 12 },
+                KernelClass::Elementwise {
+                    elems: 1 << 20,
+                    ops_per_elem: 1,
+                    bytes_per_elem: 12,
+                },
                 "ele-add",
             ),
         );
         sim.set_scope("HMULT");
         sim.launch(
             st,
-            KernelDesc::new(KernelClass::ButterflyNtt { n: 1 << 14, batch: 16 }, "ntt"),
+            KernelDesc::new(
+                KernelClass::ButterflyNtt {
+                    n: 1 << 14,
+                    batch: 16,
+                },
+                "ntt",
+            ),
         );
         sim.launch(
             st,
             KernelDesc::new(
-                KernelClass::Elementwise { elems: 1 << 20, ops_per_elem: 2, bytes_per_elem: 12 },
+                KernelClass::Elementwise {
+                    elems: 1 << 20,
+                    ops_per_elem: 2,
+                    bytes_per_elem: 12,
+                },
                 "hada-mult",
             ),
         );

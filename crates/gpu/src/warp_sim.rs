@@ -458,10 +458,22 @@ mod tests {
     fn chain_template() -> InstrTemplate {
         InstrTemplate {
             body: vec![
-                Instr::Mul { dst: 1, srcs: [0, 0] },
-                Instr::Mul { dst: 2, srcs: [1, 1] },
-                Instr::Alu { dst: 3, srcs: [2, 2] },
-                Instr::Alu { dst: 4, srcs: [3, 3] },
+                Instr::Mul {
+                    dst: 1,
+                    srcs: [0, 0],
+                },
+                Instr::Mul {
+                    dst: 2,
+                    srcs: [1, 1],
+                },
+                Instr::Alu {
+                    dst: 3,
+                    srcs: [2, 2],
+                },
+                Instr::Alu {
+                    dst: 4,
+                    srcs: [3, 3],
+                },
             ],
             code_footprint: 1.0,
             loop_redirect_cycles: 0,
@@ -472,10 +484,22 @@ mod tests {
     fn ilp_template() -> InstrTemplate {
         InstrTemplate {
             body: vec![
-                Instr::Mad { dst: 1, srcs: [0, 0] },
-                Instr::Mad { dst: 2, srcs: [0, 0] },
-                Instr::Mad { dst: 3, srcs: [0, 0] },
-                Instr::Mad { dst: 4, srcs: [0, 0] },
+                Instr::Mad {
+                    dst: 1,
+                    srcs: [0, 0],
+                },
+                Instr::Mad {
+                    dst: 2,
+                    srcs: [0, 0],
+                },
+                Instr::Mad {
+                    dst: 3,
+                    srcs: [0, 0],
+                },
+                Instr::Mad {
+                    dst: 4,
+                    srcs: [0, 0],
+                },
             ],
             code_footprint: 1.0,
             loop_redirect_cycles: 0,
@@ -520,8 +544,14 @@ mod tests {
     fn memory_loads_cause_long_latency_stalls() {
         let t = InstrTemplate {
             body: vec![
-                Instr::LdGlobal { dst: 1, coalesced: true },
-                Instr::Alu { dst: 2, srcs: [1, 1] },
+                Instr::LdGlobal {
+                    dst: 1,
+                    coalesced: true,
+                },
+                Instr::Alu {
+                    dst: 2,
+                    srcs: [1, 1],
+                },
             ],
             code_footprint: 1.0,
             loop_redirect_cycles: 0,
@@ -543,13 +573,34 @@ mod tests {
         // check the classifier directly on a handcrafted scenario.
         let t = InstrTemplate {
             body: vec![
-                Instr::LdGlobal { dst: 1, coalesced: false },
-                Instr::Mul { dst: 2, srcs: [1, 1] },
-                Instr::Mul { dst: 3, srcs: [2, 2] },
-                Instr::Mul { dst: 4, srcs: [3, 3] },
-                Instr::Mul { dst: 5, srcs: [4, 4] },
-                Instr::Mul { dst: 6, srcs: [5, 5] },
-                Instr::Alu { dst: 7, srcs: [6, 6] },
+                Instr::LdGlobal {
+                    dst: 1,
+                    coalesced: false,
+                },
+                Instr::Mul {
+                    dst: 2,
+                    srcs: [1, 1],
+                },
+                Instr::Mul {
+                    dst: 3,
+                    srcs: [2, 2],
+                },
+                Instr::Mul {
+                    dst: 4,
+                    srcs: [3, 3],
+                },
+                Instr::Mul {
+                    dst: 5,
+                    srcs: [4, 4],
+                },
+                Instr::Mul {
+                    dst: 6,
+                    srcs: [5, 5],
+                },
+                Instr::Alu {
+                    dst: 7,
+                    srcs: [6, 6],
+                },
                 Instr::Bar,
             ],
             code_footprint: 4.0,
@@ -566,14 +617,31 @@ mod tests {
     fn barrier_synchronisation_costs_cycles() {
         // The same body with a barrier can never be faster than without.
         let body = vec![
-            Instr::LdGlobal { dst: 1, coalesced: true },
-            Instr::Mul { dst: 2, srcs: [1, 1] },
-            Instr::Alu { dst: 3, srcs: [2, 2] },
+            Instr::LdGlobal {
+                dst: 1,
+                coalesced: true,
+            },
+            Instr::Mul {
+                dst: 2,
+                srcs: [1, 1],
+            },
+            Instr::Alu {
+                dst: 3,
+                srcs: [2, 2],
+            },
         ];
-        let free = InstrTemplate { body: body.clone(), code_footprint: 1.0, loop_redirect_cycles: 0 };
+        let free = InstrTemplate {
+            body: body.clone(),
+            code_footprint: 1.0,
+            loop_redirect_cycles: 0,
+        };
         let mut with_bar = body;
         with_bar.push(Instr::Bar);
-        let barred = InstrTemplate { body: with_bar, code_footprint: 1.0, loop_redirect_cycles: 0 };
+        let barred = InstrTemplate {
+            body: with_bar,
+            code_footprint: 1.0,
+            loop_redirect_cycles: 0,
+        };
         let rf = simulate_scheduler(&device(), &free, 8, 100, 8);
         let rb = simulate_scheduler(&device(), &barred, 8, 100, 8);
         assert!(rb.cycles >= rf.cycles);
@@ -615,7 +683,13 @@ mod tests {
     fn instruction_count_exact() {
         let warps = 3u64;
         let iters = 17u64;
-        let r = simulate_scheduler(&device(), &ilp_template(), warps as usize, iters, warps as usize);
+        let r = simulate_scheduler(
+            &device(),
+            &ilp_template(),
+            warps as usize,
+            iters,
+            warps as usize,
+        );
         assert_eq!(r.instructions, warps * iters * 4);
     }
 }

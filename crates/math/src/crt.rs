@@ -175,9 +175,9 @@ impl RnsBasis {
         for i in 0..n {
             let mi = &moduli[i];
             let mut prod = 1u64;
-            for j in 0..n {
+            for (j, mj) in moduli.iter().enumerate() {
                 if j != i {
-                    prod = mi.mul(prod, mi.reduce(moduli[j].value()));
+                    prod = mi.mul(prod, mi.reduce(mj.value()));
                 }
             }
             qhat_inv[i] = mi.inv(prod);
@@ -237,10 +237,9 @@ impl RnsBasis {
         for k in 0..n {
             let mk = &self.moduli[k];
             let mut t = mk.reduce(residues[k]);
-            for j in 0..k {
-                // t = (t - v_j) * q_j^{-1} mod q_k
-                let vj = mk.reduce(v[j]);
-                t = mk.mul(mk.sub(t, vj), self.garner[j][k]);
+            // t = (t - v_j) * q_j^{-1} mod q_k, folded over j < k.
+            for (vj, garner_row) in v.iter().zip(&self.garner).take(k) {
+                t = mk.mul(mk.sub(t, mk.reduce(*vj)), garner_row[k]);
             }
             v[k] = t;
         }
@@ -461,7 +460,14 @@ mod tests {
     #[test]
     fn compose_roundtrip_positive_and_negative() {
         let b = basis(4);
-        for v in [0i128, 1, -1, 123_456_789_123, -987_654_321_987, i64::MAX as i128] {
+        for v in [
+            0i128,
+            1,
+            -1,
+            123_456_789_123,
+            -987_654_321_987,
+            i64::MAX as i128,
+        ] {
             let res = b.decompose_i128(v);
             assert_eq!(b.compose_centered(&res), v, "value {v}");
         }

@@ -38,8 +38,8 @@ impl Modulus {
         assert!(q < (1u64 << 62), "modulus must be < 2^62");
         // ⌊2^128 / q⌋ via 128-bit long division done in two halves.
         let hi = u128::MAX / q as u128; // = ⌊(2^128 - 1)/q⌋ ; adjust below.
-        // (2^128 - 1)/q and (2^128)/q differ only when q divides 2^128,
-        // impossible for q >= 2 unless q is a power of two; handle exactly:
+                                        // (2^128 - 1)/q and (2^128)/q differ only when q divides 2^128,
+                                        // impossible for q >= 2 unless q is a power of two; handle exactly:
         let (barrett, _rem) = {
             let b = hi;
             let r = u128::MAX - b * q as u128;
@@ -178,7 +178,7 @@ impl Modulus {
     /// Panics if `a == 0` (zero has no inverse).
     #[must_use]
     pub fn inv(&self, a: u64) -> u64 {
-        assert!(a % self.q != 0, "zero has no modular inverse");
+        assert!(!a.is_multiple_of(self.q), "zero has no modular inverse");
         self.pow(a, self.q - 2)
     }
 

@@ -28,13 +28,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -90,8 +90,14 @@ pub fn is_prime(n: u64) -> bool {
 /// ```
 #[must_use]
 pub fn generate_ntt_primes(count: usize, bits: u32, n: u64) -> Vec<u64> {
-    assert!(n.is_power_of_two(), "polynomial degree must be a power of two");
-    assert!((14..=61).contains(&bits), "prime size must be in [14, 61] bits");
+    assert!(
+        n.is_power_of_two(),
+        "polynomial degree must be a power of two"
+    );
+    assert!(
+        (14..=61).contains(&bits),
+        "prime size must be in [14, 61] bits"
+    );
     let two_n = 2 * n;
     let mut primes = Vec::with_capacity(count);
     // Largest candidate ≡ 1 (mod 2N) strictly below 2^bits.
@@ -176,16 +182,16 @@ fn factorize(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut push = |f: u64, n: &mut u64| {
         factors.push(f);
-        while *n % f == 0 {
+        while (*n).is_multiple_of(f) {
             *n /= f;
         }
     };
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         push(2, &mut n);
     }
     let mut f = 3u64;
     while f.saturating_mul(f) <= n {
-        if n % f == 0 {
+        if n.is_multiple_of(f) {
             push(f, &mut n);
         }
         f += 2;

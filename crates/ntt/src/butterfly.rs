@@ -56,7 +56,11 @@ impl NttTable {
     pub fn with_root(n: usize, q: u64, psi: u64) -> Self {
         let m = Modulus::new(q);
         assert_eq!(m.pow(psi, 2 * n as u64), 1, "psi^2N must be 1");
-        assert_eq!(m.pow(psi, n as u64), q - 1, "psi must be primitive (ψ^N = -1)");
+        assert_eq!(
+            m.pow(psi, n as u64),
+            q - 1,
+            "psi must be primitive (ψ^N = -1)"
+        );
         let bits = n.trailing_zeros();
         let psi_inv = m.inv(psi);
         let mut psi_rev = Vec::with_capacity(n);

@@ -72,7 +72,10 @@ impl FourStepNtt {
     /// primitive.
     #[must_use]
     pub fn with_root(n: usize, q: u64, psi: u64) -> Self {
-        assert!(n.is_power_of_two() && n >= 4, "degree must be a power of two >= 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "degree must be a power of two >= 4"
+        );
         let m = Modulus::new(q);
         assert!(m.bits() <= 32, "four-step NTT requires q < 2^32");
         assert_eq!(m.pow(psi, n as u64), q - 1, "psi must be primitive");

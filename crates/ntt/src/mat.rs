@@ -20,7 +20,11 @@ impl Mat {
         }
     }
 
-    pub(crate) fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> u64) -> Self {
+    pub(crate) fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> u64,
+    ) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -62,8 +66,8 @@ pub(crate) fn gemm_mod(a: &Mat, b: &Mat, q: &Modulus) -> Mat {
                 acc_row[j] += aik * bkj as u128;
             }
         }
-        for j in 0..b.cols {
-            out.data[i * b.cols + j] = q.reduce_u128(acc_row[j]);
+        for (j, &acc) in acc_row.iter().enumerate() {
+            out.data[i * b.cols + j] = q.reduce_u128(acc);
         }
     }
     out
@@ -72,7 +76,11 @@ pub(crate) fn gemm_mod(a: &Mat, b: &Mat, q: &Modulus) -> Mat {
 /// Element-wise product `(A ⊙ B) mod q` (the Hadamard step between the two
 /// GEMMs).
 pub(crate) fn hadamard_mod(a: &Mat, b: &Mat, q: &Modulus) -> Mat {
-    assert_eq!((a.rows, a.cols), (b.rows, b.cols), "Hadamard shape mismatch");
+    assert_eq!(
+        (a.rows, a.cols),
+        (b.rows, b.cols),
+        "Hadamard shape mismatch"
+    );
     let data = a
         .data
         .iter()

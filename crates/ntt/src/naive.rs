@@ -58,7 +58,13 @@ impl NaiveNtt {
                 w_inv[j * n + k] = m.mul(m.pow(psi_inv, ((2 * k + 1) * j) as u64), n_inv);
             }
         }
-        Self { n, q: m, psi, w, w_inv }
+        Self {
+            n,
+            q: m,
+            psi,
+            w,
+            w_inv,
+        }
     }
 
     /// The 2N-th root used by the matrices.
@@ -139,13 +145,13 @@ mod tests {
         let a: Vec<u64> = (1..=n as u64).collect();
         let mut out = a.clone();
         t.forward(&mut out);
-        for k in 0..n {
+        for (k, &got) in out.iter().enumerate() {
             let mut acc = 0u64;
             for (j, &x) in a.iter().enumerate() {
                 let tw = m.pow(t.psi(), ((2 * k + 1) * j) as u64);
                 acc = m.add(acc, m.mul(x, tw));
             }
-            assert_eq!(out[k], acc);
+            assert_eq!(got, acc);
         }
     }
 

@@ -210,7 +210,7 @@ impl NttOps for TensorCoreNtt {
 
     fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.degree(), "input length mismatch");
-        let q = self.plan.modulus_handle().clone();
+        let q = *self.plan.modulus_handle();
         let (n1, n2) = self.plan.split();
         // Stage 1: segment the input matrix.
         let mat = self.plan.reshape_in(a);
@@ -238,7 +238,7 @@ impl NttOps for TensorCoreNtt {
 
     fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.degree(), "input length mismatch");
-        let q = self.plan.modulus_handle().clone();
+        let q = *self.plan.modulus_handle();
         let (n1, n2) = self.plan.split();
         let seg_in = SegmentedMatrix::from_rows(n1, n2, a);
         // Inverse cyclic DFT on the N1 side.

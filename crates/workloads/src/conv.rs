@@ -50,11 +50,7 @@ pub fn conv1d(
             let step = d.rem_euclid(slots as i64 / 2 * 2);
             eval.hrotate(ct, step, keys)?
         };
-        let tap_pt = ctx.encode_at(
-            &vec![Complex64::new(w, 0.0); slots],
-            scale,
-            rotated.level(),
-        )?;
+        let tap_pt = ctx.encode_at(&vec![Complex64::new(w, 0.0); slots], scale, rotated.level())?;
         let term = eval.cmult(&rotated, &tap_pt)?;
         acc = Some(match acc {
             None => term,
@@ -92,8 +88,7 @@ mod tests {
 
     #[test]
     fn encrypted_conv_matches_clear() {
-        let params = CkksParams::new("conv-test", 1 << 7, 8, 2, 9, 29, 29, 1)
-            .expect("valid");
+        let params = CkksParams::new("conv-test", 1 << 7, 8, 2, 9, 29, 29, 1).expect("valid");
         let ctx = CkksContext::new(&params).expect("ctx");
         let mut rng = StdRng::seed_from_u64(9);
         let mut keys = KeyChain::generate(&ctx, &mut rng);

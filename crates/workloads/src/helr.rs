@@ -40,9 +40,16 @@ impl Dataset {
                 col[i] = x;
                 dot += x * true_w[j];
             }
-            labels.push(if dot + rng.gen_range(-0.05..0.05) >= 0.0 { 1.0 } else { -1.0 });
+            labels.push(if dot + rng.gen_range(-0.05..0.05) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            });
         }
-        Self { features: cols, labels }
+        Self {
+            features: cols,
+            labels,
+        }
     }
 
     /// Number of samples.
@@ -160,11 +167,7 @@ pub fn train_step(
 
 /// Plaintext reference of the same step (same polynomial, same packing).
 #[must_use]
-pub fn train_step_clear(
-    data: &Dataset,
-    ws: &[f64],
-    learning_rate: f64,
-) -> Vec<f64> {
+pub fn train_step_clear(data: &Dataset, ws: &[f64], learning_rate: f64) -> Vec<f64> {
     let s = data.len();
     let f = ws.len();
     let mut grad = vec![0.0f64; f];
@@ -222,8 +225,7 @@ mod tests {
 
     #[test]
     fn encrypted_step_matches_clear_reference() {
-        let params = CkksParams::new("helr-test", 1 << 7, 14, 3, 5, 29, 29, 1)
-            .expect("valid");
+        let params = CkksParams::new("helr-test", 1 << 7, 14, 3, 5, 29, 29, 1).expect("valid");
         let ctx = CkksContext::new(&params).expect("ctx");
         let mut rng = StdRng::seed_from_u64(42);
         let mut keys = KeyChain::generate(&ctx, &mut rng);
@@ -236,8 +238,7 @@ mod tests {
 
         let mut eval = Evaluator::new(&ctx);
         let lr = 1.0;
-        let new_ws =
-            train_step(&mut eval, &keys, &xs, &ys, &ws, lr, slots, slots).expect("step");
+        let new_ws = train_step(&mut eval, &keys, &xs, &ys, &ws, lr, slots, slots).expect("step");
         let want = train_step_clear(&data, &w0, lr);
 
         for (j, w_ct) in new_ws.iter().enumerate() {
@@ -249,7 +250,10 @@ mod tests {
                 dec[0].re,
                 want[j]
             );
-            assert!((dec[slots / 2].re - dec[0].re).abs() < 5e-3, "broadcast failed");
+            assert!(
+                (dec[slots / 2].re - dec[0].re).abs() < 5e-3,
+                "broadcast failed"
+            );
         }
     }
 

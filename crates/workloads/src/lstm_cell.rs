@@ -175,8 +175,7 @@ mod tests {
 
     #[test]
     fn encrypted_step_matches_clear() {
-        let params = CkksParams::new("lstm-test", 1 << 6, 17, 3, 6, 29, 29, 1)
-            .expect("valid");
+        let params = CkksParams::new("lstm-test", 1 << 6, 17, 3, 6, 29, 29, 1).expect("valid");
         let ctx = CkksContext::new(&params).expect("ctx");
         let mut rng = StdRng::seed_from_u64(17);
         let mut keys = KeyChain::generate(&ctx, &mut rng);
@@ -206,7 +205,10 @@ mod tests {
             keys.encrypt(&ctx.encode(&pad(v), params.scale()).expect("enc"), rng)
         };
         let x_ct = enc(&x, &mut rng);
-        let state = LstmState { h: enc(&h, &mut rng), c: enc(&c, &mut rng) };
+        let state = LstmState {
+            h: enc(&h, &mut rng),
+            c: enc(&c, &mut rng),
+        };
 
         let mut eval = Evaluator::new(&ctx);
         let out = lstm_step(&mut eval, &keys, &weights, &x_ct, &state).expect("step");

@@ -37,7 +37,11 @@ impl LevelBudget {
     /// Emits `count` repetitions of `op` at the current level.
     fn push(&mut self, op: FheOp, count: usize) {
         if count > 0 {
-            self.steps.push(Step { op, level: self.level, count });
+            self.steps.push(Step {
+                op,
+                level: self.level,
+                count,
+            });
         }
     }
 
@@ -48,13 +52,21 @@ impl LevelBudget {
             self.bootstrap();
         }
         for _ in 0..depth {
-            self.steps.push(Step { op: FheOp::Rescale, level: self.level, count: 1 });
+            self.steps.push(Step {
+                op: FheOp::Rescale,
+                level: self.level,
+                count: 1,
+            });
             self.level -= 1;
         }
     }
 
     fn bootstrap(&mut self) {
-        self.steps.push(Step { op: BOOT, level: self.top, count: 1 });
+        self.steps.push(Step {
+            op: BOOT,
+            level: self.top,
+            count: 1,
+        });
         self.level = self.top - BOOT_DEPTH;
         self.bootstraps += 1;
     }
@@ -94,7 +106,10 @@ pub fn logistic_regression() -> WorkloadSpec {
         b.push(FheOp::HAdd, 1);
         b.spend(1);
     }
-    assert_eq!(b.bootstraps, 3, "HELR schedule should need exactly 3 bootstraps");
+    assert_eq!(
+        b.bootstraps, 3,
+        "HELR schedule should need exactly 3 bootstraps"
+    );
     WorkloadSpec {
         name: "Logistic Regression".into(),
         params,
@@ -199,7 +214,11 @@ pub fn packed_bootstrapping() -> WorkloadSpec {
     WorkloadSpec {
         name: "Packed Bootstrapping".into(),
         params: params.clone(),
-        steps: vec![Step { op: BOOT, level: params.max_level(), count: 1 }],
+        steps: vec![Step {
+            op: BOOT,
+            level: params.max_level(),
+            count: 1,
+        }],
         batch: 32,
         iterations: 32,
     }
@@ -241,7 +260,10 @@ mod tests {
         let l = lstm();
         // 4 gates × 23 rotations × 128 timesteps.
         assert!(l.count_of("HROTATE") >= 4 * 23 * 128);
-        assert!(l.count_of("BOOTSTRAP") > 0, "deep recurrence must bootstrap");
+        assert!(
+            l.count_of("BOOTSTRAP") > 0,
+            "deep recurrence must bootstrap"
+        );
     }
 
     #[test]

@@ -1,8 +1,18 @@
-//! Workload specifications and the engine-backed runner.
+//! Workload specifications and the service-backed runner.
+//!
+//! Workloads are executed through the request-stream service: every step
+//! becomes an [`FheRequest`] (`step.count × spec.batch` operation
+//! instances), the service coalesces them into `spec.batch`-wide device
+//! batches, and the report aggregates the per-request attributions. This
+//! preserves the seed runner's exact totals — each step still costs
+//! `count ×` the cost of one `spec.batch`-wide dispatch — while exercising
+//! the same code path a serving deployment uses.
 
 use tensorfhe_ckks::CkksParams;
-use tensorfhe_core::api::{FheOp, TensorFhe};
-use tensorfhe_core::engine::EngineConfig;
+use tensorfhe_core::api::{FheOp, TensorFhe, TensorFheBuilder};
+use tensorfhe_core::engine::Variant;
+use tensorfhe_core::error::CoreResult;
+use tensorfhe_core::service::FheRequest;
 use tensorfhe_gpu::Profiler;
 
 /// One batched operation step of a workload.
@@ -69,57 +79,81 @@ pub struct WorkloadReport {
     pub occupancy: f64,
 }
 
-/// Executes a workload schedule in TimingOnly mode.
+/// Executes a workload schedule in TimingOnly mode on a simulated A100
+/// running the given NTT variant.
 ///
-/// Steps are costed once per distinct `(op, level)` shape and multiplied by
-/// their counts — kernel launches for repeated shapes are identical, so this
-/// keeps paper-scale workloads (tens of thousands of operations) tractable
-/// while preserving exact totals.
+/// Thin wrapper over [`run_workload_on`] for the common bench-harness
+/// configuration.
 #[must_use]
-pub fn run_workload(spec: &WorkloadSpec, cfg: EngineConfig) -> WorkloadReport {
-    let mut api = TensorFhe::new(&spec.params, cfg);
-    let mut time_us = 0.0f64;
-    let mut energy = 0.0f64;
+pub fn run_workload(spec: &WorkloadSpec, variant: Variant) -> WorkloadReport {
+    run_workload_on(spec, TensorFhe::builder(&spec.params).variant(variant))
+        .expect("default workload service configuration is valid")
+}
+
+/// Executes a workload schedule through the request-stream service built
+/// from `builder` (the builder's parameter set is overridden by the
+/// spec's).
+///
+/// Every step is submitted as one request of `count × spec.batch`
+/// operation instances; the service coalesces them into `spec.batch`-wide
+/// batches and caches the cost of repeated `(op, level, width)` shapes, so
+/// paper-scale workloads (tens of thousands of operations) stay tractable
+/// while totals remain exact.
+///
+/// # Errors
+///
+/// Returns [`tensorfhe_core::error::CoreError`] if the builder
+/// configuration is invalid or a step's level exceeds the parameter set's
+/// modulus chain.
+pub fn run_workload_on(
+    spec: &WorkloadSpec,
+    builder: TensorFheBuilder,
+) -> CoreResult<WorkloadReport> {
+    let mut svc = builder
+        .params(&spec.params)
+        .batch_cap(spec.batch.max(1))
+        .service()?;
+    for step in &spec.steps {
+        svc.submit(FheRequest::new(
+            step.op,
+            step.level,
+            step.count * spec.batch.max(1),
+            spec.name.clone(),
+        ))?;
+    }
+    let reports = svc.drain();
+
     let mut by_op: std::collections::BTreeMap<String, f64> = Default::default();
     let mut by_kernel: std::collections::BTreeMap<String, f64> = Default::default();
-    let mut cache: std::collections::HashMap<(String, usize), ReportLite> = Default::default();
     let mut occ_weighted = 0.0f64;
-
-    for step in &spec.steps {
-        let key = (step.op.name().to_string(), step.level);
-        let lite = cache.entry(key).or_insert_with(|| {
-            let r = api.run_op(step.op, step.level, spec.batch);
-            ReportLite {
-                time_us: r.time_us,
-                energy_j: r.energy_j,
-                occupancy: r.occupancy,
-                by_kernel: r.by_kernel.clone(),
-            }
-        });
-        let c = step.count as f64;
-        time_us += lite.time_us * c;
-        energy += lite.energy_j * c;
-        occ_weighted += lite.occupancy * lite.time_us * c;
-        *by_op.entry(step.op.name().to_string()).or_insert(0.0) += lite.time_us * c;
-        for (k, t) in &lite.by_kernel {
-            *by_kernel.entry(normalise_kernel(k)).or_insert(0.0) += t * c;
+    for r in &reports {
+        *by_op.entry(r.report.op.name().to_string()).or_insert(0.0) += r.report.time_us;
+        occ_weighted += r.report.occupancy * r.report.time_us;
+        for (k, t) in &r.report.by_kernel {
+            *by_kernel.entry(normalise_kernel(k)).or_insert(0.0) += t;
         }
     }
+    let stats = svc.stats();
+    let time_us = stats.busy_us;
 
     let mut per_op_us: Vec<_> = by_op.into_iter().collect();
     per_op_us.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let mut per_kernel_us: Vec<_> = by_kernel.into_iter().collect();
     per_kernel_us.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
 
-    WorkloadReport {
+    Ok(WorkloadReport {
         name: spec.name.clone(),
         time_s: time_us * 1e-6,
-        energy_j: energy,
-        energy_per_iter_j: energy / spec.iterations.max(1) as f64,
+        energy_j: stats.energy_j,
+        energy_per_iter_j: stats.energy_j / spec.iterations.max(1) as f64,
         per_op_us,
         per_kernel_us,
-        occupancy: if time_us > 0.0 { occ_weighted / time_us } else { 0.0 },
-    }
+        occupancy: if time_us > 0.0 {
+            occ_weighted / time_us
+        } else {
+            0.0
+        },
+    })
 }
 
 /// Collapses per-stream plane-GEMM names into the parent kernel.
@@ -134,18 +168,9 @@ pub fn profiler_of(api: &TensorFhe) -> Profiler {
     api.engine().profiler()
 }
 
-#[derive(Debug, Clone)]
-struct ReportLite {
-    time_us: f64,
-    energy_j: f64,
-    occupancy: f64,
-    by_kernel: Vec<(String, f64)>,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tensorfhe_core::engine::Variant;
 
     #[test]
     fn runner_aggregates_counts() {
@@ -154,16 +179,28 @@ mod tests {
             name: "mini".into(),
             params: params.clone(),
             steps: vec![
-                Step { op: FheOp::HMult, level: 7, count: 3 },
-                Step { op: FheOp::HAdd, level: 7, count: 5 },
+                Step {
+                    op: FheOp::HMult,
+                    level: 7,
+                    count: 3,
+                },
+                Step {
+                    op: FheOp::HAdd,
+                    level: 7,
+                    count: 5,
+                },
             ],
             batch: 4,
             iterations: 2,
         };
-        let r = run_workload(&spec, EngineConfig::a100(Variant::TensorCore));
+        let r = run_workload(&spec, Variant::TensorCore);
         assert!(r.time_s > 0.0);
         assert_eq!(r.per_op_us.len(), 2);
-        let hmult = r.per_op_us.iter().find(|(k, _)| k == "HMULT").expect("hmult");
+        let hmult = r
+            .per_op_us
+            .iter()
+            .find(|(k, _)| k == "HMULT")
+            .expect("hmult");
         let hadd = r.per_op_us.iter().find(|(k, _)| k == "HADD").expect("hadd");
         assert!(hmult.1 > hadd.1, "3 HMULTs outweigh 5 HADDs");
         assert!((r.energy_per_iter_j - r.energy_j / 2.0).abs() < 1e-12);

@@ -17,10 +17,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut keys = KeyChain::generate_sparse(&ctx, 8, &mut rng);
 
     let cfg = BootConfig {
-        sine: SineConfig { taylor_degree: 7, double_angles: 6 },
+        sine: SineConfig {
+            taylor_degree: 7,
+            double_angles: 6,
+        },
     };
     let boot = Bootstrapper::new(&ctx, cfg);
-    println!("generating {} rotation keys…", boot.required_rotations().len());
+    println!(
+        "generating {} rotation keys…",
+        boot.required_rotations().len()
+    );
     keys.gen_rotation_keys(&boot.required_rotations(), &mut rng);
     keys.gen_conjugation_key(&mut rng);
 

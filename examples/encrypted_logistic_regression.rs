@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (xs, ys, mut ws) = helr::encrypt_problem(&ctx, &keys, &data, &w0, &mut rng)?;
     let mut w_clear = w0;
 
-    println!("training on {} encrypted samples, {} features", slots, features);
+    println!(
+        "training on {} encrypted samples, {} features",
+        slots, features
+    );
     let mut eval = Evaluator::new(&ctx);
     let lr = 1.0;
     for step in 0..2 {

@@ -34,8 +34,14 @@ fn main() {
     }
 
     println!("\ndata layout ablation (batch 128 Ele-Add):");
-    let add = [KernelEvent::EleAdd { n: params.n(), limbs: params.max_level() + 1 }];
-    for (name, layout) in [("(L,B,N) packed", Layout::Lbn), ("(B,L,N) strided", Layout::Bln)] {
+    let add = [KernelEvent::EleAdd {
+        n: params.n(),
+        limbs: params.max_level() + 1,
+    }];
+    for (name, layout) in [
+        ("(L,B,N) packed", Layout::Lbn),
+        ("(B,L,N) strided", Layout::Bln),
+    ] {
         let mut e = Engine::new(EngineConfig::a100(Variant::TensorCore).with_layout(layout));
         let s = e.run_schedule("Ele-Add", &add, 128);
         println!("  {name}: {:9.1} µs", s.time_us);

@@ -8,6 +8,14 @@ use tensorfhe::core::engine::{EngineConfig, Variant};
 use tensorfhe::core::MultiGpu;
 
 fn main() {
+    // A zero-device cluster is now a typed error instead of a panic.
+    assert!(MultiGpu::new(
+        &EngineConfig::a100(Variant::TensorCore),
+        0,
+        &CkksParams::toy()
+    )
+    .is_err());
+
     let params = CkksParams::table_v_default();
     let ntt = [KernelEvent::Ntt {
         n: params.n(),
@@ -19,11 +27,8 @@ fn main() {
     println!("batched NTT throughput, batch {batch}, sharded across A100s:");
     let mut base = 0.0;
     for devices in [1usize, 2, 4, 8] {
-        let mut cluster = MultiGpu::new(
-            &EngineConfig::a100(Variant::TensorCore),
-            devices,
-            &params,
-        );
+        let mut cluster = MultiGpu::new(&EngineConfig::a100(Variant::TensorCore), devices, &params)
+            .expect("device count is non-zero");
         let s = cluster.run_schedule("NTT", &ntt, batch);
         if devices == 1 {
             base = s.ops_per_second;

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensorfhe::ckks::{CkksContext, CkksParams, Evaluator, KeyChain};
 use tensorfhe::core::api::{FheOp, TensorFhe};
-use tensorfhe::core::engine::{EngineConfig, Variant};
+use tensorfhe::core::service::FheRequest;
 use tensorfhe::math::Complex64;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -52,20 +52,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  slot {i}: {:8.4}  (expected {:8.4})", dec[i].re, want);
     }
 
-    // 2. What would the batched version cost on an A100?
+    // 2. What would the batched version cost on an A100? Submit the same
+    // three operations as a request stream and let the service batch them.
     let paper_params = CkksParams::table_v_default();
-    let mut api = TensorFhe::new(&paper_params, EngineConfig::a100(Variant::TensorCore));
-    let batch = api.auto_batch();
+    let mut svc = TensorFhe::builder(&paper_params).service()?;
+    let level = paper_params.max_level();
+    let batch = svc.batch_cap();
     for op in [FheOp::HAdd, FheOp::HMult, FheOp::HRotate] {
-        let r = api.run_op(op, paper_params.max_level(), batch);
+        svc.submit(FheRequest::new(op, level, batch, "quickstart"))?;
+    }
+    for r in svc.drain() {
         println!(
             "simulated A100, batch {}: {:8} = {:9.2} ms ({:7.0} ops/s, occupancy {:4.1}%)",
-            r.batch,
-            r.op.name(),
-            r.time_us / 1e3,
-            r.ops_per_second,
-            r.occupancy * 100.0
+            r.report.batch,
+            r.report.op.name(),
+            r.report.time_us / 1e3,
+            r.report.ops_per_second,
+            r.report.occupancy * 100.0
         );
     }
+    let stats = svc.stats();
+    println!(
+        "service: {} ops in {} batches, fill {:4.1}%, {:7.0} ops/s aggregate",
+        stats.ops_completed,
+        stats.batches_dispatched,
+        stats.batch_fill * 100.0,
+        stats.ops_per_second
+    );
     Ok(())
 }

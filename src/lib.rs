@@ -1,5 +1,6 @@
 //! TensorFHE — a reproduction of "TensorFHE: Achieving Practical Computation
-//! on Encrypted Data Using GPGPU" (HPCA 2023) in pure Rust.
+//! on Encrypted Data Using GPGPU" (HPCA 2023) in pure Rust, grown into a
+//! batching FHE *service*.
 //!
 //! This facade crate re-exports the workspace layers:
 //!
@@ -8,12 +9,37 @@
 //! * [`gpu`] — the simulated GPGPU substrate (A100/V100/GTX1080Ti models).
 //! * [`ckks`] — full-RNS CKKS with hybrid key switching.
 //! * [`boot`] — slim bootstrapping.
-//! * [`core`] — the TensorFHE engine: kernel layer, API layer, batching.
+//! * [`core`] — the TensorFHE engine and the request-stream service:
+//!   clients submit [`core::service::FheRequest`]s, the service coalesces
+//!   compatible ones into VRAM-feasible batches (§IV-E) and dispatches to
+//!   one engine or a multi-GPU cluster.
 //! * [`workloads`] — ResNet-20, HELR logistic regression, LSTM and packed
-//!   bootstrapping evaluation workloads.
+//!   bootstrapping evaluation workloads, executed through the service.
 //!
-//! See `examples/` for runnable entry points and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology.
+//! # Quick start
+//!
+//! ```
+//! use tensorfhe::ckks::CkksParams;
+//! use tensorfhe::core::api::{FheOp, TensorFhe};
+//! use tensorfhe::core::service::FheRequest;
+//!
+//! let params = CkksParams::test_small();
+//! let mut svc = TensorFhe::builder(&params).service()?;
+//! svc.submit(FheRequest::new(FheOp::HMult, params.max_level(), 16, "demo"))?;
+//! let reports = svc.drain();
+//! assert_eq!(reports.len(), 1);
+//! # Ok::<(), tensorfhe::core::CoreError>(())
+//! ```
+//!
+//! ## Migrating from the seed API
+//!
+//! `TensorFhe::new(&params, EngineConfig::…)` became
+//! [`core::TensorFhe::builder`]; caller-batched `run_op` calls become
+//! service `submit`/`drain` streams (the shim remains for one-off costing).
+//! See the [`core`] crate docs for the full migration table.
+//!
+//! See `examples/` for runnable entry points — `examples/request_stream.rs`
+//! demonstrates the multi-tenant service front end.
 
 pub use tensorfhe_boot as boot;
 pub use tensorfhe_ckks as ckks;

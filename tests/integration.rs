@@ -68,7 +68,9 @@ fn timing_only_matches_traced_execution() {
     let full_stats = engine.window_stats(mark);
 
     // TimingOnly execution of the same op.
-    let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+    let mut api = TensorFhe::builder(&params)
+        .build()
+        .expect("single-device build");
     let report = api.run_op(FheOp::HMult, params.max_level(), 1);
 
     assert_eq!(
@@ -116,10 +118,99 @@ fn variant_ordering_holds_for_traced_math() {
 #[test]
 fn operation_level_batching_amortises() {
     let params = CkksParams::test_small();
-    let mut api = TensorFhe::new(&params, EngineConfig::a100(Variant::TensorCore));
+    let mut api = TensorFhe::builder(&params)
+        .build()
+        .expect("single-device build");
     let level = params.max_level();
     let single = api.run_op(FheOp::HMult, level, 1);
     let batched = api.run_op(FheOp::HMult, level, 64);
     assert!(batched.time_us < single.time_us * 64.0 * 0.5);
     assert!(batched.occupancy > single.occupancy);
+}
+
+/// The acceptance path of the request-stream redesign: three simulated
+/// clients submit interleaved HMULT / HROTATE / RESCALE requests; the
+/// service coalesces them into batches and must beat the same stream issued
+/// one-by-one through the legacy `run_op` path (Fig. 14 behaviour).
+#[test]
+fn request_stream_service_beats_one_by_one_run_op() {
+    use tensorfhe::core::service::FheRequest;
+
+    let params = CkksParams::test_small();
+    let level = params.max_level();
+
+    // Interleaved per-client streams: a mult-heavy client, a rotation
+    // client and a rescale client, three rounds each.
+    let mut stream = Vec::new();
+    for _round in 0..3 {
+        stream.push(FheRequest::new(FheOp::HMult, level, 6, "client-a"));
+        stream.push(FheRequest::new(FheOp::HRotate, level, 4, "client-b"));
+        stream.push(FheRequest::new(FheOp::Rescale, level, 5, "client-c"));
+    }
+    let total_ops: usize = stream.iter().map(|r| r.count).sum();
+
+    let mut svc = TensorFhe::builder(&params)
+        .service()
+        .expect("valid service config");
+    svc.submit_stream(stream.clone()).expect("valid stream");
+    let reports = svc.drain();
+    let stats = svc.stats();
+
+    assert_eq!(reports.len(), stream.len(), "every request must complete");
+    assert_eq!(stats.ops_completed, total_ops);
+    let clients: std::collections::BTreeSet<_> = reports.iter().map(|r| r.client.clone()).collect();
+    assert_eq!(clients.len(), 3, "all three clients served");
+    assert!(
+        stats.batches_dispatched < stream.len(),
+        "coalescing must merge requests into fewer batches: {} batches for {} requests",
+        stats.batches_dispatched,
+        stream.len()
+    );
+
+    // Legacy path: identical operations, one at a time, caller-driven.
+    let mut api = TensorFhe::builder(&params).build().expect("build");
+    let mut legacy_us = 0.0;
+    for req in &stream {
+        for _ in 0..req.count {
+            legacy_us += api.run_op(req.op, req.level, 1).time_us;
+        }
+    }
+    let legacy_ops_per_second = total_ops as f64 / (legacy_us * 1e-6);
+
+    assert!(
+        stats.ops_per_second > legacy_ops_per_second,
+        "service batching must beat one-by-one: {} vs {} ops/s",
+        stats.ops_per_second,
+        legacy_ops_per_second
+    );
+}
+
+/// The service front end preserves the cost model: a request stream's total
+/// busy time equals the sum of what the legacy API charges for the same
+/// batched dispatches.
+#[test]
+fn service_totals_match_legacy_batched_costs() {
+    use tensorfhe::core::service::FheRequest;
+
+    let params = CkksParams::test_small();
+    let level = params.max_level();
+    let mut svc = TensorFhe::builder(&params)
+        .service()
+        .expect("valid service config");
+    let cap = svc.batch_cap();
+    svc.submit(FheRequest::new(FheOp::HMult, level, cap, "a"))
+        .expect("valid");
+    svc.submit(FheRequest::new(FheOp::HRotate, level, cap, "b"))
+        .expect("valid");
+    svc.drain();
+
+    let mut api = TensorFhe::builder(&params).build().expect("build");
+    let want = api.run_op(FheOp::HMult, level, cap).time_us
+        + api.run_op(FheOp::HRotate, level, cap).time_us;
+    let got = svc.stats().busy_us;
+    let rel = (got - want).abs() / want;
+    assert!(
+        rel < 1e-9,
+        "service {got} vs legacy {want} µs drifted {rel}"
+    );
 }

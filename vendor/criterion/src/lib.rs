@@ -1,0 +1,174 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the macro and method surface `crates/bench/benches/kernels.rs`
+//! uses — `criterion_group!` / `criterion_main!`, `Criterion::default()`,
+//! `bench_function`, `benchmark_group` / `bench_with_input`, `BenchmarkId`
+//! and `Bencher::iter` — with a plain wall-clock median instead of
+//! criterion's full statistical machinery. Bench targets compile and print
+//! per-iteration timings; swapping the path dependency for the crates.io
+//! `criterion = "0.5"` requires no code changes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Identifier for a parameterised benchmark case.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the median of `samples` runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        report(id, b.median_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {group_name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&id.name, b.median_ns);
+        self
+    }
+
+    /// Finishes the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, median_ns: f64) {
+    if median_ns >= 1e6 {
+        println!("  {name:40} {:12.3} ms", median_ns / 1e6);
+    } else if median_ns >= 1e3 {
+        println!("  {name:40} {:12.3} µs", median_ns / 1e3);
+    } else {
+        println!("  {name:40} {median_ns:12.1} ns");
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_time() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("ntt", 1024).to_string(), "ntt/1024");
+    }
+}
