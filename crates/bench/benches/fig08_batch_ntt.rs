@@ -1,0 +1,139 @@
+//! Figure 8: per-limb butterfly NTT vs the batched GEMM formulations.
+//!
+//! A `B×L` block (batch × RNS limbs sharing a modulus) is either issued as
+//! `B·L` independent butterfly kernels (the TensorFHE-NT baseline, one
+//! dependent `log N`-stage pipeline each) or packed into single wide GEMMs
+//! per four-step stage (TensorFHE-CO on the CUDA cores, full TensorFHE on
+//! the tensor cores). Reported per transform on the simulated A100 — the
+//! "wall-clock" of this reproduction — plus a host-side cross-check that
+//! the batched arithmetic is bit-identical to the per-limb reference.
+
+use std::time::Instant;
+use tensorfhe_bench::print_table;
+use tensorfhe_ckks::KernelEvent;
+use tensorfhe_core::engine::{Engine, EngineConfig, Variant};
+use tensorfhe_math::prime::generate_ntt_primes;
+use tensorfhe_ntt::{BatchedGemmNtt, NttAlgorithm, NttBatchOps, NttOps, NttTable};
+
+const N: usize = 1 << 13;
+
+/// Simulated device time (µs) per transform for a B·L block.
+fn device_us_per_transform(variant: Variant, bl: usize) -> f64 {
+    let mut engine = Engine::new(EngineConfig::a100(variant));
+    let events: Vec<KernelEvent> = match variant {
+        // Per-limb baseline: B·L independent butterfly kernels.
+        Variant::Butterfly => (0..bl)
+            .map(|_| KernelEvent::Ntt {
+                n: N,
+                limbs: 1,
+                inverse: false,
+            })
+            .collect(),
+        // Batched GEMM: the whole block rides one wide-GEMM pipeline.
+        _ => vec![KernelEvent::Ntt {
+            n: N,
+            limbs: bl,
+            inverse: false,
+        }],
+    };
+    engine.run_schedule("NTT", &events, 1).time_us / bl as f64
+}
+
+fn main() {
+    let q = generate_ntt_primes(1, 28, N as u64)[0];
+    let butterfly = NttTable::new(N, q);
+    let co_plan = BatchedGemmNtt::new(N, q, NttAlgorithm::FourStep);
+
+    let mut rows_out = Vec::new();
+    let mut summary = Vec::new();
+    for bl in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let nt = device_us_per_transform(Variant::Butterfly, bl);
+        let co = device_us_per_transform(Variant::FourStep, bl);
+        let tc = device_us_per_transform(Variant::TensorCore, bl);
+
+        // Host cross-check at moderate widths: the batched block must be
+        // bit-identical to per-limb butterflies (and we time both sides).
+        let (host_note, host_check) = if bl <= 32 {
+            let block: Vec<Vec<u64>> = (0..bl)
+                .map(|r| {
+                    (0..N)
+                        .map(|i| ((r * 31 + i * 7) as u64 * 2654435761) % q)
+                        .collect()
+                })
+                .collect();
+            let mut want = block.clone();
+            let t0 = Instant::now();
+            for row in &mut want {
+                butterfly.forward(row);
+            }
+            let bf_host = t0.elapsed().as_secs_f64() * 1e6 / bl as f64;
+            let mut got = block.clone();
+            let t1 = Instant::now();
+            {
+                let mut views: Vec<&mut [u64]> = got.iter_mut().map(Vec::as_mut_slice).collect();
+                co_plan.forward_batch(&mut views);
+            }
+            let co_host = t1.elapsed().as_secs_f64() * 1e6 / bl as f64;
+            assert_eq!(
+                want, got,
+                "batched GEMM diverged from butterfly at B·L={bl}"
+            );
+            (format!("{bf_host:.0} / {co_host:.0}"), true)
+        } else {
+            ("—".to_string(), false)
+        };
+        let _ = host_check;
+
+        rows_out.push(vec![
+            format!("{bl}"),
+            format!("{nt:.2}"),
+            format!("{co:.2}"),
+            format!("{tc:.2}"),
+            format!("{:.2}×", nt / co),
+            format!("{:.2}×", nt / tc),
+            host_note,
+        ]);
+        summary.push((bl, nt, co, tc));
+    }
+
+    print_table(
+        "Figure 8 — per-limb butterfly vs batched GEMM NTT (N = 2^13, device µs/transform)",
+        &[
+            "B·L",
+            "NT (per-limb)",
+            "CO (batched)",
+            "TC (batched)",
+            "CO speedup",
+            "TC speedup",
+            "host µs bf/co",
+        ],
+        &rows_out,
+    );
+
+    // The acceptance property: the batched GEMM NTT beats per-limb
+    // butterflies once the block is wide enough to feed the device —
+    // B·L ≥ 16 for the four-step GEMMs; the 16-plane tensor-core pipeline
+    // amortizes later (B·L ≥ 64, the Fig. 15 deep-batch regime) but then
+    // wins by an order of magnitude.
+    for &(bl, nt, co, tc) in &summary {
+        if bl >= 16 {
+            assert!(
+                co < nt,
+                "batched GEMM must beat per-limb butterfly at B·L={bl}: NT {nt:.2} CO {co:.2}"
+            );
+        }
+        if bl >= 64 {
+            assert!(
+                tc < nt,
+                "tensor-core block must beat per-limb butterfly at B·L={bl}: NT {nt:.2} TC {tc:.2}"
+            );
+        }
+    }
+    let (_, nt, co, tc) = summary[summary.len() - 1];
+    println!(
+        "\nat B·L = 256: batched CO {:.1}× and TC {:.1}× over per-limb butterflies \
+         (paper Fig. 8/15: GEMM NTT wins grow with batch until the device saturates)",
+        nt / co,
+        nt / tc
+    );
+}

@@ -1,9 +1,10 @@
 //! The bootstrap orchestrator (Fig. 6).
 
-use crate::dft::{dft_transform, DftMatrix, Half};
+use crate::dft::{dft_transform_cached, DftMatrix, Half};
 use crate::linear::LinearTransform;
 use crate::modraise::mod_raise;
 use crate::sine::{eval_sine, SineConfig};
+use std::sync::Arc;
 use tensorfhe_ckks::{Ciphertext, CkksContext, CkksError, Evaluator, KeyChain};
 
 /// Bootstrap configuration.
@@ -32,29 +33,31 @@ impl BootConfig {
 pub struct Bootstrapper<'a> {
     ctx: &'a CkksContext,
     cfg: BootConfig,
-    c2s_adj_low: LinearTransform,
-    c2s_tra_low: LinearTransform,
-    c2s_adj_high: LinearTransform,
-    c2s_tra_high: LinearTransform,
-    s2c_low: LinearTransform,
-    s2c_high: LinearTransform,
+    c2s_adj_low: Arc<LinearTransform>,
+    c2s_tra_low: Arc<LinearTransform>,
+    c2s_adj_high: Arc<LinearTransform>,
+    c2s_tra_high: Arc<LinearTransform>,
+    s2c_low: Arc<LinearTransform>,
+    s2c_high: Arc<LinearTransform>,
 }
 
 impl<'a> Bootstrapper<'a> {
     /// Builds the DFT transforms for the context (CoeffToSlot and
-    /// SlotToCoeff halves).
+    /// SlotToCoeff halves). Transforms depend only on `N` and come from the
+    /// process-wide DFT cache, so bootstrappers share them across contexts
+    /// — the same plan-sharing semantics as the NTT layer's `PlanCache`.
     #[must_use]
     pub fn new(ctx: &'a CkksContext, cfg: BootConfig) -> Self {
         let n = ctx.params().n();
         Self {
             ctx,
             cfg,
-            c2s_adj_low: dft_transform(n, DftMatrix::DecodeAdjoint(Half::Low)),
-            c2s_tra_low: dft_transform(n, DftMatrix::DecodeTranspose(Half::Low)),
-            c2s_adj_high: dft_transform(n, DftMatrix::DecodeAdjoint(Half::High)),
-            c2s_tra_high: dft_transform(n, DftMatrix::DecodeTranspose(Half::High)),
-            s2c_low: dft_transform(n, DftMatrix::Encode(Half::Low)),
-            s2c_high: dft_transform(n, DftMatrix::Encode(Half::High)),
+            c2s_adj_low: dft_transform_cached(n, DftMatrix::DecodeAdjoint(Half::Low)),
+            c2s_tra_low: dft_transform_cached(n, DftMatrix::DecodeTranspose(Half::Low)),
+            c2s_adj_high: dft_transform_cached(n, DftMatrix::DecodeAdjoint(Half::High)),
+            c2s_tra_high: dft_transform_cached(n, DftMatrix::DecodeTranspose(Half::High)),
+            s2c_low: dft_transform_cached(n, DftMatrix::Encode(Half::Low)),
+            s2c_high: dft_transform_cached(n, DftMatrix::Encode(Half::High)),
         }
     }
 

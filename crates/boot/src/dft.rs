@@ -17,10 +17,12 @@
 //! DFT matrices the paper's Fig. 6 BSGS boxes evaluate.
 
 use crate::linear::LinearTransform;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use tensorfhe_math::Complex64;
 
 /// Which half (columns) of the decoding matrix to materialise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Half {
     /// Columns `0..N/2` (low coefficients).
     Low,
@@ -29,7 +31,7 @@ pub enum Half {
 }
 
 /// Which variant of the matrix a transform needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DftMatrix {
     /// `E_half` — SlotToCoeff direction.
     Encode(Half),
@@ -76,6 +78,26 @@ pub fn dft_transform(n: usize, which: DftMatrix) -> LinearTransform {
         }
     }
     LinearTransform::from_matrix(&matrix)
+}
+
+/// [`dft_transform`] through a process-wide cache keyed on `(n, which)` —
+/// the bootstrap counterpart of the NTT layer's plan cache. The six dense
+/// DFT matrices of a [`crate::bootstrap::Bootstrapper`] depend only on `N`,
+/// so every bootstrapper (and every context) at the same degree shares one
+/// materialisation.
+#[must_use]
+pub fn dft_transform_cached(n: usize, which: DftMatrix) -> Arc<LinearTransform> {
+    type DftCache = Mutex<HashMap<(usize, DftMatrix), Arc<LinearTransform>>>;
+    static CACHE: OnceLock<DftCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(lt) = cache.lock().expect("dft cache poisoned").get(&(n, which)) {
+        return Arc::clone(lt);
+    }
+    // Built outside the lock (dense N/2 × N/2 complex matrix); a racing
+    // builder defers to whichever insert lands first.
+    let built = Arc::new(dft_transform(n, which));
+    let mut map = cache.lock().expect("dft cache poisoned");
+    Arc::clone(map.entry((n, which)).or_insert(built))
 }
 
 /// Clear-domain check helper: slots of the polynomial with real coefficient
@@ -166,5 +188,16 @@ mod tests {
     fn dft_matrices_are_dense() {
         let lt = dft_transform(16, DftMatrix::Encode(Half::Low));
         assert_eq!(lt.diagonal_count(), 8);
+    }
+
+    #[test]
+    fn cached_transforms_are_shared_per_key() {
+        let a = dft_transform_cached(16, DftMatrix::Encode(Half::Low));
+        let b = dft_transform_cached(16, DftMatrix::Encode(Half::Low));
+        assert!(Arc::ptr_eq(&a, &b), "same (n, which) must share one matrix");
+        let c = dft_transform_cached(16, DftMatrix::Encode(Half::High));
+        assert!(!Arc::ptr_eq(&a, &c), "different half, different matrix");
+        // The cached instance is the uncached builder's output.
+        assert_eq!(a.diagonal_count(), 8);
     }
 }

@@ -11,10 +11,11 @@ use crate::poly::Plaintext;
 use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use tensorfhe_math::crt::{BasisConvTable, RnsBasis};
 use tensorfhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
 use tensorfhe_math::{Complex64, Modulus};
-use tensorfhe_ntt::NttTable;
+use tensorfhe_ntt::{BatchedGemmNtt, NttAlgorithm, PlanCache};
 
 /// Pre-computed tables for one Galois element `g` (rotation/conjugation).
 #[derive(Debug, Clone)]
@@ -58,12 +59,13 @@ pub struct ModDownTable {
 #[derive(Debug)]
 pub struct CkksContext {
     params: CkksParams,
+    algorithm: NttAlgorithm,
     q_primes: Vec<u64>,
     p_primes: Vec<u64>,
     q_mods: Vec<Modulus>,
     p_mods: Vec<Modulus>,
-    ntt_q: Vec<OnceCell<NttTable>>,
-    ntt_p: Vec<OnceCell<NttTable>>,
+    ntt_q: Vec<OnceCell<Arc<BatchedGemmNtt>>>,
+    ntt_p: Vec<OnceCell<Arc<BatchedGemmNtt>>>,
     encoder: OnceCell<Encoder>,
     rns_per_level: Vec<OnceCell<RnsBasis>>,
     modup: RefCell<HashMap<(usize, usize), Rc<ModUpTable>>>,
@@ -74,13 +76,29 @@ pub struct CkksContext {
 }
 
 impl CkksContext {
-    /// Builds the context for a parameter set.
+    /// Builds the context for a parameter set with the butterfly NTT
+    /// formulation (the TensorFHE-NT baseline).
     ///
     /// # Errors
     ///
     /// Returns [`CkksError::InvalidParams`] if not enough NTT-friendly primes
     /// of the requested size exist for the degree.
     pub fn new(params: &CkksParams) -> Result<Self, CkksError> {
+        Self::with_algorithm(params, NttAlgorithm::Butterfly)
+    }
+
+    /// Builds the context with an explicit NTT formulation (Table IV).
+    ///
+    /// Every formulation computes the *same* transform bit-exactly; the
+    /// choice selects the execution shape (butterfly stages vs batched wide
+    /// GEMMs). Tables come from the process-wide [`PlanCache`], so contexts
+    /// sharing `(N, q, algorithm)` keys share twiddle plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParams`] if not enough NTT-friendly primes
+    /// of the requested size exist for the degree.
+    pub fn with_algorithm(params: &CkksParams, algorithm: NttAlgorithm) -> Result<Self, CkksError> {
         let n = params.n() as u64;
         let l1 = params.max_level() + 1;
         let k = params.special_primes();
@@ -112,6 +130,7 @@ impl CkksContext {
 
         Ok(Self {
             params: params.clone(),
+            algorithm,
             ntt_q: (0..l1).map(|_| OnceCell::new()).collect(),
             ntt_p: (0..k).map(|_| OnceCell::new()).collect(),
             encoder: OnceCell::new(),
@@ -161,16 +180,28 @@ impl CkksContext {
         &self.p_mods[k]
     }
 
-    /// NTT table for ciphertext prime `i` (built on first use).
+    /// The NTT formulation this context executes with.
     #[must_use]
-    pub fn ntt_q(&self, i: usize) -> &NttTable {
-        self.ntt_q[i].get_or_init(|| NttTable::new(self.params.n(), self.q_primes[i]))
+    pub fn ntt_algorithm(&self) -> NttAlgorithm {
+        self.algorithm
     }
 
-    /// NTT table for special prime `k` (built on first use).
+    /// NTT plan for ciphertext prime `i` (fetched from the process-wide
+    /// [`PlanCache`] on first use).
     #[must_use]
-    pub fn ntt_p(&self, k: usize) -> &NttTable {
-        self.ntt_p[k].get_or_init(|| NttTable::new(self.params.n(), self.p_primes[k]))
+    pub fn ntt_q(&self, i: usize) -> &BatchedGemmNtt {
+        self.ntt_q[i].get_or_init(|| {
+            PlanCache::global().get(self.params.n(), self.q_primes[i], self.algorithm)
+        })
+    }
+
+    /// NTT plan for special prime `k` (fetched from the process-wide
+    /// [`PlanCache`] on first use).
+    #[must_use]
+    pub fn ntt_p(&self, k: usize) -> &BatchedGemmNtt {
+        self.ntt_p[k].get_or_init(|| {
+            PlanCache::global().get(self.params.n(), self.p_primes[k], self.algorithm)
+        })
     }
 
     /// `q_l^{-1} mod q_j` (rescale constant).

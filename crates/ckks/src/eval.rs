@@ -423,8 +423,7 @@ impl<'a> Evaluator<'a> {
         let ctx = self.ctx;
         let n = ct.n();
         let q_l = ctx.q_primes()[l];
-        let c0 = self.rescale_poly(&ct.c0);
-        let c1 = self.rescale_poly(&ct.c1);
+        let (c0, c1) = self.rescale_pair(&ct.c0, &ct.c1);
         self.emit(KernelEvent::Ntt {
             n,
             limbs: 2,
@@ -444,45 +443,69 @@ impl<'a> Evaluator<'a> {
         })
     }
 
-    fn rescale_poly(&self, poly: &RnsPoly) -> RnsPoly {
+    /// Rescales both ciphertext components together so each modulus's NTT
+    /// sandwich runs as one two-row batched transform (`c0` and `c1` share
+    /// every `q_j`) — the batched execution layer applied to the RESCALE
+    /// hot loop.
+    fn rescale_pair(&self, p0: &RnsPoly, p1: &RnsPoly) -> (RnsPoly, RnsPoly) {
+        use tensorfhe_ntt::NttBatchOps;
         let ctx = self.ctx;
-        let l = poly.level();
+        let l = p0.level();
         let m_l = *ctx.q_mod(l);
         let half = m_l.value() / 2;
+        let polys = [p0, p1];
 
-        // INTT the top limb only.
-        let mut top = poly.limb(l).to_vec();
-        use tensorfhe_ntt::NttOps;
-        ctx.ntt_q(l).inverse(&mut top);
+        // INTT the two top limbs in one batched call.
+        let mut tops: Vec<Vec<u64>> = polys.iter().map(|p| p.limb(l).to_vec()).collect();
+        {
+            let mut rows: Vec<&mut [u64]> = tops.iter_mut().map(Vec::as_mut_slice).collect();
+            ctx.ntt_q(l).inverse_batch(&mut rows);
+        }
 
-        // Centered representative of [c]_{q_l}.
-        let centered: Vec<i64> = top
+        // Centered representatives of [c]_{q_l}.
+        let centered: Vec<Vec<i64>> = tops
             .iter()
-            .map(|&x| {
-                if x > half {
-                    x as i64 - m_l.value() as i64
-                } else {
-                    x as i64
-                }
+            .map(|top| {
+                top.iter()
+                    .map(|&x| {
+                        if x > half {
+                            x as i64 - m_l.value() as i64
+                        } else {
+                            x as i64
+                        }
+                    })
+                    .collect()
             })
             .collect();
 
-        let mut limbs = Vec::with_capacity(l);
+        let mut limbs0 = Vec::with_capacity(l);
+        let mut limbs1 = Vec::with_capacity(l);
         for j in 0..l {
             let m_j = ctx.q_mod(j);
             let inv = ctx.rescale_inv(l, j);
-            // NTT([c_l] mod q_j), then (c_j − t)·q_l^{-1}.
-            let mut t: Vec<u64> = centered.iter().map(|&v| m_j.from_i64(v)).collect();
-            ctx.ntt_q(j).forward(&mut t);
-            let limb = poly
-                .limb(j)
+            // NTT([c_l] mod q_j) for both components, then (c_j − t)·q_l^{-1}.
+            let mut ts: Vec<Vec<u64>> = centered
                 .iter()
-                .zip(&t)
-                .map(|(&c, &tv)| m_j.mul(m_j.sub(c, tv), inv))
+                .map(|c| c.iter().map(|&v| m_j.from_i64(v)).collect())
                 .collect();
-            limbs.push(limb);
+            {
+                let mut rows: Vec<&mut [u64]> = ts.iter_mut().map(Vec::as_mut_slice).collect();
+                ctx.ntt_q(j).forward_batch(&mut rows);
+            }
+            for (poly, t, limbs) in [(p0, &ts[0], &mut limbs0), (p1, &ts[1], &mut limbs1)] {
+                let limb: Vec<u64> = poly
+                    .limb(j)
+                    .iter()
+                    .zip(t)
+                    .map(|(&c, &tv)| m_j.mul(m_j.sub(c, tv), inv))
+                    .collect();
+                limbs.push(limb);
+            }
         }
-        RnsPoly::from_limbs(limbs, Domain::Ntt)
+        (
+            RnsPoly::from_limbs(limbs0, Domain::Ntt),
+            RnsPoly::from_limbs(limbs1, Domain::Ntt),
+        )
     }
 
     /// Drops limbs without rescaling (level alignment; exact in RNS).

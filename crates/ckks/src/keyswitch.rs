@@ -20,7 +20,7 @@
 use crate::context::CkksContext;
 use crate::poly::{Domain, RnsPoly};
 use crate::trace::{KernelEvent, Tracing};
-use tensorfhe_ntt::NttOps;
+use tensorfhe_ntt::{NttBatchOps, NttOps};
 
 /// A polynomial over the extended basis `{q_0..q_l} ∪ {p_0..p_{K-1}}`.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +79,78 @@ impl ExtPoly {
             ctx.ntt_p(k).inverse(limb);
         }
         self.domain = Domain::Coeff;
+    }
+
+    /// Forward NTT of a block of extended polynomials sharing one basis
+    /// layout, batched per modulus (`B` = block size rows per wide GEMM).
+    ///
+    /// This is the key-switch hot loop of §IV-D: all `dnum` ModUp digits
+    /// share the extended basis, so their transforms pack into one wide
+    /// GEMM per prime instead of `dnum` narrow ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomials disagree on basis shape or any is already
+    /// in NTT domain.
+    pub fn ntt_forward_batch(ctx: &CkksContext, exts: &mut [ExtPoly]) {
+        let Some(first) = exts.first() else { return };
+        let (nq, np) = (first.q_limbs.len(), first.p_limbs.len());
+        for e in exts.iter() {
+            assert_eq!(e.q_limbs.len(), nq, "basis mismatch in batch");
+            assert_eq!(e.p_limbs.len(), np, "basis mismatch in batch");
+            assert_eq!(e.domain, Domain::Coeff);
+        }
+        for i in 0..nq {
+            let mut rows: Vec<&mut [u64]> = exts
+                .iter_mut()
+                .map(|e| e.q_limbs[i].as_mut_slice())
+                .collect();
+            ctx.ntt_q(i).forward_batch(&mut rows);
+        }
+        for k in 0..np {
+            let mut rows: Vec<&mut [u64]> = exts
+                .iter_mut()
+                .map(|e| e.p_limbs[k].as_mut_slice())
+                .collect();
+            ctx.ntt_p(k).forward_batch(&mut rows);
+        }
+        for e in exts.iter_mut() {
+            e.domain = Domain::Ntt;
+        }
+    }
+
+    /// Inverse NTT of a block of extended polynomials, batched per modulus
+    /// (counterpart of [`ExtPoly::ntt_forward_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomials disagree on basis shape or any is already
+    /// in coefficient domain.
+    pub fn ntt_inverse_batch(ctx: &CkksContext, exts: &mut [ExtPoly]) {
+        let Some(first) = exts.first() else { return };
+        let (nq, np) = (first.q_limbs.len(), first.p_limbs.len());
+        for e in exts.iter() {
+            assert_eq!(e.q_limbs.len(), nq, "basis mismatch in batch");
+            assert_eq!(e.p_limbs.len(), np, "basis mismatch in batch");
+            assert_eq!(e.domain, Domain::Ntt);
+        }
+        for i in 0..nq {
+            let mut rows: Vec<&mut [u64]> = exts
+                .iter_mut()
+                .map(|e| e.q_limbs[i].as_mut_slice())
+                .collect();
+            ctx.ntt_q(i).inverse_batch(&mut rows);
+        }
+        for k in 0..np {
+            let mut rows: Vec<&mut [u64]> = exts
+                .iter_mut()
+                .map(|e| e.p_limbs[k].as_mut_slice())
+                .collect();
+            ctx.ntt_p(k).inverse_batch(&mut rows);
+        }
+        for e in exts.iter_mut() {
+            e.domain = Domain::Coeff;
+        }
     }
 
     /// `self += ext ⊙ key`, limb-wise over the shared basis prefix.
@@ -176,59 +248,91 @@ pub fn mod_up(
 /// RNS polynomial at the same level (NTT domain).
 #[must_use]
 pub fn mod_down(ctx: &CkksContext, tracing: &mut Tracing<'_>, acc: &ExtPoly) -> RnsPoly {
-    let l = acc.level();
+    mod_down_batch(ctx, tracing, &[acc])
+        .pop()
+        .expect("one input")
+}
+
+/// Batched `ModDown` of several same-level accumulators: the INTT and NTT
+/// sandwiches run through the batched per-modulus path (`B` = block size),
+/// the conversions and scaled subtractions per accumulator.
+///
+/// Emits the same kernel events as calling [`mod_down`] per accumulator —
+/// batching changes the arithmetic packing, not the costed schedule —
+/// grouped by stage instead of by accumulator.
+#[must_use]
+pub fn mod_down_batch(
+    ctx: &CkksContext,
+    tracing: &mut Tracing<'_>,
+    accs: &[&ExtPoly],
+) -> Vec<RnsPoly> {
+    if accs.is_empty() {
+        return Vec::new();
+    }
+    let l = accs[0].level();
     let n = ctx.params().n();
     let k = ctx.params().special_primes();
     let table = ctx.moddown_table(l);
 
-    let mut acc = acc.clone();
-    acc.ntt_inverse(ctx);
-    tracing.emit(KernelEvent::Ntt {
-        n,
-        limbs: acc.total_limbs(),
-        inverse: true,
-    });
-
-    // Convert the special-prime part into the q basis.
-    let mut converted = vec![vec![0u64; n]; l + 1];
-    let mut residues = vec![0u64; k];
-    for c in 0..n {
-        for (r, limb) in residues.iter_mut().zip(&acc.p_limbs) {
-            *r = limb[c];
-        }
-        let y = table.conv.y_vector(&residues);
-        for (i, conv_limb) in converted.iter_mut().enumerate() {
-            conv_limb[c] = table.conv.convert_from_y(&y, i);
-        }
+    let mut work: Vec<ExtPoly> = accs.iter().map(|a| (*a).clone()).collect();
+    ExtPoly::ntt_inverse_batch(ctx, &mut work);
+    for acc in &work {
+        tracing.emit(KernelEvent::Ntt {
+            n,
+            limbs: acc.total_limbs(),
+            inverse: true,
+        });
     }
-    tracing.emit(KernelEvent::Conv {
-        n,
-        l_src: k,
-        l_dst: l + 1,
-    });
 
-    // out_i = (acc_i - conv_i) · P^{-1} mod q_i
-    let mut out_limbs = Vec::with_capacity(l + 1);
-    for (i, conv_limb) in converted.iter().enumerate().take(l + 1) {
-        let m = ctx.q_mod(i);
-        let p_inv = table.p_inv_mod_q[i];
-        let limb = acc.q_limbs[i]
-            .iter()
-            .zip(conv_limb)
-            .map(|(&a, &t)| m.mul(m.sub(a, t), p_inv))
-            .collect();
-        out_limbs.push(limb);
+    let mut outs: Vec<RnsPoly> = Vec::with_capacity(work.len());
+    for acc in &work {
+        assert_eq!(acc.level(), l, "level mismatch in ModDown batch");
+        // Convert the special-prime part into the q basis.
+        let mut converted = vec![vec![0u64; n]; l + 1];
+        let mut residues = vec![0u64; k];
+        for c in 0..n {
+            for (r, limb) in residues.iter_mut().zip(&acc.p_limbs) {
+                *r = limb[c];
+            }
+            let y = table.conv.y_vector(&residues);
+            for (i, conv_limb) in converted.iter_mut().enumerate() {
+                conv_limb[c] = table.conv.convert_from_y(&y, i);
+            }
+        }
+        tracing.emit(KernelEvent::Conv {
+            n,
+            l_src: k,
+            l_dst: l + 1,
+        });
+
+        // out_i = (acc_i - conv_i) · P^{-1} mod q_i
+        let mut out_limbs = Vec::with_capacity(l + 1);
+        for (i, conv_limb) in converted.iter().enumerate().take(l + 1) {
+            let m = ctx.q_mod(i);
+            let p_inv = table.p_inv_mod_q[i];
+            let limb = acc.q_limbs[i]
+                .iter()
+                .zip(conv_limb)
+                .map(|(&a, &t)| m.mul(m.sub(a, t), p_inv))
+                .collect();
+            out_limbs.push(limb);
+        }
+        tracing.emit(KernelEvent::EleSub { n, limbs: l + 1 });
+        outs.push(RnsPoly::from_limbs(out_limbs, Domain::Coeff));
     }
-    tracing.emit(KernelEvent::EleSub { n, limbs: l + 1 });
 
-    let mut out = RnsPoly::from_limbs(out_limbs, Domain::Coeff);
-    out.ntt_forward(ctx);
-    tracing.emit(KernelEvent::Ntt {
-        n,
-        limbs: l + 1,
-        inverse: false,
-    });
-    out
+    {
+        let mut views: Vec<&mut RnsPoly> = outs.iter_mut().collect();
+        RnsPoly::ntt_forward_batch(ctx, &mut views);
+    }
+    for _ in &outs {
+        tracing.emit(KernelEvent::Ntt {
+            n,
+            limbs: l + 1,
+            inverse: false,
+        });
+    }
+    outs
 }
 
 /// Full key switch (Algorithm 1): `d` must be in NTT domain.
@@ -261,11 +365,18 @@ pub fn key_switch(
         inverse: true,
     });
 
+    // ModUp every digit, then NTT the whole digit block at once: all
+    // digits share the extended basis, so each prime's transform is one
+    // wide `dnum`-row GEMM under the GEMM formulations (the §IV-D
+    // key-switch hot loop).
+    let mut exts: Vec<ExtPoly> = (0..digits)
+        .map(|j| mod_up(ctx, tracing, &d_coeff, j))
+        .collect();
+    ExtPoly::ntt_forward_batch(ctx, &mut exts);
+
     let mut acc0 = ExtPoly::zero(ctx, l, Domain::Ntt);
     let mut acc1 = ExtPoly::zero(ctx, l, Domain::Ntt);
-    for j in 0..digits {
-        let mut ext = mod_up(ctx, tracing, &d_coeff, j);
-        ext.ntt_forward(ctx);
+    for (j, ext) in exts.iter().enumerate() {
         tracing.emit(KernelEvent::Ntt {
             n,
             limbs: ext.total_limbs(),
@@ -275,8 +386,8 @@ pub fn key_switch(
         let key = &ksk.digits[j];
         let b = slice_key(ctx, &key.b, l);
         let a = slice_key(ctx, &key.a, l);
-        acc0.mul_acc(ctx, &ext, &b);
-        acc1.mul_acc(ctx, &ext, &a);
+        acc0.mul_acc(ctx, ext, &b);
+        acc1.mul_acc(ctx, ext, &a);
         tracing.emit(KernelEvent::HadaMult {
             n,
             limbs: 2 * ext.total_limbs(),
@@ -287,8 +398,10 @@ pub fn key_switch(
         });
     }
 
-    let c0 = mod_down(ctx, tracing, &acc0);
-    let c1 = mod_down(ctx, tracing, &acc1);
+    // Both accumulators ModDown together (B = 2 rows per modulus).
+    let mut pair = mod_down_batch(ctx, tracing, &[&acc0, &acc1]);
+    let c1 = pair.pop().expect("two outputs");
+    let c0 = pair.pop().expect("two outputs");
     (c0, c1)
 }
 

@@ -1,7 +1,7 @@
 //! RNS polynomials, plaintexts and ciphertexts.
 
 use crate::context::{CkksContext, GaloisTables};
-use tensorfhe_ntt::NttOps;
+use tensorfhe_ntt::{NttBatchOps, NttOps};
 
 /// Representation domain of a polynomial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +158,63 @@ impl RnsPoly {
             ctx.ntt_q(l).inverse(limb);
         }
         self.domain = Domain::Coeff;
+    }
+
+    /// Forward NTT of a whole block of same-level polynomials at once.
+    ///
+    /// For each limb index `l` the `B` rows (one per polynomial, all modulo
+    /// `q_l`) go through the context plan's batched path — single wide
+    /// GEMMs per four-step stage under the GEMM formulations (§IV-B/D).
+    /// Output is bit-identical to calling [`RnsPoly::ntt_forward`] on each
+    /// polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomials disagree on level, or any is already in
+    /// NTT domain.
+    pub fn ntt_forward_batch(ctx: &CkksContext, polys: &mut [&mut RnsPoly]) {
+        let Some(first) = polys.first() else { return };
+        let level = first.level();
+        for p in polys.iter() {
+            assert_eq!(p.level(), level, "level mismatch in batch");
+            assert_eq!(p.domain, Domain::Coeff, "already in NTT domain");
+        }
+        for l in 0..=level {
+            let mut rows: Vec<&mut [u64]> = polys
+                .iter_mut()
+                .map(|p| p.limbs[l].as_mut_slice())
+                .collect();
+            ctx.ntt_q(l).forward_batch(&mut rows);
+        }
+        for p in polys.iter_mut() {
+            p.domain = Domain::Ntt;
+        }
+    }
+
+    /// Inverse NTT of a whole block of same-level polynomials at once
+    /// (batched counterpart of [`RnsPoly::ntt_inverse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomials disagree on level, or any is already in
+    /// coefficient domain.
+    pub fn ntt_inverse_batch(ctx: &CkksContext, polys: &mut [&mut RnsPoly]) {
+        let Some(first) = polys.first() else { return };
+        let level = first.level();
+        for p in polys.iter() {
+            assert_eq!(p.level(), level, "level mismatch in batch");
+            assert_eq!(p.domain, Domain::Ntt, "already in coefficient domain");
+        }
+        for l in 0..=level {
+            let mut rows: Vec<&mut [u64]> = polys
+                .iter_mut()
+                .map(|p| p.limbs[l].as_mut_slice())
+                .collect();
+            ctx.ntt_q(l).inverse_batch(&mut rows);
+        }
+        for p in polys.iter_mut() {
+            p.domain = Domain::Coeff;
+        }
     }
 
     /// Element-wise addition (Ele-Add kernel).

@@ -214,6 +214,11 @@ impl TensorFheBuilder {
 
     /// Overrides the service's coalesced batch cap (defaults to the
     /// VRAM-feasible `auto_batch`, scaled by the device count).
+    ///
+    /// The cap can only *narrow* batches: values above
+    /// `auto_batch × devices` are clamped down so the service's
+    /// "VRAM-feasible batches" guarantee holds regardless of caller input.
+    /// A zero cap is rejected at [`TensorFheBuilder::service`] time.
     #[must_use]
     pub fn batch_cap(mut self, cap: usize) -> Self {
         self.batch_cap = Some(cap);

@@ -1,9 +1,10 @@
 //! The TensorFHE engine: device ownership, configuration, batching.
 
+use crate::error::{CoreError, CoreResult};
 use crate::tracer::GpuTracer;
 use std::cell::RefCell;
 use std::rc::Rc;
-use tensorfhe_ckks::{CkksParams, KernelEvent, KernelTracer};
+use tensorfhe_ckks::{CkksContext, CkksParams, KernelEvent, KernelTracer};
 use tensorfhe_gpu::{DeviceConfig, DeviceSim, Profiler};
 
 /// The NTT lowering variant — Table IV's three TensorFHE configurations.
@@ -132,6 +133,23 @@ impl Engine {
             self.cfg.layout,
             batch,
         )
+    }
+
+    /// Builds a CKKS context whose arithmetic runs the engine's NTT
+    /// [`Variant`] — pair it with [`Engine::make_tracer`] so Full-mode
+    /// execution both *computes* and *costs* the selected formulation
+    /// (butterfly stages vs batched wide GEMMs) end to end.
+    ///
+    /// Twiddle plans come from the process-wide plan cache, shared across
+    /// engines and contexts with the same `(N, q, variant)` keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the parameter set cannot
+    /// produce a context (not enough NTT-friendly primes).
+    pub fn make_context(&self, params: &CkksParams) -> CoreResult<CkksContext> {
+        CkksContext::with_algorithm(params, self.cfg.variant)
+            .map_err(|e| CoreError::InvalidConfig(format!("context construction failed: {e}")))
     }
 
     /// Executes a synthetic kernel schedule (TimingOnly mode) under the
@@ -282,6 +300,49 @@ mod tests {
         );
         let b_small = e.max_batch(&small());
         assert!(b_small > b_default, "smaller ciphertexts → bigger batches");
+    }
+
+    #[test]
+    fn batched_gemm_ntt_beats_per_limb_butterfly() {
+        // The fig08_batch_ntt acceptance property, pinned in the test
+        // suite: at N = 2^13, a B·L ≥ 16 block through the batched GEMM
+        // pipeline outruns B·L independent per-limb butterfly kernels.
+        let n = 1 << 13;
+        let per_transform = |variant: Variant, bl: usize| {
+            let mut e = Engine::new(EngineConfig::a100(variant));
+            let events: Vec<KernelEvent> = if variant == Variant::Butterfly {
+                (0..bl)
+                    .map(|_| KernelEvent::Ntt {
+                        n,
+                        limbs: 1,
+                        inverse: false,
+                    })
+                    .collect()
+            } else {
+                vec![KernelEvent::Ntt {
+                    n,
+                    limbs: bl,
+                    inverse: false,
+                }]
+            };
+            e.run_schedule("NTT", &events, 1).time_us / bl as f64
+        };
+        for bl in [16usize, 64, 256] {
+            let nt = per_transform(Variant::Butterfly, bl);
+            let co = per_transform(Variant::FourStep, bl);
+            assert!(
+                co < nt,
+                "batched GEMM must beat per-limb butterflies at B·L={bl}: {co} vs {nt}"
+            );
+        }
+        // The tensor-core pipeline amortizes its 16-plane stages in the
+        // deep-batch regime and then wins by an order of magnitude.
+        let nt = per_transform(Variant::Butterfly, 256);
+        let tc = per_transform(Variant::TensorCore, 256);
+        assert!(
+            tc * 5.0 < nt,
+            "deep tensor-core block must win big: {tc} vs {nt}"
+        );
     }
 
     #[test]

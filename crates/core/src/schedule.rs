@@ -17,6 +17,7 @@ pub fn key_switch_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent
     let alpha = params.alpha();
     let limbs = level + 1;
     let digits = limbs.div_ceil(alpha);
+    let ext_limbs = limbs + k;
     let mut ev = Vec::new();
     // INTT of the input.
     ev.push(KernelEvent::Ntt {
@@ -24,21 +25,24 @@ pub fn key_switch_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent
         limbs,
         inverse: true,
     });
+    // ModUp: every digit's Conv to the complement basis runs first (the
+    // digit block is built in full)…
     for j in 0..digits {
         let src = alpha.min(limbs - j * alpha);
-        let ext_limbs = limbs + k;
-        // ModUp: Conv to the complement basis, then NTT of the extension.
         ev.push(KernelEvent::Conv {
             n,
             l_src: src,
             l_dst: limbs - src + k,
         });
+    }
+    // …then the block is NTT'd through the batched execution layer and
+    // accumulated against both key components digit by digit.
+    for _ in 0..digits {
         ev.push(KernelEvent::Ntt {
             n,
             limbs: ext_limbs,
             inverse: false,
         });
-        // Inner product accumulate against both key components.
         ev.push(KernelEvent::HadaMult {
             n,
             limbs: 2 * ext_limbs,
@@ -48,19 +52,23 @@ pub fn key_switch_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent
             limbs: 2 * ext_limbs,
         });
     }
-    // ModDown of both accumulators.
+    // Batched ModDown of both accumulators, stage by stage.
     for _ in 0..2 {
         ev.push(KernelEvent::Ntt {
             n,
-            limbs: limbs + k,
+            limbs: ext_limbs,
             inverse: true,
         });
+    }
+    for _ in 0..2 {
         ev.push(KernelEvent::Conv {
             n,
             l_src: k,
             l_dst: limbs,
         });
         ev.push(KernelEvent::EleSub { n, limbs });
+    }
+    for _ in 0..2 {
         ev.push(KernelEvent::Ntt {
             n,
             limbs,

@@ -116,7 +116,11 @@ pub struct ServiceStats {
     pub ops_completed: usize,
     /// Device batches dispatched.
     pub batches_dispatched: usize,
-    /// Coalesced batch width the service will not exceed.
+    /// Kernel launches across all dispatched batches. Per-request launch
+    /// attribution sums exactly to this total.
+    pub launches: usize,
+    /// Coalesced batch width the service will not exceed (never above the
+    /// VRAM-feasible `auto_batch × devices`; user caps are clamped).
     pub batch_cap: usize,
     /// Devices serving the queue.
     pub devices: usize,
@@ -144,7 +148,10 @@ struct Pending {
     time_us: f64,
     energy_j: f64,
     occ_weighted: f64,
-    launches: f64,
+    /// Exact kernel-launch count attributed to this request: shares are
+    /// apportioned so every batch's launches sum exactly to the batch total
+    /// (largest-remainder, FIFO tie-break).
+    launches: u64,
     by_kernel: std::collections::BTreeMap<String, f64>,
     batches: usize,
 }
@@ -157,19 +164,26 @@ enum Backend {
 }
 
 /// The batching FHE service front end.
+///
+/// The queue holds `Option<Pending>` slots: a completed mid-queue request is
+/// finalized in place and leaves a tombstone (`None`) that is popped once it
+/// reaches the front. This keeps the per-batch completion sweep linear in
+/// the requests the batch actually touched — a `VecDeque::remove`-based
+/// sweep restarting from index 0 made paper-scale streams O(Q²).
 #[derive(Debug)]
 pub struct FheService {
     params: CkksParams,
     backend: Backend,
     batch_cap: usize,
     power_watts: f64,
-    queue: VecDeque<Pending>,
+    queue: VecDeque<Option<Pending>>,
     next_id: u64,
     clock_us: f64,
     // Cumulative accounting.
     requests_completed: usize,
     ops_completed: usize,
     batches_dispatched: usize,
+    launches_total: usize,
     fill_sum: f64,
     busy_us: f64,
     energy_j: f64,
@@ -204,14 +218,18 @@ impl FheService {
         // cluster — each device only ever holds its own shard.
         let probe = Engine::new(cfg.clone());
         let auto = probe.auto_batch(&b.params);
+        // A user-supplied cap may narrow batches below the VRAM bound but
+        // never widen them past it: the docs promise "VRAM-feasible
+        // batches", so caps above `auto_batch × devices` are clamped down.
+        let vram_cap = auto * b.devices;
         let batch_cap = match b.batch_cap {
             Some(0) => {
                 return Err(CoreError::InvalidConfig(
                     "batch cap must be non-zero".into(),
                 ))
             }
-            Some(cap) => cap,
-            None => auto * b.devices,
+            Some(cap) => cap.min(vram_cap),
+            None => vram_cap,
         };
         let backend = if b.devices == 1 {
             Backend::Single(probe)
@@ -229,6 +247,7 @@ impl FheService {
             requests_completed: 0,
             ops_completed: 0,
             batches_dispatched: 0,
+            launches_total: 0,
             fill_sum: 0.0,
             busy_us: 0.0,
             energy_j: 0.0,
@@ -261,13 +280,13 @@ impl FheService {
     /// Operation instances currently queued.
     #[must_use]
     pub fn pending_ops(&self) -> usize {
-        self.queue.iter().map(|p| p.remaining).sum()
+        self.queue.iter().flatten().map(|p| p.remaining).sum()
     }
 
     /// Requests currently queued.
     #[must_use]
     pub fn pending_requests(&self) -> usize {
-        self.queue.len()
+        self.queue.iter().flatten().count()
     }
 
     /// Queue state of a request handle.
@@ -280,7 +299,7 @@ impl FheService {
         if id.0 >= self.next_id {
             return Err(CoreError::UnknownRequest(id));
         }
-        Ok(match self.queue.iter().find(|p| p.id == id) {
+        Ok(match self.queue.iter().flatten().find(|p| p.id == id) {
             Some(p) => RequestStatus::Queued {
                 remaining: p.remaining,
             },
@@ -308,7 +327,7 @@ impl FheService {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let remaining = req.count;
-        self.queue.push_back(Pending {
+        self.queue.push_back(Some(Pending {
             id,
             req,
             remaining,
@@ -316,10 +335,10 @@ impl FheService {
             time_us: 0.0,
             energy_j: 0.0,
             occ_weighted: 0.0,
-            launches: 0.0,
+            launches: 0,
             by_kernel: Default::default(),
             batches: 0,
-        });
+        }));
         Ok(id)
     }
 
@@ -342,7 +361,7 @@ impl FheService {
     /// Draining an empty queue is a no-op returning no reports.
     pub fn drain(&mut self) -> Vec<RequestReport> {
         let mut done = Vec::new();
-        while let Some(front) = self.queue.front() {
+        while let Some(front) = self.queue.front().and_then(Option::as_ref) {
             let op = front.req.op;
             let level = front.req.level;
 
@@ -351,7 +370,8 @@ impl FheService {
             let cap = self.batch_cap;
             let mut width = 0usize;
             let mut takes: Vec<(usize, usize)> = Vec::new();
-            for (i, p) in self.queue.iter().enumerate() {
+            for (i, slot) in self.queue.iter().enumerate() {
+                let Some(p) = slot else { continue };
                 if p.req.op != op || p.req.level != level {
                     continue;
                 }
@@ -370,33 +390,38 @@ impl FheService {
             self.busy_us += stats.time_us;
             self.energy_j += stats.energy_j;
             self.batches_dispatched += 1;
+            self.launches_total += stats.launches;
             self.fill_sum += width as f64 / cap as f64;
             self.ops_completed += width;
 
-            for &(i, take) in &takes {
+            let launch_shares = Self::apportion(stats.launches as u64, &takes, width);
+            for (&(i, take), &launches) in takes.iter().zip(&launch_shares) {
                 let share = take as f64 / width as f64;
-                let p = &mut self.queue[i];
+                let p = self.queue[i].as_mut().expect("take targets a live slot");
                 p.remaining -= take;
                 p.batches += 1;
                 p.time_us += stats.time_us * share;
                 p.energy_j += stats.energy_j * share;
                 p.occ_weighted += stats.occupancy * stats.time_us * share;
-                p.launches += stats.launches as f64 * share;
+                p.launches += launches;
                 for (k, t) in &stats.by_kernel {
                     *p.by_kernel.entry(k.clone()).or_insert(0.0) += t * share;
                 }
             }
 
-            // Sweep out completed requests in queue (= submission) order so
-            // reports come back FIFO within each completion instant.
-            let mut idx = 0;
-            while idx < self.queue.len() {
-                if self.queue[idx].remaining == 0 {
-                    let p = self.queue.remove(idx).expect("index in bounds");
+            // Completion sweep: only requests the batch touched can have
+            // completed, and `takes` is already in queue (= submission)
+            // order, so finalizing along it preserves FIFO report order.
+            // Completed mid-queue entries leave tombstones; leading
+            // tombstones are popped so the head is always live.
+            for &(i, _) in &takes {
+                if self.queue[i].as_ref().is_some_and(|p| p.remaining == 0) {
+                    let p = self.queue[i].take().expect("checked live");
                     done.push(self.finalize(p));
-                } else {
-                    idx += 1;
                 }
+            }
+            while matches!(self.queue.front(), Some(None)) {
+                self.queue.pop_front();
             }
         }
         done
@@ -414,6 +439,7 @@ impl FheService {
             requests_completed: self.requests_completed,
             ops_completed: self.ops_completed,
             batches_dispatched: self.batches_dispatched,
+            launches: self.launches_total,
             batch_cap: self.batch_cap,
             devices: self.devices(),
             batch_fill: if self.batches_dispatched > 0 {
@@ -431,6 +457,31 @@ impl FheService {
             ops_per_second,
             ops_per_watt: ops_per_second / self.power_watts,
         }
+    }
+
+    /// Splits a batch's `total` launches across its `takes` proportionally
+    /// to instance counts so the shares sum *exactly* to `total`
+    /// (largest-remainder apportionment, FIFO tie-break). `round()`-ing each
+    /// share independently let per-request launch totals drift from the
+    /// batch totals.
+    fn apportion(total: u64, takes: &[(usize, usize)], width: usize) -> Vec<u64> {
+        let width = width as u64;
+        let mut shares: Vec<u64> = takes
+            .iter()
+            .map(|&(_, take)| total * take as u64 / width)
+            .collect();
+        let mut remainder = total - shares.iter().sum::<u64>();
+        // Stable sort keeps submission order among equal remainders.
+        let mut order: Vec<usize> = (0..takes.len()).collect();
+        order.sort_by_key(|&j| std::cmp::Reverse(total * takes[j].1 as u64 % width));
+        for &j in &order {
+            if remainder == 0 {
+                break;
+            }
+            shares[j] += 1;
+            remainder -= 1;
+        }
+        shares
     }
 
     /// Executes one coalesced batch, consulting the dispatch cache.
@@ -476,7 +527,7 @@ impl FheService {
                 energy_j: p.energy_j,
                 ops_per_second,
                 ops_per_watt: ops_per_second / self.power_watts,
-                launches: p.launches.round() as usize,
+                launches: p.launches as usize,
                 by_kernel: p.by_kernel.into_iter().collect(),
             },
         }
@@ -556,10 +607,97 @@ mod tests {
         let time: f64 = reports.iter().map(|r| r.report.time_us).sum();
         let energy: f64 = reports.iter().map(|r| r.report.energy_j).sum();
         let ops: usize = reports.iter().map(|r| r.report.batch).sum();
+        let launches: usize = reports.iter().map(|r| r.report.launches).sum();
         assert!((time - s.busy_us).abs() < 1e-6 * s.busy_us.max(1.0));
         assert!((energy - s.energy_j).abs() < 1e-6 * s.energy_j.max(1.0));
         assert_eq!(ops, s.ops_completed);
         assert_eq!(reports.len(), s.requests_completed);
+        // Launch attribution is exact, not rounded: per-request launches
+        // must sum to the batch totals with no drift.
+        assert_eq!(launches, s.launches, "launch attribution drifted");
+        assert!(s.launches > 0, "batches must have launched kernels");
+    }
+
+    #[test]
+    fn launch_apportionment_is_exact_for_uneven_shares() {
+        // Three requests whose takes (5, 3, 7) cannot split any plausible
+        // launch count evenly — per-request rounding would drift here.
+        let mut svc = service();
+        let level = svc.params().max_level();
+        for (count, client) in [(5, "a"), (3, "b"), (7, "c")] {
+            svc.submit(FheRequest::new(FheOp::HMult, level, count, client))
+                .expect("valid");
+        }
+        let reports = svc.drain();
+        let total: usize = reports.iter().map(|r| r.report.launches).sum();
+        assert_eq!(total, svc.stats().launches);
+        // Larger requests must never be attributed fewer launches.
+        let by_count: Vec<(usize, usize)> = reports
+            .iter()
+            .map(|r| (r.report.batch, r.report.launches))
+            .collect();
+        for w in by_count.iter() {
+            assert!(
+                w.1 > 0,
+                "every served request owns some launches: {by_count:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn user_batch_cap_cannot_exceed_vram_bound() {
+        let params = CkksParams::test_small();
+        let auto = TensorFhe::builder(&params)
+            .service()
+            .expect("valid")
+            .batch_cap();
+        // A cap far above the VRAM-feasible bound is clamped to it.
+        let svc = TensorFhe::builder(&params)
+            .batch_cap(auto * 1000)
+            .service()
+            .expect("valid");
+        assert_eq!(
+            svc.batch_cap(),
+            auto,
+            "cap must clamp to auto_batch × devices"
+        );
+        // A narrower cap is honoured verbatim.
+        let svc = TensorFhe::builder(&params)
+            .batch_cap(auto.max(2) - 1)
+            .service()
+            .expect("valid");
+        assert_eq!(svc.batch_cap(), auto.max(2) - 1);
+        // Multi-device bounds scale with the cluster.
+        let svc = TensorFhe::builder(&params)
+            .devices(4)
+            .batch_cap(usize::MAX)
+            .service()
+            .expect("valid");
+        assert_eq!(svc.batch_cap(), auto * 4);
+    }
+
+    #[test]
+    fn paper_scale_stream_drains_fifo_with_linear_sweep() {
+        // A thousand single-op requests: the tombstone sweep must complete
+        // them all in submission order (the old remove-and-rescan sweep made
+        // this quadratic; the cost cache keeps dispatch O(1) per batch).
+        let mut svc = service();
+        let level = svc.params().max_level();
+        let mut expected = Vec::new();
+        for i in 0..1000 {
+            expected.push(
+                svc.submit(FheRequest::new(FheOp::HMult, level, 1, format!("c{i}")))
+                    .expect("valid"),
+            );
+        }
+        let reports = svc.drain();
+        let got: Vec<RequestId> = reports.iter().map(|r| r.id).collect();
+        assert_eq!(got, expected, "FIFO completion order");
+        assert_eq!(svc.pending_requests(), 0);
+        assert_eq!(svc.pending_ops(), 0);
+        let s = svc.stats();
+        assert_eq!(s.ops_completed, 1000);
+        assert!(s.batch_fill > 0.99, "full-width coalescing expected");
     }
 
     #[test]

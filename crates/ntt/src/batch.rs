@@ -1,0 +1,568 @@
+//! Batched RNS-NTT execution: the paper's headline formulation (Eq. 9 +
+//! §IV-B "Data Reuse" + §IV-D operation-level batching) applied to *blocks*
+//! of polynomials.
+//!
+//! The per-polynomial four-step NTT already replaces butterflies with
+//! GEMMs, but issuing one small GEMM per residue polynomial still starves
+//! wide hardware. The win the paper measures in Fig. 8 comes from packing a
+//! `B×L` block — `B` ciphertext polynomials × `L` RNS limbs sharing one
+//! modulus — into **single wide GEMMs per stage**:
+//!
+//! ```text
+//! stage 1 (inner N2-NTT):  [A⁽⁰⁾; A⁽¹⁾; …]   (B·N1 × N2) × W_n2 (N2 × N2)
+//! stage 2 (twiddle):        tiled Hadamard with W_tw
+//! stage 3 (outer N1-DFT):   W_dft (N1 × N1) × [U⁽⁰⁾ | U⁽¹⁾ | …] (N1 × B·N2)
+//! ```
+//!
+//! Both stacked operands share one twiddle operand, so the twiddle matrices
+//! are loaded once per *block* instead of once per *polynomial* — exactly
+//! the data-reuse argument of §IV-B. The same packing applies to the
+//! segmented tensor-core pipeline (the u8 planes of the stacked input are
+//! segmented once for all `B` rows).
+//!
+//! Three pieces live here:
+//!
+//! * [`NttBatchOps`] — the batched transform interface every NTT variant
+//!   implements (the butterfly falls back to a per-row loop: there is no
+//!   GEMM to widen).
+//! * [`BatchedGemmNtt`] — one algorithm-selected plan for a `(N, q)` pair,
+//!   dispatching to butterfly / four-step / tensor-core kernels.
+//! * [`PlanCache`] — a process-wide, thread-safe cache of
+//!   [`BatchedGemmNtt`] plans keyed on `(n, q, algorithm)`, so twiddle
+//!   matrices are built once and shared across CKKS contexts, limbs and
+//!   the bootstrap pipeline.
+
+use crate::butterfly::NttTable;
+use crate::four_step::FourStepNtt;
+use crate::mat::{gemm_mod, Mat};
+use crate::tensor_core::TensorCoreNtt;
+use crate::{NttAlgorithm, NttOps};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Batched companion to [`NttOps`]: transforms a block of same-modulus
+/// residue rows in one call.
+///
+/// The default implementations loop over the rows — correct for every
+/// variant, and the honest lowering for the butterfly formulation, which
+/// has no GEMM to widen. The GEMM-based variants override them with the
+/// wide-GEMM packing described in the module docs; outputs are bit-identical
+/// to the per-row path by construction (shared twiddle plan) and by test.
+pub trait NttBatchOps: NttOps {
+    /// In-place forward negacyclic NTT of every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `self.degree()`.
+    fn forward_batch(&self, rows: &mut [&mut [u64]]) {
+        for row in rows.iter_mut() {
+            self.forward(row);
+        }
+    }
+
+    /// In-place inverse negacyclic NTT of every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `self.degree()`.
+    fn inverse_batch(&self, rows: &mut [&mut [u64]]) {
+        for row in rows.iter_mut() {
+            self.inverse(row);
+        }
+    }
+}
+
+/// Butterfly batching is a plain loop: each row is a dependent
+/// `log N`-stage pipeline with nothing to fuse across rows (that is the
+/// formulation the GEMM variants exist to replace).
+impl NttBatchOps for NttTable {}
+
+// ---------------------------------------------------------------------------
+// The shared wide-GEMM pipeline.
+//
+// Both GEMM formulations run the same five-stage block pipeline and differ
+// only in how they multiply: dense u64 GEMMs (four-step) vs segmented u8
+// plane GEMMs (tensor-core). `WideGemm` captures exactly that difference so
+// the nontrivial pack / twiddle / unpack layout arithmetic exists once.
+// ---------------------------------------------------------------------------
+
+/// The four wide matrix products of the batched pipeline, provided by each
+/// GEMM formulation over its own twiddle operands.
+pub(crate) trait WideGemm {
+    /// The shared four-step plan (split, modulus, twiddle Hadamard operands).
+    fn four_step_plan(&self) -> &FourStepNtt;
+
+    /// `stacked (B·N1 × N2) × W_n2 (N2 × N2)` — the inner N2-NTT of every
+    /// row in one product.
+    fn gemm_n2(&self, stacked: &Mat) -> Mat;
+
+    /// `W_dft (N1 × N1) × wide (N1 × B·N2)` — the outer N1-DFT of every row
+    /// in one product.
+    fn gemm_dft(&self, wide: &Mat) -> Mat;
+
+    /// Inverse outer DFT: `W_idft × wide`.
+    fn gemm_idft(&self, wide: &Mat) -> Mat;
+
+    /// Inverse inner N2-NTT with `N^{-1}` folded in: `stacked × W_n2_inv`.
+    fn gemm_n2_inv(&self, stacked: &Mat) -> Mat;
+}
+
+impl WideGemm for FourStepNtt {
+    fn four_step_plan(&self) -> &FourStepNtt {
+        self
+    }
+
+    fn gemm_n2(&self, stacked: &Mat) -> Mat {
+        gemm_mod(stacked, self.mat_n2(), self.modulus_handle())
+    }
+
+    fn gemm_dft(&self, wide: &Mat) -> Mat {
+        gemm_mod(self.mat_dft(), wide, self.modulus_handle())
+    }
+
+    fn gemm_idft(&self, wide: &Mat) -> Mat {
+        gemm_mod(self.mat_idft(), wide, self.modulus_handle())
+    }
+
+    fn gemm_n2_inv(&self, stacked: &Mat) -> Mat {
+        gemm_mod(stacked, self.mat_n2_inv(), self.modulus_handle())
+    }
+}
+
+/// Gathers `B` coefficient rows into the vertically stacked `(B·N1) × N2`
+/// input block (`A[n1][n2] = a[n1 + N1·n2]` per row — stage-1 operand).
+fn gather_stacked(plan: &FourStepNtt, rows: &[&mut [u64]]) -> Mat {
+    let (n1, n2) = plan.split();
+    let mut stacked = Mat::zeros(rows.len() * n1, n2);
+    for (b, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), plan.degree(), "input length mismatch");
+        for i in 0..n1 {
+            for j in 0..n2 {
+                stacked.data[(b * n1 + i) * n2 + j] = row[i + n1 * j];
+            }
+        }
+    }
+    stacked
+}
+
+/// Gathers `B` evaluation rows (row-major `N1 × N2` each) into the
+/// horizontally stacked `N1 × (B·N2)` block.
+fn gather_wide(plan: &FourStepNtt, rows: &[&mut [u64]]) -> Mat {
+    let (n1, n2) = plan.split();
+    let b = rows.len();
+    let mut wide = Mat::zeros(n1, b * n2);
+    for (bi, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), plan.degree(), "input length mismatch");
+        for i in 0..n1 {
+            for j in 0..n2 {
+                wide.data[i * (b * n2) + bi * n2 + j] = row[i * n2 + j];
+            }
+        }
+    }
+    wide
+}
+
+/// Tiled twiddle Hadamard + repack: vertically stacked `(B·N1) × N2` in,
+/// horizontally stacked `N1 × (B·N2)` out (or the reverse).
+fn twiddle_repack(src: &Mat, tw: &Mat, plan: &FourStepNtt, to_wide: bool) -> Mat {
+    let (n1, n2) = plan.split();
+    let q = plan.modulus_handle();
+    let b = if to_wide {
+        src.rows / n1
+    } else {
+        src.cols / n2
+    };
+    let mut out = if to_wide {
+        Mat::zeros(n1, b * n2)
+    } else {
+        Mat::zeros(b * n1, n2)
+    };
+    for bi in 0..b {
+        for i in 0..n1 {
+            for j in 0..n2 {
+                let (s, d) = if to_wide {
+                    (src.at(bi * n1 + i, j), i * (b * n2) + bi * n2 + j)
+                } else {
+                    (src.at(i, bi * n2 + j), (bi * n1 + i) * n2 + j)
+                };
+                out.data[d] = q.mul(s, tw.at(i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Scatters a horizontally stacked `N1 × (B·N2)` result to the rows in
+/// row-major order (forward output layout).
+fn scatter_wide(out: &Mat, plan: &FourStepNtt, rows: &mut [&mut [u64]]) {
+    let (n1, n2) = plan.split();
+    for (bi, row) in rows.iter_mut().enumerate() {
+        for i in 0..n1 {
+            for j in 0..n2 {
+                row[i * n2 + j] = out.at(i, bi * n2 + j);
+            }
+        }
+    }
+}
+
+/// Scatters a vertically stacked `(B·N1) × N2` result to the rows in the
+/// negacyclic coefficient layout `a[n1 + N1·n2]` (inverse output layout).
+fn scatter_stacked(res: &Mat, plan: &FourStepNtt, rows: &mut [&mut [u64]]) {
+    let (n1, n2) = plan.split();
+    for (bi, row) in rows.iter_mut().enumerate() {
+        for i in 0..n1 {
+            for j in 0..n2 {
+                row[i + n1 * j] = res.at(bi * n1 + i, j);
+            }
+        }
+    }
+}
+
+/// Batched forward: two wide GEMMs + one tiled twiddle Hadamard for the
+/// whole block.
+fn wide_forward_batch<G: WideGemm>(g: &G, rows: &mut [&mut [u64]]) {
+    let plan = g.four_step_plan();
+    let stacked = gather_stacked(plan, rows);
+    let t = g.gemm_n2(&stacked);
+    let wide = twiddle_repack(&t, plan.twiddle_forward(), plan, true);
+    let out = g.gemm_dft(&wide);
+    scatter_wide(&out, plan, rows);
+}
+
+/// Batched inverse: the mirrored pipeline with `N^{-1}` folded into the
+/// final wide GEMM.
+fn wide_inverse_batch<G: WideGemm>(g: &G, rows: &mut [&mut [u64]]) {
+    let plan = g.four_step_plan();
+    let wide = gather_wide(plan, rows);
+    let v = g.gemm_idft(&wide);
+    let stacked = twiddle_repack(&v, plan.twiddle_inverse(), plan, false);
+    let res = g.gemm_n2_inv(&stacked);
+    scatter_stacked(&res, plan, rows);
+}
+
+impl NttBatchOps for FourStepNtt {
+    fn forward_batch(&self, rows: &mut [&mut [u64]]) {
+        if !rows.is_empty() {
+            wide_forward_batch(self, rows);
+        }
+    }
+
+    fn inverse_batch(&self, rows: &mut [&mut [u64]]) {
+        if !rows.is_empty() {
+            wide_inverse_batch(self, rows);
+        }
+    }
+}
+
+/// The segmented pipeline rides the same block plumbing; its `WideGemm`
+/// impl (in [`crate::tensor_core`], next to the plane data it touches)
+/// swaps the dense products for 16-plane u8 GEMMs with the whole block
+/// segmented at once.
+impl NttBatchOps for TensorCoreNtt {
+    fn forward_batch(&self, rows: &mut [&mut [u64]]) {
+        if !rows.is_empty() {
+            wide_forward_batch(self, rows);
+        }
+    }
+
+    fn inverse_batch(&self, rows: &mut [&mut [u64]]) {
+        if !rows.is_empty() {
+            wide_inverse_batch(self, rows);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm-selected plan + process-wide cache.
+// ---------------------------------------------------------------------------
+
+/// The concrete kernel behind a [`BatchedGemmNtt`].
+#[derive(Debug, Clone)]
+enum Kernel {
+    Butterfly(NttTable),
+    FourStep(FourStepNtt),
+    TensorCore(Box<TensorCoreNtt>),
+}
+
+/// One algorithm-selected NTT plan for a `(N, q)` pair.
+///
+/// All three variants are constructed over the same deterministic primitive
+/// root, so a given input transforms to *bit-identical* output whichever
+/// algorithm is selected — switching `NttAlgorithm` changes the execution
+/// formulation, never the math.
+#[derive(Debug, Clone)]
+pub struct BatchedGemmNtt {
+    algo: NttAlgorithm,
+    kernel: Kernel,
+}
+
+impl BatchedGemmNtt {
+    /// Builds the plan for degree `n` and prime `q` under `algo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the underlying variant
+    /// constructor ([`NttTable::new`], [`FourStepNtt::new`],
+    /// [`TensorCoreNtt::new`]); notably the GEMM variants require
+    /// `q < 2^32`.
+    #[must_use]
+    pub fn new(n: usize, q: u64, algo: NttAlgorithm) -> Self {
+        let kernel = match algo {
+            NttAlgorithm::Butterfly => Kernel::Butterfly(NttTable::new(n, q)),
+            NttAlgorithm::FourStep => Kernel::FourStep(FourStepNtt::new(n, q)),
+            NttAlgorithm::TensorCore => Kernel::TensorCore(Box::new(TensorCoreNtt::new(n, q))),
+        };
+        Self { algo, kernel }
+    }
+
+    /// The algorithm this plan lowers to.
+    #[must_use]
+    pub fn algorithm(&self) -> NttAlgorithm {
+        self.algo
+    }
+
+    /// The primitive `2N`-th root the plan is built on.
+    #[must_use]
+    pub fn psi(&self) -> u64 {
+        match &self.kernel {
+            Kernel::Butterfly(t) => t.psi(),
+            Kernel::FourStep(t) => t.psi(),
+            Kernel::TensorCore(t) => t.psi(),
+        }
+    }
+}
+
+impl NttOps for BatchedGemmNtt {
+    fn degree(&self) -> usize {
+        match &self.kernel {
+            Kernel::Butterfly(t) => t.degree(),
+            Kernel::FourStep(t) => t.degree(),
+            Kernel::TensorCore(t) => t.degree(),
+        }
+    }
+
+    fn modulus(&self) -> u64 {
+        match &self.kernel {
+            Kernel::Butterfly(t) => t.modulus(),
+            Kernel::FourStep(t) => t.modulus(),
+            Kernel::TensorCore(t) => t.modulus(),
+        }
+    }
+
+    fn forward(&self, a: &mut [u64]) {
+        match &self.kernel {
+            Kernel::Butterfly(t) => t.forward(a),
+            Kernel::FourStep(t) => t.forward(a),
+            Kernel::TensorCore(t) => t.forward(a),
+        }
+    }
+
+    fn inverse(&self, a: &mut [u64]) {
+        match &self.kernel {
+            Kernel::Butterfly(t) => t.inverse(a),
+            Kernel::FourStep(t) => t.inverse(a),
+            Kernel::TensorCore(t) => t.inverse(a),
+        }
+    }
+}
+
+impl NttBatchOps for BatchedGemmNtt {
+    fn forward_batch(&self, rows: &mut [&mut [u64]]) {
+        match &self.kernel {
+            Kernel::Butterfly(t) => t.forward_batch(rows),
+            Kernel::FourStep(t) => t.forward_batch(rows),
+            Kernel::TensorCore(t) => t.forward_batch(rows),
+        }
+    }
+
+    fn inverse_batch(&self, rows: &mut [&mut [u64]]) {
+        match &self.kernel {
+            Kernel::Butterfly(t) => t.inverse_batch(rows),
+            Kernel::FourStep(t) => t.inverse_batch(rows),
+            Kernel::TensorCore(t) => t.inverse_batch(rows),
+        }
+    }
+}
+
+/// Process-wide cache of [`BatchedGemmNtt`] plans keyed on
+/// `(n, q, algorithm)`.
+///
+/// Twiddle matrices depend only on the key, so one plan serves every CKKS
+/// context, every RNS limb with that prime, and the bootstrap pipeline —
+/// the §IV-B data-reuse property promoted from "per instance" to
+/// "per process". Thread-safe; plans are handed out as [`Arc`]s.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<(usize, u64, NttAlgorithm), Arc<BatchedGemmNtt>>>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache (prefer [`PlanCache::global`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache instance.
+    #[must_use]
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    /// Returns the shared plan for `(n, q, algo)`, building it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BatchedGemmNtt::new`].
+    #[must_use]
+    pub fn get(&self, n: usize, q: u64, algo: NttAlgorithm) -> Arc<BatchedGemmNtt> {
+        if let Some(plan) = self
+            .plans
+            .lock()
+            .expect("plan cache poisoned")
+            .get(&(n, q, algo))
+        {
+            return Arc::clone(plan);
+        }
+        // Built outside the lock: plan construction is expensive (O(N)
+        // twiddle matrices) and must not serialise unrelated lookups. A
+        // racing builder loses to whichever insert lands first, preserving
+        // the sharing guarantee.
+        let built = Arc::new(BatchedGemmNtt::new(n, q, algo));
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        Arc::clone(plans.entry((n, q, algo)).or_insert(built))
+    }
+
+    /// Number of cached plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorfhe_math::prime::generate_ntt_primes;
+
+    const ALGOS: [NttAlgorithm; 3] = [
+        NttAlgorithm::Butterfly,
+        NttAlgorithm::FourStep,
+        NttAlgorithm::TensorCore,
+    ];
+
+    fn random_rows(rng: &mut StdRng, b: usize, n: usize, q: u64) -> Vec<Vec<u64>> {
+        (0..b)
+            .map(|_| (0..n).map(|_| rng.gen_range(0..q)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_per_row_all_algorithms() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for algo in ALGOS {
+            for b in [1usize, 2, 3, 7, 16] {
+                let n = 256;
+                let q = generate_ntt_primes(1, 28, n as u64)[0];
+                let plan = BatchedGemmNtt::new(n, q, algo);
+                let orig = random_rows(&mut rng, b, n, q);
+
+                let mut per_row = orig.clone();
+                for row in &mut per_row {
+                    plan.forward(row);
+                }
+                let mut batched = orig.clone();
+                {
+                    let mut rows: Vec<&mut [u64]> =
+                        batched.iter_mut().map(Vec::as_mut_slice).collect();
+                    plan.forward_batch(&mut rows);
+                }
+                assert_eq!(per_row, batched, "{algo:?} forward B={b}");
+
+                for row in &mut per_row {
+                    plan.inverse(row);
+                }
+                {
+                    let mut rows: Vec<&mut [u64]> =
+                        batched.iter_mut().map(Vec::as_mut_slice).collect();
+                    plan.inverse_batch(&mut rows);
+                }
+                assert_eq!(per_row, batched, "{algo:?} inverse B={b}");
+                assert_eq!(batched, orig, "{algo:?} roundtrip B={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn algorithms_are_bit_identical_on_shared_plan_key() {
+        // The same (n, q) must transform identically whichever formulation
+        // runs it — the property that lets the service pick a Variant
+        // without changing results.
+        let n = 128;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let mut rng = StdRng::seed_from_u64(32);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut outs = Vec::new();
+        for algo in ALGOS {
+            let plan = BatchedGemmNtt::new(n, q, algo);
+            let mut x = a.clone();
+            plan.forward(&mut x);
+            outs.push(x);
+        }
+        assert_eq!(outs[0], outs[1], "butterfly vs four-step");
+        assert_eq!(outs[1], outs[2], "four-step vs tensor-core");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let n = 64;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let plan = BatchedGemmNtt::new(n, q, NttAlgorithm::FourStep);
+        let mut rows: Vec<&mut [u64]> = Vec::new();
+        plan.forward_batch(&mut rows);
+        plan.inverse_batch(&mut rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_row_length_panics() {
+        let n = 64;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let plan = BatchedGemmNtt::new(n, q, NttAlgorithm::FourStep);
+        let mut good = vec![0u64; n];
+        let mut bad = vec![0u64; n / 2];
+        let mut rows: Vec<&mut [u64]> = vec![&mut good, &mut bad];
+        plan.forward_batch(&mut rows);
+    }
+
+    #[test]
+    fn plan_cache_shares_plans_per_key() {
+        let cache = PlanCache::new();
+        let n = 64;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let a = cache.get(n, q, NttAlgorithm::TensorCore);
+        let b = cache.get(n, q, NttAlgorithm::TensorCore);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one plan");
+        let c = cache.get(n, q, NttAlgorithm::FourStep);
+        assert!(!Arc::ptr_eq(&a, &c), "different algorithm, different plan");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn global_cache_is_shared_across_call_sites() {
+        let n = 32;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let a = PlanCache::global().get(n, q, NttAlgorithm::Butterfly);
+        let b = PlanCache::global().get(n, q, NttAlgorithm::Butterfly);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -11,6 +11,14 @@
 //! | `O(N²)` matrix–vector product (Eq. 8) | analysis only | [`naive`] |
 //! | Four-step GEMM decomposition (Eq. 9) | TensorFHE-CO | [`four_step`] |
 //! | Segmented u8 GEMM + Booth fusion (Fig. 7/8) | TensorFHE | [`tensor_core`] |
+//! | Batched `B×L` wide-GEMM execution + plan cache (Fig. 8, §IV-B/D) | TensorFHE batching | [`batch`] |
+//!
+//! The [`batch`] module is the execution layer the others plug into:
+//! [`batch::NttBatchOps`] transforms a whole block of same-modulus residue
+//! rows per call (single wide GEMMs per four-step stage for the GEMM
+//! variants), and [`batch::PlanCache`] shares one [`batch::BatchedGemmNtt`]
+//! plan per `(n, q, algorithm)` key across the entire process — twiddle
+//! matrices are built once, whoever asks.
 //!
 //! All variants share the convention: `forward` maps natural-order
 //! coefficients to natural-order evaluations of the *negacyclic* transform
@@ -37,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod butterfly;
 pub mod four_step;
 mod mat;
@@ -44,6 +53,7 @@ pub mod naive;
 pub mod polymul;
 pub mod tensor_core;
 
+pub use batch::{BatchedGemmNtt, NttBatchOps, PlanCache};
 pub use butterfly::NttTable;
 pub use four_step::FourStepNtt;
 pub use tensor_core::{SegmentedMatrix, TensorCoreNtt};

@@ -199,6 +199,52 @@ impl TensorCoreNtt {
     }
 }
 
+/// The batched pipeline's products, realised as wide segmented GEMMs: the
+/// whole stacked block is split into u8 planes once, multiplied against the
+/// pre-segmented twiddle planes, and Booth-fused with a single final modulo
+/// (Figs. 7/8 over `B` rows at a time).
+impl crate::batch::WideGemm for TensorCoreNtt {
+    fn four_step_plan(&self) -> &FourStepNtt {
+        &self.plan
+    }
+
+    fn gemm_n2(&self, stacked: &Mat) -> Mat {
+        let seg = SegmentedMatrix::from_mat(stacked);
+        Mat {
+            rows: stacked.rows,
+            cols: stacked.cols,
+            data: seg.gemm(&self.seg_n2, self.plan.modulus_handle()),
+        }
+    }
+
+    fn gemm_dft(&self, wide: &Mat) -> Mat {
+        let seg = SegmentedMatrix::from_mat(wide);
+        Mat {
+            rows: wide.rows,
+            cols: wide.cols,
+            data: self.seg_dft.gemm(&seg, self.plan.modulus_handle()),
+        }
+    }
+
+    fn gemm_idft(&self, wide: &Mat) -> Mat {
+        let seg = SegmentedMatrix::from_mat(wide);
+        Mat {
+            rows: wide.rows,
+            cols: wide.cols,
+            data: self.seg_idft.gemm(&seg, self.plan.modulus_handle()),
+        }
+    }
+
+    fn gemm_n2_inv(&self, stacked: &Mat) -> Mat {
+        let seg = SegmentedMatrix::from_mat(stacked);
+        Mat {
+            rows: stacked.rows,
+            cols: stacked.cols,
+            data: seg.gemm(&self.seg_n2_inv, self.plan.modulus_handle()),
+        }
+    }
+}
+
 impl NttOps for TensorCoreNtt {
     fn degree(&self) -> usize {
         self.plan.degree()

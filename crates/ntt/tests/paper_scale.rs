@@ -1,0 +1,155 @@
+//! Paper-scale equivalence: the GEMM formulations must match the butterfly
+//! reference bit-for-bit at the degrees the paper actually runs
+//! (`N = 2^12 … 2^16`, Table V), and the batched execution layer must match
+//! the per-row path for ragged `B×L` blocks.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensorfhe_math::prime::generate_ntt_primes;
+use tensorfhe_ntt::{
+    BatchedGemmNtt, FourStepNtt, NttAlgorithm, NttBatchOps, NttOps, NttTable, TensorCoreNtt,
+};
+
+fn random_poly(rng: &mut StdRng, n: usize, q: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..q)).collect()
+}
+
+/// Forward + inverse of one variant against the butterfly reference at one
+/// degree.
+fn check_against_butterfly(ntt: &dyn NttOps, n: usize, q: u64, seed: u64) {
+    let bf = NttTable::new(n, q);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = random_poly(&mut rng, n, q);
+
+    let mut want = a.clone();
+    let mut got = a.clone();
+    bf.forward(&mut want);
+    ntt.forward(&mut got);
+    assert_eq!(want, got, "forward mismatch at N={n}");
+
+    bf.inverse(&mut want);
+    ntt.inverse(&mut got);
+    assert_eq!(want, got, "inverse mismatch at N={n}");
+    assert_eq!(got, a, "roundtrip failed at N={n}");
+}
+
+#[test]
+fn four_step_matches_butterfly_at_paper_degrees() {
+    for log_n in 12u32..=16 {
+        let n = 1usize << log_n;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        check_against_butterfly(&FourStepNtt::new(n, q), n, q, 41 + log_n as u64);
+    }
+}
+
+// The tensor-core checks are split per degree so the 16-plane segmented
+// GEMMs of the big transforms run on parallel test threads.
+
+fn check_tensor_core(log_n: u32) {
+    let n = 1usize << log_n;
+    let q = generate_ntt_primes(1, 28, n as u64)[0];
+    check_against_butterfly(&TensorCoreNtt::new(n, q), n, q, 51 + log_n as u64);
+}
+
+#[test]
+fn tensor_core_matches_butterfly_at_n_2_12() {
+    check_tensor_core(12);
+}
+
+#[test]
+fn tensor_core_matches_butterfly_at_n_2_13() {
+    check_tensor_core(13);
+}
+
+#[test]
+fn tensor_core_matches_butterfly_at_n_2_14() {
+    check_tensor_core(14);
+}
+
+#[test]
+fn tensor_core_matches_butterfly_at_n_2_15() {
+    check_tensor_core(15);
+}
+
+#[test]
+fn tensor_core_matches_butterfly_at_n_2_16() {
+    check_tensor_core(16);
+}
+
+#[test]
+fn batched_block_matches_butterfly_rows_at_n_2_13() {
+    // The acceptance shape: a B·L block at the paper's HEAX-B degree, one
+    // wide GEMM pipeline per stage, bit-identical to B·L separate butterfly
+    // transforms.
+    let n = 1 << 13;
+    let q = generate_ntt_primes(1, 28, n as u64)[0];
+    let bf = NttTable::new(n, q);
+    let mut rng = StdRng::seed_from_u64(61);
+    let block: Vec<Vec<u64>> = (0..4).map(|_| random_poly(&mut rng, n, q)).collect();
+
+    for algo in [NttAlgorithm::FourStep, NttAlgorithm::TensorCore] {
+        let plan = BatchedGemmNtt::new(n, q, algo);
+        let mut want = block.clone();
+        for row in &mut want {
+            bf.forward(row);
+        }
+        let mut got = block.clone();
+        {
+            let mut rows: Vec<&mut [u64]> = got.iter_mut().map(Vec::as_mut_slice).collect();
+            plan.forward_batch(&mut rows);
+        }
+        assert_eq!(want, got, "{algo:?} batched forward at N=2^13");
+        {
+            let mut rows: Vec<&mut [u64]> = got.iter_mut().map(Vec::as_mut_slice).collect();
+            plan.inverse_batch(&mut rows);
+        }
+        assert_eq!(got, block, "{algo:?} batched roundtrip at N=2^13");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ragged `B×L` blocks: any batch width, any (small) degree, any
+    /// algorithm — the batched path must equal the per-row path exactly.
+    #[test]
+    fn ragged_batched_blocks_are_bit_identical(
+        b in 1usize..7,
+        log_n in 4u32..9,
+        algo_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let algo = [
+            NttAlgorithm::Butterfly,
+            NttAlgorithm::FourStep,
+            NttAlgorithm::TensorCore,
+        ][algo_idx];
+        let n = 1usize << log_n;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let plan = BatchedGemmNtt::new(n, q, algo);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block: Vec<Vec<u64>> = (0..b).map(|_| random_poly(&mut rng, n, q)).collect();
+
+        let mut per_row = block.clone();
+        for row in &mut per_row {
+            plan.forward(row);
+        }
+        let mut batched = block.clone();
+        {
+            let mut rows: Vec<&mut [u64]> = batched.iter_mut().map(Vec::as_mut_slice).collect();
+            plan.forward_batch(&mut rows);
+        }
+        prop_assert_eq!(&per_row, &batched);
+
+        for row in &mut per_row {
+            plan.inverse(row);
+        }
+        {
+            let mut rows: Vec<&mut [u64]> = batched.iter_mut().map(Vec::as_mut_slice).collect();
+            plan.inverse_batch(&mut rows);
+        }
+        prop_assert_eq!(&per_row, &batched);
+        prop_assert_eq!(&batched, &block);
+    }
+}

@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensorfhe::ckks::{CkksContext, CkksParams, Evaluator, KeyChain};
+use tensorfhe::ckks::{CkksParams, Evaluator, KeyChain};
 use tensorfhe::core::api::{FheOp, TensorFhe};
 use tensorfhe::core::engine::{Engine, EngineConfig, Variant};
 use tensorfhe::gpu::Profiler;
@@ -15,11 +15,14 @@ use tensorfhe::math::Complex64;
 #[test]
 fn traced_full_mode_pipeline() {
     let params = CkksParams::toy();
-    let ctx = CkksContext::new(&params).expect("ctx");
+    let engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
+    // The engine hands out a context running its own variant: the tensor-core
+    // formulation both computes the arithmetic and prices the launches.
+    let ctx = engine.make_context(&params).expect("ctx");
+    assert_eq!(ctx.ntt_algorithm(), Variant::TensorCore);
     let mut rng = StdRng::seed_from_u64(11);
     let keys = KeyChain::generate(&ctx, &mut rng);
 
-    let engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
     let tracer = engine.make_tracer(1);
     let mut eval = Evaluator::with_tracer(&ctx, Box::new(tracer));
 
@@ -50,12 +53,12 @@ fn traced_full_mode_pipeline() {
 #[test]
 fn timing_only_matches_traced_execution() {
     let params = CkksParams::toy();
-    let ctx = CkksContext::new(&params).expect("ctx");
+    let engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
+    let ctx = engine.make_context(&params).expect("ctx");
     let mut rng = StdRng::seed_from_u64(13);
     let keys = KeyChain::generate(&ctx, &mut rng);
 
     // Full-mode trace of one HMULT.
-    let engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
     let mark = engine.mark();
     {
         let tracer = engine.make_tracer(1);
@@ -87,30 +90,43 @@ fn timing_only_matches_traced_execution() {
 }
 
 /// The three engine variants produce the paper's performance ordering on a
-/// real traced workload, not just on synthetic schedules.
+/// real traced workload — and since each engine's context now *computes*
+/// with its own formulation, the decrypted results must also agree
+/// bit-for-bit across variants (the transforms are bit-identical).
 #[test]
 fn variant_ordering_holds_for_traced_math() {
     let params = CkksParams::test_small();
-    let ctx = CkksContext::new(&params).expect("ctx");
-    let mut rng = StdRng::seed_from_u64(17);
-    let keys = KeyChain::generate(&ctx, &mut rng);
     let xs = vec![Complex64::new(0.75, 0.0)];
-    let ct = keys.encrypt(&ctx.encode(&xs, params.scale()).expect("enc"), &mut rng);
 
     let mut times = Vec::new();
+    let mut decoded = Vec::new();
     for variant in [Variant::Butterfly, Variant::FourStep, Variant::TensorCore] {
         let engine = Engine::new(EngineConfig::a100(variant));
+        let ctx = engine.make_context(&params).expect("ctx");
+        assert_eq!(ctx.ntt_algorithm(), variant);
+        // Same seed per variant: identical keys and ciphertexts, so any
+        // divergence below would be the NTT formulation's fault.
+        let mut rng = StdRng::seed_from_u64(17);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let ct = keys.encrypt(&ctx.encode(&xs, params.scale()).expect("enc"), &mut rng);
         let mark = engine.mark();
-        {
+        let sq = {
             let tracer = engine.make_tracer(64);
             let mut eval = Evaluator::with_tracer(&ctx, Box::new(tracer));
-            let _ = eval.hmult(&ct, &ct, &keys).expect("hmult");
-        }
+            eval.hmult(&ct, &ct, &keys).expect("hmult")
+        };
         engine.device().borrow_mut().synchronize();
         times.push(engine.window_stats(mark).time_us);
+        decoded.push(ctx.decode(&keys.decrypt(&sq)).expect("decode")[0]);
     }
     assert!(times[0] > times[1], "NT {} ≤ CO {}", times[0], times[1]);
     assert!(times[1] > times[2], "CO {} ≤ TC {}", times[1], times[2]);
+    for d in &decoded {
+        assert!(
+            (decoded[0].re - d.re).abs() < 1e-12 && (decoded[0].im - d.im).abs() < 1e-12,
+            "variants disagree: {decoded:?}"
+        );
+    }
 }
 
 /// Batch scaling through the whole stack: 64 batched HMULTs cost far less
