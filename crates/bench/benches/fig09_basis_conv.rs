@@ -1,0 +1,198 @@
+//! Figure 9 (this reproduction's extension): scalar vs GEMM-lowered fast
+//! basis conversion.
+//!
+//! `ModUp`/`ModDown` convert every coefficient of a `B×N` block from one
+//! RNS basis to another. The scalar formulation walks coefficients one at
+//! a time (`BasisConvTable::convert_coeff`: a serial dot product per
+//! output residue); the TensorFHE lowering packs the whole block into one
+//! `(L_dst × L_src) × (L_src × B·N)` wide GEMM (`BasisConvGemm`) riding
+//! the same execution layer as the batched NTT. Reported per converted
+//! output residue on the simulated A100, plus host wall-clock for both
+//! formulations with a bit-identity cross-check — mirroring how
+//! `fig08_batch_ntt` pins the NTT win.
+//!
+//! Shapes follow the ResNet-20 key-switch digit (`α = 3` source limbs →
+//! 30 target limbs at `N = 2^13` host / `N = 2^16` device).
+
+use std::time::Instant;
+use tensorfhe_bench::{print_table, report};
+use tensorfhe_ckks::KernelEvent;
+use tensorfhe_core::engine::{Engine, EngineConfig, Variant};
+use tensorfhe_math::crt::BasisConvGemm;
+use tensorfhe_math::prime::generate_ntt_primes;
+
+const N_DEVICE: usize = 1 << 16;
+const N_HOST: usize = 1 << 13;
+const L_SRC: usize = 3;
+const L_DST: usize = 30;
+
+/// Simulated device time (ns) per converted output residue for a `B`-wide
+/// Conv launch.
+fn device_ns_per_residue(variant: Variant, batch: usize) -> f64 {
+    let mut engine = Engine::new(EngineConfig::a100(variant));
+    let ev = KernelEvent::Conv {
+        n: N_DEVICE,
+        l_src: L_SRC,
+        l_dst: L_DST,
+    };
+    let stats = engine.run_schedule("CONV", std::slice::from_ref(&ev), batch);
+    stats.time_us * 1e3 / (N_DEVICE * L_DST * batch) as f64
+}
+
+/// Host wall-clock (µs per polynomial) for both formulations on a `B`-wide
+/// block, asserting the outputs are bit-identical.
+fn host_us_per_poly(plan: &BasisConvGemm, src_primes: &[u64], b: usize) -> (f64, f64) {
+    // Deterministic limb-major block: b polynomials × L_SRC limbs × N_HOST.
+    let src_rows: Vec<Vec<u64>> = (0..L_SRC)
+        .map(|i| {
+            (0..b * N_HOST)
+                .map(|c| {
+                    ((c as u64 * 2_654_435_761).wrapping_add(i as u64 * 40_503)) % src_primes[i]
+                })
+                .collect()
+        })
+        .collect();
+    let views: Vec<&[u64]> = src_rows.iter().map(Vec::as_slice).collect();
+
+    // Each side runs three times with the minimum kept: host wall-clock is
+    // informational (never CI-gated), but the crossover assert below must
+    // not flake when a loaded machine steals a core mid-measurement.
+    let repeat = |f: &dyn Fn() -> Vec<Vec<u64>>| {
+        let mut best = f64::INFINITY;
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let t = Instant::now();
+            out = f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e6 / b as f64);
+        }
+        (best, out)
+    };
+
+    // Scalar path: per-coefficient walk, exactly what ModUp used to do.
+    let (scalar_us, scalar) = repeat(&|| {
+        let mut scalar = vec![vec![0u64; b * N_HOST]; L_DST];
+        let mut residues = vec![0u64; L_SRC];
+        for c in 0..b * N_HOST {
+            for (r, row) in residues.iter_mut().zip(&src_rows) {
+                *r = row[c];
+            }
+            let out = plan.table().convert_coeff(&residues);
+            for (j, &v) in out.iter().enumerate() {
+                scalar[j][c] = v;
+            }
+        }
+        scalar
+    });
+
+    // GEMM path: one wide matrix product for the whole block.
+    let (gemm_us, gemm) = repeat(&|| plan.convert_block(&views));
+
+    assert_eq!(
+        scalar, gemm,
+        "GEMM conversion diverged from scalar at B={b}"
+    );
+    (scalar_us, gemm_us)
+}
+
+fn main() {
+    let primes = generate_ntt_primes(L_SRC + L_DST, 28, N_HOST as u64);
+    let (src_primes, dst_primes) = primes.split_at(L_SRC);
+    let plan = BasisConvGemm::new(src_primes, dst_primes);
+
+    let batches: &[usize] = if report::smoke() {
+        &[1, 4, 16, 64]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128]
+    };
+    let host_cap = if report::smoke() { 4 } else { 16 };
+
+    let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    for &b in batches {
+        let nt = device_ns_per_residue(Variant::Butterfly, b);
+        let co = device_ns_per_residue(Variant::FourStep, b);
+        let host_note = if b <= host_cap {
+            let (scalar_us, gemm_us) = host_us_per_poly(&plan, src_primes, b);
+            summary.push((b, nt, co, Some(scalar_us / gemm_us)));
+            format!("{scalar_us:.0} / {gemm_us:.0}")
+        } else {
+            summary.push((b, nt, co, None));
+            "—".to_string()
+        };
+        rows.push(vec![
+            format!("{b}"),
+            format!("{nt:.3}"),
+            format!("{co:.3}"),
+            format!("{:.2}×", nt / co),
+            host_note,
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Figure 9 — scalar vs GEMM basis conversion \
+             (α = {L_SRC} → {L_DST} limbs, device N = 2^16 ns/residue, host N = 2^13)"
+        ),
+        &[
+            "B",
+            "scalar (device)",
+            "GEMM (device)",
+            "device speedup",
+            "host µs scalar/GEMM",
+        ],
+        &rows,
+    );
+
+    // Acceptance: the GEMM formulation beats the scalar walk at paper-scale
+    // B·L — on the simulated device at every batch width, and in host
+    // wall-clock once the block is past the single-polynomial regime.
+    for &(b, nt, co, host_ratio) in &summary {
+        assert!(
+            co < nt,
+            "GEMM conv must beat the scalar walk on-device at B={b}: {co:.3} vs {nt:.3}"
+        );
+        // Host wall-clock asserts only outside smoke mode: CI runners are
+        // shared and throttled, and the report-module policy is that host
+        // numbers are never gated — the deterministic device assert above
+        // is what CI enforces.
+        if let Some(r) = host_ratio {
+            if b >= 4 && !report::smoke() {
+                assert!(
+                    r > 1.0,
+                    "GEMM conv must beat the scalar walk on host at B={b}: ratio {r:.2}"
+                );
+            }
+        }
+    }
+
+    let deep = summary
+        .iter()
+        .rev()
+        .find(|&&(b, ..)| b >= 64)
+        .copied()
+        .expect("sweep reaches B = 64");
+    let (b_deep, nt_deep, co_deep, _) = deep;
+    let host_paper = summary
+        .iter()
+        .filter_map(|&(b, .., r)| r.map(|r| (b, r)))
+        .next_back()
+        .expect("at least one host measurement");
+    println!(
+        "\nat B = {b_deep}: GEMM conv {:.2}× over the scalar walk on-device; \
+         host ratio {:.2}× at B = {} (paper-scale B·L = B·L_dst = {})",
+        nt_deep / co_deep,
+        host_paper.1,
+        host_paper.0,
+        b_deep * L_DST,
+    );
+
+    report::emit(
+        "fig09_basis_conv",
+        &[
+            ("gemm_conv_speedup_device_b64", nt_deep / co_deep),
+            ("gemm_conv_speedup_device_b1", summary[0].1 / summary[0].2),
+            // Host wall-clock: trajectory only, never gated (CI noise).
+            ("host_ratio_unpinned", host_paper.1),
+        ],
+    );
+}

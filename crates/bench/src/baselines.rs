@@ -1,6 +1,6 @@
 //! Literature baselines quoted from the paper's tables.
 //!
-//! The paper compares against numbers "directly collect[ed] from the
+//! The paper compares against numbers "directly collect\[ed\] from the
 //! literature" for every non-TensorFHE system; this module transcribes
 //! those tables so the harness can print paper-vs-measured side by side.
 

@@ -1,0 +1,108 @@
+//! Perf-regression gate: compares a PR's bench-smoke snapshot against the
+//! committed baseline.
+//!
+//! ```text
+//! check_regression [<BENCH_baseline.json> <BENCH_pr.json>]
+//! ```
+//!
+//! Every metric in the baseline is *pinned*: the current run must contain
+//! it, and its value — a higher-is-better speedup ratio of a batched-GEMM
+//! formulation over its scalar counterpart — must not fall more than 25 %
+//! below the baseline. Metrics present only in the current snapshot are
+//! reported but not gated (that's how new benches enter the trajectory:
+//! land the metric first, pin it into the baseline next PR).
+//!
+//! Exit status: 0 when every pinned metric holds, 1 on any regression or
+//! missing metric, 2 on usage/IO errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+use tensorfhe_bench::{print_table, report};
+
+/// Pinned ratios may drop at most this fraction below the baseline.
+const ALLOWED_DROP: f64 = 0.25;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match args.as_slice() {
+        [] => (
+            "BENCH_baseline.json".to_string(),
+            "BENCH_pr.json".to_string(),
+        ),
+        [b, c] => (b.clone(), c.clone()),
+        _ => {
+            eprintln!("usage: check_regression [<baseline.json> <current.json>]");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match report::read_file(Path::new(&baseline_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match report::read_file(Path::new(&current_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot read current snapshot {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for (key, &base) in &baseline {
+        let floor = base * (1.0 - ALLOWED_DROP);
+        match current.get(key) {
+            Some(&now) => {
+                let ok = now >= floor;
+                if !ok {
+                    failures += 1;
+                }
+                rows.push(vec![
+                    key.clone(),
+                    format!("{base:.3}"),
+                    format!("{now:.3}"),
+                    format!("{floor:.3}"),
+                    if ok { "ok" } else { "REGRESSED" }.to_string(),
+                ]);
+            }
+            None => {
+                failures += 1;
+                rows.push(vec![
+                    key.clone(),
+                    format!("{base:.3}"),
+                    "missing".to_string(),
+                    format!("{floor:.3}"),
+                    "MISSING".to_string(),
+                ]);
+            }
+        }
+    }
+    for (key, &now) in &current {
+        if !baseline.contains_key(key) {
+            rows.push(vec![
+                key.clone(),
+                "—".to_string(),
+                format!("{now:.3}"),
+                "—".to_string(),
+                "unpinned".to_string(),
+            ]);
+        }
+    }
+    let max_drop_pct = ALLOWED_DROP * 100.0;
+    print_table(
+        &format!("Perf gate — {current_path} vs {baseline_path} (max drop {max_drop_pct:.0}%)"),
+        &["metric", "baseline", "current", "floor", "status"],
+        &rows,
+    );
+
+    if failures > 0 {
+        eprintln!("{failures} pinned metric(s) regressed or went missing");
+        ExitCode::FAILURE
+    } else {
+        println!("all pinned metrics within {max_drop_pct:.0}% of baseline");
+        ExitCode::SUCCESS
+    }
+}

@@ -4,13 +4,14 @@
 //! the paper: it runs the reproduction (simulated A100/V100) and prints the
 //! paper's reported numbers next to ours. Baseline rows (CPU, PrivFT, 100x,
 //! HEAX, and the ASIC accelerators) are constants quoted from the paper —
-//! exactly as the paper itself "directly collect[s] data from the
+//! exactly as the paper itself "directly collect\[s\] data from the
 //! literature" for those systems.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod report;
 
 /// Prints a fixed-width table: header row plus data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

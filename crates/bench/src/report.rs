@@ -1,0 +1,159 @@
+//! Machine-readable bench output: the `BENCH_*.json` perf-trajectory
+//! format.
+//!
+//! Every bench target prints human tables; in addition it can *emit* named
+//! scalar metrics through [`emit`]. When the `TENSORFHE_BENCH_JSON`
+//! environment variable names a file, metrics from successive bench runs
+//! merge into that file as one flat JSON object
+//! (`{"<bench>/<metric>": <number>, …}`). CI's `bench-smoke` job points it
+//! at `BENCH_pr.json`, uploads the result as the PR's perf snapshot, and
+//! the `check_regression` binary gates it against the committed
+//! `BENCH_baseline.json`.
+//!
+//! Gated metrics are *simulated-device ratios* (batched-GEMM vs scalar
+//! formulations), which are deterministic — host wall-clock numbers are
+//! emitted for the trajectory but never gated, because CI machine noise
+//! would make them flaky. The flip side of gating simulated ratios: a PR
+//! that deliberately changes the *cost model* (kernel templates, traffic
+//! charges in `tensorfhe-gpu`) shifts the pinned values without any real
+//! regression, and must refresh `BENCH_baseline.json` in the same PR.
+//!
+//! The format is deliberately flat so the reader below stays a ~20-line
+//! scanner instead of a JSON dependency the offline build can't fetch.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Whether the short-sample smoke mode is active
+/// (`TENSORFHE_BENCH_SMOKE=1`): benches shrink sweeps to CI-friendly
+/// subsets while keeping their acceptance asserts.
+#[must_use]
+pub fn smoke() -> bool {
+    std::env::var_os("TENSORFHE_BENCH_SMOKE").is_some()
+}
+
+/// Merges `metrics` into the JSON file named by `TENSORFHE_BENCH_JSON`
+/// under `<bench>/<metric>` keys. No-op when the variable is unset.
+///
+/// # Panics
+///
+/// Panics if the file exists but cannot be parsed or rewritten — a broken
+/// perf snapshot must fail the bench run, not silently drop points.
+pub fn emit(bench: &str, metrics: &[(&str, f64)]) {
+    let Ok(path) = std::env::var("TENSORFHE_BENCH_JSON") else {
+        return;
+    };
+    let path = Path::new(&path);
+    let mut all = if path.exists() {
+        read_file(path).expect("existing bench JSON must parse")
+    } else {
+        BTreeMap::new()
+    };
+    for (k, v) in metrics {
+        all.insert(format!("{bench}/{k}"), *v);
+    }
+    write_file(path, &all).expect("bench JSON must be writable");
+    println!(
+        "[bench-json] {} metric(s) merged into {}",
+        metrics.len(),
+        path.display()
+    );
+}
+
+/// Parses a flat `{"key": number, …}` object.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn parse(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "expected a {…} object".to_string())?;
+    let mut map = BTreeMap::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part
+            .split_once(':')
+            .ok_or_else(|| format!("entry without ':' separator: {part:?}"))?;
+        let key = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key: {k:?}"))?;
+        let value: f64 = v
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number for {key:?}: {e}"))?;
+        map.insert(key.to_string(), value);
+    }
+    Ok(map)
+}
+
+/// Serialises a metric map as one-entry-per-line JSON.
+#[must_use]
+pub fn render(entries: &BTreeMap<String, f64>) -> String {
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n}}\n", body.join(",\n"))
+}
+
+/// Reads a metric file.
+///
+/// # Errors
+///
+/// Returns an IO error for unreadable files or `InvalidData` for
+/// unparseable content.
+pub fn read_file(path: &Path) -> io::Result<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path)?;
+    parse(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Writes a metric file.
+///
+/// # Errors
+///
+/// Returns an IO error if the file cannot be written.
+pub fn write_file(path: &Path, entries: &BTreeMap<String, f64>) -> io::Result<()> {
+    std::fs::write(path, render(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("fig08_batch_ntt/co_speedup_at_256".to_string(), 4.875);
+        m.insert("fig09_basis_conv/gemm_speedup_b64".to_string(), 2.25);
+        let parsed = parse(&render(&m)).expect("roundtrip parses");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"k\" 1}").is_err());
+        assert!(parse("{k: 1}").is_err());
+        assert!(parse("{\"k\": one}").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_empty_object() {
+        assert!(parse("{}").expect("empty object").is_empty());
+        assert!(parse("{ }").expect("empty object").is_empty());
+    }
+}

@@ -12,10 +12,10 @@ use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
-use tensorfhe_math::crt::{BasisConvTable, RnsBasis};
+use tensorfhe_math::crt::RnsBasis;
 use tensorfhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
 use tensorfhe_math::{Complex64, Modulus};
-use tensorfhe_ntt::{BatchedGemmNtt, NttAlgorithm, PlanCache};
+use tensorfhe_ntt::{BasisConvGemm, BatchedGemmNtt, NttAlgorithm, PlanCache};
 
 /// Pre-computed tables for one Galois element `g` (rotation/conjugation).
 #[derive(Debug, Clone)]
@@ -37,17 +37,20 @@ pub struct ModUpTable {
     pub src_start: usize,
     /// One past the last source limb index.
     pub src_end: usize,
-    /// Conversion from the digit's primes to the complement basis
-    /// (`q`s outside the digit followed by all `p`s).
-    pub conv: BasisConvTable,
+    /// GEMM-lowered conversion from the digit's primes to the complement
+    /// basis (`q`s outside the digit followed by all `p`s), shared through
+    /// the process-wide [`PlanCache`] — digits at different levels with the
+    /// same `(src, dst)` prime lists share one conversion matrix.
+    pub conv: Arc<BasisConvGemm>,
 }
 
 /// Tables for `ModDown` at one level: conversion from the special basis `P`
 /// to `q_0..q_l` plus `P^{-1} mod q_i`.
 #[derive(Debug)]
 pub struct ModDownTable {
-    /// Conversion from `{p_k}` to `{q_0..q_l}`.
-    pub conv: BasisConvTable,
+    /// GEMM-lowered conversion from `{p_k}` to `{q_0..q_l}` (shared through
+    /// the process-wide [`PlanCache`]).
+    pub conv: Arc<BasisConvGemm>,
     /// `P^{-1} mod q_i` for `i ≤ l`.
     pub p_inv_mod_q: Vec<u64>,
 }
@@ -233,18 +236,17 @@ impl CkksContext {
         let src_start = digit * alpha;
         let src_end = ((digit + 1) * alpha).min(level + 1);
         assert!(src_start < src_end, "digit {digit} empty at level {level}");
-        let src = RnsBasis::new(&self.q_primes[src_start..src_end]);
-        let mut dst: Vec<Modulus> = Vec::new();
-        for (i, m) in self.q_mods[..=level].iter().enumerate() {
+        let mut dst: Vec<u64> = Vec::new();
+        for (i, &q) in self.q_primes[..=level].iter().enumerate() {
             if i < src_start || i >= src_end {
-                dst.push(*m);
+                dst.push(q);
             }
         }
-        dst.extend(self.p_mods.iter().copied());
+        dst.extend_from_slice(&self.p_primes);
         let table = Rc::new(ModUpTable {
             src_start,
             src_end,
-            conv: BasisConvTable::new(&src, &dst),
+            conv: PlanCache::global().get_bconv(&self.q_primes[src_start..src_end], &dst),
         });
         self.modup
             .borrow_mut()
@@ -258,9 +260,7 @@ impl CkksContext {
         if let Some(t) = self.moddown.borrow().get(&level) {
             return Rc::clone(t);
         }
-        let src = RnsBasis::new(&self.p_primes);
-        let dst: Vec<Modulus> = self.q_mods[..=level].to_vec();
-        let conv = BasisConvTable::new(&src, &dst);
+        let conv = PlanCache::global().get_bconv(&self.p_primes, &self.q_primes[..=level]);
         let p_inv_mod_q = self.q_mods[..=level]
             .iter()
             .map(|m| {

@@ -216,25 +216,21 @@ pub fn mod_up(
     for i in s0..s1 {
         ext.q_limbs[i].copy_from_slice(d_coeff.limb(i));
     }
-    // Complement limbs via the fast basis conversion.
-    let mut residues = vec![0u64; s1 - s0];
-    for c in 0..n {
-        for (r, i) in residues.iter_mut().zip(s0..s1) {
-            *r = d_coeff.limb(i)[c];
-        }
-        let y = table.conv.y_vector(&residues);
-        let mut dst_idx = 0usize;
-        for i in 0..=l {
-            if i >= s0 && i < s1 {
-                continue;
-            }
-            ext.q_limbs[i][c] = table.conv.convert_from_y(&y, dst_idx);
-            dst_idx += 1;
-        }
-        for kk in 0..k {
-            ext.p_limbs[kk][c] = table.conv.convert_from_y(&y, dst_idx);
-            dst_idx += 1;
-        }
+    // Complement limbs via the GEMM-lowered fast basis conversion: the
+    // digit's limb-major block converts as one `(L_dst × α) × (α × N)`
+    // matrix product (batched y-stage + wide GEMM) instead of walking the
+    // N coefficients one at a time.
+    let src_rows: Vec<&[u64]> = (s0..s1).map(|i| d_coeff.limb(i)).collect();
+    {
+        let (q_limbs, p_limbs) = (&mut ext.q_limbs, &mut ext.p_limbs);
+        let mut out_rows: Vec<&mut [u64]> = q_limbs
+            .iter_mut()
+            .enumerate()
+            .filter(|&(i, _)| i < s0 || i >= s1)
+            .map(|(_, limb)| limb.as_mut_slice())
+            .chain(p_limbs.iter_mut().map(Vec::as_mut_slice))
+            .collect();
+        table.conv.convert_block_into(&src_rows, &mut out_rows);
     }
     tracing.emit(KernelEvent::Conv {
         n,
@@ -255,7 +251,9 @@ pub fn mod_down(ctx: &CkksContext, tracing: &mut Tracing<'_>, acc: &ExtPoly) -> 
 
 /// Batched `ModDown` of several same-level accumulators: the INTT and NTT
 /// sandwiches run through the batched per-modulus path (`B` = block size),
-/// the conversions and scaled subtractions per accumulator.
+/// and the basis conversion of all `B` special-prime parts runs as one
+/// `((l+1) × K) × (K × B·N)` wide GEMM; only the scaled subtractions
+/// remain per accumulator.
 ///
 /// Emits the same kernel events as calling [`mod_down`] per accumulator —
 /// batching changes the arithmetic packing, not the costed schedule —
@@ -284,21 +282,29 @@ pub fn mod_down_batch(
         });
     }
 
-    let mut outs: Vec<RnsPoly> = Vec::with_capacity(work.len());
+    // Convert the special-prime parts of ALL accumulators in one shot:
+    // each special limb's rows concatenate into a `(K × B·N)` block, so the
+    // whole batch is a single `((l+1) × K) × (K × B·N)` wide GEMM — the
+    // `B` dimension of the paper's operation-level batching applied to the
+    // Conv kernel.
     for acc in &work {
         assert_eq!(acc.level(), l, "level mismatch in ModDown batch");
-        // Convert the special-prime part into the q basis.
-        let mut converted = vec![vec![0u64; n]; l + 1];
-        let mut residues = vec![0u64; k];
-        for c in 0..n {
-            for (r, limb) in residues.iter_mut().zip(&acc.p_limbs) {
-                *r = limb[c];
+    }
+    let width = work.len() * n;
+    let src_cat: Vec<Vec<u64>> = (0..k)
+        .map(|kk| {
+            let mut row = Vec::with_capacity(width);
+            for acc in &work {
+                row.extend_from_slice(&acc.p_limbs[kk]);
             }
-            let y = table.conv.y_vector(&residues);
-            for (i, conv_limb) in converted.iter_mut().enumerate() {
-                conv_limb[c] = table.conv.convert_from_y(&y, i);
-            }
-        }
+            row
+        })
+        .collect();
+    let src_rows: Vec<&[u64]> = src_cat.iter().map(Vec::as_slice).collect();
+    let conv_wide = table.conv.convert_block(&src_rows);
+
+    let mut outs: Vec<RnsPoly> = Vec::with_capacity(work.len());
+    for (b, acc) in work.iter().enumerate() {
         tracing.emit(KernelEvent::Conv {
             n,
             l_src: k,
@@ -307,12 +313,12 @@ pub fn mod_down_batch(
 
         // out_i = (acc_i - conv_i) · P^{-1} mod q_i
         let mut out_limbs = Vec::with_capacity(l + 1);
-        for (i, conv_limb) in converted.iter().enumerate().take(l + 1) {
+        for (i, conv_row) in conv_wide.iter().enumerate().take(l + 1) {
             let m = ctx.q_mod(i);
             let p_inv = table.p_inv_mod_q[i];
             let limb = acc.q_limbs[i]
                 .iter()
-                .zip(conv_limb)
+                .zip(&conv_row[b * n..(b + 1) * n])
                 .map(|(&a, &t)| m.mul(m.sub(a, t), p_inv))
                 .collect();
             out_limbs.push(limb);

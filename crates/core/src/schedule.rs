@@ -26,7 +26,10 @@ pub fn key_switch_schedule(params: &CkksParams, level: usize) -> Vec<KernelEvent
         inverse: true,
     });
     // ModUp: every digit's Conv to the complement basis runs first (the
-    // digit block is built in full)…
+    // digit block is built in full). Each Conv is a single event whatever
+    // the variant — under the GEMM formulations the tracer lowers it to a
+    // batched y stage plus one wide (L_dst × α) × (α × B·N) GEMM, under
+    // the butterfly baseline to the scalar per-residue kernel…
     for j in 0..digits {
         let src = alpha.min(limbs - j * alpha);
         ev.push(KernelEvent::Conv {

@@ -12,6 +12,12 @@
 //! * `TensorCore` — the five-stage Fig. 8 pipeline: segmentation, 16 u8
 //!   plane GEMMs spread over 16 CUDA streams, Booth fusion + Hadamard +
 //!   re-segmentation, 16 more plane GEMMs, final fusion/modulo.
+//!
+//! The `Conv` kernel (fast basis conversion) is variant-dependent too:
+//! Butterfly launches the scalar per-residue walk (`basis-conv`), while
+//! both GEMM formulations launch the batched `y` stage plus one wide
+//! `(L_dst × L_src) × (L_src × B·N)` GEMM (`conv-gemm`) — the same
+//! lowering `tensorfhe_ckks::keyswitch` executes on the host.
 
 use crate::engine::{Layout, Variant};
 use std::cell::RefCell;
@@ -236,15 +242,37 @@ impl KernelTracer for GpuTracer {
                     "conjugate",
                 ));
             }
-            KernelEvent::Conv { n, l_src, l_dst } => {
-                self.launch_main(KernelDesc::new(
-                    KernelClass::BasisConv {
-                        elems: (n * l_dst) as u64 * b,
-                        l_src,
-                    },
-                    "conv",
-                ));
-            }
+            KernelEvent::Conv { n, l_src, l_dst } => match self.variant {
+                // TensorFHE-NT: the scalar per-residue walk.
+                Variant::Butterfly => {
+                    self.launch_main(KernelDesc::new(
+                        KernelClass::BasisConv {
+                            elems: (n * l_dst) as u64 * b,
+                            l_src,
+                        },
+                        "conv",
+                    ));
+                }
+                // GEMM formulations: batched y stage + one wide
+                // `(L_dst × L_src) × (L_src × B·N)` GEMM. The conversion
+                // matrix is far below tensor-core tile shapes (L_src is as
+                // small as 1 at the paper's Default α), so even the TC
+                // variant issues the dense GEMM on the CUDA cores —
+                // padding to 16×8×32 tiles would waste an order of
+                // magnitude more MACs than the product contains.
+                Variant::FourStep | Variant::TensorCore => {
+                    self.elementwise("conv-y", (n * l_src) as u64 * b, 2, 12);
+                    self.launch_main(KernelDesc::new(
+                        KernelClass::GemmCuda {
+                            m: l_dst,
+                            k: l_src,
+                            cols: n * self.batch,
+                            batch: 1,
+                        },
+                        "conv-gemm",
+                    ));
+                }
+            },
         }
     }
 
@@ -347,6 +375,39 @@ mod tests {
             "(B,L,N) layout must be slower: {} vs {}",
             strided.standalone_us,
             packed.standalone_us
+        );
+    }
+
+    #[test]
+    fn conv_lowering_is_variant_dependent() {
+        let ev = KernelEvent::Conv {
+            n: 1 << 12,
+            l_src: 3,
+            l_dst: 12,
+        };
+        let s = sim();
+        let mut nt = GpuTracer::new(Rc::clone(&s), Variant::Butterfly, Layout::Lbn, 4);
+        nt.kernel(ev);
+        let mut co = GpuTracer::new(Rc::clone(&s), Variant::FourStep, Layout::Lbn, 4);
+        co.kernel(ev);
+        let mut tc = GpuTracer::new(Rc::clone(&s), Variant::TensorCore, Layout::Lbn, 4);
+        tc.kernel(ev);
+        s.borrow_mut().synchronize();
+        let tags: Vec<&str> = s
+            .borrow()
+            .stats()
+            .iter()
+            .map(|k| k.class_tag)
+            .collect::<Vec<_>>();
+        assert_eq!(
+            tags,
+            vec![
+                "basis-conv",  // NT: one scalar kernel
+                "elementwise", // CO: batched y stage…
+                "gemm-cuda",   // …plus the wide GEMM
+                "elementwise", // TC rides the same dense-GEMM lowering
+                "gemm-cuda",
+            ],
         );
     }
 

@@ -72,8 +72,13 @@ pub enum KernelClass {
         /// Number of elements permuted.
         elems: u64,
     },
-    /// Fast basis conversion inner product: for each of `elems` output
-    /// residues, a dot product of length `l_src`.
+    /// Scalar fast-basis-conversion kernel (the TensorFHE-NT lowering of
+    /// `Conv`): one thread per output residue, each walking a serial
+    /// dot product of length `l_src` with the `y` scaling recomputed in
+    /// the chain — no independent accumulators, and the source block is
+    /// re-read for every target limb. The GEMM variants lower `Conv` to
+    /// an element-wise `y` stage plus a wide [`KernelClass::GemmCuda`]
+    /// launch instead.
     BasisConv {
         /// Output residues produced.
         elems: u64,
@@ -198,7 +203,9 @@ impl KernelDesc {
             KernelClass::GemmTcu { m, k, cols, batch } => (m * k * cols * batch) as u64,
             KernelClass::Elementwise { elems, .. } => elems,
             KernelClass::Permute { elems } => elems,
-            KernelClass::BasisConv { elems, l_src } => elems * (l_src as u64).div_ceil(3),
+            // One dependent MAC per source term: the serial chain cannot
+            // pack multiple accumulators per template iteration.
+            KernelClass::BasisConv { elems, l_src } => elems * l_src as u64,
             KernelClass::FftButterfly { n, batch } => {
                 let stages = n.trailing_zeros() as u64;
                 stages * (n as u64 / 2) * batch as u64
@@ -275,9 +282,12 @@ impl KernelDesc {
             } => elems * bytes_per_elem as u64,
             KernelClass::Permute { elems } => elems * RESIDUE_BYTES * 2,
             KernelClass::BasisConv { elems, l_src } => {
-                // y-vector reused through shared memory; charge source reads
-                // once per CTA tile plus the output writes.
-                elems * (RESIDUE_BYTES + l_src as u64 / 8)
+                // Every output residue re-reads its l_src source residues
+                // (no cross-target operand reuse in the scalar kernel) and
+                // writes itself once — the data-movement cost the GEMM
+                // lowering removes by tiling the y block through shared
+                // memory.
+                elems * (l_src as u64 + 1) * RESIDUE_BYTES
             }
             KernelClass::FftButterfly { n, batch } => {
                 let stages = n.trailing_zeros() as u64;
@@ -372,7 +382,34 @@ impl KernelDesc {
                 code_footprint: 4.0,
                 loop_redirect_cycles: 6,
             },
-            KernelClass::GemmCuda { .. } | KernelClass::BasisConv { .. } => InstrTemplate {
+            KernelClass::BasisConv { .. } => InstrTemplate {
+                // One serial dot-product step: load the source residue from
+                // DRAM, recompute its y scaling (two dependent multiplies)
+                // and fold it into the single accumulator — a RAW chain
+                // with nothing to dual-issue, the Conv analogue of the
+                // butterfly NTT's Fig. 4 stall pathology.
+                body: vec![
+                    Instr::LdGlobal {
+                        dst: 1,
+                        coalesced: self.coalesced,
+                    },
+                    Instr::Mul {
+                        dst: 2,
+                        srcs: [1, 0],
+                    },
+                    Instr::Mul {
+                        dst: 3,
+                        srcs: [2, 0],
+                    },
+                    Instr::Mad {
+                        dst: 4,
+                        srcs: [3, 4],
+                    },
+                ],
+                code_footprint: 1.0,
+                loop_redirect_cycles: 2,
+            },
+            KernelClass::GemmCuda { .. } => InstrTemplate {
                 // Tiled modular GEMM inner step: two shared loads feed three
                 // independent wide accumulators — no RAW chain, no barrier
                 // in the steady state.

@@ -12,6 +12,24 @@
 //!   `x mod p_j` from residues in another basis using the classic
 //!   `Σ_i [x_i·q̂_i^{-1}]_{q_i}·(q̂_i mod p_j)` formula of the full-RNS
 //!   literature; [`BasisConvTable`] holds the pre-computed constants.
+//!
+//! # Basis conversion as a wide GEMM
+//!
+//! The conversion formula is a matrix product in disguise. Writing
+//! `y_i = [x_i·q̂_i^{-1}]_{q_i}` (a per-source-limb element-wise scaling),
+//! the whole conversion of a block of `W` coefficients is
+//!
+//! ```text
+//! Out (L_dst × W)  =  M (L_dst × L_src)  ×  Y (L_src × W)   (row j mod p_j)
+//! ```
+//!
+//! with the constant matrix `M[j][i] = q̂_i mod p_j`. [`BasisConvGemm`]
+//! precomputes `M` in row-major GEMM layout (plus the `Q mod p_j`
+//! correction row the exact variants need) and converts limb-major blocks
+//! — `W = B·N` coefficients across a whole batch of polynomials — in one
+//! wide matrix product per target limb, exactly the TensorFHE lowering
+//! that replaces the per-coefficient scalar walk of
+//! [`BasisConvTable::convert_coeff`].
 
 use crate::modulus::Modulus;
 
@@ -416,6 +434,178 @@ impl BasisConvTable {
     }
 }
 
+/// The GEMM formulation of the fast basis conversion (see the module docs):
+/// a [`BasisConvTable`] whose `q̂_i mod p_j` constants are packed into a
+/// row-major `(L_dst × L_src)` matrix operand, converting limb-major blocks
+/// of `W = B·N` coefficients in one wide matrix product per target limb.
+///
+/// Bit-exact with the scalar path: every output residue is the same
+/// `Σ_i y_i·(q̂_i mod p_j)` accumulated in 128 bits and reduced once, so
+/// [`BasisConvGemm::convert_block`] agrees with
+/// [`BasisConvTable::convert_coeff`] coefficient by coefficient (a property
+/// the test suite pins for every paper parameter shape).
+#[derive(Debug, Clone)]
+pub struct BasisConvGemm {
+    table: BasisConvTable,
+    /// Row-major `(L_dst × L_src)` GEMM operand: `mat[j·L_src + i]` =
+    /// `q̂_i mod p_j`.
+    mat: Vec<u64>,
+}
+
+impl BasisConvGemm {
+    /// Builds the plan converting from the `src` primes to the `dst` primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is empty or has duplicates, or if any prime is
+    /// `≥ 2^32` (the single-reduction wide accumulation needs 32-bit
+    /// residues, the same bound as the GEMM NTT path).
+    #[must_use]
+    pub fn new(src: &[u64], dst: &[u64]) -> Self {
+        let src_basis = RnsBasis::new(src);
+        let dst_mods: Vec<Modulus> = dst.iter().map(|&p| Modulus::new(p)).collect();
+        Self::from_table(BasisConvTable::new(&src_basis, &dst_mods))
+    }
+
+    /// Builds the plan from an existing conversion table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source or destination prime is `≥ 2^32`.
+    #[must_use]
+    pub fn from_table(table: BasisConvTable) -> Self {
+        for m in table.src_moduli().iter().chain(table.dst_moduli()) {
+            assert!(
+                m.bits() <= 32,
+                "GEMM basis conversion requires primes < 2^32, got {}",
+                m.value()
+            );
+        }
+        let l_src = table.src_moduli().len();
+        let mut mat = Vec::with_capacity(table.dst_moduli().len() * l_src);
+        for row in &table.qhat_mod_p {
+            mat.extend_from_slice(row);
+        }
+        Self { table, mat }
+    }
+
+    /// The underlying scalar conversion table (reference path, `Q mod p_j`
+    /// correction row, moduli accessors).
+    #[must_use]
+    pub fn table(&self) -> &BasisConvTable {
+        &self.table
+    }
+
+    /// Source moduli.
+    #[must_use]
+    pub fn src_moduli(&self) -> &[Modulus] {
+        self.table.src_moduli()
+    }
+
+    /// Destination moduli.
+    #[must_use]
+    pub fn dst_moduli(&self) -> &[Modulus] {
+        self.table.dst_moduli()
+    }
+
+    /// Source-basis size `L_src`.
+    #[must_use]
+    pub fn l_src(&self) -> usize {
+        self.table.src_moduli().len()
+    }
+
+    /// Destination-basis size `L_dst`.
+    #[must_use]
+    pub fn l_dst(&self) -> usize {
+        self.table.dst_moduli().len()
+    }
+
+    /// The batched `y`-stage: `y[i][c] = [src[i][c] · q̂_i^{-1}]_{q_i}` for
+    /// every source limb `i` and block coefficient `c` — one element-wise
+    /// scaling pass over the whole `L_src × W` block, shared by every
+    /// target limb of the GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_rows` does not have one row per source limb or the
+    /// rows have unequal widths.
+    #[must_use]
+    pub fn y_rows(&self, src_rows: &[&[u64]]) -> Vec<Vec<u64>> {
+        assert_eq!(src_rows.len(), self.l_src(), "source limb count mismatch");
+        let width = src_rows.first().map_or(0, |r| r.len());
+        src_rows
+            .iter()
+            .zip(self.table.src_moduli())
+            .zip(&self.table.src_qhat_inv)
+            .map(|((row, m), &inv)| {
+                assert_eq!(row.len(), width, "ragged source block");
+                row.iter().map(|&x| m.mul(m.reduce(x), inv)).collect()
+            })
+            .collect()
+    }
+
+    /// Converts a limb-major block: `src_rows[i][c] = x_c mod q_i` →
+    /// `out_rows[j][c] ≈ x_c mod p_j` (up to the additive `α·Q` overshoot),
+    /// as one wide `(L_dst × L_src) × (L_src × W)` GEMM with a single
+    /// reduction per output element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on limb-count or width mismatches between `src_rows` and
+    /// `out_rows`.
+    pub fn convert_block_into(&self, src_rows: &[&[u64]], out_rows: &mut [&mut [u64]]) {
+        assert_eq!(out_rows.len(), self.l_dst(), "target limb count mismatch");
+        let y = self.y_rows(src_rows);
+        let width = y.first().map_or(0, Vec::len);
+        for out in out_rows.iter_mut() {
+            assert_eq!(out.len(), width, "ragged target block");
+        }
+        let l_src = self.l_src();
+        // Column-tiled t-j-i-c loops: within one column tile, the y block
+        // and the accumulator row stay cache-resident while every target
+        // limb streams over them — the GEMM operand-reuse argument of
+        // §IV-B applied to the conversion matrix. Products are < 2^64
+        // (32-bit residues), so `L_src` terms never overflow the u128
+        // accumulator and a single Barrett reduction per output element
+        // suffices — the paper's "one modulo per A_k" argument applied to
+        // the Conv kernel.
+        const TILE: usize = 1 << 11;
+        let mut acc = vec![0u128; TILE.min(width)];
+        for start in (0..width).step_by(TILE) {
+            let end = (start + TILE).min(width);
+            let acc = &mut acc[..end - start];
+            for (j, out) in out_rows.iter_mut().enumerate() {
+                let pj = &self.table.dst_moduli[j];
+                acc.iter_mut().for_each(|a| *a = 0);
+                for (yi, &mji) in y.iter().zip(&self.mat[j * l_src..(j + 1) * l_src]) {
+                    if mji == 0 {
+                        continue;
+                    }
+                    let m = mji as u128;
+                    for (a, &yv) in acc.iter_mut().zip(&yi[start..end]) {
+                        *a += m * yv as u128;
+                    }
+                }
+                for (o, &a) in out[start..end].iter_mut().zip(acc.iter()) {
+                    *o = pj.reduce_u128(a);
+                }
+            }
+        }
+    }
+
+    /// Allocating variant of [`BasisConvGemm::convert_block_into`].
+    #[must_use]
+    pub fn convert_block(&self, src_rows: &[&[u64]]) -> Vec<Vec<u64>> {
+        let width = src_rows.first().map_or(0, |r| r.len());
+        let mut out = vec![vec![0u64; width]; self.l_dst()];
+        {
+            let mut views: Vec<&mut [u64]> = out.iter_mut().map(Vec::as_mut_slice).collect();
+            self.convert_block_into(src_rows, &mut views);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,5 +727,68 @@ mod tests {
     #[should_panic(expected = "duplicate prime")]
     fn duplicate_primes_rejected() {
         let _ = RnsBasis::new(&[97, 97]);
+    }
+
+    #[test]
+    fn gemm_conversion_matches_scalar_exactly() {
+        let primes = generate_ntt_primes(7, 30, 1 << 10);
+        let (src, dst) = primes.split_at(4);
+        let gemm = BasisConvGemm::new(src, dst);
+        // A limb-major block of 33 coefficients (odd width on purpose).
+        let width = 33usize;
+        let src_rows: Vec<Vec<u64>> = src
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                (0..width)
+                    .map(|c| ((c as u64 * 2_654_435_761).wrapping_add(i as u64 * 97)) % q)
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[u64]> = src_rows.iter().map(Vec::as_slice).collect();
+        let block = gemm.convert_block(&views);
+        assert_eq!(block.len(), dst.len());
+        for c in 0..width {
+            let residues: Vec<u64> = src_rows.iter().map(|r| r[c]).collect();
+            let scalar = gemm.table().convert_coeff(&residues);
+            for (j, row) in block.iter().enumerate() {
+                assert_eq!(row[c], scalar[j], "coefficient {c}, target limb {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_conversion_single_source_limb() {
+        // α = 1 (the paper's Default preset): the GEMM degenerates to a
+        // broadcast scale — must still agree with the scalar path.
+        let primes = generate_ntt_primes(3, 28, 1 << 10);
+        let gemm = BasisConvGemm::new(&primes[..1], &primes[1..]);
+        let src_row: Vec<u64> = (0..16).map(|c| (c * 12_345 + 7) % primes[0]).collect();
+        let block = gemm.convert_block(&[&src_row]);
+        for (c, &x) in src_row.iter().enumerate() {
+            let scalar = gemm.table().convert_coeff(&[x]);
+            for j in 0..2 {
+                assert_eq!(block[j][c], scalar[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_conversion_empty_block_is_noop() {
+        let primes = generate_ntt_primes(4, 28, 1 << 10);
+        let gemm = BasisConvGemm::new(&primes[..2], &primes[2..]);
+        let empty: [&[u64]; 2] = [&[], &[]];
+        let block = gemm.convert_block(&empty);
+        assert_eq!(block.len(), 2);
+        assert!(block.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged source block")]
+    fn gemm_conversion_rejects_ragged_rows() {
+        let primes = generate_ntt_primes(3, 28, 1 << 10);
+        let gemm = BasisConvGemm::new(&primes[..2], &primes[2..]);
+        let (a, b) = ([1u64, 2, 3], [4u64, 5]);
+        let _ = gemm.convert_block(&[&a, &b]);
     }
 }

@@ -28,9 +28,21 @@
 //! * [`BatchedGemmNtt`] — one algorithm-selected plan for a `(N, q)` pair,
 //!   dispatching to butterfly / four-step / tensor-core kernels.
 //! * [`PlanCache`] — a process-wide, thread-safe cache of
-//!   [`BatchedGemmNtt`] plans keyed on `(n, q, algorithm)`, so twiddle
-//!   matrices are built once and shared across CKKS contexts, limbs and
-//!   the bootstrap pipeline.
+//!   [`BatchedGemmNtt`] plans keyed on `(n, q, algorithm)` **and** of
+//!   [`BasisConvGemm`] plans keyed on `(src primes, dst primes)`, so
+//!   twiddle matrices and conversion matrices are built once and shared
+//!   across CKKS contexts, limbs and the bootstrap pipeline.
+//!
+//! # Basis conversion on the same wide-GEMM layer
+//!
+//! The NTT is not the only kernel the paper lowers onto GEMMs: the fast
+//! basis conversion inside `ModUp`/`ModDown` is the `(L_dst × L_src) ×
+//! (L_src × B·N)` product described in `tensorfhe_math::crt` — the second
+//! hottest key-switch kernel after the NTT. Its plan
+//! ([`BasisConvGemm`], re-exported here) carries no degree-dependent
+//! state, so the cache keys it purely on the two prime lists: every
+//! key-switch digit at every level that shares a `(src, dst)` pair —
+//! across contexts and levels — shares one conversion matrix.
 
 use crate::butterfly::NttTable;
 use crate::four_step::FourStepNtt;
@@ -39,6 +51,7 @@ use crate::tensor_core::TensorCoreNtt;
 use crate::{NttAlgorithm, NttOps};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+pub use tensorfhe_math::crt::BasisConvGemm;
 
 /// Batched companion to [`NttOps`]: transforms a block of same-modulus
 /// residue rows in one call.
@@ -384,16 +397,23 @@ impl NttBatchOps for BatchedGemmNtt {
     }
 }
 
+/// Cache key of a basis-conversion plan: the `(src, dst)` prime lists.
+type BconvKey = (Vec<u64>, Vec<u64>);
+
 /// Process-wide cache of [`BatchedGemmNtt`] plans keyed on
-/// `(n, q, algorithm)`.
+/// `(n, q, algorithm)` and of [`BasisConvGemm`] plans keyed on the
+/// `(src, dst)` prime lists.
 ///
-/// Twiddle matrices depend only on the key, so one plan serves every CKKS
-/// context, every RNS limb with that prime, and the bootstrap pipeline —
-/// the §IV-B data-reuse property promoted from "per instance" to
-/// "per process". Thread-safe; plans are handed out as [`Arc`]s.
+/// Twiddle and conversion matrices depend only on their key, so one plan
+/// serves every CKKS context, every RNS limb with that prime, and the
+/// bootstrap pipeline — the §IV-B data-reuse property promoted from
+/// "per instance" to "per process". Thread-safe; plans are handed out as
+/// [`Arc`]s.
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: Mutex<HashMap<(usize, u64, NttAlgorithm), Arc<BatchedGemmNtt>>>,
+    /// Basis-conversion GEMM plans keyed on `(src primes, dst primes)`.
+    bconv: Mutex<HashMap<BconvKey, Arc<BasisConvGemm>>>,
 }
 
 impl PlanCache {
@@ -434,16 +454,46 @@ impl PlanCache {
         Arc::clone(plans.entry((n, q, algo)).or_insert(built))
     }
 
-    /// Number of cached plans.
+    /// Returns the shared basis-conversion GEMM plan for `(src, dst)`,
+    /// building it on first use (same build-outside-the-lock discipline as
+    /// [`PlanCache::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BasisConvGemm::new`] (empty or
+    /// duplicate source primes, or any prime `≥ 2^32`).
+    #[must_use]
+    pub fn get_bconv(&self, src: &[u64], dst: &[u64]) -> Arc<BasisConvGemm> {
+        if let Some(plan) = self
+            .bconv
+            .lock()
+            .expect("bconv cache poisoned")
+            .get(&(src.to_vec(), dst.to_vec()))
+        {
+            return Arc::clone(plan);
+        }
+        let built = Arc::new(BasisConvGemm::new(src, dst));
+        let mut plans = self.bconv.lock().expect("bconv cache poisoned");
+        Arc::clone(plans.entry((src.to_vec(), dst.to_vec())).or_insert(built))
+    }
+
+    /// Number of cached NTT plans (basis-conversion plans are counted by
+    /// [`PlanCache::bconv_len`]).
     #[must_use]
     pub fn len(&self) -> usize {
         self.plans.lock().expect("plan cache poisoned").len()
     }
 
-    /// Whether the cache is empty.
+    /// Number of cached basis-conversion plans.
+    #[must_use]
+    pub fn bconv_len(&self) -> usize {
+        self.bconv.lock().expect("bconv cache poisoned").len()
+    }
+
+    /// Whether the cache holds no plans of either kind.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len() == 0 && self.bconv_len() == 0
     }
 }
 
@@ -555,6 +605,20 @@ mod tests {
         let c = cache.get(n, q, NttAlgorithm::FourStep);
         assert!(!Arc::ptr_eq(&a, &c), "different algorithm, different plan");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn bconv_plans_share_per_prime_pair() {
+        let cache = PlanCache::new();
+        let primes = generate_ntt_primes(5, 28, 1 << 6);
+        let a = cache.get_bconv(&primes[..2], &primes[2..]);
+        let b = cache.get_bconv(&primes[..2], &primes[2..]);
+        assert!(Arc::ptr_eq(&a, &b), "same prime pair must share one plan");
+        let c = cache.get_bconv(&primes[..3], &primes[3..]);
+        assert!(!Arc::ptr_eq(&a, &c), "different sources, different plan");
+        assert_eq!(cache.bconv_len(), 2);
+        assert_eq!(cache.len(), 0, "bconv plans live in their own map");
+        assert!(!cache.is_empty(), "bconv plans count toward emptiness");
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! plan per `(n, q, algorithm)` key across the entire process — twiddle
 //! matrices are built once, whoever asks.
 //!
+//! The same cache also hands out [`batch::BasisConvGemm`] plans (keyed on
+//! the `(src, dst)` prime lists) for the GEMM-lowered fast basis conversion
+//! of `ModUp`/`ModDown` — the Conv kernel rides the identical wide-GEMM
+//! execution layer as the NTT, converting `B·N` coefficients per matrix
+//! product instead of walking them one at a time.
+//!
 //! All variants share the convention: `forward` maps natural-order
 //! coefficients to natural-order evaluations of the *negacyclic* transform
 //! `A_k = Σ_n a_n ψ^{(2k+1)n} mod q` where `ψ` is a primitive `2N`-th root of
@@ -53,7 +59,7 @@ pub mod naive;
 pub mod polymul;
 pub mod tensor_core;
 
-pub use batch::{BatchedGemmNtt, NttBatchOps, PlanCache};
+pub use batch::{BasisConvGemm, BatchedGemmNtt, NttBatchOps, PlanCache};
 pub use butterfly::NttTable;
 pub use four_step::FourStepNtt;
 pub use tensor_core::{SegmentedMatrix, TensorCoreNtt};

@@ -4,10 +4,19 @@
 //! implements the surface the workspace's property tests use: the
 //! [`proptest!`] macro over named-argument strategies, [`Strategy`] for
 //! numeric ranges and [`collection::vec`], [`any`], [`ProptestConfig`] and
-//! the `prop_assert*` macros. Cases are generated from a deterministic
-//! per-test seed; there is no shrinking — a failing case panics with its
-//! case index so it can be replayed. Swapping the path dependency for the
+//! the `prop_assert*` macros. Swapping the path dependency for the
 //! crates.io `proptest = "1"` requires no code changes.
+//!
+//! # Regression seeds
+//!
+//! Like the real crate, failing cases are persistable. Every case draws
+//! its values from a dedicated `u64` seed; a failure panics with that seed
+//! and the instruction to append `cc 0x…` to
+//! `proptest-regressions/<test_fn_name>.txt` in the owning crate's root.
+//! Committed seed files are replayed *before* the random cases on every
+//! run (and therefore on every CI `cargo test`), so once-found
+//! counterexamples stay pinned. Lines starting with `#` are comments.
+//! There is no shrinking — the persisted seed reproduces the raw case.
 
 #![forbid(unsafe_code)]
 
@@ -146,7 +155,8 @@ pub mod collection {
     use super::{RngCore, StdRng, Strategy};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    /// Length specification for [`vec()`]: a fixed size or a half-open
+    /// range.
     pub struct SizeRange {
         lo: usize,
         hi: usize,
@@ -196,12 +206,72 @@ pub mod collection {
 /// Deterministic per-test RNG (seeded from the test name).
 #[must_use]
 pub fn test_rng(test_name: &str) -> StdRng {
+    StdRng::seed_from_u64(test_seed(test_name))
+}
+
+/// Deterministic base seed for a test (FNV-1a over its full path).
+#[must_use]
+pub fn test_seed(test_name: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in test_name.bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    StdRng::seed_from_u64(h)
+    h
+}
+
+/// The seed of one random case: the test's base seed mixed with the case
+/// index (splitmix64 finalizer, so neighbouring cases decorrelate).
+#[must_use]
+pub fn case_seed(base: u64, case: u32) -> u64 {
+    let mut z = base ^ (u64::from(case).wrapping_add(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// RNG replaying one persisted or generated case seed.
+#[must_use]
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Loads the persisted regression seeds for a test:
+/// `<manifest_dir>/proptest-regressions/<test_name>.txt`, one `cc <seed>`
+/// line per case (hex `0x…` or decimal), `#`-prefixed comments allowed.
+/// A missing file means no regressions.
+///
+/// # Panics
+///
+/// Panics on a malformed line — a seed that silently fails to replay
+/// would defeat the point of committing it.
+#[must_use]
+pub fn load_regressions(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{test_name}.txt"));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(|line| {
+            let seed = line
+                .strip_prefix("cc ")
+                .and_then(|rest| {
+                    let token = rest.split_whitespace().next()?;
+                    token.strip_prefix("0x").map_or_else(
+                        || token.parse().ok(),
+                        |hex| u64::from_str_radix(hex, 16).ok(),
+                    )
+                })
+                .unwrap_or_else(|| {
+                    panic!("malformed regression line in {}: {line:?}", path.display())
+                });
+            seed
+        })
+        .collect()
 }
 
 /// Everything a property test needs in scope.
@@ -262,8 +332,8 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases {
+                let run_case = |label: &str, seed: u64| {
+                    let mut rng = $crate::seeded_rng(seed);
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
                     let outcome = (move || -> ::std::result::Result<(), ::std::string::String> {
                         $body
@@ -271,11 +341,23 @@ macro_rules! __proptest_impl {
                     })();
                     if let Err(message) = outcome {
                         panic!(
-                            "proptest {} failed at case {case}/{}: {message}",
+                            "proptest {} failed at {label} (seed {seed:#018x}): {message}\n\
+                             to pin this case, append `cc {seed:#018x}` to \
+                             proptest-regressions/{}.txt in the crate root",
                             stringify!($name),
-                            config.cases,
+                            stringify!($name),
                         );
                     }
+                };
+                // Committed counterexamples replay first, on every run.
+                let seeds =
+                    $crate::load_regressions(env!("CARGO_MANIFEST_DIR"), stringify!($name));
+                for (idx, &seed) in seeds.iter().enumerate() {
+                    run_case(&format!("regression {}/{}", idx + 1, seeds.len()), seed);
+                }
+                let base = $crate::test_seed(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    run_case(&format!("case {case}/{}", config.cases), $crate::case_seed(base, case));
                 }
             }
         )*
@@ -285,6 +367,41 @@ macro_rules! __proptest_impl {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn case_seeds_decorrelate() {
+        let base = crate::test_seed("some::test");
+        let a = crate::case_seed(base, 0);
+        let b = crate::case_seed(base, 1);
+        assert_ne!(a, b);
+        // Stable across runs (replayability is the whole point).
+        assert_eq!(a, crate::case_seed(base, 0));
+    }
+
+    #[test]
+    fn regression_files_load_and_replay_lines() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).expect("mkdir");
+        std::fs::write(
+            dir.join("proptest-regressions/some_test.txt"),
+            "# a comment\ncc 0x00000000deadbeef\n\ncc 42\n",
+        )
+        .expect("write");
+        let seeds = crate::load_regressions(dir.to_str().expect("utf-8 temp dir"), "some_test");
+        assert_eq!(seeds, vec![0xdead_beef, 42]);
+        let missing = crate::load_regressions(dir.to_str().expect("utf-8"), "other_test");
+        assert!(missing.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed regression line")]
+    fn malformed_regression_lines_panic() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-bad-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).expect("mkdir");
+        std::fs::write(dir.join("proptest-regressions/bad.txt"), "cc not-a-seed\n").expect("write");
+        let _ = crate::load_regressions(dir.to_str().expect("utf-8"), "bad");
+    }
 
     proptest! {
         #[test]
