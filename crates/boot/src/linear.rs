@@ -117,12 +117,22 @@ impl LinearTransform {
         }
 
         // Baby rotations, computed once and reused by every giant step.
+        // All ≈√D rotations of the same ciphertext run as ONE batched key
+        // switch (`Evaluator::hrotate_many`): the C2S/S2C streaming path,
+        // where every per-modulus NTT is a wide `steps × dnum`-row block
+        // instead of one polynomial at a time. Events and results are
+        // identical to rotating one step at a time.
+        let baby_steps: Vec<i64> = (1..n1)
+            .filter(|&j| self.diags.keys().any(|&d| d % n1 == j))
+            .map(|j| j as i64)
+            .collect();
         let mut rotated: BTreeMap<usize, Ciphertext> = BTreeMap::new();
         rotated.insert(0, ct.clone());
-        for j in 1..n1 {
-            if self.diags.keys().any(|&d| d % n1 == j) {
-                rotated.insert(j, eval.hrotate(ct, j as i64, keys)?);
-            }
+        for (&j, rot) in baby_steps
+            .iter()
+            .zip(eval.hrotate_many(ct, &baby_steps, keys)?)
+        {
+            rotated.insert(j as usize, rot);
         }
 
         let mut acc: Option<Ciphertext> = None;

@@ -8,10 +8,8 @@ use crate::encoder::Encoder;
 use crate::error::CkksError;
 use crate::params::CkksParams;
 use crate::poly::Plaintext;
-use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use tensorfhe_math::crt::RnsBasis;
 use tensorfhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
 use tensorfhe_math::{Complex64, Modulus};
@@ -58,7 +56,9 @@ pub struct ModDownTable {
 /// The shared, immutable CKKS context.
 ///
 /// Create once per parameter set; cheap to share by reference. Interior
-/// caches are lazily filled and deterministic.
+/// caches are lazily filled, deterministic, and thread-safe (`Mutex` /
+/// `OnceLock` / `Arc`), so a context is `Send + Sync` and can back
+/// parallel per-device executor workers without cloning its tables.
 #[derive(Debug)]
 pub struct CkksContext {
     params: CkksParams,
@@ -67,13 +67,13 @@ pub struct CkksContext {
     p_primes: Vec<u64>,
     q_mods: Vec<Modulus>,
     p_mods: Vec<Modulus>,
-    ntt_q: Vec<OnceCell<Arc<BatchedGemmNtt>>>,
-    ntt_p: Vec<OnceCell<Arc<BatchedGemmNtt>>>,
-    encoder: OnceCell<Encoder>,
-    rns_per_level: Vec<OnceCell<RnsBasis>>,
-    modup: RefCell<HashMap<(usize, usize), Rc<ModUpTable>>>,
-    moddown: RefCell<HashMap<usize, Rc<ModDownTable>>>,
-    galois: RefCell<HashMap<u64, Rc<GaloisTables>>>,
+    ntt_q: Vec<OnceLock<Arc<BatchedGemmNtt>>>,
+    ntt_p: Vec<OnceLock<Arc<BatchedGemmNtt>>>,
+    encoder: OnceLock<Encoder>,
+    rns_per_level: Vec<OnceLock<RnsBasis>>,
+    modup: Mutex<HashMap<(usize, usize), Arc<ModUpTable>>>,
+    moddown: Mutex<HashMap<usize, Arc<ModDownTable>>>,
+    galois: Mutex<HashMap<u64, Arc<GaloisTables>>>,
     /// `rescale_inv[l][j] = q_l^{-1} mod q_j` for `j < l`.
     rescale_inv: Vec<Vec<u64>>,
 }
@@ -134,13 +134,13 @@ impl CkksContext {
         Ok(Self {
             params: params.clone(),
             algorithm,
-            ntt_q: (0..l1).map(|_| OnceCell::new()).collect(),
-            ntt_p: (0..k).map(|_| OnceCell::new()).collect(),
-            encoder: OnceCell::new(),
-            rns_per_level: (0..l1).map(|_| OnceCell::new()).collect(),
-            modup: RefCell::new(HashMap::new()),
-            moddown: RefCell::new(HashMap::new()),
-            galois: RefCell::new(HashMap::new()),
+            ntt_q: (0..l1).map(|_| OnceLock::new()).collect(),
+            ntt_p: (0..k).map(|_| OnceLock::new()).collect(),
+            encoder: OnceLock::new(),
+            rns_per_level: (0..l1).map(|_| OnceLock::new()).collect(),
+            modup: Mutex::new(HashMap::new()),
+            moddown: Mutex::new(HashMap::new()),
+            galois: Mutex::new(HashMap::new()),
             q_primes,
             p_primes,
             q_mods,
@@ -228,9 +228,9 @@ impl CkksContext {
     ///
     /// Panics if the digit is empty at this level.
     #[must_use]
-    pub fn modup_table(&self, digit: usize, level: usize) -> Rc<ModUpTable> {
-        if let Some(t) = self.modup.borrow().get(&(digit, level)) {
-            return Rc::clone(t);
+    pub fn modup_table(&self, digit: usize, level: usize) -> Arc<ModUpTable> {
+        if let Some(t) = self.modup.lock().expect("modup cache").get(&(digit, level)) {
+            return Arc::clone(t);
         }
         let alpha = self.params.alpha();
         let src_start = digit * alpha;
@@ -243,22 +243,23 @@ impl CkksContext {
             }
         }
         dst.extend_from_slice(&self.p_primes);
-        let table = Rc::new(ModUpTable {
+        let table = Arc::new(ModUpTable {
             src_start,
             src_end,
             conv: PlanCache::global().get_bconv(&self.q_primes[src_start..src_end], &dst),
         });
         self.modup
-            .borrow_mut()
-            .insert((digit, level), Rc::clone(&table));
+            .lock()
+            .expect("modup cache")
+            .insert((digit, level), Arc::clone(&table));
         table
     }
 
     /// ModDown tables at `level` (built on first use).
     #[must_use]
-    pub fn moddown_table(&self, level: usize) -> Rc<ModDownTable> {
-        if let Some(t) = self.moddown.borrow().get(&level) {
-            return Rc::clone(t);
+    pub fn moddown_table(&self, level: usize) -> Arc<ModDownTable> {
+        if let Some(t) = self.moddown.lock().expect("moddown cache").get(&level) {
+            return Arc::clone(t);
         }
         let conv = PlanCache::global().get_bconv(&self.p_primes, &self.q_primes[..=level]);
         let p_inv_mod_q = self.q_mods[..=level]
@@ -271,8 +272,11 @@ impl CkksContext {
                 m.inv(p)
             })
             .collect();
-        let table = Rc::new(ModDownTable { conv, p_inv_mod_q });
-        self.moddown.borrow_mut().insert(level, Rc::clone(&table));
+        let table = Arc::new(ModDownTable { conv, p_inv_mod_q });
+        self.moddown
+            .lock()
+            .expect("moddown cache")
+            .insert(level, Arc::clone(&table));
         table
     }
 
@@ -299,9 +303,9 @@ impl CkksContext {
     ///
     /// Panics if `g` is even or out of range.
     #[must_use]
-    pub fn galois_tables(&self, g: u64) -> Rc<GaloisTables> {
-        if let Some(t) = self.galois.borrow().get(&g) {
-            return Rc::clone(t);
+    pub fn galois_tables(&self, g: u64) -> Arc<GaloisTables> {
+        if let Some(t) = self.galois.lock().expect("galois cache").get(&g) {
+            return Arc::clone(t);
         }
         let n = self.params.n() as u64;
         let two_n = 2 * n;
@@ -328,12 +332,15 @@ impl CkksContext {
             }
         }
 
-        let t = Rc::new(GaloisTables {
+        let t = Arc::new(GaloisTables {
             g,
             ntt_perm,
             coeff_map,
         });
-        self.galois.borrow_mut().insert(g, Rc::clone(&t));
+        self.galois
+            .lock()
+            .expect("galois cache")
+            .insert(g, Arc::clone(&t));
         t
     }
 
@@ -445,7 +452,7 @@ mod tests {
         let c = ctx();
         let a = c.galois_tables(5);
         let b = c.galois_tables(5);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -483,6 +490,17 @@ mod tests {
         for (a, b) in vals.iter().zip(&back) {
             assert!((*a - *b).norm() < 1e-4, "slot error too large: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn context_is_send_and_sync() {
+        // The executor seam shares one context across per-device worker
+        // threads; a reintroduced `Rc`/`RefCell` must fail to compile here.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CkksContext>();
+        assert_send_sync::<ModUpTable>();
+        assert_send_sync::<ModDownTable>();
+        assert_send_sync::<GaloisTables>();
     }
 
     #[test]

@@ -560,6 +560,130 @@ impl<'a> Evaluator<'a> {
         out
     }
 
+    /// Batched `HROTATE`: rotates one ciphertext by several steps at once.
+    ///
+    /// The rotations' key switches pack into wide batched NTT blocks
+    /// ([`crate::keyswitch::key_switch_batch`]): one batched INTT across
+    /// every rotation, one `steps × dnum`-row ModUp NTT block, and a single
+    /// ModDown over all `2·steps` accumulators. This is the
+    /// streaming-bootstrap path — a BSGS stage's ≈√D baby rotations of the
+    /// same ciphertext flow through `RnsPoly::ntt_forward_batch` blocks
+    /// instead of transforming one polynomial at a time.
+    ///
+    /// Results and emitted kernel events are identical to calling
+    /// [`Evaluator::hrotate`] once per step, in order (steps with `g = 1`
+    /// return clones and emit nothing, exactly like the single-step path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingRotationKey`] if any step has no
+    /// generated key; no work is done in that case.
+    pub fn hrotate_many(
+        &mut self,
+        ct: &Ciphertext,
+        steps: &[i64],
+        keys: &KeyChain<'_>,
+    ) -> Result<Vec<Ciphertext>, CkksError> {
+        let ctx = self.ctx;
+        let n = ct.n();
+        let limbs = ct.level() + 1;
+
+        // Resolve every step up front so a missing key aborts cleanly.
+        let mut elements = Vec::with_capacity(steps.len());
+        for &r in steps {
+            let g = ctx.galois_element(r);
+            if g == 1 {
+                elements.push(None);
+            } else {
+                keys.galois_key(g)?;
+                elements.push(Some(g));
+            }
+        }
+
+        // Process live rotations in bounded chunks so the staged operands
+        // (rotated components, switched pairs) obey the same residency cap
+        // as the key switch's own ModUp block — a paper-scale BSGS stage
+        // must not hold ≈√D rotations' polynomials at once. Chunking never
+        // changes results or events: batched transforms are bit-exact at
+        // any width and emission stays strictly per rotation, in order.
+        let chunk = crate::keyswitch::batch_chunk_inputs(ctx, ct.level());
+        let mut out = Vec::with_capacity(steps.len());
+        let mut i = 0usize;
+        while i < elements.len() {
+            // Gather the next segment: up to `chunk` live rotations, with
+            // any interleaved no-op (g = 1) steps carried along so they
+            // never fragment the key-switch batch.
+            let seg_start = i;
+            let mut live: Vec<u64> = Vec::with_capacity(chunk);
+            while i < elements.len() && live.len() < chunk {
+                if let Some(g) = elements[i] {
+                    live.push(g);
+                }
+                i += 1;
+            }
+            // Trailing no-ops after the chunk's last live rotation belong
+            // to the next segment (they cost nothing either way).
+            let segment = &elements[seg_start..i];
+            if live.is_empty() {
+                out.extend(segment.iter().map(|_| ct.clone()));
+                continue;
+            }
+
+            // Frobenius permutations of both components, per rotation.
+            let mut c0_rots = Vec::with_capacity(live.len());
+            let mut c1_rots = Vec::with_capacity(live.len());
+            for &g in &live {
+                let tables = ctx.galois_tables(g);
+                c0_rots.push(ct.c0.automorphism_ntt(&tables));
+                c1_rots.push(ct.c1.automorphism_ntt(&tables));
+            }
+
+            // One batched key switch across the chunk (silent; the
+            // sequential event stream is emitted per rotation below).
+            let ds: Vec<&RnsPoly> = c1_rots.iter().collect();
+            let ksks: Vec<&crate::keyswitch::KsKey> = live
+                .iter()
+                .map(|&g| keys.galois_key(g).expect("checked above"))
+                .collect();
+            let switched = {
+                let mut silent = Tracing::new(None);
+                crate::keyswitch::key_switch_batch(ctx, &mut silent, &ds, &ksks)
+            };
+
+            // Assemble outputs in segment order — no-op steps clone, live
+            // steps consume the next switched pair — emitting each live
+            // rotation's events exactly as a sequential
+            // [`Evaluator::hrotate`] loop would.
+            let mut pairs = c0_rots.into_iter().zip(switched);
+            for g in segment {
+                if g.is_none() {
+                    out.push(ct.clone());
+                    continue;
+                }
+                let (c0_rot, (k0, k1)) = pairs.next().expect("one switch per live rotation");
+                self.begin("HROTATE");
+                self.emit(KernelEvent::FrobeniusMap {
+                    n,
+                    limbs: 2 * limbs,
+                });
+                {
+                    let mut tracing = Tracing::new(self.tracer.as_deref_mut().map(|t| t as _));
+                    crate::keyswitch::emit_key_switch_events(ctx, &mut tracing, ct.level());
+                }
+                let mut c0 = c0_rot;
+                c0.add_assign(ctx, &k0);
+                self.emit(KernelEvent::EleAdd { n, limbs });
+                self.end("HROTATE");
+                out.push(Ciphertext {
+                    c0,
+                    c1: k1,
+                    scale: ct.scale,
+                });
+            }
+        }
+        Ok(out)
+    }
+
     /// Complex conjugation of every slot (HCONJ in the bootstrap pipeline).
     ///
     /// # Errors
@@ -750,6 +874,88 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hrotate_many_matches_sequential_rotations() {
+        // The streaming-bootstrap path: batched rotations must be
+        // bit-identical to one-at-a-time rotations AND emit the exact same
+        // kernel-event stream (the schedule mirror depends on it).
+        let (ctx, mut rng) = setup();
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        keys.gen_rotation_keys(&[1, 2, 3], &mut rng);
+        let slots = ctx.params().slots();
+        let vals: Vec<Complex64> = (0..slots)
+            .map(|i| Complex64::new((i as f64 * 0.21).sin(), (i as f64 * 0.13).cos()))
+            .collect();
+        let pt = ctx.encode(&vals, ctx.params().scale()).expect("encode");
+        let ct = keys.encrypt(&pt, &mut rng);
+        let steps = [1i64, 3, 0, 2]; // includes a g = 1 no-op step
+
+        let mut seq_rec = RecordingTracer::new();
+        let sequential: Vec<Ciphertext> = {
+            let mut eval = Evaluator::with_tracer(&ctx, Box::new(&mut seq_rec));
+            steps
+                .iter()
+                .map(|&r| eval.hrotate(&ct, r, &keys).expect("rotate"))
+                .collect()
+        };
+        let mut batch_rec = RecordingTracer::new();
+        let batched = {
+            let mut eval = Evaluator::with_tracer(&ctx, Box::new(&mut batch_rec));
+            eval.hrotate_many(&ct, &steps, &keys).expect("batch rotate")
+        };
+
+        assert_eq!(batched.len(), sequential.len());
+        for (r, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_eq!(b.c0, s.c0, "c0 diverged at step index {r}");
+            assert_eq!(b.c1, s.c1, "c1 diverged at step index {r}");
+            assert!((b.scale - s.scale).abs() < 1e-12);
+        }
+        assert_eq!(batch_rec.events, seq_rec.events, "kernel streams differ");
+        assert_eq!(batch_rec.ops, seq_rec.ops, "operation markers differ");
+    }
+
+    #[test]
+    fn hrotate_many_chunks_across_the_residency_cap() {
+        // More live rotations than one key_switch_batch chunk admits
+        // (toy params: 2 digits → 8 inputs per chunk): results must still
+        // be bit-identical to sequential rotation, across the chunk seam.
+        let (ctx, mut rng) = setup();
+        let steps: Vec<i64> = (1..=10).collect();
+        assert!(
+            steps.len() > crate::keyswitch::batch_chunk_inputs(&ctx, ctx.params().max_level()),
+            "test must cross a chunk boundary"
+        );
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        keys.gen_rotation_keys(&steps, &mut rng);
+        let slots = ctx.params().slots();
+        let vals: Vec<Complex64> = (0..slots)
+            .map(|i| Complex64::new((i as f64 * 0.41).cos(), (i as f64 * 0.09).sin()))
+            .collect();
+        let pt = ctx.encode(&vals, ctx.params().scale()).expect("encode");
+        let ct = keys.encrypt(&pt, &mut rng);
+
+        let mut eval = Evaluator::new(&ctx);
+        let batched = eval.hrotate_many(&ct, &steps, &keys).expect("batch rotate");
+        for (&r, b) in steps.iter().zip(&batched) {
+            let s = eval.hrotate(&ct, r, &keys).expect("rotate");
+            assert_eq!(b.c0, s.c0, "c0 diverged at step {r}");
+            assert_eq!(b.c1, s.c1, "c1 diverged at step {r}");
+        }
+    }
+
+    #[test]
+    fn hrotate_many_missing_key_aborts_cleanly() {
+        let (ctx, mut rng) = setup();
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        keys.gen_rotation_keys(&[1], &mut rng);
+        let mut eval = Evaluator::new(&ctx);
+        let ct = encode_encrypt(&ctx, &keys, &mut rng, &[Complex64::one()]);
+        assert!(matches!(
+            eval.hrotate_many(&ct, &[1, 2], &keys),
+            Err(CkksError::MissingRotationKey(_))
+        ));
     }
 
     #[test]

@@ -178,6 +178,23 @@ impl ExtPoly {
     }
 }
 
+/// Most extended polynomials a single [`key_switch_batch`] call keeps
+/// resident in its ModUp block; wider rotation batches are chunked. At the
+/// paper's largest parameters one extended polynomial is ≈25 MB of limbs,
+/// so this bounds the block near ~400 MB — a few× one key switch's own
+/// transient, far below an unchunked √D-rotation batch.
+pub const MAX_MODUP_BLOCK: usize = 16;
+
+/// Inputs per [`key_switch_batch`] chunk at `level`: as many as keep the
+/// ModUp block within [`MAX_MODUP_BLOCK`] extended polynomials. Callers
+/// that stage per-input operands around the switch (e.g. batched
+/// rotations) chunk at the same width so their own transients obey the
+/// same residency bound.
+pub(crate) fn batch_chunk_inputs(ctx: &CkksContext, level: usize) -> usize {
+    let digits = (level + 1).div_ceil(ctx.params().alpha());
+    (MAX_MODUP_BLOCK / digits).max(1)
+}
+
 /// One digit of a key-switching key: an RLWE pair over the extended basis.
 #[derive(Debug, Clone)]
 pub struct KsDigit {
@@ -352,63 +369,195 @@ pub fn key_switch(
     d: &RnsPoly,
     ksk: &KsKey,
 ) -> (RnsPoly, RnsPoly) {
-    assert_eq!(
-        d.domain(),
-        Domain::Ntt,
-        "key switch input must be in NTT domain"
-    );
-    let l = d.level();
-    let n = d.n();
+    key_switch_batch(ctx, tracing, &[d], &[ksk])
+        .pop()
+        .expect("one input")
+}
+
+/// Batched key switch of several same-level polynomials, each under its own
+/// key (the streaming-bootstrap hot path: a BSGS stage key-switches ≈√D
+/// rotations of one ciphertext at once).
+///
+/// The arithmetic packs across inputs — one [`RnsPoly::ntt_inverse_batch`]
+/// for every input, one [`ExtPoly::ntt_forward_batch`] over the whole
+/// `inputs × dnum` ModUp digit block, and one [`mod_down_batch`] over all
+/// `2·inputs` accumulators — so each per-modulus transform is a single wide
+/// GEMM under the GEMM formulations. The emitted kernel events are exactly
+/// those of calling [`key_switch`] once per input, in the same order:
+/// batching changes the arithmetic packing, not the costed schedule.
+///
+/// Peak host memory is bounded: batches whose ModUp block would exceed
+/// [`MAX_MODUP_BLOCK`] extended polynomials are processed in fixed-size
+/// input chunks (results and events are identical — batched transforms are
+/// bit-exact at any width — only the GEMM row count per call changes).
+///
+/// # Panics
+///
+/// Panics if `ds` and `ksks` disagree in length, any input is not in NTT
+/// domain, levels differ across inputs, or a key has too few digits.
+#[must_use]
+pub fn key_switch_batch(
+    ctx: &CkksContext,
+    tracing: &mut Tracing<'_>,
+    ds: &[&RnsPoly],
+    ksks: &[&KsKey],
+) -> Vec<(RnsPoly, RnsPoly)> {
+    assert_eq!(ds.len(), ksks.len(), "one key per input");
+    let Some(first) = ds.first() else {
+        return Vec::new();
+    };
+    let l = first.level();
     let alpha = ctx.params().alpha();
     let digits = (l + 1).div_ceil(alpha);
-    assert!(digits <= ksk.digits.len(), "key has too few digits");
+    // Validate the WHOLE batch before the residency-chunk recursion: the
+    // documented contract violations must fire even when each individual
+    // chunk would happen to be internally consistent.
+    for d in ds {
+        assert_eq!(
+            d.domain(),
+            Domain::Ntt,
+            "key switch input must be in NTT domain"
+        );
+        assert_eq!(d.level(), l, "level mismatch in key-switch batch");
+    }
+    for ksk in ksks {
+        assert!(digits <= ksk.digits.len(), "key has too few digits");
+    }
 
-    let mut d_coeff = d.clone();
-    d_coeff.ntt_inverse(ctx);
-    tracing.emit(KernelEvent::Ntt {
-        n,
-        limbs: l + 1,
-        inverse: true,
-    });
+    // Residency cap: a BSGS stage can hand over ≈√D rotations, and each
+    // input materializes `digits` extended polynomials plus two
+    // accumulators. Chunking keeps the transient block O(chunk × digits)
+    // — still far wider than any single key switch — instead of letting a
+    // paper-scale rotation batch hold gigabytes of limbs at once.
+    let chunk_inputs = batch_chunk_inputs(ctx, l);
+    if ds.len() > chunk_inputs {
+        let mut out = Vec::with_capacity(ds.len());
+        for (dc, kc) in ds.chunks(chunk_inputs).zip(ksks.chunks(chunk_inputs)) {
+            out.extend(key_switch_batch(ctx, tracing, dc, kc));
+        }
+        return out;
+    }
 
-    // ModUp every digit, then NTT the whole digit block at once: all
-    // digits share the extended basis, so each prime's transform is one
-    // wide `dnum`-row GEMM under the GEMM formulations (the §IV-D
-    // key-switch hot loop).
-    let mut exts: Vec<ExtPoly> = (0..digits)
-        .map(|j| mod_up(ctx, tracing, &d_coeff, j))
-        .collect();
+    // Arithmetic runs silently in batched blocks; the sequential event
+    // stream is emitted once per input at the end.
+    let mut silent = Tracing::new(None);
+
+    // INTT every input in one batched block.
+    let mut d_coeffs: Vec<RnsPoly> = ds.iter().map(|d| (*d).clone()).collect();
+    {
+        let mut views: Vec<&mut RnsPoly> = d_coeffs.iter_mut().collect();
+        RnsPoly::ntt_inverse_batch(ctx, &mut views);
+    }
+
+    // ModUp every digit of every input, then NTT the whole block at once:
+    // all digits of all inputs share the extended basis, so each prime's
+    // transform is one wide `inputs·dnum`-row GEMM under the GEMM
+    // formulations (the §IV-D key-switch hot loop, widened across the
+    // rotation batch).
+    let mut exts: Vec<ExtPoly> = Vec::with_capacity(ds.len() * digits);
+    for d_coeff in &d_coeffs {
+        for j in 0..digits {
+            exts.push(mod_up(ctx, &mut silent, d_coeff, j));
+        }
+    }
     ExtPoly::ntt_forward_batch(ctx, &mut exts);
 
-    let mut acc0 = ExtPoly::zero(ctx, l, Domain::Ntt);
-    let mut acc1 = ExtPoly::zero(ctx, l, Domain::Ntt);
-    for (j, ext) in exts.iter().enumerate() {
+    // Per-input inner products against that input's key digits.
+    let mut accs: Vec<ExtPoly> = Vec::with_capacity(2 * ds.len());
+    for (r, ksk) in ksks.iter().enumerate() {
+        let mut acc0 = ExtPoly::zero(ctx, l, Domain::Ntt);
+        let mut acc1 = ExtPoly::zero(ctx, l, Domain::Ntt);
+        for (j, ext) in exts[r * digits..(r + 1) * digits].iter().enumerate() {
+            // Keys store the full basis; slice q-limbs to the active level.
+            let key = &ksk.digits[j];
+            let b = slice_key(ctx, &key.b, l);
+            let a = slice_key(ctx, &key.a, l);
+            acc0.mul_acc(ctx, ext, &b);
+            acc1.mul_acc(ctx, ext, &a);
+        }
+        accs.push(acc0);
+        accs.push(acc1);
+    }
+
+    // All accumulators ModDown together (B = 2·inputs rows per modulus).
+    let acc_refs: Vec<&ExtPoly> = accs.iter().collect();
+    let mut outs = mod_down_batch(ctx, &mut silent, &acc_refs);
+
+    // The costed schedule is unchanged: one sequential event group per
+    // input, exactly as [`key_switch`] emits.
+    for _ in ds {
+        emit_key_switch_events(ctx, tracing, l);
+    }
+
+    outs.reverse();
+    let mut pairs = Vec::with_capacity(ds.len());
+    while let (Some(c0), Some(c1)) = (outs.pop(), outs.pop()) {
+        pairs.push((c0, c1));
+    }
+    pairs
+}
+
+/// Emits the kernel-event stream of one [`key_switch`] call at `level` —
+/// shared by the single and batched entry points (and the batched rotation
+/// path in `eval`) so batched arithmetic leaves the costed schedule
+/// bit-identical to sequential execution.
+pub(crate) fn emit_key_switch_events(ctx: &CkksContext, tracing: &mut Tracing<'_>, level: usize) {
+    let n = ctx.params().n();
+    let k = ctx.params().special_primes();
+    let alpha = ctx.params().alpha();
+    let limbs = level + 1;
+    let digits = limbs.div_ceil(alpha);
+    let ext_limbs = limbs + k;
+    tracing.emit(KernelEvent::Ntt {
+        n,
+        limbs,
+        inverse: true,
+    });
+    for j in 0..digits {
+        let src = alpha.min(limbs - j * alpha);
+        tracing.emit(KernelEvent::Conv {
+            n,
+            l_src: src,
+            l_dst: limbs - src + k,
+        });
+    }
+    for _ in 0..digits {
         tracing.emit(KernelEvent::Ntt {
             n,
-            limbs: ext.total_limbs(),
+            limbs: ext_limbs,
             inverse: false,
         });
-        // Keys store the full basis; slice q-limbs down to the active level.
-        let key = &ksk.digits[j];
-        let b = slice_key(ctx, &key.b, l);
-        let a = slice_key(ctx, &key.a, l);
-        acc0.mul_acc(ctx, ext, &b);
-        acc1.mul_acc(ctx, ext, &a);
         tracing.emit(KernelEvent::HadaMult {
             n,
-            limbs: 2 * ext.total_limbs(),
+            limbs: 2 * ext_limbs,
         });
         tracing.emit(KernelEvent::EleAdd {
             n,
-            limbs: 2 * ext.total_limbs(),
+            limbs: 2 * ext_limbs,
         });
     }
-
-    // Both accumulators ModDown together (B = 2 rows per modulus).
-    let mut pair = mod_down_batch(ctx, tracing, &[&acc0, &acc1]);
-    let c1 = pair.pop().expect("two outputs");
-    let c0 = pair.pop().expect("two outputs");
-    (c0, c1)
+    for _ in 0..2 {
+        tracing.emit(KernelEvent::Ntt {
+            n,
+            limbs: ext_limbs,
+            inverse: true,
+        });
+    }
+    for _ in 0..2 {
+        tracing.emit(KernelEvent::Conv {
+            n,
+            l_src: k,
+            l_dst: limbs,
+        });
+        tracing.emit(KernelEvent::EleSub { n, limbs });
+    }
+    for _ in 0..2 {
+        tracing.emit(KernelEvent::Ntt {
+            n,
+            limbs,
+            inverse: false,
+        });
+    }
 }
 
 /// Borrows the active-level prefix of a full-basis key polynomial.
@@ -487,6 +636,65 @@ mod tests {
         for i in 0..=level {
             let m = c.q_mod(i);
             assert!(out.limb(i).iter().all(|&x| x == m.from_i128(v)));
+        }
+    }
+
+    #[test]
+    fn emitted_stream_matches_real_arithmetic_emission() {
+        // `key_switch_batch` runs the arithmetic silently and emits events
+        // through `emit_key_switch_events`; this test ties that synthetic
+        // stream to the REAL emission of the arithmetic helpers (the
+        // pre-batch `key_switch` inline sequence: INTT marker, `mod_up`'s
+        // Conv per digit, per-digit NTT/HadaMult/EleAdd markers,
+        // `mod_down_batch`'s pair events) so a future kernel-shape change
+        // in `mod_up`/`mod_down_batch` cannot silently desynchronize the
+        // costed schedule from the executed kernels.
+        use crate::trace::RecordingTracer;
+        let c = ctx();
+        let n = c.params().n();
+        let alpha = c.params().alpha();
+        // Level 2 exercises a partial last digit (α = 2, 3 limbs).
+        for level in [2usize, 3] {
+            let digits = (level + 1).div_ceil(alpha);
+            let d = RnsPoly::from_i128_coeffs(&c, &vec![1i128; n], level);
+            let mut real = RecordingTracer::new();
+            {
+                let mut tr = Tracing::new(Some(&mut real));
+                tr.emit(KernelEvent::Ntt {
+                    n,
+                    limbs: level + 1,
+                    inverse: true,
+                });
+                let exts: Vec<ExtPoly> = (0..digits).map(|j| mod_up(&c, &mut tr, &d, j)).collect();
+                for ext in &exts {
+                    tr.emit(KernelEvent::Ntt {
+                        n,
+                        limbs: ext.total_limbs(),
+                        inverse: false,
+                    });
+                    tr.emit(KernelEvent::HadaMult {
+                        n,
+                        limbs: 2 * ext.total_limbs(),
+                    });
+                    tr.emit(KernelEvent::EleAdd {
+                        n,
+                        limbs: 2 * ext.total_limbs(),
+                    });
+                }
+                let acc0 = ExtPoly::zero(&c, level, Domain::Ntt);
+                let acc1 = ExtPoly::zero(&c, level, Domain::Ntt);
+                let _ = mod_down_batch(&c, &mut tr, &[&acc0, &acc1]);
+            }
+            let mut synth = RecordingTracer::new();
+            {
+                let mut tr = Tracing::new(Some(&mut synth));
+                emit_key_switch_events(&c, &mut tr, level);
+            }
+            assert_eq!(
+                synth.events, real.events,
+                "synthetic key-switch stream diverged from the arithmetic \
+                 helpers' real emission at level {level}"
+            );
         }
     }
 

@@ -146,6 +146,7 @@ pub struct TensorFheBuilder {
     pub(crate) layout: Layout,
     pub(crate) exec_mode: ExecMode,
     pub(crate) devices: usize,
+    pub(crate) workers: Option<usize>,
     pub(crate) batch_cap: Option<usize>,
 }
 
@@ -161,6 +162,7 @@ impl TensorFheBuilder {
             layout: Layout::Lbn,
             exec_mode: ExecMode::TimingOnly,
             devices: 1,
+            workers: None,
             batch_cap: None,
         }
     }
@@ -209,6 +211,24 @@ impl TensorFheBuilder {
     #[must_use]
     pub fn devices(mut self, devices: usize) -> Self {
         self.devices = devices;
+        self
+    }
+
+    /// Number of host worker threads driving the service's devices.
+    ///
+    /// `1` (the default) selects the serial [`crate::exec::SimExecutor`];
+    /// more selects the [`crate::exec::ThreadedPool`], which shards every
+    /// coalesced batch across one worker per device (clamped to the device
+    /// count). Executors are deterministic, so the worker count changes
+    /// host wall-clock only — drain reports and [`ServiceStats`] are
+    /// bit-identical either way. When unset, the `TENSORFHE_WORKERS`
+    /// environment variable (the CI matrix knob) provides the default.
+    /// A zero count is rejected at [`TensorFheBuilder::service`] time.
+    ///
+    /// [`ServiceStats`]: crate::service::ServiceStats
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
         self
     }
 

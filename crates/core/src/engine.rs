@@ -218,11 +218,27 @@ impl Engine {
     /// The batch size the API layer auto-selects: VRAM-bounded
     /// ([`Engine::max_batch`]), capped at the parameter preset's
     /// configured batch. Single source of the policy for both
-    /// `TensorFhe::auto_batch` and the request service's default cap.
+    /// `TensorFhe::auto_batch` and the request service's default cap (the
+    /// service reads the VRAM figure through its executor's `caps()`).
     #[must_use]
     pub fn auto_batch(&self, params: &CkksParams) -> usize {
-        self.max_batch(params).min(params.batch_size().max(1))
+        auto_batch_for_vram(self.cfg.device.vram_bytes(), params)
     }
+}
+
+/// The §IV-E batch policy as a pure function of device VRAM: the largest
+/// operation batch fitting `vram_bytes` (working set of 6 ciphertexts per
+/// batched operation, 85% budget), capped at the parameter preset's
+/// configured batch. Shared by [`Engine::auto_batch`] and the request
+/// service, which reads the VRAM figure from its executor's
+/// [`crate::exec::ExecCaps`] so a real backend's capacity flows through.
+#[must_use]
+pub fn auto_batch_for_vram(vram_bytes: u64, params: &CkksParams) -> usize {
+    let per_op = params.ciphertext_bytes() * 6;
+    let budget = (vram_bytes as f64 * 0.85) as u64;
+    ((budget / per_op.max(1)) as usize)
+        .max(1)
+        .min(params.batch_size().max(1))
 }
 
 #[cfg(test)]

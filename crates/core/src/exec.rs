@@ -1,0 +1,599 @@
+//! The executor seam: "run a scheduled batch on the device(s)" as a
+//! pluggable contract.
+//!
+//! The service layer coalesces requests into batches; *how* a batch turns
+//! into device work is this module's job, behind the [`Executor`] trait:
+//!
+//! * [`SimExecutor`] — today's simulated launches ([`Engine`] per device),
+//!   executed serially on the calling thread. One device reproduces the old
+//!   single-engine service backend bit-for-bit; several devices reproduce
+//!   the old `MultiGpu` sharded dispatch.
+//! * [`ThreadedPool`] — the same per-device engines, owned by worker
+//!   threads and fed over channels, so independent device shards of a batch
+//!   simulate in parallel on the host. Results are merged in device-index
+//!   order, which makes the threaded path **bit-identical** to the serial
+//!   one: each device's simulator sees exactly the same launch sequence
+//!   either way, and the merge folds floats in the same order.
+//!
+//! A real CUDA/CUTLASS (or wgpu) backend slots in by implementing
+//! [`Executor`] over real streams: `submit` enqueues the kernel workflow,
+//! [`Executor::join`] synchronizes and reports. Everything above the seam —
+//! coalescing, attribution, stats — is backend-agnostic.
+//!
+//! Determinism contract: for a fixed executor configuration, `submit`ting
+//! the same sequence of batches must yield the same [`BatchResult`]s. The
+//! service's dispatch cache and the CI `TENSORFHE_WORKERS` matrix both rely
+//! on it.
+
+use crate::engine::{Engine, EngineConfig, OpStats};
+use crate::error::{CoreError, CoreResult};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use tensorfhe_ckks::KernelEvent;
+
+/// A coalesced batch scheduled onto an execution backend: `width`
+/// independent instances of one operation's kernel workflow.
+#[derive(Debug, Clone)]
+pub struct ExecBatch {
+    /// Operation tag (scopes the launches in profiler output).
+    pub tag: Arc<str>,
+    /// The kernel workflow of one instance (shared with worker threads).
+    pub events: Arc<[KernelEvent]>,
+    /// Operation-level batch width.
+    pub width: usize,
+}
+
+/// Opaque handle to a submitted batch, redeemed with [`Executor::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecHandle(u64);
+
+/// The merged outcome of one executed batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Cluster-merged statistics: wall time is the slowest shard, energy /
+    /// launches / per-kernel times are summed, occupancy is time-weighted.
+    pub stats: OpStats,
+    /// Busy time per device (µs), indexed by device; `0.0` for devices the
+    /// shard split left idle. Sums to the batch's total device time.
+    pub per_device_us: Vec<f64>,
+}
+
+impl BatchResult {
+    /// Devices that actually received work.
+    #[must_use]
+    pub fn devices_used(&self) -> usize {
+        self.per_device_us.iter().filter(|&&t| t > 0.0).count()
+    }
+}
+
+/// Static capabilities of an execution backend.
+#[derive(Debug, Clone)]
+pub struct ExecCaps {
+    /// Device count behind the seam.
+    pub devices: usize,
+    /// Host worker threads driving those devices (1 = serial).
+    pub workers: usize,
+    /// VRAM per device, bytes (bounds the feasible shard width).
+    pub vram_bytes_per_device: u64,
+    /// Aggregate board power across devices (W).
+    pub power_watts: f64,
+    /// Device model name, as reports print it.
+    pub device_name: String,
+}
+
+/// The "run a scheduled batch on a device" contract.
+///
+/// `submit` hands a batch to the backend; `join` blocks until it completes
+/// and returns the merged result. Implementations must be deterministic:
+/// the same submission sequence yields the same results, so the serial and
+/// threaded backends are interchangeable bit-for-bit.
+pub trait Executor: std::fmt::Debug {
+    /// Schedules a batch; the returned handle is redeemed exactly once.
+    fn submit(&mut self, batch: ExecBatch) -> ExecHandle;
+
+    /// Waits for a submitted batch and returns its merged statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle this executor never issued (or already joined).
+    fn join(&mut self, handle: ExecHandle) -> BatchResult;
+
+    /// Backend capabilities (device count, workers, VRAM, power).
+    fn caps(&self) -> ExecCaps;
+
+    /// Device count behind the seam.
+    fn devices(&self) -> usize {
+        self.caps().devices
+    }
+}
+
+/// Splits a batch of `width` operations across `devices` following the
+/// paper's batching semantics: `⌈width/devices⌉` per device, assigned in
+/// device order until the batch is exhausted. Idle devices get `0`.
+#[must_use]
+pub fn shard_widths(width: usize, devices: usize) -> Vec<usize> {
+    let shard = width.div_ceil(devices.max(1));
+    let mut widths = vec![0usize; devices];
+    let mut assigned = 0usize;
+    for w in &mut widths {
+        let this = shard.min(width - assigned);
+        if this == 0 {
+            break;
+        }
+        *w = this;
+        assigned += this;
+    }
+    widths
+}
+
+/// Merges per-device shard statistics into one batch result, folding in
+/// device-index order so serial and threaded executors agree bit-for-bit.
+///
+/// On a one-device backend the single shard passes through untouched (the
+/// old single-engine service numbers, with `Profiler`'s kernel-table
+/// ordering); a multi-device backend always runs the cluster merge — even
+/// for batches narrow enough to land on one device — so `by_kernel`
+/// ordering and float rounding are consistent across batch widths within
+/// one configuration (and match the old `MultiGpu` merge exactly).
+#[must_use]
+pub fn merge_shards(per_device: Vec<(usize, OpStats)>, devices: usize) -> BatchResult {
+    let devices = per_device
+        .iter()
+        .map(|&(d, _)| d + 1)
+        .max()
+        .unwrap_or(0)
+        .max(devices)
+        .max(1);
+    let mut per_device_us = vec![0.0f64; devices];
+    for (d, s) in &per_device {
+        per_device_us[*d] = s.time_us;
+    }
+    if devices == 1 && per_device.len() == 1 {
+        let stats = per_device.into_iter().next().expect("one shard").1;
+        return BatchResult {
+            stats,
+            per_device_us,
+        };
+    }
+    let wall_us = per_device
+        .iter()
+        .map(|(_, s)| s.time_us)
+        .fold(0.0f64, f64::max);
+    let energy_j: f64 = per_device.iter().map(|(_, s)| s.energy_j).sum();
+    let launches = per_device.iter().map(|(_, s)| s.launches).sum();
+    let busy_us: f64 = per_device.iter().map(|(_, s)| s.time_us).sum();
+    let occupancy = if busy_us > 0.0 {
+        per_device
+            .iter()
+            .map(|(_, s)| s.occupancy * s.time_us)
+            .sum::<f64>()
+            / busy_us
+    } else {
+        0.0
+    };
+    let mut by_kernel: std::collections::BTreeMap<String, f64> = Default::default();
+    for (_, s) in &per_device {
+        for (k, t) in &s.by_kernel {
+            *by_kernel.entry(k.clone()).or_insert(0.0) += t;
+        }
+    }
+    BatchResult {
+        stats: OpStats {
+            time_us: wall_us,
+            occupancy,
+            energy_j,
+            launches,
+            by_kernel: by_kernel.into_iter().collect(),
+        },
+        per_device_us,
+    }
+}
+
+/// Builds the executor a configuration describes: serial simulated launches
+/// for one worker, a sharded thread pool otherwise (never more workers than
+/// devices).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for zero devices or zero workers.
+pub fn build_executor(
+    cfg: &EngineConfig,
+    devices: usize,
+    workers: usize,
+) -> CoreResult<Box<dyn Executor>> {
+    if devices == 0 {
+        return Err(CoreError::InvalidConfig("need at least one device".into()));
+    }
+    if workers == 0 {
+        return Err(CoreError::InvalidConfig(
+            "need at least one worker thread".into(),
+        ));
+    }
+    if workers.min(devices) == 1 {
+        Ok(Box::new(SimExecutor::new(cfg.clone(), devices)))
+    } else {
+        Ok(Box::new(ThreadedPool::new(
+            cfg.clone(),
+            devices,
+            workers.min(devices),
+        )))
+    }
+}
+
+/// Serial executor over per-device simulated engines — today's launch path
+/// behind the seam. Batches run eagerly at `submit`; `join` returns the
+/// stored result.
+#[derive(Debug)]
+pub struct SimExecutor {
+    cfg: EngineConfig,
+    engines: Vec<Engine>,
+    next: u64,
+    done: HashMap<u64, BatchResult>,
+}
+
+impl SimExecutor {
+    /// Creates `devices` identical simulated engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero (checked by [`build_executor`];
+    /// construct through it for a fallible path).
+    #[must_use]
+    pub fn new(cfg: EngineConfig, devices: usize) -> Self {
+        assert!(devices > 0, "need at least one device");
+        let engines = (0..devices).map(|_| Engine::new(cfg.clone())).collect();
+        Self {
+            cfg,
+            engines,
+            next: 0,
+            done: HashMap::new(),
+        }
+    }
+}
+
+impl Executor for SimExecutor {
+    fn submit(&mut self, batch: ExecBatch) -> ExecHandle {
+        let widths = shard_widths(batch.width, self.engines.len());
+        let mut per_device = Vec::new();
+        for (d, (engine, &w)) in self.engines.iter_mut().zip(&widths).enumerate() {
+            if w == 0 {
+                continue;
+            }
+            per_device.push((d, engine.run_schedule(&batch.tag, &batch.events, w)));
+        }
+        let id = self.next;
+        self.next += 1;
+        self.done
+            .insert(id, merge_shards(per_device, self.engines.len()));
+        ExecHandle(id)
+    }
+
+    fn join(&mut self, handle: ExecHandle) -> BatchResult {
+        self.done
+            .remove(&handle.0)
+            .expect("join of an unknown or already-joined handle")
+    }
+
+    fn caps(&self) -> ExecCaps {
+        ExecCaps {
+            devices: self.engines.len(),
+            workers: 1,
+            vram_bytes_per_device: self.cfg.device.vram_bytes(),
+            power_watts: self.cfg.device.power_watts * self.engines.len() as f64,
+            device_name: self.cfg.device.name.clone(),
+        }
+    }
+}
+
+/// One unit of work for a pool worker: run `shards` (pairs of global device
+/// index and shard width, all owned by that worker) of a batch and reply
+/// with the per-device statistics.
+struct Job {
+    tag: Arc<str>,
+    events: Arc<[KernelEvent]>,
+    /// `(global_device_index, shard_width)` in increasing device order.
+    shards: Vec<(usize, usize)>,
+    reply: mpsc::Sender<Vec<(usize, OpStats)>>,
+}
+
+/// An in-flight batch: the reply channel and how many worker replies the
+/// merge must collect.
+type PendingBatch = (mpsc::Receiver<Vec<(usize, OpStats)>>, usize);
+
+/// Multi-threaded sharded executor: one host worker thread per (group of)
+/// device(s), each owning its simulated engines, fed over channels.
+///
+/// Device `d` is owned by worker `d % workers`; every batch's shard for a
+/// given device runs on that device's engine in submission order, so the
+/// per-device launch sequences — and therefore the simulated statistics —
+/// are identical to [`SimExecutor`]'s. Parallelism buys host wall-clock
+/// only; virtual time is untouched.
+#[derive(Debug)]
+pub struct ThreadedPool {
+    cfg: EngineConfig,
+    devices: usize,
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next: u64,
+    /// Outstanding submissions: receiver plus the number of worker replies
+    /// the merge must wait for.
+    pending: HashMap<u64, PendingBatch>,
+}
+
+impl ThreadedPool {
+    /// Spawns `workers` threads driving `devices` simulated engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` or `workers` is zero (checked by
+    /// [`build_executor`]; construct through it for a fallible path).
+    #[must_use]
+    pub fn new(cfg: EngineConfig, devices: usize, workers: usize) -> Self {
+        assert!(devices > 0, "need at least one device");
+        assert!(workers > 0, "need at least one worker");
+        let workers = workers.min(devices);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let my_devices: Vec<usize> = (0..devices).filter(|d| d % workers == w).collect();
+            let worker_cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("tensorfhe-worker-{w}"))
+                .spawn(move || {
+                    // Engines live inside the thread: the simulator state
+                    // never crosses thread boundaries, only plain results.
+                    let mut engines: HashMap<usize, Engine> = my_devices
+                        .iter()
+                        .map(|&d| (d, Engine::new(worker_cfg.clone())))
+                        .collect();
+                    while let Ok(job) = rx.recv() {
+                        let mut out = Vec::with_capacity(job.shards.len());
+                        for (d, width) in job.shards {
+                            let engine = engines.get_mut(&d).expect("shard for owned device");
+                            out.push((d, engine.run_schedule(&job.tag, &job.events, width)));
+                        }
+                        // A dropped receiver means the pool abandoned the
+                        // batch; nothing to do but keep serving.
+                        let _ = job.reply.send(out);
+                    }
+                })
+                .expect("spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            cfg,
+            devices,
+            senders,
+            handles,
+            next: 0,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Worker thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+impl Executor for ThreadedPool {
+    fn submit(&mut self, batch: ExecBatch) -> ExecHandle {
+        let widths = shard_widths(batch.width, self.devices);
+        let workers = self.senders.len();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut replies = 0usize;
+        for (w, tx) in self.senders.iter().enumerate() {
+            let shards: Vec<(usize, usize)> = widths
+                .iter()
+                .enumerate()
+                .filter(|&(d, &width)| d % workers == w && width > 0)
+                .map(|(d, &width)| (d, width))
+                .collect();
+            if shards.is_empty() {
+                continue;
+            }
+            tx.send(Job {
+                tag: Arc::clone(&batch.tag),
+                events: Arc::clone(&batch.events),
+                shards,
+                reply: reply_tx.clone(),
+            })
+            .expect("worker thread alive");
+            replies += 1;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.pending.insert(id, (reply_rx, replies));
+        ExecHandle(id)
+    }
+
+    fn join(&mut self, handle: ExecHandle) -> BatchResult {
+        let (rx, replies) = self
+            .pending
+            .remove(&handle.0)
+            .expect("join of an unknown or already-joined handle");
+        let mut per_device: Vec<(usize, OpStats)> = Vec::new();
+        for _ in 0..replies {
+            per_device.extend(rx.recv().expect("worker thread died mid-batch"));
+        }
+        // Workers answer in completion order; the merge is defined in
+        // device order so the result is independent of thread scheduling.
+        per_device.sort_by_key(|&(d, _)| d);
+        merge_shards(per_device, self.devices)
+    }
+
+    fn caps(&self) -> ExecCaps {
+        ExecCaps {
+            devices: self.devices,
+            workers: self.senders.len(),
+            vram_bytes_per_device: self.cfg.device.vram_bytes(),
+            power_watts: self.cfg.device.power_watts * self.devices as f64,
+            device_name: self.cfg.device.name.clone(),
+        }
+    }
+}
+
+impl Drop for ThreadedPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes the channels; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Variant;
+    use crate::schedule::hmult_schedule;
+    use tensorfhe_ckks::CkksParams;
+
+    fn batch(params: &CkksParams, width: usize) -> ExecBatch {
+        ExecBatch {
+            tag: "HMULT".into(),
+            events: hmult_schedule(params, params.max_level()).into(),
+            width,
+        }
+    }
+
+    fn run(exec: &mut dyn Executor, b: ExecBatch) -> BatchResult {
+        let h = exec.submit(b);
+        exec.join(h)
+    }
+
+    fn bits(r: &BatchResult) -> Vec<u64> {
+        let mut v = vec![
+            r.stats.time_us.to_bits(),
+            r.stats.occupancy.to_bits(),
+            r.stats.energy_j.to_bits(),
+            r.stats.launches as u64,
+        ];
+        v.extend(r.per_device_us.iter().map(|t| t.to_bits()));
+        for (k, t) in &r.stats.by_kernel {
+            v.extend(k.bytes().map(u64::from));
+            v.push(t.to_bits());
+        }
+        v
+    }
+
+    #[test]
+    fn shard_widths_match_paper_semantics() {
+        assert_eq!(shard_widths(128, 4), vec![32, 32, 32, 32]);
+        assert_eq!(shard_widths(7, 4), vec![2, 2, 2, 1]);
+        assert_eq!(shard_widths(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(shard_widths(1, 1), vec![1]);
+        assert_eq!(shard_widths(0, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn threaded_pool_is_bit_identical_to_serial() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        for devices in [2usize, 4] {
+            let mut serial = SimExecutor::new(cfg.clone(), devices);
+            let mut pool = ThreadedPool::new(cfg.clone(), devices, devices);
+            // A sequence of batches so simulator state evolves per device.
+            for width in [1usize, 7, 16, 64, 5] {
+                let hs = serial.submit(batch(&params, width));
+                let hp = pool.submit(batch(&params, width));
+                let rs = serial.join(hs);
+                let rp = pool.join(hp);
+                assert_eq!(
+                    bits(&rs),
+                    bits(&rp),
+                    "serial vs threaded diverged at devices={devices} width={width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_workers_than_devices_still_bit_identical() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut serial = SimExecutor::new(cfg.clone(), 4);
+        let mut pool = ThreadedPool::new(cfg, 4, 2);
+        assert_eq!(pool.workers(), 2);
+        for width in [64usize, 3, 9] {
+            let rs = run(&mut serial, batch(&params, width));
+            let rp = run(&mut pool, batch(&params, width));
+            assert_eq!(bits(&rs), bits(&rp), "2-worker pool diverged");
+        }
+    }
+
+    #[test]
+    fn merge_passthrough_keeps_single_shard_stats() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut engine = Engine::new(cfg.clone());
+        let events = hmult_schedule(&params, params.max_level());
+        let want = engine.run_schedule("HMULT", &events, 8);
+
+        let mut exec = SimExecutor::new(cfg, 1);
+        let got = run(&mut exec, batch(&params, 8));
+        assert_eq!(got.stats.time_us.to_bits(), want.time_us.to_bits());
+        assert_eq!(got.stats.occupancy.to_bits(), want.occupancy.to_bits());
+        assert_eq!(got.stats.by_kernel, want.by_kernel);
+        assert_eq!(got.per_device_us, vec![want.time_us]);
+    }
+
+    #[test]
+    fn per_device_time_covers_idle_devices() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut exec = SimExecutor::new(cfg, 4);
+        let r = run(&mut exec, batch(&params, 2));
+        assert_eq!(r.per_device_us.len(), 4);
+        assert_eq!(r.devices_used(), 2);
+        assert_eq!(r.per_device_us[2], 0.0);
+        assert_eq!(r.per_device_us[3], 0.0);
+        // Wall time is the slowest shard; total device time sums the rest.
+        let total: f64 = r.per_device_us.iter().sum();
+        assert!(total >= r.stats.time_us);
+    }
+
+    #[test]
+    fn pool_pipelines_independent_batches() {
+        // Submitting several batches before joining any must still resolve
+        // each handle to its own result (FIFO per worker).
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut pool = ThreadedPool::new(cfg.clone(), 2, 2);
+        let h1 = pool.submit(batch(&params, 4));
+        let h2 = pool.submit(batch(&params, 32));
+        let r2 = pool.join(h2);
+        let r1 = pool.join(h1);
+        let mut serial = SimExecutor::new(cfg, 2);
+        let s1 = run(&mut serial, batch(&params, 4));
+        let s2 = run(&mut serial, batch(&params, 32));
+        assert_eq!(bits(&r1), bits(&s1));
+        assert_eq!(bits(&r2), bits(&s2));
+    }
+
+    #[test]
+    fn caps_report_the_cluster() {
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let pool = ThreadedPool::new(cfg.clone(), 4, 4);
+        let caps = pool.caps();
+        assert_eq!(caps.devices, 4);
+        assert_eq!(caps.workers, 4);
+        assert!((caps.power_watts - 4.0 * cfg.device.power_watts).abs() < 1e-9);
+        assert_eq!(caps.vram_bytes_per_device, cfg.device.vram_bytes());
+    }
+
+    #[test]
+    fn build_executor_rejects_zero_configs() {
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        assert!(build_executor(&cfg, 0, 1).is_err());
+        assert!(build_executor(&cfg, 1, 0).is_err());
+        let serial = build_executor(&cfg, 1, 8).expect("clamped to devices");
+        assert_eq!(serial.caps().workers, 1, "1 device → serial executor");
+        let pool = build_executor(&cfg, 4, 8).expect("clamped to devices");
+        assert_eq!(pool.caps().workers, 4);
+    }
+}

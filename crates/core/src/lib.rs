@@ -23,14 +23,56 @@
 //! * **Request service** ([`service`]) — the batching front end:
 //!   [`service::FheService`] enqueues [`service::FheRequest`]s from many
 //!   clients, coalesces compatible ones (same op, same level) into
-//!   VRAM-feasible batches, dispatches to one engine or a multi-GPU
-//!   cluster, and reports per-request cost plus service-level stats
-//!   (queue latency, batch-fill efficiency, aggregate ops/s and ops/W).
+//!   VRAM-feasible batches, dispatches them through the executor seam, and
+//!   reports per-request cost plus service-level stats (queue latency,
+//!   batch-fill efficiency, per-device utilization, aggregate ops/s and
+//!   ops/W).
+//! * **Executor seam** ([`exec`]) — the pluggable "run a scheduled batch on
+//!   a device" contract; see the architecture section below.
 //! * **Operation-level batching** ([`engine`]) — the `(L, B, N)` vs
 //!   `(B, L, N)` layout switch of Fig. 9 and the batch-size machinery of
-//!   Fig. 14; [`multi_gpu`] shards batches across devices (§VII).
+//!   Fig. 14; [`multi_gpu`] shards batches across devices (§VII) as a thin
+//!   configuration over [`exec`].
 //! * **Errors** ([`error`]) — every fallible entry point returns
 //!   [`error::CoreError`] instead of panicking.
+//!
+//! # Architecture: request → coalesce → executor → device
+//!
+//! ```text
+//! clients ──submit──▶ FheService queue ──coalesce──▶ ExecBatch
+//!                                                        │ Executor::submit
+//!                            ┌───────────────────────────┴────────────┐
+//!                            ▼                                        ▼
+//!                      SimExecutor                               ThreadedPool
+//!                 (serial, calling thread)             (one worker thread per device)
+//!                            │                                        │
+//!                            └───────────── per-device ───────────────┘
+//!                                       Engine → DeviceSim
+//! ```
+//!
+//! 1. **Request**: clients [`service::FheService::submit`] typed
+//!    [`service::FheRequest`]s; the queue preserves FIFO order across
+//!    tenants.
+//! 2. **Coalesce**: `drain` folds compatible requests (same op, same
+//!    level) into VRAM-feasible [`exec::ExecBatch`]es up to
+//!    `auto_batch × devices`.
+//! 3. **Executor**: every batch crosses the [`exec::Executor`] seam —
+//!    `submit(batch) → ExecHandle`, `join(handle) → BatchResult` — which
+//!    owns sharding ([`exec::shard_widths`]) and the deterministic
+//!    device-order merge ([`exec::merge_shards`]). The
+//!    [`exec::SimExecutor`] runs shards serially; the
+//!    [`exec::ThreadedPool`] ([`TensorFheBuilder::workers`] /
+//!    `TENSORFHE_WORKERS`) runs one worker thread per device with
+//!    bit-identical results, because each device's simulator sees the same
+//!    launch sequence and the merge folds in the same order.
+//! 4. **Device**: each shard becomes kernel launches on a per-device
+//!    [`Engine`]/`DeviceSim` pair. A real CUDA/CUTLASS or wgpu backend
+//!    slots in *here*: implement [`exec::Executor`] over real device
+//!    queues (the batched `B×L` GEMM shapes map 1:1 onto grouped-GEMM
+//!    calls) and hand it the same `ExecBatch`es — coalescing, attribution
+//!    and reporting above the seam are backend-agnostic. Contexts, NTT and
+//!    basis-conversion plans, and DFT matrices are shared across workers
+//!    through the `Send + Sync` process-wide `PlanCache` / DFT caches.
 //!
 //! # Migrating from `run_op` to `submit`/`drain`
 //!
@@ -77,6 +119,7 @@
 pub mod api;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod multi_gpu;
 pub mod schedule;
 pub mod service;
@@ -85,5 +128,6 @@ pub mod tracer;
 pub use api::{FheOp, OpReport, TensorFhe, TensorFheBuilder};
 pub use engine::{Engine, EngineConfig, ExecMode, Layout, Variant};
 pub use error::{CoreError, CoreResult};
+pub use exec::{BatchResult, ExecBatch, ExecHandle, Executor, SimExecutor, ThreadedPool};
 pub use multi_gpu::{MultiGpu, MultiGpuStats};
 pub use service::{FheRequest, FheService, RequestId, RequestReport, RequestStatus, ServiceStats};

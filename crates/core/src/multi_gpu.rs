@@ -10,33 +10,57 @@
 //! its own ciphertext plus the shared, replicated key material). The only
 //! costs that do not scale are the per-shard kernel-launch overhead and the
 //! one-time evaluation-key broadcast, which this model charges explicitly.
+//!
+//! Since the executor refactor this type is a thin configuration over
+//! [`crate::exec`]: sharding and merging live behind the
+//! [`crate::exec::Executor`] seam ([`crate::exec::shard_widths`] /
+//! [`crate::exec::merge_shards`]), and [`MultiGpu::with_workers`] drives
+//! the same cluster through the [`crate::exec::ThreadedPool`] — one host
+//! thread per device — with bit-identical results.
 
-use crate::engine::{Engine, EngineConfig, OpStats};
-use crate::error::{CoreError, CoreResult};
+use crate::engine::{EngineConfig, OpStats};
+use crate::error::CoreResult;
+use crate::exec::{build_executor, ExecBatch, Executor};
+use std::sync::Arc;
 use tensorfhe_ckks::{CkksParams, KernelEvent};
 
 /// A cluster of identical simulated devices executing sharded batches.
 #[derive(Debug)]
 pub struct MultiGpu {
-    engines: Vec<Engine>,
+    executor: Box<dyn Executor>,
     /// One-time per-device key-broadcast cost already paid (µs), reported
     /// separately from steady-state throughput.
     broadcast_us: f64,
 }
 
 impl MultiGpu {
-    /// Creates `devices` identical engines and charges the evaluation-key
-    /// broadcast (keys are replicated once over PCIe/NVLink; we charge PCIe
-    /// 4.0 ×16 ≈ 25 GB/s as the conservative path).
+    /// Creates `devices` identical engines behind a serial executor and
+    /// charges the evaluation-key broadcast (keys are replicated once over
+    /// PCIe/NVLink; we charge PCIe 4.0 ×16 ≈ 25 GB/s as the conservative
+    /// path).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] if `devices == 0`.
+    /// Returns [`crate::error::CoreError::InvalidConfig`] if `devices == 0`.
     pub fn new(cfg: &EngineConfig, devices: usize, params: &CkksParams) -> CoreResult<Self> {
-        if devices == 0 {
-            return Err(CoreError::InvalidConfig("need at least one device".into()));
-        }
-        let engines = (0..devices).map(|_| Engine::new(cfg.clone())).collect();
+        Self::with_workers(cfg, devices, 1, params)
+    }
+
+    /// Like [`MultiGpu::new`], but drives the cluster with `workers` host
+    /// threads (one per device when `workers >= devices`). Results are
+    /// bit-identical to the serial executor; only host wall-clock changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::CoreError::InvalidConfig`] if `devices` or
+    /// `workers` is zero.
+    pub fn with_workers(
+        cfg: &EngineConfig,
+        devices: usize,
+        workers: usize,
+        params: &CkksParams,
+    ) -> CoreResult<Self> {
+        let executor = build_executor(cfg, devices, workers)?;
         // Key material ≈ dnum digit keys × 2 polys × (L+1+K) limbs × N × 4 B.
         let key_bytes = params.dnum() as u64
             * 2
@@ -49,7 +73,7 @@ impl MultiGpu {
             0.0
         };
         Ok(Self {
-            engines,
+            executor,
             broadcast_us,
         })
     }
@@ -57,7 +81,13 @@ impl MultiGpu {
     /// Number of devices.
     #[must_use]
     pub fn devices(&self) -> usize {
-        self.engines.len()
+        self.executor.devices()
+    }
+
+    /// Host worker threads driving the cluster (1 = serial).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.executor.caps().workers
     }
 
     /// One-time key-broadcast cost (µs).
@@ -82,63 +112,31 @@ impl MultiGpu {
 
     /// Like [`MultiGpu::run_schedule`], but also returns merged per-kernel
     /// statistics (summed kernel times, time-weighted occupancy, total
-    /// launches) so the service layer can report cluster batches with the
-    /// same fidelity as single-device ones.
+    /// launches) so callers can report cluster batches with the same
+    /// fidelity as single-device ones.
     pub fn run_schedule_detailed(
         &mut self,
         tag: &str,
         events: &[KernelEvent],
         batch: usize,
     ) -> (MultiGpuStats, OpStats) {
-        let devices = self.engines.len();
-        let shard = batch.div_ceil(devices);
-        let mut per_device: Vec<OpStats> = Vec::with_capacity(devices);
-        let mut assigned = 0usize;
-        for engine in &mut self.engines {
-            let this = shard.min(batch - assigned);
-            if this == 0 {
-                break;
-            }
-            per_device.push(engine.run_schedule(tag, events, this));
-            assigned += this;
-        }
-        let wall_us = per_device.iter().map(|s| s.time_us).fold(0.0f64, f64::max);
-        let energy_j: f64 = per_device.iter().map(|s| s.energy_j).sum();
-        let launches = per_device.iter().map(|s| s.launches).sum();
-        let busy_us: f64 = per_device.iter().map(|s| s.time_us).sum();
-        let occupancy = if busy_us > 0.0 {
-            per_device
-                .iter()
-                .map(|s| s.occupancy * s.time_us)
-                .sum::<f64>()
-                / busy_us
-        } else {
-            0.0
-        };
-        let mut by_kernel: std::collections::BTreeMap<String, f64> = Default::default();
-        for s in &per_device {
-            for (k, t) in &s.by_kernel {
-                *by_kernel.entry(k.clone()).or_insert(0.0) += t;
-            }
-        }
+        let handle = self.executor.submit(ExecBatch {
+            tag: Arc::from(tag),
+            events: Arc::from(events),
+            width: batch,
+        });
+        let result = self.executor.join(handle);
         let stats = MultiGpuStats {
-            wall_us,
-            energy_j,
-            ops_per_second: if wall_us > 0.0 {
-                batch as f64 / (wall_us * 1e-6)
+            wall_us: result.stats.time_us,
+            energy_j: result.stats.energy_j,
+            ops_per_second: if result.stats.time_us > 0.0 {
+                batch as f64 / (result.stats.time_us * 1e-6)
             } else {
                 0.0
             },
-            devices_used: per_device.len(),
+            devices_used: result.devices_used(),
         };
-        let detail = OpStats {
-            time_us: wall_us,
-            occupancy,
-            energy_j,
-            launches,
-            by_kernel: by_kernel.into_iter().collect(),
-        };
-        (stats, detail)
+        (stats, result.stats)
     }
 }
 
@@ -224,5 +222,24 @@ mod tests {
         let sched = hmult_schedule(&params, params.max_level());
         let s = cluster.run_schedule("HMULT", &sched, 2);
         assert_eq!(s.devices_used, 2);
+    }
+
+    #[test]
+    fn threaded_cluster_matches_serial_cluster() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut serial = MultiGpu::new(&cfg, 4, &params).expect("valid");
+        let mut threaded = MultiGpu::with_workers(&cfg, 4, 4, &params).expect("valid");
+        assert_eq!(threaded.workers(), 4);
+        let sched = hmult_schedule(&params, params.max_level());
+        for batch in [1usize, 17, 128] {
+            let (s, d) = serial.run_schedule_detailed("HMULT", &sched, batch);
+            let (t, e) = threaded.run_schedule_detailed("HMULT", &sched, batch);
+            assert_eq!(s.wall_us.to_bits(), t.wall_us.to_bits());
+            assert_eq!(s.energy_j.to_bits(), t.energy_j.to_bits());
+            assert_eq!(s.devices_used, t.devices_used);
+            assert_eq!(d.launches, e.launches);
+            assert_eq!(d.by_kernel, e.by_kernel);
+        }
     }
 }

@@ -13,11 +13,17 @@
 //!    operation at the same level — into VRAM-feasible batches (the
 //!    `auto_batch` bound of §IV-E, multiplied across devices), preserving
 //!    FIFO order across client tags.
-//! 3. Each batch is dispatched to the single-device [`Engine`] or sharded
-//!    over a [`MultiGpu`] cluster, and its cost is attributed back to the
-//!    requests that rode in it: every request receives an [`OpReport`]
-//!    plus queue latency, and the service accumulates aggregate
-//!    [`ServiceStats`] (batch-fill efficiency, ops/s, ops/W).
+//! 3. Each batch is dispatched through the pluggable
+//!    [`crate::exec::Executor`] seam — serial simulated launches
+//!    ([`crate::exec::SimExecutor`]) or one worker thread per device
+//!    ([`crate::exec::ThreadedPool`], selected by
+//!    [`TensorFheBuilder::workers`] or the `TENSORFHE_WORKERS` environment
+//!    variable) — and its cost is attributed back to the requests that rode
+//!    in it: every request receives an [`OpReport`] plus queue latency, and
+//!    the service accumulates aggregate [`ServiceStats`] (batch-fill
+//!    efficiency, per-device utilization, ops/s, ops/W). Executors are
+//!    deterministic, so serial and threaded drains produce bit-identical
+//!    reports.
 //!
 //! Time is *virtual* (simulated-device microseconds), consistent with the
 //! rest of the reproduction: the service clock advances by the wall time of
@@ -31,9 +37,9 @@
 //! tractable.
 
 use crate::api::{schedule_events, FheOp, OpReport, TensorFheBuilder};
-use crate::engine::{Engine, ExecMode, OpStats};
+use crate::engine::ExecMode;
 use crate::error::{CoreError, CoreResult};
-use crate::multi_gpu::MultiGpu;
+use crate::exec::{build_executor, BatchResult, ExecBatch, Executor};
 use std::collections::{HashMap, VecDeque};
 use tensorfhe_ckks::CkksParams;
 
@@ -124,6 +130,20 @@ pub struct ServiceStats {
     pub batch_cap: usize,
     /// Devices serving the queue.
     pub devices: usize,
+    /// Host worker threads driving the devices (1 = serial executor).
+    pub workers: usize,
+    /// Busy time per device (µs, virtual), indexed by device: the sum of
+    /// every shard that device executed. Sums across devices to the total
+    /// attributed device time of all dispatched batches. (Per *device*,
+    /// not per worker thread — with fewer workers than devices each worker
+    /// drives several devices.)
+    pub device_busy_us: Vec<f64>,
+    /// Busy-time fraction per device: `device_busy_us[i] / busy_us`, i.e.
+    /// the share of the service's busy window device `i` spent executing
+    /// shards. `1.0` means the device was on the critical path of every
+    /// batch (always true for a single device); utilizations times
+    /// `busy_us` sum-match the total attributed launch time exactly.
+    pub device_utilization: Vec<f64>,
     /// Mean fraction of the batch cap actually filled, in `(0, 1]`.
     pub batch_fill: f64,
     /// Total device busy time (µs, virtual).
@@ -156,13 +176,6 @@ struct Pending {
     batches: usize,
 }
 
-/// Execution backend: one engine or a sharded cluster.
-#[derive(Debug)]
-enum Backend {
-    Single(Engine),
-    Cluster(MultiGpu),
-}
-
 /// The batching FHE service front end.
 ///
 /// The queue holds `Option<Pending>` slots: a completed mid-queue request is
@@ -173,7 +186,11 @@ enum Backend {
 #[derive(Debug)]
 pub struct FheService {
     params: CkksParams,
-    backend: Backend,
+    executor: Box<dyn Executor>,
+    /// Executor capabilities, snapshotted at construction (static for the
+    /// service's lifetime; avoids re-querying `caps()` on every stats
+    /// call).
+    caps: crate::exec::ExecCaps,
     batch_cap: usize,
     power_watts: f64,
     queue: VecDeque<Option<Pending>>,
@@ -186,9 +203,11 @@ pub struct FheService {
     launches_total: usize,
     fill_sum: f64,
     busy_us: f64,
+    /// Busy time per device (sum of the shards each device executed).
+    device_busy_us: Vec<f64>,
     energy_j: f64,
     queue_latency_sum_us: f64,
-    cost_cache: HashMap<(FheOp, usize, usize), OpStats>,
+    cost_cache: HashMap<(FheOp, usize, usize), BatchResult>,
 }
 
 impl FheService {
@@ -212,12 +231,33 @@ impl FheService {
             ));
         }
         let cfg = b.engine_config();
-        let power_watts = cfg.device.power_watts * b.devices as f64;
+        // Worker-thread count: an explicit builder setting wins, then the
+        // `TENSORFHE_WORKERS` environment override (the CI matrix knob),
+        // then the serial default. A malformed override is a hard error —
+        // silently falling back to the serial executor would let the CI
+        // determinism matrix pass vacuously. Executors are deterministic,
+        // so the choice only changes host wall-clock, never results.
+        let workers = match b.workers {
+            Some(w) => w,
+            None => match std::env::var("TENSORFHE_WORKERS") {
+                Ok(v) => v.trim().parse::<usize>().map_err(|_| {
+                    CoreError::InvalidConfig(format!(
+                        "TENSORFHE_WORKERS must be a worker count, got {v:?}"
+                    ))
+                })?,
+                Err(_) => 1,
+            },
+        };
+        let executor = build_executor(&cfg, b.devices, workers)?;
+        // The executor owns the capability queries: a backend with
+        // different board power or VRAM reports it through `caps()`, and
+        // the batch policy / ops/W follow automatically.
+        let caps = executor.caps();
+        let power_watts = caps.power_watts;
         // §IV-E: the batch size is chosen by the API layer, bounded by VRAM
         // (and the parameter preset's configured batch), scaled across the
         // cluster — each device only ever holds its own shard.
-        let probe = Engine::new(cfg.clone());
-        let auto = probe.auto_batch(&b.params);
+        let auto = crate::engine::auto_batch_for_vram(caps.vram_bytes_per_device, &b.params);
         // A user-supplied cap may narrow batches below the VRAM bound but
         // never widen them past it: the docs promise "VRAM-feasible
         // batches", so caps above `auto_batch × devices` are clamped down.
@@ -231,14 +271,10 @@ impl FheService {
             Some(cap) => cap.min(vram_cap),
             None => vram_cap,
         };
-        let backend = if b.devices == 1 {
-            Backend::Single(probe)
-        } else {
-            Backend::Cluster(MultiGpu::new(&cfg, b.devices, &b.params)?)
-        };
         Ok(Self {
             params: b.params,
-            backend,
+            executor,
+            caps,
             batch_cap,
             power_watts,
             queue: VecDeque::new(),
@@ -250,6 +286,7 @@ impl FheService {
             launches_total: 0,
             fill_sum: 0.0,
             busy_us: 0.0,
+            device_busy_us: vec![0.0; b.devices],
             energy_j: 0.0,
             queue_latency_sum_us: 0.0,
             cost_cache: HashMap::new(),
@@ -265,10 +302,19 @@ impl FheService {
     /// Number of devices serving the queue.
     #[must_use]
     pub fn devices(&self) -> usize {
-        match &self.backend {
-            Backend::Single(_) => 1,
-            Backend::Cluster(c) => c.devices(),
-        }
+        self.caps.devices
+    }
+
+    /// Number of host worker threads driving the devices (1 = serial).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.caps.workers
+    }
+
+    /// Device model name behind the executor, as reports print it.
+    #[must_use]
+    pub fn device_name(&self) -> &str {
+        &self.caps.device_name
     }
 
     /// The widest batch the service will coalesce.
@@ -385,7 +431,11 @@ impl FheService {
                 }
             }
 
-            let stats = self.dispatch(op, level, width);
+            let result = self.dispatch(op, level, width);
+            for (dev, t) in result.per_device_us.iter().enumerate() {
+                self.device_busy_us[dev] += t;
+            }
+            let stats = result.stats;
             self.clock_us += stats.time_us;
             self.busy_us += stats.time_us;
             self.energy_j += stats.energy_j;
@@ -435,6 +485,17 @@ impl FheService {
         } else {
             0.0
         };
+        let device_utilization = self
+            .device_busy_us
+            .iter()
+            .map(|&t| {
+                if self.busy_us > 0.0 {
+                    t / self.busy_us
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         ServiceStats {
             requests_completed: self.requests_completed,
             ops_completed: self.ops_completed,
@@ -442,6 +503,9 @@ impl FheService {
             launches: self.launches_total,
             batch_cap: self.batch_cap,
             devices: self.devices(),
+            workers: self.workers(),
+            device_busy_us: self.device_busy_us.clone(),
+            device_utilization,
             batch_fill: if self.batches_dispatched > 0 {
                 self.fill_sum / self.batches_dispatched as f64
             } else {
@@ -484,18 +548,22 @@ impl FheService {
         shares
     }
 
-    /// Executes one coalesced batch, consulting the dispatch cache.
-    fn dispatch(&mut self, op: FheOp, level: usize, width: usize) -> OpStats {
+    /// Executes one coalesced batch through the executor seam, consulting
+    /// the dispatch cache (executors are deterministic, so identical
+    /// batches cost the same by contract).
+    fn dispatch(&mut self, op: FheOp, level: usize, width: usize) -> BatchResult {
         if let Some(hit) = self.cost_cache.get(&(op, level, width)) {
             return hit.clone();
         }
         let events = schedule_events(&self.params, op, level);
-        let stats = match &mut self.backend {
-            Backend::Single(engine) => engine.run_schedule(op.name(), &events, width),
-            Backend::Cluster(cluster) => cluster.run_schedule_detailed(op.name(), &events, width).1,
-        };
-        self.cost_cache.insert((op, level, width), stats.clone());
-        stats
+        let handle = self.executor.submit(ExecBatch {
+            tag: op.name().into(),
+            events: events.into(),
+            width,
+        });
+        let result = self.executor.join(handle);
+        self.cost_cache.insert((op, level, width), result.clone());
+        result
     }
 
     fn finalize(&mut self, p: Pending) -> RequestReport {

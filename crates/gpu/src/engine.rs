@@ -536,6 +536,16 @@ impl DeviceSim {
 mod tests {
     use super::*;
 
+    /// Per-device simulators are owned by executor worker threads, so the
+    /// simulator state must be `Send` (plain data, no shared interior
+    /// mutability).
+    #[test]
+    fn device_sim_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DeviceSim>();
+        assert_send::<DeviceConfig>();
+    }
+
     fn sim() -> DeviceSim {
         DeviceSim::new(DeviceConfig::a100())
     }

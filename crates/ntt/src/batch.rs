@@ -504,6 +504,18 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use tensorfhe_math::prime::generate_ntt_primes;
 
+    /// The executor seam shards batches across worker threads that share
+    /// one process-wide plan cache; every plan type it hands out must stay
+    /// `Send + Sync` (a reintroduced `Rc`/`Cell` fails to compile here).
+    #[test]
+    fn plan_cache_and_plans_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanCache>();
+        assert_send_sync::<BatchedGemmNtt>();
+        assert_send_sync::<Arc<BatchedGemmNtt>>();
+        assert_send_sync::<crate::BasisConvGemm>();
+    }
+
     const ALGOS: [NttAlgorithm; 3] = [
         NttAlgorithm::Butterfly,
         NttAlgorithm::FourStep,

@@ -40,6 +40,29 @@ fn main() {
             cluster.broadcast_us() / 1e3
         );
     }
+
+    // The cluster is a thin config over the executor seam: drive the same
+    // devices with one host worker thread each and the simulated numbers
+    // are bit-identical — threading only changes host wall-clock.
+    let mut serial = MultiGpu::new(&EngineConfig::a100(Variant::TensorCore), 4, &params)
+        .expect("device count is non-zero");
+    let mut threaded =
+        MultiGpu::with_workers(&EngineConfig::a100(Variant::TensorCore), 4, 4, &params)
+            .expect("device and worker counts are non-zero");
+    let s = serial.run_schedule("NTT", &ntt, batch);
+    let t = threaded.run_schedule("NTT", &ntt, batch);
+    assert_eq!(
+        s.wall_us.to_bits(),
+        t.wall_us.to_bits(),
+        "threaded cluster must be bit-identical to serial"
+    );
+    println!(
+        "\n4 GPUs via {} worker threads: {:.0} ops/s — bit-identical to the serial \
+         executor (expected {:.0})",
+        threaded.workers(),
+        t.ops_per_second,
+        s.ops_per_second
+    );
     println!(
         "\n§VII: \"extending TensorFHE to the platform with multiple GPGPUs would \
          help to increase the batch size\" — batching is embarrassingly parallel, \

@@ -68,6 +68,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.ops_per_watt,
     );
 
+    // The same stream on a 4-device cluster behind the threaded executor:
+    // one worker thread per device. Coalesced batches grow 4× and shard,
+    // so simulated throughput scales — and because executors are
+    // deterministic, a `.workers(1)` serial drain of this stream would be
+    // bit-identical.
+    let mut cluster = TensorFhe::builder(&params)
+        .devices(4)
+        .workers(4)
+        .service()?;
+    cluster.submit_stream(stream.clone())?;
+    cluster.drain();
+    let cstats = cluster.stats();
+    println!(
+        "\n4-device / 4-worker service: batch cap {}, {:7.0} ops/s ({:4.2}× the single \
+         device), per-device utilization {:?}",
+        cstats.batch_cap,
+        cstats.ops_per_second,
+        cstats.ops_per_second / stats.ops_per_second,
+        cstats
+            .device_utilization
+            .iter()
+            .map(|u| (u * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+    );
+
     // Legacy path: the same stream, one operation at a time, caller-driven.
     let mut api = TensorFhe::builder(&params).build()?;
     let mut legacy_us = 0.0;
