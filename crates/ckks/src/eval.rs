@@ -584,13 +584,58 @@ impl<'a> Evaluator<'a> {
         steps: &[i64],
         keys: &KeyChain<'_>,
     ) -> Result<Vec<Ciphertext>, CkksError> {
+        let pairs: Vec<(&Ciphertext, i64)> = steps.iter().map(|&r| (ct, r)).collect();
+        self.hrotate_pairs(&pairs, keys)
+    }
+
+    /// Batched `HROTATE` over *distinct* ciphertexts: rotates each
+    /// `(ciphertext, step)` pair, all pairs through one batched key switch.
+    ///
+    /// This is the giant-step counterpart of [`Evaluator::hrotate_many`]
+    /// (which rotates one ciphertext by several steps): a BSGS stage's
+    /// ≈√D *giant* rotations apply to distinct accumulators — each giant
+    /// group's inner sum — yet all share the same level, so their key
+    /// switches pack into the same wide batched NTT blocks
+    /// ([`crate::keyswitch::key_switch_batch`]): one batched INTT across
+    /// every accumulator, one `pairs × dnum`-row ModUp NTT block, and a
+    /// single ModDown over all `2·pairs` accumulators. `hrotate_many` is
+    /// the special case where every pair names the same ciphertext.
+    ///
+    /// Results and emitted kernel events are identical to calling
+    /// [`Evaluator::hrotate`] once per pair, in order (pairs with `g = 1`
+    /// return clones and emit nothing, exactly like the single-step
+    /// path). Live rotations are processed in bounded chunks under the
+    /// key switch's own residency cap; chunking never changes results or
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::MissingRotationKey`] if any step has no
+    /// generated key, or [`CkksError::Mismatch`] if the ciphertexts do
+    /// not share one level; no work is done in either case.
+    pub fn hrotate_pairs(
+        &mut self,
+        pairs: &[(&Ciphertext, i64)],
+        keys: &KeyChain<'_>,
+    ) -> Result<Vec<Ciphertext>, CkksError> {
         let ctx = self.ctx;
-        let n = ct.n();
-        let limbs = ct.level() + 1;
+        let Some(&(first, _)) = pairs.first() else {
+            return Ok(Vec::new());
+        };
+        let n = first.n();
+        let level = first.level();
+        let limbs = level + 1;
+        if pairs.iter().any(|(ct, _)| ct.level() != level) {
+            return Err(CkksError::Mismatch(
+                "hrotate_pairs ciphertexts must share one level (the batched \
+                 key switch packs same-level ModUp blocks)"
+                    .into(),
+            ));
+        }
 
         // Resolve every step up front so a missing key aborts cleanly.
-        let mut elements = Vec::with_capacity(steps.len());
-        for &r in steps {
+        let mut elements = Vec::with_capacity(pairs.len());
+        for &(_, r) in pairs {
             let g = ctx.galois_element(r);
             if g == 1 {
                 elements.push(None);
@@ -606,36 +651,36 @@ impl<'a> Evaluator<'a> {
         // must not hold ≈√D rotations' polynomials at once. Chunking never
         // changes results or events: batched transforms are bit-exact at
         // any width and emission stays strictly per rotation, in order.
-        let chunk = crate::keyswitch::batch_chunk_inputs(ctx, ct.level());
-        let mut out = Vec::with_capacity(steps.len());
+        let chunk = crate::keyswitch::batch_chunk_inputs(ctx, level);
+        let mut out = Vec::with_capacity(pairs.len());
         let mut i = 0usize;
         while i < elements.len() {
             // Gather the next segment: up to `chunk` live rotations, with
-            // any interleaved no-op (g = 1) steps carried along so they
+            // any interleaved no-op (g = 1) pairs carried along so they
             // never fragment the key-switch batch.
             let seg_start = i;
-            let mut live: Vec<u64> = Vec::with_capacity(chunk);
+            let mut live: Vec<(usize, u64)> = Vec::with_capacity(chunk);
             while i < elements.len() && live.len() < chunk {
                 if let Some(g) = elements[i] {
-                    live.push(g);
+                    live.push((i, g));
                 }
                 i += 1;
             }
             // Trailing no-ops after the chunk's last live rotation belong
             // to the next segment (they cost nothing either way).
-            let segment = &elements[seg_start..i];
             if live.is_empty() {
-                out.extend(segment.iter().map(|_| ct.clone()));
+                out.extend((seg_start..i).map(|j| pairs[j].0.clone()));
                 continue;
             }
 
-            // Frobenius permutations of both components, per rotation.
+            // Frobenius permutations of both components, per rotation —
+            // each applied to its *own* ciphertext.
             let mut c0_rots = Vec::with_capacity(live.len());
             let mut c1_rots = Vec::with_capacity(live.len());
-            for &g in &live {
+            for &(j, g) in &live {
                 let tables = ctx.galois_tables(g);
-                c0_rots.push(ct.c0.automorphism_ntt(&tables));
-                c1_rots.push(ct.c1.automorphism_ntt(&tables));
+                c0_rots.push(pairs[j].0.c0.automorphism_ntt(&tables));
+                c1_rots.push(pairs[j].0.c1.automorphism_ntt(&tables));
             }
 
             // One batched key switch across the chunk (silent; the
@@ -643,24 +688,25 @@ impl<'a> Evaluator<'a> {
             let ds: Vec<&RnsPoly> = c1_rots.iter().collect();
             let ksks: Vec<&crate::keyswitch::KsKey> = live
                 .iter()
-                .map(|&g| keys.galois_key(g).expect("checked above"))
+                .map(|&(_, g)| keys.galois_key(g).expect("checked above"))
                 .collect();
             let switched = {
                 let mut silent = Tracing::new(None);
                 crate::keyswitch::key_switch_batch(ctx, &mut silent, &ds, &ksks)
             };
 
-            // Assemble outputs in segment order — no-op steps clone, live
-            // steps consume the next switched pair — emitting each live
+            // Assemble outputs in segment order — no-op pairs clone, live
+            // pairs consume the next switched pair — emitting each live
             // rotation's events exactly as a sequential
             // [`Evaluator::hrotate`] loop would.
-            let mut pairs = c0_rots.into_iter().zip(switched);
-            for g in segment {
-                if g.is_none() {
+            let mut rotated = c0_rots.into_iter().zip(switched);
+            for j in seg_start..i {
+                let ct = pairs[j].0;
+                if elements[j].is_none() {
                     out.push(ct.clone());
                     continue;
                 }
-                let (c0_rot, (k0, k1)) = pairs.next().expect("one switch per live rotation");
+                let (c0_rot, (k0, k1)) = rotated.next().expect("one switch per live rotation");
                 self.begin("HROTATE");
                 self.emit(KernelEvent::FrobeniusMap {
                     n,
@@ -668,7 +714,7 @@ impl<'a> Evaluator<'a> {
                 });
                 {
                     let mut tracing = Tracing::new(self.tracer.as_deref_mut().map(|t| t as _));
-                    crate::keyswitch::emit_key_switch_events(ctx, &mut tracing, ct.level());
+                    crate::keyswitch::emit_key_switch_events(ctx, &mut tracing, level);
                 }
                 let mut c0 = c0_rot;
                 c0.add_assign(ctx, &k0);
@@ -943,6 +989,114 @@ mod tests {
             assert_eq!(b.c0, s.c0, "c0 diverged at step {r}");
             assert_eq!(b.c1, s.c1, "c1 diverged at step {r}");
         }
+    }
+
+    #[test]
+    fn hrotate_pairs_matches_sequential_rotations() {
+        // The giant-step path: distinct accumulators, each rotated by its
+        // own step through one batched key switch, must be bit-identical
+        // to one-at-a-time rotations AND emit the exact same kernel-event
+        // stream (the schedule mirror depends on it).
+        let (ctx, mut rng) = setup();
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        keys.gen_rotation_keys(&[1, 2, 4], &mut rng);
+        let slots = ctx.params().slots();
+        let cts: Vec<Ciphertext> = (0..4)
+            .map(|k| {
+                let vals: Vec<Complex64> = (0..slots)
+                    .map(|i| {
+                        Complex64::new(
+                            ((i + k) as f64 * 0.17).sin(),
+                            ((i * (k + 1)) as f64 * 0.11).cos(),
+                        )
+                    })
+                    .collect();
+                let pt = ctx.encode(&vals, ctx.params().scale()).expect("encode");
+                keys.encrypt(&pt, &mut rng)
+            })
+            .collect();
+        let steps = [1i64, 4, 0, 2]; // includes a g = 1 no-op pair
+
+        let mut seq_rec = RecordingTracer::new();
+        let sequential: Vec<Ciphertext> = {
+            let mut eval = Evaluator::with_tracer(&ctx, Box::new(&mut seq_rec));
+            cts.iter()
+                .zip(&steps)
+                .map(|(ct, &r)| eval.hrotate(ct, r, &keys).expect("rotate"))
+                .collect()
+        };
+        let mut batch_rec = RecordingTracer::new();
+        let batched = {
+            let mut eval = Evaluator::with_tracer(&ctx, Box::new(&mut batch_rec));
+            let pairs: Vec<(&Ciphertext, i64)> =
+                cts.iter().zip(&steps).map(|(ct, &r)| (ct, r)).collect();
+            eval.hrotate_pairs(&pairs, &keys).expect("batch rotate")
+        };
+
+        assert_eq!(batched.len(), sequential.len());
+        for (r, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_eq!(b.c0, s.c0, "c0 diverged at pair index {r}");
+            assert_eq!(b.c1, s.c1, "c1 diverged at pair index {r}");
+            assert!((b.scale - s.scale).abs() < 1e-12);
+        }
+        assert_eq!(batch_rec.events, seq_rec.events, "kernel streams differ");
+        assert_eq!(batch_rec.ops, seq_rec.ops, "operation markers differ");
+    }
+
+    #[test]
+    fn hrotate_pairs_chunks_across_the_residency_cap() {
+        // More live pairs than one key_switch_batch chunk admits: results
+        // must still be bit-identical to sequential rotation, across the
+        // chunk seam, with every pair rotating its own ciphertext.
+        let (ctx, mut rng) = setup();
+        let steps: Vec<i64> = (1..=10).collect();
+        assert!(
+            steps.len() > crate::keyswitch::batch_chunk_inputs(&ctx, ctx.params().max_level()),
+            "test must cross a chunk boundary"
+        );
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        keys.gen_rotation_keys(&steps, &mut rng);
+        let slots = ctx.params().slots();
+        let cts: Vec<Ciphertext> = (0..steps.len())
+            .map(|k| {
+                let vals: Vec<Complex64> = (0..slots)
+                    .map(|i| Complex64::new(((i * k + 3) as f64 * 0.07).cos(), 0.0))
+                    .collect();
+                let pt = ctx.encode(&vals, ctx.params().scale()).expect("encode");
+                keys.encrypt(&pt, &mut rng)
+            })
+            .collect();
+
+        let mut eval = Evaluator::new(&ctx);
+        let pairs: Vec<(&Ciphertext, i64)> =
+            cts.iter().zip(&steps).map(|(ct, &r)| (ct, r)).collect();
+        let batched = eval.hrotate_pairs(&pairs, &keys).expect("batch rotate");
+        for ((ct, &r), b) in cts.iter().zip(&steps).zip(&batched) {
+            let s = eval.hrotate(ct, r, &keys).expect("rotate");
+            assert_eq!(b.c0, s.c0, "c0 diverged at step {r}");
+            assert_eq!(b.c1, s.c1, "c1 diverged at step {r}");
+        }
+    }
+
+    #[test]
+    fn hrotate_pairs_rejects_mixed_levels_and_missing_keys() {
+        let (ctx, mut rng) = setup();
+        let mut keys = KeyChain::generate(&ctx, &mut rng);
+        keys.gen_rotation_keys(&[1], &mut rng);
+        let mut eval = Evaluator::new(&ctx);
+        let ct = encode_encrypt(&ctx, &keys, &mut rng, &[Complex64::one()]);
+        let dropped = eval
+            .mod_switch_to(&ct, ct.level() - 1)
+            .expect("drop a level");
+        assert!(matches!(
+            eval.hrotate_pairs(&[(&ct, 1), (&dropped, 1)], &keys),
+            Err(CkksError::Mismatch(_))
+        ));
+        assert!(matches!(
+            eval.hrotate_pairs(&[(&ct, 1), (&ct, 2)], &keys),
+            Err(CkksError::MissingRotationKey(_))
+        ));
+        assert!(eval.hrotate_pairs(&[], &keys).expect("empty").is_empty());
     }
 
     #[test]

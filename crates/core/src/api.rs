@@ -147,6 +147,7 @@ pub struct TensorFheBuilder {
     pub(crate) exec_mode: ExecMode,
     pub(crate) devices: usize,
     pub(crate) workers: Option<usize>,
+    pub(crate) pipeline: Option<usize>,
     pub(crate) batch_cap: Option<usize>,
 }
 
@@ -163,6 +164,7 @@ impl TensorFheBuilder {
             exec_mode: ExecMode::TimingOnly,
             devices: 1,
             workers: None,
+            pipeline: None,
             batch_cap: None,
         }
     }
@@ -229,6 +231,32 @@ impl TensorFheBuilder {
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Depth of the service's in-flight batch window (the
+    /// [`crate::sched::Scheduler`]'s pipeline).
+    ///
+    /// `1` (the default) reproduces the strictly synchronous drain — one
+    /// batch submitted, joined, then the next. Larger depths keep up to
+    /// `n` *independent* coalesced batches submitted-but-unjoined at once
+    /// (no two in-flight batches may contain requests from the same client
+    /// stream at the same ciphertext level, so chained operations observe
+    /// program order). The scheduler joins in submission order, so drain
+    /// reports and [`ServiceStats`] request accounting are bit-identical
+    /// at every depth — only the overlap metrics
+    /// ([`crate::service::ServiceStats::elapsed_us`],
+    /// [`crate::service::ServiceStats::overlap_fraction`],
+    /// [`crate::service::ServiceStats::pipelined_ops_per_second`],
+    /// [`crate::service::ServiceStats::inflight_hwm`]) move. When unset, the
+    /// `TENSORFHE_PIPELINE` environment variable (the CI matrix knob)
+    /// provides the default. A zero depth is rejected at
+    /// [`TensorFheBuilder::service`] time.
+    ///
+    /// [`ServiceStats`]: crate::service::ServiceStats
+    #[must_use]
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline = Some(depth);
         self
     }
 

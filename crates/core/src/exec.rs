@@ -23,7 +23,20 @@
 //! Determinism contract: for a fixed executor configuration, `submit`ting
 //! the same sequence of batches must yield the same [`BatchResult`]s. The
 //! service's dispatch cache and the CI `TENSORFHE_WORKERS` matrix both rely
-//! on it.
+//! on it. Results are furthermore *history-free*: a batch's statistics are
+//! a pure function of `(tag, events, width)` and the executor
+//! configuration, never of what ran before it — the pipelined scheduler
+//! ([`crate::sched`]) depends on this when a batch that the serial path
+//! would have served from the dispatch cache executes for real.
+//!
+//! Multi-outstanding contract: any number of batches may be submitted
+//! before any is joined. Every backend queues work FIFO *per device*, so
+//! outstanding batches resolve to exactly the results a
+//! submit-join-submit-join sequence would produce; handles may be joined in
+//! any order. [`Executor::try_join`] is the non-blocking form — it returns
+//! `None` while the batch is still executing on the host workers, which
+//! lets a scheduler keep a window of in-flight batches and harvest whichever
+//! are already complete without stalling the planning loop.
 
 use crate::engine::{Engine, EngineConfig, OpStats};
 use crate::error::{CoreError, CoreResult};
@@ -98,6 +111,16 @@ pub trait Executor: std::fmt::Debug {
     ///
     /// Panics on a handle this executor never issued (or already joined).
     fn join(&mut self, handle: ExecHandle) -> BatchResult;
+
+    /// Non-blocking [`Executor::join`]: returns the merged result if the
+    /// batch has already completed, `None` if it is still executing. A
+    /// `Some` consumes the handle exactly like `join`; after `None` the
+    /// handle stays live and may be polled again or joined blockingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle this executor never issued (or already joined).
+    fn try_join(&mut self, handle: ExecHandle) -> Option<BatchResult>;
 
     /// Backend capabilities (device count, workers, VRAM, power).
     fn caps(&self) -> ExecCaps;
@@ -275,6 +298,11 @@ impl Executor for SimExecutor {
             .expect("join of an unknown or already-joined handle")
     }
 
+    fn try_join(&mut self, handle: ExecHandle) -> Option<BatchResult> {
+        // Serial submission runs eagerly, so a live handle is always ready.
+        Some(self.join(handle))
+    }
+
     fn caps(&self) -> ExecCaps {
         ExecCaps {
             devices: self.engines.len(),
@@ -297,9 +325,54 @@ struct Job {
     reply: mpsc::Sender<Vec<(usize, OpStats)>>,
 }
 
-/// An in-flight batch: the reply channel and how many worker replies the
-/// merge must collect.
-type PendingBatch = (mpsc::Receiver<Vec<(usize, OpStats)>>, usize);
+/// An in-flight batch: the reply channel, how many worker replies the merge
+/// must collect, and the replies harvested so far (so a non-blocking
+/// [`Executor::try_join`] can drain partial progress without losing it).
+#[derive(Debug)]
+struct PendingBatch {
+    rx: mpsc::Receiver<Vec<(usize, OpStats)>>,
+    /// Worker replies still outstanding.
+    awaited: usize,
+    /// Per-device shard statistics harvested so far.
+    collected: Vec<(usize, OpStats)>,
+}
+
+impl PendingBatch {
+    /// Harvests worker replies without blocking; `true` once every awaited
+    /// reply has arrived.
+    fn poll(&mut self) -> bool {
+        while self.awaited > 0 {
+            match self.rx.try_recv() {
+                Ok(shards) => {
+                    self.collected.extend(shards);
+                    self.awaited -= 1;
+                }
+                Err(mpsc::TryRecvError::Empty) => return false,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("worker thread died mid-batch")
+                }
+            }
+        }
+        true
+    }
+
+    /// Blocks until every awaited reply has arrived.
+    fn wait(&mut self) {
+        while self.awaited > 0 {
+            self.collected
+                .extend(self.rx.recv().expect("worker thread died mid-batch"));
+            self.awaited -= 1;
+        }
+    }
+
+    /// Device-order merge of the collected shards (workers answer in
+    /// completion order; the merge is defined in device order so the result
+    /// is independent of thread scheduling).
+    fn finish(mut self, devices: usize) -> BatchResult {
+        self.collected.sort_by_key(|&(d, _)| d);
+        merge_shards(self.collected, devices)
+    }
+}
 
 /// Multi-threaded sharded executor: one host worker thread per (group of)
 /// device(s), each owning its simulated engines, fed over channels.
@@ -407,23 +480,36 @@ impl Executor for ThreadedPool {
         }
         let id = self.next;
         self.next += 1;
-        self.pending.insert(id, (reply_rx, replies));
+        self.pending.insert(
+            id,
+            PendingBatch {
+                rx: reply_rx,
+                awaited: replies,
+                collected: Vec::new(),
+            },
+        );
         ExecHandle(id)
     }
 
     fn join(&mut self, handle: ExecHandle) -> BatchResult {
-        let (rx, replies) = self
+        let mut batch = self
             .pending
             .remove(&handle.0)
             .expect("join of an unknown or already-joined handle");
-        let mut per_device: Vec<(usize, OpStats)> = Vec::new();
-        for _ in 0..replies {
-            per_device.extend(rx.recv().expect("worker thread died mid-batch"));
+        batch.wait();
+        batch.finish(self.devices)
+    }
+
+    fn try_join(&mut self, handle: ExecHandle) -> Option<BatchResult> {
+        let batch = self
+            .pending
+            .get_mut(&handle.0)
+            .expect("try_join of an unknown or already-joined handle");
+        if !batch.poll() {
+            return None;
         }
-        // Workers answer in completion order; the merge is defined in
-        // device order so the result is independent of thread scheduling.
-        per_device.sort_by_key(|&(d, _)| d);
-        merge_shards(per_device, self.devices)
+        let batch = self.pending.remove(&handle.0).expect("present");
+        Some(batch.finish(self.devices))
     }
 
     fn caps(&self) -> ExecCaps {
@@ -573,6 +659,80 @@ mod tests {
         let s2 = run(&mut serial, batch(&params, 32));
         assert_eq!(bits(&r1), bits(&s1));
         assert_eq!(bits(&r2), bits(&s2));
+    }
+
+    #[test]
+    fn try_join_is_nonblocking_and_consumes_on_success() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+
+        // Serial executor: submission runs eagerly, so try_join always
+        // resolves immediately and matches the blocking path bit-for-bit.
+        let mut serial = SimExecutor::new(cfg.clone(), 2);
+        let h = serial.submit(batch(&params, 8));
+        let r = serial.try_join(h).expect("eager executor is always ready");
+        let mut reference = SimExecutor::new(cfg.clone(), 2);
+        let want = run(&mut reference, batch(&params, 8));
+        assert_eq!(bits(&r), bits(&want));
+
+        // Threaded pool: poll until the workers finish; the harvested
+        // result must equal the blocking join of an identical submission.
+        let mut pool = ThreadedPool::new(cfg.clone(), 2, 2);
+        let h1 = pool.submit(batch(&params, 8));
+        let r1 = loop {
+            if let Some(r) = pool.try_join(h1) {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(bits(&r1), bits(&want), "polled result diverged");
+    }
+
+    #[test]
+    fn try_join_interleaves_with_multi_outstanding_submissions() {
+        // The pipelined-scheduler usage pattern: several batches in flight,
+        // handles polled out of order, blocking joins mixed in. Results
+        // must match a serial submit-join-submit-join sequence exactly.
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let widths = [3usize, 16, 7, 1];
+
+        let mut serial = SimExecutor::new(cfg.clone(), 2);
+        let wants: Vec<BatchResult> = widths
+            .iter()
+            .map(|&w| run(&mut serial, batch(&params, w)))
+            .collect();
+
+        let mut pool = ThreadedPool::new(cfg, 2, 2);
+        let handles: Vec<ExecHandle> = widths
+            .iter()
+            .map(|&w| pool.submit(batch(&params, w)))
+            .collect();
+        // Poll the third handle to completion, join the rest blockingly in
+        // reverse submission order.
+        let r2 = loop {
+            if let Some(r) = pool.try_join(handles[2]) {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        let r3 = pool.join(handles[3]);
+        let r1 = pool.join(handles[1]);
+        let r0 = pool.join(handles[0]);
+        for (got, want) in [r0, r1, r2, r3].iter().zip(&wants) {
+            assert_eq!(bits(got), bits(want), "out-of-order harvest diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-joined")]
+    fn try_join_rejects_consumed_handles() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut exec = SimExecutor::new(cfg, 1);
+        let h = exec.submit(batch(&params, 2));
+        let _ = exec.join(h);
+        let _ = exec.try_join(h);
     }
 
     #[test]

@@ -26,7 +26,12 @@
 //!   VRAM-feasible batches, dispatches them through the executor seam, and
 //!   reports per-request cost plus service-level stats (queue latency,
 //!   batch-fill efficiency, per-device utilization, aggregate ops/s and
-//!   ops/W).
+//!   ops/W, pipeline overlap).
+//! * **Pipelined scheduler** ([`sched`]) — the in-flight window between
+//!   the queue and the executor: up to `depth` independent coalesced
+//!   batches stay submitted-but-unjoined at once (GME-style multi-queue
+//!   dispatch), joined in submission order; see the architecture section
+//!   below.
 //! * **Executor seam** ([`exec`]) — the pluggable "run a scheduled batch on
 //!   a device" contract; see the architecture section below.
 //! * **Operation-level batching** ([`engine`]) — the `(L, B, N)` vs
@@ -36,11 +41,16 @@
 //! * **Errors** ([`error`]) — every fallible entry point returns
 //!   [`error::CoreError`] instead of panicking.
 //!
-//! # Architecture: request → coalesce → executor → device
+//! # Architecture: request → coalesce → schedule → executor → device
 //!
 //! ```text
-//! clients ──submit──▶ FheService queue ──coalesce──▶ ExecBatch
-//!                                                        │ Executor::submit
+//! clients ──submit──▶ FheService queue ──coalesce──▶ BatchPlan
+//!                                                        │ Scheduler::admit
+//!                                          ┌─────────────┴──────────────┐
+//!                                          │  in-flight window (depth)  │
+//!                                          │  independent batches only  │
+//!                                          └─────────────┬──────────────┘
+//!                                                        │ Executor::submit / try_join
 //!                            ┌───────────────────────────┴────────────┐
 //!                            ▼                                        ▼
 //!                      SimExecutor                               ThreadedPool
@@ -53,26 +63,42 @@
 //! 1. **Request**: clients [`service::FheService::submit`] typed
 //!    [`service::FheRequest`]s; the queue preserves FIFO order across
 //!    tenants.
-//! 2. **Coalesce**: `drain` folds compatible requests (same op, same
-//!    level) into VRAM-feasible [`exec::ExecBatch`]es up to
-//!    `auto_batch × devices`.
-//! 3. **Executor**: every batch crosses the [`exec::Executor`] seam —
-//!    `submit(batch) → ExecHandle`, `join(handle) → BatchResult` — which
-//!    owns sharding ([`exec::shard_widths`]) and the deterministic
+//! 2. **Coalesce**: the [`sched::Scheduler`]'s planning walk folds
+//!    compatible requests (same op, same level) into VRAM-feasible
+//!    [`exec::ExecBatch`]es up to `auto_batch × devices` — exactly the
+//!    batches the synchronous drain always formed.
+//! 3. **Schedule**: up to `depth` planned batches
+//!    ([`TensorFheBuilder::pipeline_depth`] / `TENSORFHE_PIPELINE`) stay
+//!    submitted-but-unjoined at once, **if independent**: no two in-flight
+//!    batches may contain requests from the same client stream at the same
+//!    ciphertext level, so chained operations on one working set observe
+//!    program order (a dependent batch waits for the window to drain).
+//!    Handles are joined in deterministic submission order, which keeps
+//!    reports and request accounting bit-identical at every depth; the
+//!    per-device-FIFO overlap clock separately reports what pipelining
+//!    bought ([`service::ServiceStats::elapsed_us`] /
+//!    [`service::ServiceStats::overlap_fraction`] /
+//!    [`service::ServiceStats::pipelined_ops_per_second`]).
+//! 4. **Executor**: every batch crosses the [`exec::Executor`] seam —
+//!    `submit(batch) → ExecHandle`, `join`/`try_join``(handle) →
+//!    BatchResult`, any number of batches outstanding, FIFO per device —
+//!    which owns sharding ([`exec::shard_widths`]) and the deterministic
 //!    device-order merge ([`exec::merge_shards`]). The
 //!    [`exec::SimExecutor`] runs shards serially; the
 //!    [`exec::ThreadedPool`] ([`TensorFheBuilder::workers`] /
 //!    `TENSORFHE_WORKERS`) runs one worker thread per device with
 //!    bit-identical results, because each device's simulator sees the same
 //!    launch sequence and the merge folds in the same order.
-//! 4. **Device**: each shard becomes kernel launches on a per-device
+//! 5. **Device**: each shard becomes kernel launches on a per-device
 //!    [`Engine`]/`DeviceSim` pair. A real CUDA/CUTLASS or wgpu backend
 //!    slots in *here*: implement [`exec::Executor`] over real device
 //!    queues (the batched `B×L` GEMM shapes map 1:1 onto grouped-GEMM
-//!    calls) and hand it the same `ExecBatch`es — coalescing, attribution
-//!    and reporting above the seam are backend-agnostic. Contexts, NTT and
-//!    basis-conversion plans, and DFT matrices are shared across workers
-//!    through the `Send + Sync` process-wide `PlanCache` / DFT caches.
+//!    calls, and the multi-outstanding `submit`/`try_join` contract maps
+//!    onto stream events) and hand it the same `ExecBatch`es —
+//!    coalescing, scheduling, attribution and reporting above the seam
+//!    are backend-agnostic. Contexts, NTT and basis-conversion plans, and
+//!    DFT matrices are shared across workers through the `Send + Sync`
+//!    process-wide `PlanCache` / DFT caches.
 //!
 //! # Migrating from `run_op` to `submit`/`drain`
 //!
@@ -121,6 +147,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod multi_gpu;
+pub mod sched;
 pub mod schedule;
 pub mod service;
 pub mod tracer;

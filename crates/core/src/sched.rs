@@ -1,0 +1,562 @@
+//! The pipelined multi-queue scheduler: independent batches kept in flight
+//! across devices.
+//!
+//! [`crate::service::FheService::drain`] used to run strictly synchronous
+//! rounds — coalesce one batch, `submit`, immediately `join` — so devices
+//! idled whenever the queue held several *independent* but mutually
+//! incompatible `(op, level)` groups. This module owns everything between
+//! the request queue and the [`crate::exec::Executor`] seam:
+//!
+//! * **Planning** ([`Scheduler::plan`]) — the FIFO coalescing walk that used
+//!   to live inline in `drain`: the first request with work defines the
+//!   batch's `(op, level)` group, and compatible instances are taken from
+//!   every matching request in submission order up to the cap.
+//! * **The in-flight window** ([`Scheduler::admit`]) — up to `depth`
+//!   submitted-but-unjoined batches. A planned batch is admitted only if it
+//!   is *independent* of every batch already in flight: no two in-flight
+//!   batches may contain requests from the same client stream at the same
+//!   ciphertext level, so chained operations on one working set always
+//!   observe program order. A dependent plan reports [`Plan::Blocked`] and
+//!   the window drains until its keys are released.
+//! * **Deterministic joins** ([`Scheduler::complete_next`]) — handles are
+//!   joined in submission order whatever order the backend finishes them
+//!   in, so per-request attribution, reports and [`ServiceStats`] are
+//!   **bit-identical at every depth**: pipelining changes when device work
+//!   overlaps, never what a request is charged. (`try_join` harvesting via
+//!   [`Scheduler::harvest`] only moves completed results into the window
+//!   buffer early; consumption order is unchanged.)
+//! * **The overlap clock** — per-device virtual FIFO queues that account
+//!   for what pipelining actually buys. Each joined batch's shards are
+//!   placed on the least-loaded virtual devices (ties to the lowest
+//!   index), gang-started at the latest of (a) those devices' free times
+//!   and (b) the *join frontier* — the completion time of the newest batch
+//!   joined before this one was admitted, which is exactly the window
+//!   constraint: batch `k` cannot start before batch `k − depth`
+//!   completed. At `depth = 1` the frontier serializes every batch and the
+//!   overlap clock reproduces the serial clock bit-for-bit; at larger
+//!   depths narrow independent batches land on idle devices and
+//!   [`Scheduler::elapsed_us`] (the makespan) falls below the busy time.
+//!
+//! The *request-accounting* clock (queue latency, `busy_us`, ops/s) is
+//! deliberately left on the serial reference semantics so reports and
+//! stats stay depth-invariant; the overlap clock surfaces separately as
+//! [`ServiceStats`] `elapsed_us` / `overlap_fraction` /
+//! `pipelined_ops_per_second` — the honest schedule-level throughput the
+//! `fig11_pipeline` bench pins.
+//!
+//! [`ServiceStats`]: crate::service::ServiceStats
+
+use crate::api::FheOp;
+use crate::exec::{BatchResult, ExecHandle, Executor};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Planning view of one queue slot: what the scheduler needs to know about
+/// a pending request (tombstones appear as `None` at the call site).
+#[derive(Debug, Clone, Copy)]
+pub struct SlotView<'a> {
+    /// The requested operation.
+    pub op: FheOp,
+    /// Ciphertext level the operation runs at.
+    pub level: usize,
+    /// Instances not yet planned into any batch.
+    pub remaining: usize,
+    /// Client tag (the independence rule keys on `(client, level)`).
+    /// Shared, not owned: planning runs once per admitted batch *plus*
+    /// once per blocked attempt, so keys clone refcounts, never strings.
+    pub client: &'a Arc<str>,
+}
+
+/// A coalesced batch the scheduler wants dispatched.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// The batch's operation.
+    pub op: FheOp,
+    /// The batch's ciphertext level.
+    pub level: usize,
+    /// Total instances coalesced.
+    pub width: usize,
+    /// `(queue index, instances)` per contributing request, in submission
+    /// order. Queue indices stay valid for the plan's lifetime because the
+    /// service rebases them ([`Scheduler::rebase`]) whenever it pops
+    /// leading tombstones off the queue.
+    pub takes: Vec<(usize, usize)>,
+    /// Independence keys — the `(client, level)` pairs of every
+    /// contributing request.
+    keys: BTreeSet<(Arc<str>, usize)>,
+}
+
+/// Outcome of one planning walk.
+#[derive(Debug)]
+pub enum Plan {
+    /// The next serial batch, independent of everything in flight.
+    Batch(BatchPlan),
+    /// The next serial batch exists but shares a `(client, level)` stream
+    /// with an in-flight batch; the window must drain before it may start
+    /// (program order within a client stream).
+    Blocked,
+    /// No request has instances left to plan.
+    Empty,
+}
+
+/// How an admitted batch is backed: a deterministic result the dispatch
+/// cache already knew, or a live submission to the executor.
+#[derive(Debug)]
+pub enum Work {
+    /// Replayed from the dispatch cache (identical batches cost the same
+    /// by the executor's determinism contract).
+    Cached(BatchResult),
+    /// Submitted for real; the handle is joined in submission order.
+    Submitted(ExecHandle),
+}
+
+/// A completed batch handed back for attribution.
+#[derive(Debug)]
+pub struct Finished {
+    /// The plan the batch was admitted under.
+    pub plan: BatchPlan,
+    /// The merged executor result.
+    pub result: BatchResult,
+    /// Whether the batch actually executed (`false` = cache replay); the
+    /// service refreshes its dispatch cache only for real executions.
+    pub executed: bool,
+}
+
+/// One submitted-but-unjoined batch in the window.
+#[derive(Debug)]
+struct InFlight {
+    plan: BatchPlan,
+    work: Work,
+    /// Result harvested early by a non-blocking [`Executor::try_join`];
+    /// consumed (in submission order) by [`Scheduler::complete_next`].
+    ready: Option<BatchResult>,
+    /// The join frontier at admission: completion time of the newest batch
+    /// joined before this one entered the window.
+    frontier_us: f64,
+}
+
+/// The in-flight window plus the overlap clock.
+///
+/// See the [module docs](self) for the scheduling model. The scheduler is
+/// deliberately queue-agnostic: the service feeds it [`SlotView`]s and
+/// applies the attribution itself, so the window logic stays independent
+/// of how requests are stored.
+#[derive(Debug)]
+pub struct Scheduler {
+    depth: usize,
+    window: VecDeque<InFlight>,
+    /// Union of in-flight independence keys (disjoint across batches by
+    /// construction — a conflicting plan is never admitted).
+    keys: BTreeSet<(Arc<str>, usize)>,
+    /// Virtual free time per device (µs): when each device's FIFO queue
+    /// runs dry under the overlap placement.
+    free_at: Vec<f64>,
+    /// Completion time of the newest joined batch (µs).
+    joined_frontier: f64,
+    /// Makespan of everything joined so far (µs): the virtual instant the
+    /// last device went idle. Equals the serial busy time at `depth = 1`.
+    elapsed_us: f64,
+    /// Most batches ever simultaneously in flight.
+    inflight_hwm: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given window depth over `devices`
+    /// virtual device queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero depth or device count (the service builder
+    /// validates both and returns a typed error first).
+    #[must_use]
+    pub fn new(depth: usize, devices: usize) -> Self {
+        assert!(depth > 0, "need a window of at least one batch");
+        assert!(devices > 0, "need at least one device");
+        Self {
+            depth,
+            window: VecDeque::with_capacity(depth),
+            keys: BTreeSet::new(),
+            free_at: vec![0.0; devices],
+            joined_frontier: 0.0,
+            elapsed_us: 0.0,
+            inflight_hwm: 0,
+        }
+    }
+
+    /// Configured window depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Batches currently submitted but not yet joined.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether another batch may be admitted.
+    #[must_use]
+    pub fn has_room(&self) -> bool {
+        self.window.len() < self.depth
+    }
+
+    /// Most batches ever simultaneously in flight.
+    #[must_use]
+    pub fn inflight_hwm(&self) -> usize {
+        self.inflight_hwm
+    }
+
+    /// Overlap-clock makespan (µs): when the last device went idle. At
+    /// `depth = 1` this is bit-identical to the accumulated batch wall
+    /// time; at larger depths overlapped batches pull it below that sum.
+    #[must_use]
+    pub fn elapsed_us(&self) -> f64 {
+        self.elapsed_us
+    }
+
+    /// Operation instances currently inside in-flight batches.
+    #[must_use]
+    pub fn in_flight_ops(&self) -> usize {
+        self.window.iter().map(|f| f.plan.width).sum()
+    }
+
+    /// The FIFO coalescing walk over the queue (the serial `drain`'s exact
+    /// batch-formation rule): the first slot with instances left defines
+    /// the `(op, level)` group, then every matching slot contributes in
+    /// submission order up to `cap` instances. The planned batch is then
+    /// checked against the in-flight independence keys.
+    ///
+    /// `slots` yields `(queue index, slot)` pairs; tombstones and
+    /// fully-reserved requests pass `None` / `remaining == 0` and are
+    /// skipped. Planning never mutates — the service applies the
+    /// reservation itself when it admits the plan.
+    pub fn plan<'a, I>(&self, cap: usize, slots: I) -> Plan
+    where
+        I: IntoIterator<Item = (usize, Option<SlotView<'a>>)>,
+    {
+        let mut group: Option<(FheOp, usize)> = None;
+        let mut width = 0usize;
+        let mut takes: Vec<(usize, usize)> = Vec::new();
+        let mut keys: BTreeSet<(Arc<str>, usize)> = BTreeSet::new();
+        for (i, slot) in slots {
+            let Some(s) = slot else { continue };
+            if s.remaining == 0 {
+                continue;
+            }
+            let (op, level) = *group.get_or_insert((s.op, s.level));
+            if s.op != op || s.level != level {
+                continue;
+            }
+            let take = s.remaining.min(cap - width);
+            if take > 0 {
+                takes.push((i, take));
+                width += take;
+                keys.insert((Arc::clone(s.client), s.level));
+            }
+            if width == cap {
+                break;
+            }
+        }
+        let Some((op, level)) = group else {
+            return Plan::Empty;
+        };
+        if keys.iter().any(|k| self.keys.contains(k)) {
+            return Plan::Blocked;
+        }
+        Plan::Batch(BatchPlan {
+            op,
+            level,
+            width,
+            takes,
+            keys,
+        })
+    }
+
+    /// Admits a planned batch into the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full ([`Scheduler::has_room`] gates every
+    /// admission) — admitting past `depth` would silently void the
+    /// window-constraint semantics the overlap clock models.
+    pub fn admit(&mut self, plan: BatchPlan, work: Work) {
+        assert!(self.has_room(), "window is full");
+        for k in &plan.keys {
+            let fresh = self.keys.insert(k.clone());
+            debug_assert!(fresh, "dependent batch admitted: {k:?}");
+        }
+        self.window.push_back(InFlight {
+            plan,
+            work,
+            ready: None,
+            frontier_us: self.joined_frontier,
+        });
+        self.inflight_hwm = self.inflight_hwm.max(self.window.len());
+    }
+
+    /// Shifts every in-flight plan's take indices down by `popped` after
+    /// the caller removed that many leading (dead) queue slots. Keeping
+    /// indices rebasable lets the service compact tombstones *while*
+    /// batches are in flight, so a pump-driven service under sustained
+    /// load reclaims its queue instead of growing a dead prefix forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if any in-flight take still points into the removed
+    /// prefix — the caller may only pop slots no plan references.
+    pub fn rebase(&mut self, popped: usize) {
+        if popped == 0 {
+            return;
+        }
+        for f in &mut self.window {
+            for (i, _) in &mut f.plan.takes {
+                debug_assert!(*i >= popped, "popped a slot an in-flight plan references");
+                *i -= popped;
+            }
+        }
+    }
+
+    /// Opportunistically harvests already-completed submissions into the
+    /// window buffer via the non-blocking [`Executor::try_join`]. Purely a
+    /// latency courtesy to the backend (worker reply channels drain
+    /// early); consumption order — and therefore every result and stat —
+    /// is fixed by [`Scheduler::complete_next`].
+    pub fn harvest(&mut self, exec: &mut dyn Executor) {
+        for f in &mut self.window {
+            if f.ready.is_none() {
+                if let Work::Submitted(h) = f.work {
+                    f.ready = exec.try_join(h);
+                }
+            }
+        }
+    }
+
+    /// Joins the *oldest* in-flight batch (blocking if it is still
+    /// executing), releases its independence keys, advances the overlap
+    /// clock, and hands it back for attribution. Returns `None` when
+    /// nothing is in flight.
+    pub fn complete_next(&mut self, exec: &mut dyn Executor) -> Option<Finished> {
+        let mut inflight = self.window.pop_front()?;
+        let (result, executed) = match (inflight.ready.take(), inflight.work) {
+            (Some(r), _) => (r, true),
+            (None, Work::Cached(r)) => (r, false),
+            (None, Work::Submitted(h)) => (exec.join(h), true),
+        };
+        for k in &inflight.plan.keys {
+            self.keys.remove(k);
+        }
+        self.advance_clock(inflight.frontier_us, &result);
+        Some(Finished {
+            plan: inflight.plan,
+            result,
+            executed,
+        })
+    }
+
+    /// The overlap-clock step for one joined batch: place its shards on
+    /// the least-loaded virtual devices, gang-start them at the latest of
+    /// the join frontier and those devices' free times, and record the
+    /// completion.
+    ///
+    /// At `depth = 1` the frontier *is* the previous batch's completion
+    /// (it was joined before this batch was admitted) and every device's
+    /// free time is at most that, so the start collapses to the serial
+    /// clock and the makespan accumulates exactly `Σ wall` — the same
+    /// float additions, in the same order, as the service's busy-time
+    /// accounting.
+    fn advance_clock(&mut self, frontier_us: f64, result: &BatchResult) {
+        let mut shards: Vec<f64> = result
+            .per_device_us
+            .iter()
+            .copied()
+            .filter(|&t| t > 0.0)
+            .collect();
+        // Longest shard first (stable: equal shards keep device order).
+        shards.sort_by(|a, b| b.partial_cmp(a).expect("shard times are finite"));
+        debug_assert!(shards.len() <= self.free_at.len());
+        // Least-loaded virtual devices first, ties to the lowest index.
+        let mut order: Vec<usize> = (0..self.free_at.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.free_at[a]
+                .partial_cmp(&self.free_at[b])
+                .expect("free times are finite")
+                .then(a.cmp(&b))
+        });
+        let chosen = &order[..shards.len()];
+        let mut start = frontier_us;
+        for &d in chosen {
+            start = start.max(self.free_at[d]);
+        }
+        // Longest shard onto the least-loaded device keeps queues level.
+        for (&d, &t) in chosen.iter().zip(&shards) {
+            self.free_at[d] = start + t;
+        }
+        let completion = start + result.stats.time_us;
+        self.elapsed_us = self.elapsed_us.max(completion);
+        self.joined_frontier = self.joined_frontier.max(completion);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, OpStats, Variant};
+    use crate::exec::SimExecutor;
+
+    /// Test shorthand: leaks a tiny `Arc<str>` per call so literals can be
+    /// passed where production code hands out `&Pending.client_key`.
+    fn view(op: FheOp, level: usize, remaining: usize, client: &str) -> Option<SlotView<'static>> {
+        let key: &'static Arc<str> = Box::leak(Box::new(Arc::from(client)));
+        Some(SlotView {
+            op,
+            level,
+            remaining,
+            client: key,
+        })
+    }
+
+    fn result(per_device_us: Vec<f64>) -> BatchResult {
+        let wall = per_device_us.iter().copied().fold(0.0f64, f64::max);
+        BatchResult {
+            stats: OpStats {
+                time_us: wall,
+                occupancy: 0.5,
+                energy_j: 1.0,
+                launches: 4,
+                by_kernel: vec![],
+            },
+            per_device_us,
+        }
+    }
+
+    fn sched(depth: usize, devices: usize) -> Scheduler {
+        Scheduler::new(depth, devices)
+    }
+
+    #[test]
+    fn plan_coalesces_the_head_group_fifo() {
+        let s = sched(2, 1);
+        let slots = vec![
+            (0usize, None),
+            (1, view(FheOp::HMult, 3, 5, "a")),
+            (2, view(FheOp::Rescale, 3, 9, "b")),
+            (3, view(FheOp::HMult, 3, 4, "c")),
+            (4, view(FheOp::HMult, 2, 8, "a")),
+        ];
+        let Plan::Batch(p) = s.plan(8, slots) else {
+            panic!("expected a batch");
+        };
+        assert_eq!(p.op, FheOp::HMult);
+        assert_eq!(p.level, 3);
+        assert_eq!(p.width, 8);
+        assert_eq!(p.takes, vec![(1, 5), (3, 3)], "cap-bounded FIFO takes");
+    }
+
+    #[test]
+    fn plan_skips_fully_reserved_slots_and_reports_empty() {
+        let s = sched(2, 1);
+        let slots = vec![(0usize, view(FheOp::HAdd, 1, 0, "a")), (1, None)];
+        assert!(matches!(s.plan(4, slots), Plan::Empty));
+    }
+
+    #[test]
+    fn dependent_plans_block_until_keys_release() {
+        let mut s = sched(4, 2);
+        let first = {
+            let Plan::Batch(p) = s.plan(4, vec![(0usize, view(FheOp::HMult, 3, 4, "a"))]) else {
+                panic!("expected a batch");
+            };
+            p
+        };
+        s.admit(first, Work::Cached(result(vec![1.0, 1.0])));
+
+        // Same client, same level, different op: program order applies.
+        let chained = vec![(1usize, view(FheOp::HAdd, 3, 2, "a"))];
+        assert!(matches!(s.plan(4, chained.clone()), Plan::Blocked));
+        // Same client at another level, or another client at the same
+        // level: independent.
+        for slots in [
+            vec![(1usize, view(FheOp::HAdd, 2, 2, "a"))],
+            vec![(1usize, view(FheOp::HAdd, 3, 2, "b"))],
+        ] {
+            assert!(
+                matches!(s.plan(4, slots), Plan::Batch(_)),
+                "independent stream must not block"
+            );
+        }
+
+        // Joining the holder releases the key.
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut exec = SimExecutor::new(cfg, 2);
+        let fin = s.complete_next(&mut exec).expect("one in flight");
+        assert!(!fin.executed, "cached work never touches the executor");
+        assert!(matches!(s.plan(4, chained), Plan::Batch(_)));
+    }
+
+    #[test]
+    fn window_depth_is_enforced() {
+        let mut s = sched(2, 1);
+        for i in 0..2 {
+            let Plan::Batch(p) = s.plan(1, vec![(i, view(FheOp::HMult, i, 1, "x"))]) else {
+                panic!("expected a batch");
+            };
+            s.admit(p, Work::Cached(result(vec![1.0])));
+        }
+        assert!(!s.has_room());
+        assert_eq!(s.in_flight(), 2);
+        assert_eq!(s.inflight_hwm(), 2);
+        assert_eq!(s.in_flight_ops(), 2);
+    }
+
+    #[test]
+    fn depth_one_overlap_clock_accumulates_serial_walls() {
+        // The bit-identity cornerstone: at depth 1 the makespan is the
+        // plain sum of batch wall times, by the same float additions.
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut exec = SimExecutor::new(cfg, 4);
+        let mut s = sched(1, 4);
+        let walls = [3.5f64, 1.25, 7.0];
+        let mut serial = 0.0f64;
+        for (i, &w) in walls.iter().enumerate() {
+            let Plan::Batch(p) = s.plan(4, vec![(i, view(FheOp::HMult, 3, 1, "c"))]) else {
+                panic!("expected a batch");
+            };
+            // Ragged shards: the batch still gang-starts after the
+            // previous completion because the window is one deep.
+            s.admit(p, Work::Cached(result(vec![w, w / 2.0, 0.0, 0.0])));
+            let _ = s.complete_next(&mut exec).expect("in flight");
+            serial += w;
+            assert_eq!(s.elapsed_us().to_bits(), serial.to_bits());
+        }
+    }
+
+    #[test]
+    fn deep_window_overlaps_narrow_batches_onto_idle_devices() {
+        // Four width-1 batches on a 4-device cluster: the serial clock
+        // charges 4 walls, the overlap clock one.
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut exec = SimExecutor::new(cfg, 4);
+        let mut s = sched(4, 4);
+        for i in 0..4usize {
+            let Plan::Batch(p) = s.plan(4, vec![(i, view(FheOp::HMult, i, 1, "c"))]) else {
+                panic!("expected a batch");
+            };
+            s.admit(p, Work::Cached(result(vec![10.0, 0.0, 0.0, 0.0])));
+        }
+        for _ in 0..4 {
+            let _ = s.complete_next(&mut exec).expect("in flight");
+        }
+        assert_eq!(s.elapsed_us(), 10.0, "four batches share one wall");
+        assert_eq!(s.inflight_hwm(), 4);
+
+        // A fifth batch admitted after one join stacks behind the window
+        // frontier, not at zero.
+        let Plan::Batch(p) = s.plan(4, vec![(9, view(FheOp::HMult, 9, 1, "c"))]) else {
+            panic!("expected a batch");
+        };
+        s.admit(p, Work::Cached(result(vec![10.0, 0.0, 0.0, 0.0])));
+        let _ = s.complete_next(&mut exec).expect("in flight");
+        assert_eq!(s.elapsed_us(), 20.0, "fifth batch queues behind the window");
+    }
+}

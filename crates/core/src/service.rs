@@ -12,18 +12,27 @@
 //! 2. [`FheService::drain`] coalesces *compatible* queued requests — same
 //!    operation at the same level — into VRAM-feasible batches (the
 //!    `auto_batch` bound of §IV-E, multiplied across devices), preserving
-//!    FIFO order across client tags.
+//!    FIFO order across client tags. Batch formation and the in-flight
+//!    window live in the [`crate::sched::Scheduler`]; `drain` is a thin
+//!    loop that fills the window and settles completed batches.
 //! 3. Each batch is dispatched through the pluggable
 //!    [`crate::exec::Executor`] seam — serial simulated launches
 //!    ([`crate::exec::SimExecutor`]) or one worker thread per device
 //!    ([`crate::exec::ThreadedPool`], selected by
 //!    [`TensorFheBuilder::workers`] or the `TENSORFHE_WORKERS` environment
-//!    variable) — and its cost is attributed back to the requests that rode
-//!    in it: every request receives an [`OpReport`] plus queue latency, and
-//!    the service accumulates aggregate [`ServiceStats`] (batch-fill
-//!    efficiency, per-device utilization, ops/s, ops/W). Executors are
-//!    deterministic, so serial and threaded drains produce bit-identical
-//!    reports.
+//!    variable). With a pipeline depth above one
+//!    ([`TensorFheBuilder::pipeline_depth`] / `TENSORFHE_PIPELINE`), up to
+//!    `depth` *independent* batches stay submitted-but-unjoined at once —
+//!    no two in-flight batches may contain requests from the same client
+//!    stream at the same ciphertext level, so chained operations observe
+//!    program order. Handles are joined in submission order, which keeps
+//!    cost attribution back to the requests — every request's
+//!    [`OpReport`], queue latency, and the aggregate [`ServiceStats`]
+//!    (batch-fill efficiency, per-device utilization, ops/s, ops/W) —
+//!    **bit-identical at every depth and worker count**; pipelining only
+//!    moves the schedule-level overlap accounting
+//!    ([`ServiceStats::elapsed_us`], [`ServiceStats::overlap_fraction`],
+//!    [`ServiceStats::pipelined_ops_per_second`]).
 //!
 //! Time is *virtual* (simulated-device microseconds), consistent with the
 //! rest of the reproduction: the service clock advances by the wall time of
@@ -40,6 +49,7 @@ use crate::api::{schedule_events, FheOp, OpReport, TensorFheBuilder};
 use crate::engine::ExecMode;
 use crate::error::{CoreError, CoreResult};
 use crate::exec::{build_executor, BatchResult, ExecBatch, Executor};
+use crate::sched::{BatchPlan, Finished, Plan, Scheduler, SlotView, Work};
 use std::collections::{HashMap, VecDeque};
 use tensorfhe_ckks::CkksParams;
 
@@ -103,9 +113,18 @@ pub struct RequestReport {
 /// Queue state of a submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestStatus {
-    /// Still queued, with this many operation instances left to run.
+    /// Still queued, with this many operation instances left to run;
+    /// nothing from this request is currently on a device.
     Queued {
         /// Instances not yet dispatched.
+        remaining: usize,
+    },
+    /// Part of the request rides in a submitted-but-unjoined batch (a
+    /// mid-drain state, observable between [`FheService::pump`] steps).
+    InFlight {
+        /// Instances inside in-flight batches.
+        executing: usize,
+        /// Instances still queued behind them.
         remaining: usize,
     },
     /// Fully served; its report was (or will be) returned by the drain
@@ -132,11 +151,21 @@ pub struct ServiceStats {
     pub devices: usize,
     /// Host worker threads driving the devices (1 = serial executor).
     pub workers: usize,
+    /// Configured in-flight window depth (1 = strictly synchronous
+    /// rounds, the pre-scheduler behaviour).
+    pub pipeline_depth: usize,
+    /// Most batches ever simultaneously submitted-but-unjoined. `≤ 1`
+    /// under a depth-1 window; larger values mean the scheduler really
+    /// overlapped independent batches.
+    pub inflight_hwm: usize,
     /// Busy time per device (µs, virtual), indexed by device: the sum of
-    /// every shard that device executed. Sums across devices to the total
-    /// attributed device time of all dispatched batches. (Per *device*,
-    /// not per worker thread — with fewer workers than devices each worker
-    /// drives several devices.)
+    /// every shard that device executed under the canonical device-order
+    /// shard layout. Sums across devices to the total attributed device
+    /// time of all dispatched batches, and is depth-invariant (per
+    /// *device slot*, not per worker thread — with fewer workers than
+    /// devices each worker drives several devices; and with a pipeline
+    /// depth above one the overlap clock may re-place shards onto idle
+    /// device queues without moving this attribution).
     pub device_busy_us: Vec<f64>,
     /// Busy-time fraction per device: `device_busy_us[i] / busy_us`, i.e.
     /// the share of the service's busy window device `i` spent executing
@@ -146,14 +175,31 @@ pub struct ServiceStats {
     pub device_utilization: Vec<f64>,
     /// Mean fraction of the batch cap actually filled, in `(0, 1]`.
     pub batch_fill: f64,
-    /// Total device busy time (µs, virtual).
+    /// Total device busy time (µs, virtual): the sum of every dispatched
+    /// batch's wall time — the serial reference clock requests are
+    /// accounted against, identical at every pipeline depth.
     pub busy_us: f64,
+    /// Overlap-clock makespan (µs, virtual): when the last device went
+    /// idle under the scheduler's per-device FIFO model. Bit-identical to
+    /// [`ServiceStats::busy_us`] at depth 1; smaller whenever independent
+    /// batches really overlapped.
+    pub elapsed_us: f64,
+    /// `1 − elapsed_us / busy_us`: the fraction of serial batch time the
+    /// in-flight window hid by overlapping independent batches. Exactly
+    /// `0.0` at depth 1.
+    pub overlap_fraction: f64,
     /// Total energy charged (J).
     pub energy_j: f64,
     /// Mean queue latency over completed requests (µs, virtual).
     pub mean_queue_us: f64,
     /// Aggregate throughput: completed operations per second of busy time.
+    /// Depth-invariant (the request-accounting metric).
     pub ops_per_second: f64,
+    /// Schedule-level throughput: completed operations per second of
+    /// *elapsed* (overlap-clock) time. Equals [`ServiceStats::ops_per_second`]
+    /// at depth 1 and exceeds it exactly when batches overlapped — the
+    /// `fig11_pipeline` metric.
+    pub pipelined_ops_per_second: f64,
     /// Aggregate operations per watt (Table XI's service-level metric).
     pub ops_per_watt: f64,
 }
@@ -163,7 +209,13 @@ pub struct ServiceStats {
 struct Pending {
     id: RequestId,
     req: FheRequest,
+    /// The client tag as a shared key: planning walks clone refcounts
+    /// into independence keys instead of allocating strings.
+    client_key: std::sync::Arc<str>,
+    /// Instances not yet planned into any batch.
     remaining: usize,
+    /// Instances reserved by submitted-but-unjoined batches.
+    executing: usize,
     submitted_us: f64,
     time_us: f64,
     energy_j: f64,
@@ -179,10 +231,14 @@ struct Pending {
 /// The batching FHE service front end.
 ///
 /// The queue holds `Option<Pending>` slots: a completed mid-queue request is
-/// finalized in place and leaves a tombstone (`None`) that is popped once it
-/// reaches the front. This keeps the per-batch completion sweep linear in
-/// the requests the batch actually touched — a `VecDeque::remove`-based
-/// sweep restarting from index 0 made paper-scale streams O(Q²).
+/// finalized in place and leaves a tombstone (`None`). Leading tombstones
+/// are compacted away after every settled batch — in-flight take indices
+/// are rebased in step ([`crate::sched::Scheduler::rebase`]) — and the
+/// `head` cursor keeps planning walks from rescanning dead prefixes, so
+/// the per-batch work stays linear in the requests a batch actually
+/// touched (a `VecDeque::remove`-based sweep restarting from index 0 made
+/// paper-scale streams O(Q²)) and the queue stays bounded by live
+/// requests even under sustained pump-driven load.
 #[derive(Debug)]
 pub struct FheService {
     params: CkksParams,
@@ -194,6 +250,11 @@ pub struct FheService {
     batch_cap: usize,
     power_watts: f64,
     queue: VecDeque<Option<Pending>>,
+    /// First queue index that may still need planning (everything before
+    /// it is a tombstone or fully reserved).
+    head: usize,
+    /// The in-flight window + overlap clock.
+    sched: Scheduler,
     next_id: u64,
     clock_us: f64,
     // Cumulative accounting.
@@ -248,6 +309,27 @@ impl FheService {
                 Err(_) => 1,
             },
         };
+        // Pipeline depth: same resolution order and strictness as the
+        // worker count — builder, then the `TENSORFHE_PIPELINE` CI matrix
+        // knob, then the depth-1 (strictly synchronous) default. The
+        // scheduler is deterministic at every depth, so the choice moves
+        // only the overlap accounting, never reports.
+        let depth = match b.pipeline {
+            Some(d) => d,
+            None => match std::env::var("TENSORFHE_PIPELINE") {
+                Ok(v) => v.trim().parse::<usize>().map_err(|_| {
+                    CoreError::InvalidConfig(format!(
+                        "TENSORFHE_PIPELINE must be a window depth, got {v:?}"
+                    ))
+                })?,
+                Err(_) => 1,
+            },
+        };
+        if depth == 0 {
+            return Err(CoreError::InvalidConfig(
+                "pipeline depth must be non-zero".into(),
+            ));
+        }
         let executor = build_executor(&cfg, b.devices, workers)?;
         // The executor owns the capability queries: a backend with
         // different board power or VRAM reports it through `caps()`, and
@@ -278,6 +360,8 @@ impl FheService {
             batch_cap,
             power_watts,
             queue: VecDeque::new(),
+            head: 0,
+            sched: Scheduler::new(depth, b.devices),
             next_id: 0,
             clock_us: 0.0,
             requests_completed: 0,
@@ -323,16 +407,35 @@ impl FheService {
         self.batch_cap
     }
 
-    /// Operation instances currently queued.
+    /// Configured in-flight window depth (1 = strictly synchronous).
+    #[must_use]
+    pub fn pipeline_depth(&self) -> usize {
+        self.sched.depth()
+    }
+
+    /// Operation instances not yet completed (queued or in flight).
     #[must_use]
     pub fn pending_ops(&self) -> usize {
-        self.queue.iter().flatten().map(|p| p.remaining).sum()
+        self.queue
+            .iter()
+            .flatten()
+            .map(|p| p.remaining + p.executing)
+            .sum()
     }
 
     /// Requests currently queued.
     #[must_use]
     pub fn pending_requests(&self) -> usize {
         self.queue.iter().flatten().count()
+    }
+
+    /// Queue slots currently held, including mid-queue tombstones awaiting
+    /// their turn at the front. Leading tombstones are reclaimed after
+    /// every settled batch, so under sustained FIFO load this tracks the
+    /// live request count instead of the total ever served.
+    #[must_use]
+    pub fn queue_slots(&self) -> usize {
+        self.queue.len()
     }
 
     /// Queue state of a request handle.
@@ -346,6 +449,10 @@ impl FheService {
             return Err(CoreError::UnknownRequest(id));
         }
         Ok(match self.queue.iter().flatten().find(|p| p.id == id) {
+            Some(p) if p.executing > 0 => RequestStatus::InFlight {
+                executing: p.executing,
+                remaining: p.remaining,
+            },
             Some(p) => RequestStatus::Queued {
                 remaining: p.remaining,
             },
@@ -373,10 +480,13 @@ impl FheService {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let remaining = req.count;
+        let client_key: std::sync::Arc<str> = req.client.as_str().into();
         self.queue.push_back(Some(Pending {
             id,
             req,
+            client_key,
             remaining,
+            executing: 0,
             submitted_us: self.clock_us,
             time_us: 0.0,
             energy_j: 0.0,
@@ -400,81 +510,177 @@ impl FheService {
         reqs.into_iter().map(|r| self.submit(r)).collect()
     }
 
-    /// Serves the queue to exhaustion: repeatedly coalesces the largest
-    /// FIFO-compatible batch (same operation, same level, up to the batch
-    /// cap), dispatches it, and attributes its cost to the requests that
-    /// rode in it. Returns the completion reports in completion order.
+    /// Serves the queue to exhaustion: keeps the scheduler's in-flight
+    /// window filled with independent FIFO-coalesced batches (same
+    /// operation, same level, up to the batch cap), joins them in
+    /// submission order, and attributes each batch's cost to the requests
+    /// that rode in it. Returns the completion reports in completion
+    /// order — bit-identical at every pipeline depth and worker count.
     /// Draining an empty queue is a no-op returning no reports.
     pub fn drain(&mut self) -> Vec<RequestReport> {
         let mut done = Vec::new();
-        while let Some(front) = self.queue.front().and_then(Option::as_ref) {
-            let op = front.req.op;
-            let level = front.req.level;
-
-            // FIFO coalescing pass: walk the queue in submission order and
-            // take instances from every request compatible with the head.
-            let cap = self.batch_cap;
-            let mut width = 0usize;
-            let mut takes: Vec<(usize, usize)> = Vec::new();
-            for (i, slot) in self.queue.iter().enumerate() {
-                let Some(p) = slot else { continue };
-                if p.req.op != op || p.req.level != level {
-                    continue;
-                }
-                let take = p.remaining.min(cap - width);
-                if take > 0 {
-                    takes.push((i, take));
-                    width += take;
-                }
-                if width == cap {
-                    break;
-                }
-            }
-
-            let result = self.dispatch(op, level, width);
-            for (dev, t) in result.per_device_us.iter().enumerate() {
-                self.device_busy_us[dev] += t;
-            }
-            let stats = result.stats;
-            self.clock_us += stats.time_us;
-            self.busy_us += stats.time_us;
-            self.energy_j += stats.energy_j;
-            self.batches_dispatched += 1;
-            self.launches_total += stats.launches;
-            self.fill_sum += width as f64 / cap as f64;
-            self.ops_completed += width;
-
-            let launch_shares = Self::apportion(stats.launches as u64, &takes, width);
-            for (&(i, take), &launches) in takes.iter().zip(&launch_shares) {
-                let share = take as f64 / width as f64;
-                let p = self.queue[i].as_mut().expect("take targets a live slot");
-                p.remaining -= take;
-                p.batches += 1;
-                p.time_us += stats.time_us * share;
-                p.energy_j += stats.energy_j * share;
-                p.occ_weighted += stats.occupancy * stats.time_us * share;
-                p.launches += launches;
-                for (k, t) in &stats.by_kernel {
-                    *p.by_kernel.entry(k.clone()).or_insert(0.0) += t * share;
-                }
-            }
-
-            // Completion sweep: only requests the batch touched can have
-            // completed, and `takes` is already in queue (= submission)
-            // order, so finalizing along it preserves FIFO report order.
-            // Completed mid-queue entries leave tombstones; leading
-            // tombstones are popped so the head is always live.
-            for &(i, _) in &takes {
-                if self.queue[i].as_ref().is_some_and(|p| p.remaining == 0) {
-                    let p = self.queue[i].take().expect("checked live");
-                    done.push(self.finalize(p));
-                }
-            }
-            while matches!(self.queue.front(), Some(None)) {
-                self.queue.pop_front();
-            }
+        while self.pump_into(&mut done) {
+            self.compact();
         }
         done
+    }
+
+    /// One scheduler step: tops up the in-flight window, then joins and
+    /// settles the oldest in-flight batch (if any), returning whatever
+    /// requests that completed. [`FheService::drain`] is exactly a loop
+    /// over `pump`; stepping manually lets callers interleave
+    /// [`FheService::status`] queries (observing
+    /// [`RequestStatus::InFlight`]) or new submissions mid-drain. Returns
+    /// an empty vector once the queue and window are exhausted.
+    pub fn pump(&mut self) -> Vec<RequestReport> {
+        let mut done = Vec::new();
+        self.pump_into(&mut done);
+        self.compact();
+        done
+    }
+
+    /// The drain step: fill the window, settle one batch. `false` once
+    /// nothing is in flight (the queue holds no plannable work).
+    fn pump_into(&mut self, done: &mut Vec<RequestReport>) -> bool {
+        self.fill_window();
+        let Some(fin) = self.sched.complete_next(self.executor.as_mut()) else {
+            return false;
+        };
+        self.settle(fin, done);
+        true
+    }
+
+    /// Plans and admits batches until the window is full, the next serial
+    /// batch is blocked on an in-flight client stream, or the queue runs
+    /// dry. Reservation happens at *plan* time (`remaining → executing`)
+    /// so later plans — made while earlier batches are still in flight —
+    /// see exactly the queue state the serial path would.
+    fn fill_window(&mut self) {
+        while self.sched.has_room() {
+            self.advance_head();
+            let plan = {
+                let slots = self.queue.iter().enumerate().skip(self.head).map(|(i, s)| {
+                    (
+                        i,
+                        s.as_ref().map(|p| SlotView {
+                            op: p.req.op,
+                            level: p.req.level,
+                            remaining: p.remaining,
+                            client: &p.client_key,
+                        }),
+                    )
+                });
+                self.sched.plan(self.batch_cap, slots)
+            };
+            match plan {
+                Plan::Batch(plan) => {
+                    for &(i, take) in &plan.takes {
+                        let p = self.queue[i].as_mut().expect("take targets a live slot");
+                        p.remaining -= take;
+                        p.executing += take;
+                    }
+                    let work = self.dispatch(plan.op, plan.level, plan.width);
+                    self.sched.admit(plan, work);
+                }
+                Plan::Blocked | Plan::Empty => break,
+            }
+        }
+        // Harvest whatever already finished on the host workers; purely a
+        // channel-draining courtesy, never reordering settlement.
+        self.sched.harvest(self.executor.as_mut());
+    }
+
+    /// Attributes one completed batch to the requests that rode in it and
+    /// finalizes any that are now fully served. `takes` is in queue
+    /// (= submission) order and batches settle in submission order, so
+    /// report order is FIFO exactly as the synchronous drain produced.
+    fn settle(&mut self, fin: Finished, done: &mut Vec<RequestReport>) {
+        let Finished {
+            plan,
+            result,
+            executed,
+        } = fin;
+        let BatchPlan {
+            op,
+            level,
+            width,
+            ref takes,
+            ..
+        } = plan;
+        if executed {
+            self.cost_cache.insert((op, level, width), result.clone());
+        }
+        let cap = self.batch_cap;
+        for (dev, t) in result.per_device_us.iter().enumerate() {
+            self.device_busy_us[dev] += t;
+        }
+        let stats = result.stats;
+        self.clock_us += stats.time_us;
+        self.busy_us += stats.time_us;
+        self.energy_j += stats.energy_j;
+        self.batches_dispatched += 1;
+        self.launches_total += stats.launches;
+        self.fill_sum += width as f64 / cap as f64;
+        self.ops_completed += width;
+
+        let launch_shares = Self::apportion(stats.launches as u64, takes, width);
+        for (&(i, take), &launches) in takes.iter().zip(&launch_shares) {
+            let share = take as f64 / width as f64;
+            let p = self.queue[i].as_mut().expect("take targets a live slot");
+            p.executing -= take;
+            p.batches += 1;
+            p.time_us += stats.time_us * share;
+            p.energy_j += stats.energy_j * share;
+            p.occ_weighted += stats.occupancy * stats.time_us * share;
+            p.launches += launches;
+            for (k, t) in &stats.by_kernel {
+                *p.by_kernel.entry(k.clone()).or_insert(0.0) += t * share;
+            }
+        }
+
+        // Completion sweep: only requests the batch touched can have
+        // completed. Completed entries leave tombstones in place —
+        // compaction waits until the window is empty so in-flight take
+        // indices stay valid.
+        for &(i, _) in takes {
+            if self.queue[i]
+                .as_ref()
+                .is_some_and(|p| p.remaining == 0 && p.executing == 0)
+            {
+                let p = self.queue[i].take().expect("checked live");
+                done.push(self.finalize(p));
+            }
+        }
+    }
+
+    /// Advances the planning cursor past tombstones and fully-reserved
+    /// slots so repeated planning walks stay linear over a drain.
+    fn advance_head(&mut self) {
+        while let Some(slot) = self.queue.get(self.head) {
+            match slot {
+                None => self.head += 1,
+                Some(p) if p.remaining == 0 => self.head += 1,
+                Some(_) => break,
+            }
+        }
+    }
+
+    /// Pops leading tombstones and rebases the planning cursor plus every
+    /// in-flight plan's take indices. A finalized slot is by definition
+    /// referenced by no in-flight plan, so popping the dead prefix is
+    /// always safe — this runs after every settle, keeping the queue
+    /// bounded by *live* requests even for a pump-driven service under
+    /// sustained load (where the window never empties).
+    fn compact(&mut self) {
+        let mut popped = 0usize;
+        while matches!(self.queue.front(), Some(None)) {
+            self.queue.pop_front();
+            popped += 1;
+        }
+        if popped > 0 {
+            self.head = self.head.saturating_sub(popped);
+            self.sched.rebase(popped);
+        }
     }
 
     /// Cumulative service statistics.
@@ -496,6 +702,19 @@ impl FheService {
                 }
             })
             .collect();
+        let elapsed_us = self.sched.elapsed_us();
+        // At depth 1 `elapsed` and `busy` are the same accumulation, so
+        // the ratio is exactly 1.0 and the overlap exactly 0.0.
+        let overlap_fraction = if self.busy_us > 0.0 {
+            1.0 - elapsed_us / self.busy_us
+        } else {
+            0.0
+        };
+        let pipelined_ops_per_second = if elapsed_us > 0.0 {
+            self.ops_completed as f64 / (elapsed_us * 1e-6)
+        } else {
+            0.0
+        };
         ServiceStats {
             requests_completed: self.requests_completed,
             ops_completed: self.ops_completed,
@@ -504,6 +723,8 @@ impl FheService {
             batch_cap: self.batch_cap,
             devices: self.devices(),
             workers: self.workers(),
+            pipeline_depth: self.sched.depth(),
+            inflight_hwm: self.sched.inflight_hwm(),
             device_busy_us: self.device_busy_us.clone(),
             device_utilization,
             batch_fill: if self.batches_dispatched > 0 {
@@ -512,6 +733,8 @@ impl FheService {
                 0.0
             },
             busy_us: self.busy_us,
+            elapsed_us,
+            overlap_fraction,
             energy_j: self.energy_j,
             mean_queue_us: if self.requests_completed > 0 {
                 self.queue_latency_sum_us / self.requests_completed as f64
@@ -519,6 +742,7 @@ impl FheService {
                 0.0
             },
             ops_per_second,
+            pipelined_ops_per_second,
             ops_per_watt: ops_per_second / self.power_watts,
         }
     }
@@ -548,12 +772,14 @@ impl FheService {
         shares
     }
 
-    /// Executes one coalesced batch through the executor seam, consulting
-    /// the dispatch cache (executors are deterministic, so identical
-    /// batches cost the same by contract).
-    fn dispatch(&mut self, op: FheOp, level: usize, width: usize) -> BatchResult {
+    /// Sources the work for one coalesced batch: a dispatch-cache replay
+    /// when an identical batch already ran (executors are deterministic
+    /// *and* history-free, so identical batches cost the same by
+    /// contract), otherwise a live executor submission joined later in
+    /// submission order.
+    fn dispatch(&mut self, op: FheOp, level: usize, width: usize) -> Work {
         if let Some(hit) = self.cost_cache.get(&(op, level, width)) {
-            return hit.clone();
+            return Work::Cached(hit.clone());
         }
         let events = schedule_events(&self.params, op, level);
         let handle = self.executor.submit(ExecBatch {
@@ -561,9 +787,7 @@ impl FheService {
             events: events.into(),
             width,
         });
-        let result = self.executor.join(handle);
-        self.cost_cache.insert((op, level, width), result.clone());
-        result
+        Work::Submitted(handle)
     }
 
     fn finalize(&mut self, p: Pending) -> RequestReport {
