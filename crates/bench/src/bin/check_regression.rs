@@ -51,14 +51,15 @@ fn main() -> ExitCode {
     };
 
     let mut rows = Vec::new();
-    let mut failures = 0usize;
+    let mut regressed: Vec<String> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
     for (key, &base) in &baseline {
         let floor = base * (1.0 - ALLOWED_DROP);
         match current.get(key) {
             Some(&now) => {
                 let ok = now >= floor;
                 if !ok {
-                    failures += 1;
+                    regressed.push(key.clone());
                 }
                 rows.push(vec![
                     key.clone(),
@@ -69,7 +70,7 @@ fn main() -> ExitCode {
                 ]);
             }
             None => {
-                failures += 1;
+                missing.push(key.clone());
                 rows.push(vec![
                     key.clone(),
                     format!("{base:.3}"),
@@ -98,8 +99,29 @@ fn main() -> ExitCode {
         &rows,
     );
 
-    if failures > 0 {
-        eprintln!("{failures} pinned metric(s) regressed or went missing");
+    // A pinned key that disappeared is its own failure class: the bench
+    // stopped emitting it (renamed, skipped, or broken), which the drop
+    // check alone can't see. Name every absent key so the fix is obvious.
+    if !missing.is_empty() {
+        eprintln!(
+            "{} pinned baseline key(s) missing from {current_path}:",
+            missing.len()
+        );
+        for key in &missing {
+            eprintln!("  - {key}");
+        }
+        eprintln!(
+            "(every key in {baseline_path} must be emitted by the bench-smoke run; \
+             rename the baseline key in the same PR that renames the metric)"
+        );
+    }
+    if !regressed.is_empty() {
+        eprintln!("{} pinned metric(s) regressed:", regressed.len());
+        for key in &regressed {
+            eprintln!("  - {key}");
+        }
+    }
+    if !missing.is_empty() || !regressed.is_empty() {
         ExitCode::FAILURE
     } else {
         println!("all pinned metrics within {max_drop_pct:.0}% of baseline");

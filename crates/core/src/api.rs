@@ -21,6 +21,7 @@ use crate::engine::{Engine, EngineConfig, ExecMode, Layout, OpStats, Variant};
 use crate::error::{CoreError, CoreResult};
 use crate::schedule;
 use crate::service::FheService;
+use crate::session::CoalescePolicy;
 use tensorfhe_ckks::{CkksParams, KernelEvent};
 use tensorfhe_gpu::DeviceConfig;
 
@@ -149,6 +150,9 @@ pub struct TensorFheBuilder {
     pub(crate) workers: Option<usize>,
     pub(crate) pipeline: Option<usize>,
     pub(crate) batch_cap: Option<usize>,
+    pub(crate) key_cache_mb: Option<u64>,
+    pub(crate) coalesce: Option<CoalescePolicy>,
+    pub(crate) global_queue_cap: Option<usize>,
 }
 
 impl TensorFheBuilder {
@@ -166,6 +170,9 @@ impl TensorFheBuilder {
             workers: None,
             pipeline: None,
             batch_cap: None,
+            key_cache_mb: None,
+            coalesce: None,
+            global_queue_cap: None,
         }
     }
 
@@ -270,6 +277,42 @@ impl TensorFheBuilder {
     #[must_use]
     pub fn batch_cap(mut self, cap: usize) -> Self {
         self.batch_cap = Some(cap);
+        self
+    }
+
+    /// Per-device switch-key cache capacity in MiB (the session tier's
+    /// residency budget). Defaults to
+    /// [`crate::session::KEY_CACHE_VRAM_FRACTION`] of each device's VRAM
+    /// — the complement of the 85% working-set budget
+    /// [`crate::engine::auto_batch_for_vram`] reserves for ciphertexts.
+    /// The `TENSORFHE_KEY_CACHE_MB` environment variable overrides the
+    /// default but not this builder call. A zero capacity is rejected at
+    /// [`TensorFheBuilder::service`] time.
+    #[must_use]
+    pub fn key_cache_mb(mut self, mb: u64) -> Self {
+        self.key_cache_mb = Some(mb);
+        self
+    }
+
+    /// Coalescing policy for session traffic:
+    /// [`CoalescePolicy::KeyAffinity`] (the default) prefers grouping
+    /// requests from the batch's first session together so a batch spans
+    /// fewer key sets; [`CoalescePolicy::Blind`] coalesces in pure queue
+    /// order, ignoring key residency. Anonymous traffic is unaffected.
+    #[must_use]
+    pub fn coalesce_policy(mut self, policy: CoalescePolicy) -> Self {
+        self.coalesce = Some(policy);
+        self
+    }
+
+    /// Global admission bound: the total number of queued-but-unserved
+    /// session operations the service will hold before rejecting new
+    /// session submissions ([`crate::service::RequestStatus::Rejected`]).
+    /// Unset means unbounded. Anonymous traffic is never rejected. A zero
+    /// cap is rejected at [`TensorFheBuilder::service`] time.
+    #[must_use]
+    pub fn global_queue_cap(mut self, cap: usize) -> Self {
+        self.global_queue_cap = Some(cap);
         self
     }
 

@@ -241,6 +241,18 @@ pub fn auto_batch_for_vram(vram_bytes: u64, params: &CkksParams) -> usize {
         .min(params.batch_size().max(1))
 }
 
+/// Deterministic cost of staging `bytes` of switch-key material onto a
+/// device: one launch overhead plus the PCIe DMA time of the copy engine
+/// ([`tensorfhe_gpu::H2D_BANDWIDTH_GBPS`]). Zero bytes cost nothing —
+/// a fully resident key set never touches the bus.
+#[must_use]
+pub fn key_upload_us(bytes: u64, device: &DeviceConfig) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    device.kernel_launch_us + bytes as f64 / (tensorfhe_gpu::H2D_BANDWIDTH_GBPS * 1e3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,13 +38,26 @@
 //!   `(B, L, N)` layout switch of Fig. 9 and the batch-size machinery of
 //!   Fig. 14; [`multi_gpu`] shards batches across devices (§VII) as a thin
 //!   configuration over [`exec`].
+//! * **Session tier** ([`session`]) — the multi-tenant layer over the
+//!   service: registered [`session::ClientSession`]s with parameter-derived
+//!   switch/rotation key-set footprints, a per-device LRU
+//!   [`session::KeyCache`] that charges host→device key uploads to the
+//!   overlap clock, deficit-round-robin fair scheduling with per-session
+//!   deadline classes, and bounded-queue admission control; see the
+//!   residency & fairness section below.
 //! * **Errors** ([`error`]) — every fallible entry point returns
 //!   [`error::CoreError`] instead of panicking.
 //!
-//! # Architecture: request → coalesce → schedule → executor → device
+//! # Architecture: request → session/admission → coalesce → schedule → executor → device
 //!
 //! ```text
-//! clients ──submit──▶ FheService queue ──coalesce──▶ BatchPlan
+//! clients ──submit──▶ admission ──▶ FheService queue ──fair pick──▶ coalesce
+//!  (session or anon)  (queue caps:    (FIFO slots)     (DRR quanta,  (policy-ordered,
+//!                      Rejected)                        urgent EDF,   key-affine)
+//!                                                       shedding)        │
+//!                                                        ┌──────────────┘
+//!                                                        ▼
+//!                                           BatchPlan (+ key-upload µs)
 //!                                                        │ Scheduler::admit
 //!                                          ┌─────────────┴──────────────┐
 //!                                          │  in-flight window (depth)  │
@@ -61,13 +74,34 @@
 //! ```
 //!
 //! 1. **Request**: clients [`service::FheService::submit`] typed
-//!    [`service::FheRequest`]s; the queue preserves FIFO order across
+//!    [`service::FheRequest`]s — anonymously (`FheRequest::new`), or
+//!    inside a registered [`session::ClientSession`]
+//!    (`FheRequest::in_session`); the queue preserves FIFO order across
 //!    tenants.
-//! 2. **Coalesce**: the [`sched::Scheduler`]'s planning walk folds
+//! 2. **Admission**: a session submission past its
+//!    [`session::SessionConfig::queue_cap`] or the service-wide
+//!    [`TensorFheBuilder::global_queue_cap`] is never queued — its handle
+//!    reports [`service::RequestStatus::Rejected`]. Queued deadline-class
+//!    work whose budget expires before any instance runs is *shed* at
+//!    fill time ([`service::RequestStatus::Shed`]). Anonymous traffic is
+//!    never admission-controlled.
+//! 3. **Fair pick**: with sessions registered, each batch slot goes to a
+//!    bucket chosen by deficit round robin (quantum ∝
+//!    [`session::SessionConfig::weight`]) — unless a deadline session's
+//!    slack has dropped below a quarter of its budget, in which case the
+//!    earliest-slack session pre-empts the round and may ship a
+//!    partially-filled, same-session-only batch. With no sessions the
+//!    pre-session FIFO walk runs verbatim (bit-identical results).
+//! 4. **Coalesce**: the [`sched::Scheduler`]'s planning walk folds
 //!    compatible requests (same op, same level) into VRAM-feasible
 //!    [`exec::ExecBatch`]es up to `auto_batch × devices` — exactly the
-//!    batches the synchronous drain always formed.
-//! 3. **Schedule**: up to `depth` planned batches
+//!    batches the synchronous drain always formed. Under the session tier
+//!    the walk order is policy-driven
+//!    ([`session::CoalescePolicy::KeyAffinity`] leads with the chosen
+//!    bucket's whole backlog; `Blind` walks queue order), and the
+//!    [`session::KeyCache`] places the batch's key sets on the shard
+//!    devices, charging any host→device upload to the plan.
+//! 5. **Schedule**: up to `depth` planned batches
 //!    ([`TensorFheBuilder::pipeline_depth`] / `TENSORFHE_PIPELINE`) stay
 //!    submitted-but-unjoined at once, **if independent**: no two in-flight
 //!    batches may contain requests from the same client stream at the same
@@ -79,7 +113,7 @@
 //!    bought ([`service::ServiceStats::elapsed_us`] /
 //!    [`service::ServiceStats::overlap_fraction`] /
 //!    [`service::ServiceStats::pipelined_ops_per_second`]).
-//! 4. **Executor**: every batch crosses the [`exec::Executor`] seam —
+//! 6. **Executor**: every batch crosses the [`exec::Executor`] seam —
 //!    `submit(batch) → ExecHandle`, `join`/`try_join``(handle) →
 //!    BatchResult`, any number of batches outstanding, FIFO per device —
 //!    which owns sharding ([`exec::shard_widths`]) and the deterministic
@@ -89,7 +123,7 @@
 //!    `TENSORFHE_WORKERS`) runs one worker thread per device with
 //!    bit-identical results, because each device's simulator sees the same
 //!    launch sequence and the merge folds in the same order.
-//! 5. **Device**: each shard becomes kernel launches on a per-device
+//! 7. **Device**: each shard becomes kernel launches on a per-device
 //!    [`Engine`]/`DeviceSim` pair. A real CUDA/CUTLASS or wgpu backend
 //!    slots in *here*: implement [`exec::Executor`] over real device
 //!    queues (the batched `B×L` GEMM shapes map 1:1 onto grouped-GEMM
@@ -99,6 +133,39 @@
 //!    are backend-agnostic. Contexts, NTT and basis-conversion plans, and
 //!    DFT matrices are shared across workers through the `Send + Sync`
 //!    process-wide `PlanCache` / DFT caches.
+//!
+//! # Residency model & fairness policy
+//!
+//! **Residency.** A session's footprint is its hybrid-key-switching key
+//! set: `dnum` digit keys of `2 × (L+1+K)` limb-polynomials each, times
+//! one relinearization key plus one rotation key per registered galois
+//! step (defaulting to the power-of-two ± step set,
+//! `2·log2(N/2)` steps). Each simulated device holds an LRU
+//! [`session::KeyCache`] slice of VRAM
+//! ([`session::KEY_CACHE_VRAM_FRACTION`], overridable via
+//! [`TensorFheBuilder::key_cache_mb`] / `TENSORFHE_KEY_CACHE_MB`). At
+//! plan time the cache *places* the batch's sessions on the devices the
+//! batch will shard across, preferring the devices already holding the
+//! most of those bytes; misses evict LRU sets and charge a PCIe DMA
+//! (`tensorfhe_gpu::H2D_BANDWIDTH_GBPS`) to the batch's gang start in
+//! the overlap clock — compute cost stays history-free, upload cost is
+//! pure schedule state. Footprints larger than the whole cache stream:
+//! they pay the DMA on every use and are never resident. Hits, misses,
+//! evictions and uploaded bytes surface in
+//! [`service::ServiceStats`] and the per-event
+//! [`service::FheService::residency_trace`].
+//!
+//! **Fairness.** One deficit-round-robin bucket per session plus one for
+//! anonymous traffic; a bucket accumulates `weight × batch_cap` deficit
+//! per round and spends it on the batch widths it ships, so over any
+//! backlogged interval a session's service share converges to its weight
+//! share regardless of how many requests a tenant floods
+//! ([`service::ServiceStats::fairness_index`] reports Jain's index over
+//! served ops). Deadline classes overlay DRR: a session whose oldest
+//! request has burned 75 % of its budget jumps the round
+//! earliest-slack-first and ships alone — partially filled if need be —
+//! without being charged deficit; expired untouched work is shed, late
+//! completions count as [`service::ServiceStats::deadline_misses`].
 //!
 //! # Migrating from `run_op` to `submit`/`drain`
 //!
@@ -150,6 +217,7 @@ pub mod multi_gpu;
 pub mod sched;
 pub mod schedule;
 pub mod service;
+pub mod session;
 pub mod tracer;
 
 pub use api::{FheOp, OpReport, TensorFhe, TensorFheBuilder};
@@ -158,3 +226,6 @@ pub use error::{CoreError, CoreResult};
 pub use exec::{BatchResult, ExecBatch, ExecHandle, Executor, SimExecutor, ThreadedPool};
 pub use multi_gpu::{MultiGpu, MultiGpuStats};
 pub use service::{FheRequest, FheService, RequestId, RequestReport, RequestStatus, ServiceStats};
+pub use session::{
+    ClientSession, CoalescePolicy, KeyCache, ResidencyEvent, SessionConfig, SessionId,
+};

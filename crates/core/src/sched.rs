@@ -81,6 +81,13 @@ pub struct BatchPlan {
     /// service rebases them ([`Scheduler::rebase`]) whenever it pops
     /// leading tombstones off the queue.
     pub takes: Vec<(usize, usize)>,
+    /// Key-staging cost charged to this batch's critical path: the time
+    /// the copy engine spends uploading non-resident switch keys before
+    /// the gang can start (0.0 when every contributing session's key set
+    /// is already resident, and always 0.0 for anonymous traffic). Set by
+    /// the service after residency placement; the overlap clock delays
+    /// the batch's gang start by exactly this amount.
+    pub upload_us: f64,
     /// Independence keys — the `(client, level)` pairs of every
     /// contributing request.
     keys: BTreeSet<(Arc<str>, usize)>,
@@ -269,6 +276,7 @@ impl Scheduler {
             level,
             width,
             takes,
+            upload_us: 0.0,
             keys,
         })
     }
@@ -346,7 +354,7 @@ impl Scheduler {
         for k in &inflight.plan.keys {
             self.keys.remove(k);
         }
-        self.advance_clock(inflight.frontier_us, &result);
+        self.advance_clock(inflight.frontier_us, inflight.plan.upload_us, &result);
         Some(Finished {
             plan: inflight.plan,
             result,
@@ -365,7 +373,7 @@ impl Scheduler {
     /// clock and the makespan accumulates exactly `Σ wall` — the same
     /// float additions, in the same order, as the service's busy-time
     /// accounting.
-    fn advance_clock(&mut self, frontier_us: f64, result: &BatchResult) {
+    fn advance_clock(&mut self, frontier_us: f64, upload_us: f64, result: &BatchResult) {
         let mut shards: Vec<f64> = result
             .per_device_us
             .iter()
@@ -387,6 +395,12 @@ impl Scheduler {
         let mut start = frontier_us;
         for &d in chosen {
             start = start.max(self.free_at[d]);
+        }
+        // Non-resident keys stall the gang on the copy engine before any
+        // shard can launch. The guard keeps the anonymous/no-session path
+        // bit-identical: `start + 0.0` is a float op this clock never did.
+        if upload_us > 0.0 {
+            start += upload_us;
         }
         // Longest shard onto the least-loaded device keeps queues level.
         for (&d, &t) in chosen.iter().zip(&shards) {

@@ -50,8 +50,19 @@ use crate::engine::ExecMode;
 use crate::error::{CoreError, CoreResult};
 use crate::exec::{build_executor, BatchResult, ExecBatch, Executor};
 use crate::sched::{BatchPlan, Finished, Plan, Scheduler, SlotView, Work};
-use std::collections::{HashMap, VecDeque};
+use crate::session::{
+    default_galois_steps, jain_index, key_set_bytes, ClientSession, CoalescePolicy, DrrState,
+    KeyCache, ResidencyEvent, SessionConfig, SessionId, KEY_CACHE_VRAM_FRACTION,
+};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use tensorfhe_ckks::CkksParams;
+use tensorfhe_gpu::DeviceConfig;
+
+/// Fraction of a session's deadline budget below which its pending work is
+/// scheduled *urgently*: earliest slack first, ahead of the fair-share
+/// rotation, with partially-filled same-session batches allowed. A quarter
+/// of the budget leaves the batch enough runway to actually execute.
+const URGENCY_FRACTION: f64 = 0.25;
 
 /// Typed handle to a submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,16 +87,33 @@ pub struct FheRequest {
     pub count: usize,
     /// Client tag (for fairness accounting and per-tenant reporting).
     pub client: String,
+    /// The registered session this request belongs to, if any. Session
+    /// requests ride the fair-share/residency pipeline; anonymous
+    /// requests (`None`) keep the plain FIFO path.
+    pub session: Option<SessionId>,
 }
 
 impl FheRequest {
-    /// Creates a request.
+    /// Creates an anonymous request.
     pub fn new(op: FheOp, level: usize, count: usize, client: impl Into<String>) -> Self {
         Self {
             op,
             level,
             count,
             client: client.into(),
+            session: None,
+        }
+    }
+
+    /// Creates a request inside a registered session. The report tag is
+    /// the session's name (set at submission).
+    pub fn in_session(op: FheOp, level: usize, count: usize, session: SessionId) -> Self {
+        Self {
+            op,
+            level,
+            count,
+            client: String::new(),
+            session: Some(session),
         }
     }
 }
@@ -130,6 +158,13 @@ pub enum RequestStatus {
     /// Fully served; its report was (or will be) returned by the drain
     /// that completed it.
     Completed,
+    /// Refused at submission by admission control (per-session or global
+    /// queue bound); nothing was ever queued for it.
+    Rejected,
+    /// Dropped by the scheduler: its session's deadline budget expired
+    /// before any instance ran, so the service shed it instead of doing
+    /// already-late work.
+    Shed,
 }
 
 /// Aggregate service statistics since construction.
@@ -202,6 +237,33 @@ pub struct ServiceStats {
     pub pipelined_ops_per_second: f64,
     /// Aggregate operations per watt (Table XI's service-level metric).
     pub ops_per_watt: f64,
+    /// Key-cache hit rate over all residency lookups; `1.0` when no
+    /// session traffic ever looked a key set up.
+    pub key_cache_hit_rate: f64,
+    /// Residency lookups that found the session's keys on-device.
+    pub key_cache_hits: u64,
+    /// Residency lookups that had to upload over PCIe.
+    pub key_cache_misses: u64,
+    /// Resident key sets displaced to make room for uploads.
+    pub key_cache_evictions: u64,
+    /// Batches that stalled on a key upload before their gang start.
+    pub key_uploads: usize,
+    /// Total key-staging time charged to batch critical paths (µs,
+    /// virtual). Part of [`ServiceStats::elapsed_us`], never of
+    /// [`ServiceStats::busy_us`] (the copy engine is not device compute).
+    pub key_upload_us: f64,
+    /// `(session name, ops served)` per registered session, in
+    /// registration order.
+    pub per_session_ops: Vec<(String, usize)>,
+    /// Jain's fairness index over per-session served ops, in `(0, 1]`;
+    /// `1.0` with no sessions (vacuously fair).
+    pub fairness_index: f64,
+    /// Completions that blew their session's deadline budget.
+    pub deadline_misses: usize,
+    /// Requests shed after their deadline expired unserved.
+    pub shed_count: usize,
+    /// Submissions refused by admission control.
+    pub rejected_count: usize,
 }
 
 /// A queued request with its accumulated attribution.
@@ -209,6 +271,9 @@ pub struct ServiceStats {
 struct Pending {
     id: RequestId,
     req: FheRequest,
+    /// The registered session the request rides in, if any (denormalised
+    /// from `req` so the fill walk avoids re-deriving bucket indices).
+    session: Option<SessionId>,
     /// The client tag as a shared key: planning walks clone refcounts
     /// into independence keys instead of allocating strings.
     client_key: std::sync::Arc<str>,
@@ -269,6 +334,26 @@ pub struct FheService {
     energy_j: f64,
     queue_latency_sum_us: f64,
     cost_cache: HashMap<(FheOp, usize, usize), BatchResult>,
+    // --- Session tier (all inert while `sessions` is empty) ---
+    /// Device model, kept for key-upload costing (launch overhead + DMA).
+    device: DeviceConfig,
+    /// Registered sessions, indexed by `SessionId::raw()`.
+    sessions: Vec<ClientSession>,
+    /// Per-device LRU over session key-set footprints.
+    key_cache: KeyCache,
+    /// How the session fill walk orders candidate slots.
+    policy: CoalescePolicy,
+    /// Deficit-round-robin buckets: 0 = anonymous, session `s` = `s + 1`.
+    drr: DrrState,
+    /// Global bound on queued session ops (admission control).
+    global_queue_cap: Option<usize>,
+    /// Session ops currently queued, service-wide.
+    queued_session_ops: usize,
+    key_upload_us_total: f64,
+    key_upload_count: usize,
+    rejected: BTreeSet<RequestId>,
+    shed: BTreeSet<RequestId>,
+    deadline_misses: usize,
 }
 
 impl FheService {
@@ -353,6 +438,44 @@ impl FheService {
             Some(cap) => cap.min(vram_cap),
             None => vram_cap,
         };
+        // Key-cache capacity: an explicit builder setting wins, then the
+        // `TENSORFHE_KEY_CACHE_MB` environment knob, then the VRAM slice
+        // the ciphertext batch policy leaves free. Malformed or zero
+        // overrides are hard errors — the same strictness as the other
+        // environment knobs, since a silently-unbounded cache would let
+        // residency experiments pass vacuously.
+        let key_cache_bytes = match b.key_cache_mb {
+            Some(0) => {
+                return Err(CoreError::InvalidConfig(
+                    "key cache capacity must be non-zero".into(),
+                ))
+            }
+            Some(mb) => mb.saturating_mul(1 << 20),
+            None => match std::env::var("TENSORFHE_KEY_CACHE_MB") {
+                Ok(v) => {
+                    let mb = v.trim().parse::<u64>().map_err(|_| {
+                        CoreError::InvalidConfig(format!(
+                            "TENSORFHE_KEY_CACHE_MB must be a capacity in MiB, got {v:?}"
+                        ))
+                    })?;
+                    if mb == 0 {
+                        return Err(CoreError::InvalidConfig(
+                            "TENSORFHE_KEY_CACHE_MB must be non-zero".into(),
+                        ));
+                    }
+                    mb.saturating_mul(1 << 20)
+                }
+                Err(_) => (caps.vram_bytes_per_device as f64 * KEY_CACHE_VRAM_FRACTION) as u64,
+            },
+        };
+        if b.global_queue_cap == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "global queue cap must be non-zero".into(),
+            ));
+        }
+        // Bucket 0 is the anonymous FIFO traffic; sessions grow from 1.
+        let mut drr = DrrState::new();
+        drr.grow();
         Ok(Self {
             params: b.params,
             executor,
@@ -374,6 +497,18 @@ impl FheService {
             energy_j: 0.0,
             queue_latency_sum_us: 0.0,
             cost_cache: HashMap::new(),
+            device: b.device,
+            sessions: Vec::new(),
+            key_cache: KeyCache::new(key_cache_bytes, b.devices),
+            policy: b.coalesce.unwrap_or_default(),
+            drr,
+            global_queue_cap: b.global_queue_cap,
+            queued_session_ops: 0,
+            key_upload_us_total: 0.0,
+            key_upload_count: 0,
+            rejected: BTreeSet::new(),
+            shed: BTreeSet::new(),
+            deadline_misses: 0,
         })
     }
 
@@ -413,6 +548,84 @@ impl FheService {
         self.sched.depth()
     }
 
+    /// Registers a client session, deriving its simulated key-set
+    /// footprint (galois + relinearisation keys) from the service's
+    /// parameter set. Registration is what opts the service into the
+    /// fair-share/residency pipeline: with no sessions registered the
+    /// anonymous FIFO path runs bit-identical to the pre-session service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty name, a
+    /// non-positive or non-finite weight or deadline, or a zero queue cap.
+    pub fn register_session(&mut self, cfg: SessionConfig) -> CoreResult<SessionId> {
+        if cfg.name.trim().is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "session name must be non-empty".into(),
+            ));
+        }
+        if !(cfg.weight.is_finite() && cfg.weight > 0.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "session weight must be positive and finite, got {}",
+                cfg.weight
+            )));
+        }
+        if let Some(d) = cfg.deadline_us {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "session deadline must be positive and finite, got {d}"
+                )));
+            }
+        }
+        if cfg.queue_cap == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "session queue cap must be non-zero".into(),
+            ));
+        }
+        let steps = cfg
+            .galois_steps
+            .unwrap_or_else(|| default_galois_steps(&self.params));
+        let id = SessionId(self.sessions.len() as u64);
+        self.sessions.push(ClientSession {
+            id,
+            name: cfg.name.as_str().into(),
+            key_bytes: key_set_bytes(&self.params, steps),
+            weight: cfg.weight,
+            deadline_us: cfg.deadline_us,
+            queue_cap: cfg.queue_cap,
+            queued_ops: 0,
+            served_ops: 0,
+        });
+        self.drr.grow();
+        Ok(id)
+    }
+
+    /// Registered sessions, in registration order.
+    #[must_use]
+    pub fn sessions(&self) -> &[ClientSession] {
+        &self.sessions
+    }
+
+    /// A registered session by handle.
+    #[must_use]
+    pub fn session(&self, id: SessionId) -> Option<&ClientSession> {
+        self.sessions.get(id.0 as usize)
+    }
+
+    /// The per-device key cache (residency + hit/miss/eviction
+    /// accounting).
+    #[must_use]
+    pub fn key_cache(&self) -> &KeyCache {
+        &self.key_cache
+    }
+
+    /// The key-cache residency event trace, oldest first — every miss is
+    /// an upload, every displacement an eviction.
+    #[must_use]
+    pub fn residency_trace(&self) -> Vec<ResidencyEvent> {
+        self.key_cache.trace()
+    }
+
     /// Operation instances not yet completed (queued or in flight).
     #[must_use]
     pub fn pending_ops(&self) -> usize {
@@ -448,6 +661,12 @@ impl FheService {
         if id.0 >= self.next_id {
             return Err(CoreError::UnknownRequest(id));
         }
+        if self.rejected.contains(&id) {
+            return Ok(RequestStatus::Rejected);
+        }
+        if self.shed.contains(&id) {
+            return Ok(RequestStatus::Shed);
+        }
         Ok(match self.queue.iter().flatten().find(|p| p.id == id) {
             Some(p) if p.executing > 0 => RequestStatus::InFlight {
                 executing: p.executing,
@@ -462,10 +681,17 @@ impl FheService {
 
     /// Enqueues a request, returning its typed handle.
     ///
+    /// A session request past its session's queue bound (or the global
+    /// [`crate::api::TensorFheBuilder::global_queue_cap`]) is *not* an
+    /// error: it still gets a handle, but nothing is queued and its
+    /// status reads [`RequestStatus::Rejected`] — admission control is an
+    /// outcome the client observes, not a caller bug.
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidRequest`] for a zero `count` or a level
-    /// above the parameter set's modulus chain.
+    /// Returns [`CoreError::InvalidRequest`] for a zero `count`, a level
+    /// above the parameter set's modulus chain, or an unregistered
+    /// session handle.
     pub fn submit(&mut self, req: FheRequest) -> CoreResult<RequestId> {
         if req.count == 0 {
             return Err(CoreError::InvalidRequest("count must be non-zero".into()));
@@ -477,13 +703,42 @@ impl FheService {
                 self.params.max_level()
             )));
         }
+        let mut req = req;
+        if let Some(sid) = req.session {
+            let Some(s) = self.sessions.get(sid.0 as usize) else {
+                return Err(CoreError::InvalidRequest(format!(
+                    "unknown session id {}",
+                    sid.raw()
+                )));
+            };
+            if req.client.is_empty() {
+                req.client = s.name.to_string();
+            }
+        }
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        if let Some(sid) = req.session {
+            let s = &self.sessions[sid.0 as usize];
+            let over_session = s
+                .queue_cap
+                .is_some_and(|cap| s.queued_ops + req.count > cap);
+            let over_global = self
+                .global_queue_cap
+                .is_some_and(|cap| self.queued_session_ops + req.count > cap);
+            if over_session || over_global {
+                self.rejected.insert(id);
+                return Ok(id);
+            }
+            self.sessions[sid.0 as usize].queued_ops += req.count;
+            self.queued_session_ops += req.count;
+        }
+        let session = req.session;
         let remaining = req.count;
         let client_key: std::sync::Arc<str> = req.client.as_str().into();
         self.queue.push_back(Some(Pending {
             id,
             req,
+            session,
             client_key,
             remaining,
             executing: 0,
@@ -550,12 +805,28 @@ impl FheService {
         true
     }
 
-    /// Plans and admits batches until the window is full, the next serial
-    /// batch is blocked on an in-flight client stream, or the queue runs
-    /// dry. Reservation happens at *plan* time (`remaining → executing`)
-    /// so later plans — made while earlier batches are still in flight —
-    /// see exactly the queue state the serial path would.
+    /// Plans and admits batches until the window is full, the next batch
+    /// is blocked on an in-flight client stream, or the queue runs dry.
+    /// Reservation happens at *plan* time (`remaining → executing`) so
+    /// later plans — made while earlier batches are still in flight —
+    /// see exactly the queue state the serial path would. With no
+    /// registered sessions the pre-session FIFO walk runs verbatim; with
+    /// sessions the fair-share/residency walk takes over.
     fn fill_window(&mut self) {
+        if self.sessions.is_empty() {
+            self.fill_window_fifo();
+        } else {
+            self.fill_window_sessions();
+        }
+        // Harvest whatever already finished on the host workers; purely a
+        // channel-draining courtesy, never reordering settlement.
+        self.sched.harvest(self.executor.as_mut());
+    }
+
+    /// The pre-session-tier FIFO fill, kept verbatim: an all-anonymous
+    /// service must stay bit-identical to the service before the session
+    /// tier existed.
+    fn fill_window_fifo(&mut self) {
         while self.sched.has_room() {
             self.advance_head();
             let plan = {
@@ -585,9 +856,201 @@ impl FheService {
                 Plan::Blocked | Plan::Empty => break,
             }
         }
-        // Harvest whatever already finished on the host workers; purely a
-        // channel-draining courtesy, never reordering settlement.
-        self.sched.harvest(self.executor.as_mut());
+    }
+
+    /// The session-tier fill: shed expired deadline work, pick who goes
+    /// next — urgent deadline sessions earliest-slack-first, otherwise
+    /// deficit round robin across the anonymous bucket and every session
+    /// — order the coalescing walk by the residency policy, and charge
+    /// key-cache placement to the planned batch before admitting it.
+    fn fill_window_sessions(&mut self) {
+        while self.sched.has_room() {
+            self.advance_head();
+            self.shed_expired();
+            // Per-bucket backlog: bucket 0 is anonymous, session `s` is
+            // bucket `s + 1`.
+            let buckets = self.sessions.len() + 1;
+            let mut pending = vec![0usize; buckets];
+            let mut first_slot = vec![usize::MAX; buckets];
+            for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
+                let Some(p) = slot else { continue };
+                if p.remaining == 0 {
+                    continue;
+                }
+                let b = p.session.map_or(0, |s| s.0 as usize + 1);
+                pending[b] += p.remaining;
+                if first_slot[b] == usize::MAX {
+                    first_slot[b] = i;
+                }
+            }
+            // Urgent pass: a deadline session whose oldest pending
+            // request's slack dips below URGENCY_FRACTION of its budget
+            // jumps the fair-share rotation (earliest slack first) and
+            // ships alone — partially filled beats late.
+            let mut urgent: Option<(f64, usize)> = None;
+            for s in &self.sessions {
+                let b = s.id.0 as usize + 1;
+                let (Some(deadline), true) = (s.deadline_us, pending[b] > 0) else {
+                    continue;
+                };
+                let oldest = self.queue[first_slot[b]]
+                    .as_ref()
+                    .expect("first slot is live");
+                let slack = deadline - (self.clock_us - oldest.submitted_us);
+                if slack <= deadline * URGENCY_FRACTION {
+                    let better = match urgent {
+                        Some((best, _)) => slack < best,
+                        None => true,
+                    };
+                    if better {
+                        urgent = Some((slack, b));
+                    }
+                }
+            }
+            let (bucket, same_session_only) = match urgent {
+                Some((_, b)) => (b, true),
+                None => {
+                    let want: Vec<usize> = pending.iter().map(|&p| p.min(self.batch_cap)).collect();
+                    let quantum: Vec<f64> = std::iter::once(1.0)
+                        .chain(self.sessions.iter().map(|s| s.weight))
+                        .map(|w| w * self.batch_cap as f64)
+                        .collect();
+                    match self.drr.select(&want, &quantum) {
+                        Some(b) => (b, false),
+                        None => break,
+                    }
+                }
+            };
+            // Coalescing order: the chosen bucket's slots lead (they
+            // define the batch's op/level group), then — unless the batch
+            // ships same-session-only — the policy decides the top-up:
+            // KeyAffinity keeps the rest of the chosen bucket first so a
+            // batch spans fewer key sets; Blind tops up in pure queue
+            // order, the fig12 comparison arm.
+            let mut order: Vec<usize> = Vec::new();
+            for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
+                let Some(p) = slot else { continue };
+                if p.remaining == 0 {
+                    continue;
+                }
+                if p.session.map_or(0, |s| s.0 as usize + 1) == bucket {
+                    order.push(i);
+                }
+            }
+            if !same_session_only {
+                match self.policy {
+                    CoalescePolicy::KeyAffinity => {
+                        for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
+                            let Some(p) = slot else { continue };
+                            if p.remaining == 0 {
+                                continue;
+                            }
+                            if p.session.map_or(0, |s| s.0 as usize + 1) != bucket {
+                                order.push(i);
+                            }
+                        }
+                    }
+                    CoalescePolicy::Blind => {
+                        let lead = first_slot[bucket];
+                        order.clear();
+                        order.push(lead);
+                        for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
+                            let Some(p) = slot else { continue };
+                            if p.remaining == 0 || i == lead {
+                                continue;
+                            }
+                            order.push(i);
+                        }
+                    }
+                }
+            }
+            let plan = {
+                let queue = &self.queue;
+                let slots = order.iter().map(|&i| {
+                    (
+                        i,
+                        queue[i].as_ref().map(|p| SlotView {
+                            op: p.req.op,
+                            level: p.req.level,
+                            remaining: p.remaining,
+                            client: &p.client_key,
+                        }),
+                    )
+                });
+                self.sched.plan(self.batch_cap, slots)
+            };
+            match plan {
+                Plan::Batch(mut plan) => {
+                    for &(i, take) in &plan.takes {
+                        let p = self.queue[i].as_mut().expect("take targets a live slot");
+                        p.remaining -= take;
+                        p.executing += take;
+                    }
+                    // Residency: the distinct session key sets riding
+                    // this batch (id order) are placed on the shard
+                    // devices; non-resident sets pay the upload on the
+                    // batch's critical path.
+                    let mut keys: Vec<(SessionId, u64)> = Vec::new();
+                    let mut charged = 0usize;
+                    for &(i, take) in &plan.takes {
+                        let p = self.queue[i].as_ref().expect("take targets a live slot");
+                        if p.session.map_or(0, |s| s.0 as usize + 1) == bucket {
+                            charged += take;
+                        }
+                        if let Some(sid) = p.session {
+                            if !keys.iter().any(|&(s, _)| s == sid) {
+                                keys.push((sid, self.sessions[sid.0 as usize].key_bytes));
+                            }
+                        }
+                    }
+                    keys.sort_by_key(|&(s, _)| s);
+                    if !keys.is_empty() {
+                        let shards = crate::exec::shard_widths(plan.width, self.devices())
+                            .iter()
+                            .filter(|&&w| w > 0)
+                            .count();
+                        let upload_bytes = self.key_cache.place(&keys, shards);
+                        if upload_bytes > 0 {
+                            plan.upload_us =
+                                crate::engine::key_upload_us(upload_bytes, &self.device);
+                            self.key_upload_us_total += plan.upload_us;
+                            self.key_upload_count += 1;
+                        }
+                    }
+                    // Urgent batches jump the rotation without spending
+                    // credit; fair-share batches are charged only the
+                    // width their own bucket contributed (top-up from
+                    // other sessions is their service, not this one's).
+                    if !same_session_only {
+                        self.drr.charge(bucket, charged);
+                    }
+                    let work = self.dispatch(plan.op, plan.level, plan.width);
+                    self.sched.admit(plan, work);
+                }
+                Plan::Blocked | Plan::Empty => break,
+            }
+        }
+    }
+
+    /// Sheds session requests whose deadline budget expired before any
+    /// instance ran: they leave the queue as tombstones (safe — nothing
+    /// in flight references an unplanned slot) and surface as
+    /// [`RequestStatus::Shed`]. Partially-served requests are never shed;
+    /// their eventual completion counts as a deadline miss instead.
+    fn shed_expired(&mut self) {
+        for i in self.head..self.queue.len() {
+            let Some(p) = &self.queue[i] else { continue };
+            let Some(sid) = p.session else { continue };
+            let Some(deadline) = self.sessions[sid.0 as usize].deadline_us else {
+                continue;
+            };
+            if p.executing == 0 && p.batches == 0 && self.clock_us - p.submitted_us > deadline {
+                let p = self.queue[i].take().expect("checked live");
+                self.shed.insert(p.id);
+                self.sessions[sid.0 as usize].queued_ops -= p.remaining;
+                self.queued_session_ops -= p.remaining;
+            }
+        }
     }
 
     /// Attributes one completed batch to the requests that rode in it and
@@ -635,6 +1098,12 @@ impl FheService {
             p.launches += launches;
             for (k, t) in &stats.by_kernel {
                 *p.by_kernel.entry(k.clone()).or_insert(0.0) += t * share;
+            }
+            if let Some(sid) = p.session {
+                let s = &mut self.sessions[sid.0 as usize];
+                s.served_ops += take;
+                s.queued_ops -= take;
+                self.queued_session_ops -= take;
             }
         }
 
@@ -744,6 +1213,27 @@ impl FheService {
             ops_per_second,
             pipelined_ops_per_second,
             ops_per_watt: ops_per_second / self.power_watts,
+            key_cache_hit_rate: self.key_cache.hit_rate(),
+            key_cache_hits: self.key_cache.hits(),
+            key_cache_misses: self.key_cache.misses(),
+            key_cache_evictions: self.key_cache.evictions(),
+            key_uploads: self.key_upload_count,
+            key_upload_us: self.key_upload_us_total,
+            per_session_ops: self
+                .sessions
+                .iter()
+                .map(|s| (s.name.to_string(), s.served_ops))
+                .collect(),
+            fairness_index: jain_index(
+                &self
+                    .sessions
+                    .iter()
+                    .map(|s| s.served_ops as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            deadline_misses: self.deadline_misses,
+            shed_count: self.shed.len(),
+            rejected_count: self.rejected.len(),
         }
     }
 
@@ -794,6 +1284,14 @@ impl FheService {
         let queue_us = self.clock_us - p.submitted_us;
         self.requests_completed += 1;
         self.queue_latency_sum_us += queue_us;
+        if let Some(sid) = p.session {
+            if self.sessions[sid.0 as usize]
+                .deadline_us
+                .is_some_and(|d| queue_us > d)
+            {
+                self.deadline_misses += 1;
+            }
+        }
         let count = p.req.count;
         let ops_per_second = if p.time_us > 0.0 {
             count as f64 / (p.time_us * 1e-6)

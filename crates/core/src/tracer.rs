@@ -81,6 +81,20 @@ impl GpuTracer {
         self.batch
     }
 
+    /// Stages a client key-set upload on the main stream (the session
+    /// tier's residency model in a Full-mode trace): one
+    /// [`KernelClass::KeyUpload`] DMA, costed by the copy-engine model
+    /// rather than the warp simulator. A zero-byte upload is a no-op.
+    pub fn upload_keys(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.sim.borrow_mut().launch(
+            self.main,
+            KernelDesc::new(KernelClass::KeyUpload { bytes }, "key-upload"),
+        );
+    }
+
     fn coalesced(&self) -> bool {
         // Batched loads from the (B, L, N) layout straddle discontiguous
         // groups (Fig. 9a); the optimised (L, B, N) layout packs them.

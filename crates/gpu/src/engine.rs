@@ -103,6 +103,7 @@ enum ClassKey {
     GemmTcu(usize, usize, usize, usize),
     Elementwise(u64, u32, u32),
     Permute(u64),
+    KeyUpload(u64),
     BasisConv(u64, usize),
     Fft(usize, usize),
     Dwt(usize, usize),
@@ -119,6 +120,7 @@ fn class_key(c: &KernelClass) -> ClassKey {
             bytes_per_elem,
         } => ClassKey::Elementwise(elems, ops_per_elem, bytes_per_elem),
         KernelClass::Permute { elems } => ClassKey::Permute(elems),
+        KernelClass::KeyUpload { bytes } => ClassKey::KeyUpload(bytes),
         KernelClass::BasisConv { elems, l_src } => ClassKey::BasisConv(elems, l_src),
         KernelClass::FftButterfly { n, batch } => ClassKey::Fft(n, batch),
         KernelClass::DwtLifting { n, batch } => ClassKey::Dwt(n, batch),
@@ -438,6 +440,20 @@ impl DeviceSim {
         let mem_eff = mem_efficiency(desc);
         let mem_us = desc.bytes_moved() as f64 / (d.mem_bandwidth_gbps * 1e3 * mem_eff);
 
+        if let KernelClass::KeyUpload { .. } = desc.class {
+            // Copy-engine model: PCIe, not DRAM or the SM array, bounds a
+            // key-set upload, and the DMA barely contends with compute —
+            // streams overlap it almost entirely.
+            return CostProfile {
+                standalone_us: desc.dma_us().max(d.kernel_launch_us),
+                parallel_fraction: 0.05,
+                breakdown: StallBreakdown::new(),
+                occupancy: 0.0,
+                bound: BoundBy::Memory,
+                pool: Pool::Cuda,
+            };
+        }
+
         if let KernelClass::GemmTcu { m, cols, batch, .. } = desc.class {
             // Tensor-core pipeline model: padded MACs over peak rate, scaled
             // by how many tiles the launch can spread over the TCUs.
@@ -573,6 +589,30 @@ mod tests {
         assert!(k.duration_us > 0.0);
         assert_eq!(k.op_tag, "HADD");
         assert!(k.end_us >= k.start_us);
+    }
+
+    #[test]
+    fn key_upload_launch_is_costed_by_the_copy_engine() {
+        let mut s = sim();
+        let st = s.create_stream();
+        s.set_scope("KEY-UPLOAD");
+        let bytes = 256 * 1024 * 1024; // a paper-scale galois key set slice
+        let desc = KernelDesc::new(KernelClass::KeyUpload { bytes }, "key-upload");
+        let expect_us = desc.dma_us();
+        s.launch(st, desc);
+        let done = s.synchronize();
+        assert_eq!(done.len(), 1);
+        let k = &done[0];
+        // PCIe-bound: the launch takes at least the DMA time, and nowhere
+        // near the DRAM-bandwidth time a compute kernel would be charged.
+        assert!(
+            k.duration_us >= expect_us * 0.99,
+            "DMA undercharged: {} vs {}",
+            k.duration_us,
+            expect_us
+        );
+        assert_eq!(k.occupancy, 0.0, "the copy engine occupies no SMs");
+        assert_eq!(k.tcu_macs, 0);
     }
 
     #[test]

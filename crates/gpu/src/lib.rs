@@ -59,6 +59,6 @@ pub mod warp_sim;
 
 pub use device::DeviceConfig;
 pub use engine::{DeviceSim, KernelStats, StreamId};
-pub use kernel::{KernelClass, KernelDesc};
+pub use kernel::{KernelClass, KernelDesc, H2D_BANDWIDTH_GBPS};
 pub use profiler::Profiler;
 pub use stall::{StallBreakdown, StallKind};

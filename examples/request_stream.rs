@@ -13,6 +13,7 @@
 use tensorfhe::ckks::CkksParams;
 use tensorfhe::core::api::{FheOp, TensorFhe};
 use tensorfhe::core::service::FheRequest;
+use tensorfhe::core::{ResidencyEvent, SessionConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // N = 2^14 (the HEAX Set-C scale): single operations underfill the
@@ -91,6 +92,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|u| (u * 100.0).round() / 100.0)
             .collect::<Vec<_>>(),
+    );
+
+    // The session tier: the same three tenants, now *registered* clients.
+    // Each brings its own switch/rotation key set — the aggregation
+    // tenant registered a wide rotation step set, the bookkeeper a
+    // minimal one — and the key cache is sized to hold only two of the
+    // three footprints, so residency is contended. The nn tenant pays
+    // for a 2× fair share; the bookkeeper runs under a latency budget.
+    let probe = {
+        let mut p = TensorFhe::builder(&params).service()?;
+        let id = p.register_session(SessionConfig::new("probe"))?;
+        p.session(id).expect("registered").key_bytes()
+    };
+    let mut tiered = TensorFhe::builder(&params)
+        .key_cache_mb((2 * probe) >> 20)
+        .service()?;
+    let nn = tiered.register_session(SessionConfig::new("tenant-nn").weight(2.0))?;
+    let agg = tiered.register_session(SessionConfig::new("tenant-agg").galois_steps(48))?;
+    let book = tiered.register_session(
+        SessionConfig::new("tenant-book")
+            .galois_steps(2)
+            .deadline_us(2e6),
+    )?;
+    for round in 0..8 {
+        tiered.submit(FheRequest::in_session(FheOp::HMult, level, 24, nn))?;
+        tiered.submit(FheRequest::in_session(FheOp::HRotate, level, 16, agg))?;
+        tiered.submit(FheRequest::in_session(
+            FheOp::Rescale,
+            level,
+            8 + round,
+            book,
+        ))?;
+    }
+    tiered.drain();
+    let tstats = tiered.stats();
+    println!("\nsession tier (cache = 2 of 3 key-set footprints):");
+    for s in tiered.sessions() {
+        println!(
+            "  {:12} key set {:6.1} MiB, weight {:3.1}, served {:3} ops",
+            s.name(),
+            s.key_bytes() as f64 / (1u64 << 20) as f64,
+            s.weight(),
+            s.served_ops(),
+        );
+    }
+    let evictions = tiered
+        .residency_trace()
+        .iter()
+        .filter(|e| matches!(e, ResidencyEvent::Evict { .. }))
+        .count();
+    println!(
+        "  key cache: {:4.1}% hit rate ({} hits / {} misses), {} evictions, \
+         {:.1} ms spent on key uploads",
+        tstats.key_cache_hit_rate * 100.0,
+        tstats.key_cache_hits,
+        tstats.key_cache_misses,
+        evictions,
+        tstats.key_upload_us / 1e3,
+    );
+    println!(
+        "  fairness (Jain over served ops): {:.3}; deadline misses: {}; \
+         shed: {}; rejected: {}",
+        tstats.fairness_index, tstats.deadline_misses, tstats.shed_count, tstats.rejected_count,
     );
 
     // Legacy path: the same stream, one operation at a time, caller-driven.
