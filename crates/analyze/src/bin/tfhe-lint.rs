@@ -1,0 +1,86 @@
+//! Workspace determinism linter.
+//!
+//! ```text
+//! tfhe-lint [--deny-all] [--root <dir>] [--list]
+//! ```
+//!
+//! Walks the workspace (auto-discovered from the current directory unless
+//! `--root` is given), runs the L001–L006 determinism lints, applies the
+//! committed `tfhe-lint.allow` allowlist, and prints diagnostics in
+//! stable `file:line [L00x] message` order. Exit codes: `0` clean (or
+//! report-only mode), `1` violations under `--deny-all`, `2` usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tensorfhe_analyze::lint::{lint_workspace, LintId};
+
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("tfhe-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => {
+                for lint in LintId::ALL {
+                    println!("{} {}", lint.code(), lint.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tfhe-lint: unknown argument {other}");
+                eprintln!("usage: tfhe-lint [--deny-all] [--root <dir>] [--list]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(workspace_root) else {
+        eprintln!("tfhe-lint: no workspace root found (run inside the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+    match lint_workspace(&root) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("tfhe-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("tfhe-lint: {} violation(s)", diags.len());
+                if deny_all {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("tfhe-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! The schedule-invariant verifier: replays the scheduler's structural
+//! trace and the device launch streams, and reports every violation of
+//! the invariants the pinned benchmarks rest on.
+//!
+//! The checker is deliberately *independent*: it recomputes the join
+//! frontier, the per-device free times, and the accounting totals from
+//! the [`BatchRecord`] stream alone, then compares them against what the
+//! scheduler claims. Where the reference implementation accumulates a
+//! float in a known order, the verifier folds the same sequence and
+//! demands exact equality; only cross-order sums (interval time vs the
+//! canonical shard attribution) get a relative epsilon.
+//!
+//! Invariants checked, per [`verify_schedule`]:
+//!
+//! 1. **Per-device intervals** are non-overlapping and monotone: every
+//!    shard starts at or after its device's previous free time.
+//! 2. **Gang start** `≥ max(join frontier, chosen device free times)`,
+//!    with the key-upload stall applied on top — and the frontier itself
+//!    must equal the max completion of exactly the batches joined before
+//!    admission.
+//! 3. **Joins settle in submission order** (one global event counter
+//!    orders admissions and joins; both must be strictly increasing).
+//! 4. **Key uploads** are charged before the first gang compute (every
+//!    placement starts at the post-upload gang start) and never on
+//!    anonymous plans.
+//! 5. **Window independence**: two batches simultaneously in flight never
+//!    share a `(client, level)` key.
+//! 6. **Accounting closure**: `busy_us` = Σ batch walls (exact fold),
+//!    `elapsed_us` = makespan (exact fold), Σ intervals ≈ Σ per-device
+//!    attribution, upload count/time match, and
+//!    `ops_submitted = completed + shed + rejected + pending`.
+//!
+//! [`verify_launch_intervals`] holds a [`DeviceSim`]'s per-stream launch
+//! records to the FIFO-stream contract (non-overlapping, monotone).
+//!
+//! [`DeviceSim`]: tensorfhe_gpu::DeviceSim
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tensorfhe_core::sched::BatchRecord;
+use tensorfhe_core::service::{FheService, ServiceStats};
+
+/// Relative tolerance for sums folded in a different order than the
+/// reference accumulation.
+const REL_EPS: f64 = 1e-9;
+
+/// One violated schedule invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A shard started before its device's previous shard finished.
+    DeviceOverlap {
+        /// Batch submission index.
+        seq: usize,
+        /// Device the shard was placed on.
+        device: usize,
+        /// The shard's start time (µs).
+        start_us: f64,
+        /// The device's free time when the shard started (µs).
+        free_us: f64,
+    },
+    /// The recorded stall point disagrees with the replayed
+    /// `max(frontier, chosen free times)`.
+    StallMismatch {
+        /// Batch submission index.
+        seq: usize,
+        /// Replayed stall point (µs).
+        expected_us: f64,
+        /// Recorded stall point (µs).
+        got_us: f64,
+    },
+    /// The recorded join frontier disagrees with the max completion over
+    /// the batches joined before admission.
+    FrontierMismatch {
+        /// Batch submission index.
+        seq: usize,
+        /// Replayed frontier (µs).
+        expected_us: f64,
+        /// Recorded frontier (µs).
+        got_us: f64,
+    },
+    /// Admissions or joins left submission order.
+    OutOfOrder {
+        /// Batch submission index.
+        seq: usize,
+        /// What went out of order.
+        detail: String,
+    },
+    /// A key upload was charged incorrectly: on an anonymous plan, after
+    /// gang compute, or with a non-finite/negative stall.
+    UploadMisapplied {
+        /// Batch submission index.
+        seq: usize,
+        /// What the charge violated.
+        detail: String,
+    },
+    /// Two simultaneously in-flight batches shared an independence key.
+    WindowConflict {
+        /// Earlier batch (by submission index).
+        first: usize,
+        /// Later batch admitted while `first` was still in flight.
+        second: usize,
+        /// The shared `(client, level)` key.
+        key: (String, usize),
+    },
+    /// A batch's internal times are inconsistent (completion ≠ start +
+    /// wall, wall ≠ longest shard, non-finite fields).
+    BatchInconsistent {
+        /// Batch submission index.
+        seq: usize,
+        /// The broken relation.
+        detail: String,
+    },
+    /// A cumulative stat disagrees with the trace replay.
+    AccountingMismatch {
+        /// Which stat failed to close.
+        stat: &'static str,
+        /// Value replayed from the trace.
+        expected: f64,
+        /// Value the service reported.
+        got: f64,
+    },
+    /// Submitted ops did not equal completed + shed + rejected + pending.
+    OpsNotClosed {
+        /// Ops ever submitted.
+        submitted: usize,
+        /// Ops completed.
+        completed: usize,
+        /// Ops shed.
+        shed: usize,
+        /// Ops rejected.
+        rejected: usize,
+        /// Ops still queued or in flight.
+        pending: usize,
+    },
+    /// Two kernels on one FIFO stream overlapped or ran backwards.
+    StreamOverlap {
+        /// The stream id.
+        stream: usize,
+        /// Index of the offending kernel within the stream's records.
+        index: usize,
+        /// The violated relation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DeviceOverlap {
+                seq,
+                device,
+                start_us,
+                free_us,
+            } => write!(
+                f,
+                "batch {seq}: shard on device {device} starts at {start_us} µs before the \
+                 device is free at {free_us} µs"
+            ),
+            Violation::StallMismatch {
+                seq,
+                expected_us,
+                got_us,
+            } => write!(
+                f,
+                "batch {seq}: stall point {got_us} µs, replay says {expected_us} µs"
+            ),
+            Violation::FrontierMismatch {
+                seq,
+                expected_us,
+                got_us,
+            } => write!(
+                f,
+                "batch {seq}: join frontier {got_us} µs, replay says {expected_us} µs"
+            ),
+            Violation::OutOfOrder { seq, detail } => write!(f, "batch {seq}: {detail}"),
+            Violation::UploadMisapplied { seq, detail } => write!(f, "batch {seq}: {detail}"),
+            Violation::WindowConflict { first, second, key } => write!(
+                f,
+                "batches {first} and {second} in flight together share key ({}, {})",
+                key.0, key.1
+            ),
+            Violation::BatchInconsistent { seq, detail } => write!(f, "batch {seq}: {detail}"),
+            Violation::AccountingMismatch {
+                stat,
+                expected,
+                got,
+            } => write!(f, "{stat}: service reports {got}, trace replays {expected}"),
+            Violation::OpsNotClosed {
+                submitted,
+                completed,
+                shed,
+                rejected,
+                pending,
+            } => write!(
+                f,
+                "op conservation broken: submitted {submitted} ≠ completed {completed} + \
+                 shed {shed} + rejected {rejected} + pending {pending}"
+            ),
+            Violation::StreamOverlap {
+                stream,
+                index,
+                detail,
+            } => write!(f, "stream {stream}, kernel {index}: {detail}"),
+        }
+    }
+}
+
+/// The verifier's verdict: what was checked and every invariant that
+/// failed. An empty violation list is the contract every integration run
+/// must meet.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleReport {
+    /// Batches replayed from the trace.
+    pub batches: usize,
+    /// Shard placements (or stream kernels) interval-checked.
+    pub intervals: usize,
+    /// Every violated invariant, in detection order.
+    pub violations: Vec<Violation>,
+}
+
+impl ScheduleReport {
+    /// Whether the schedule satisfied every invariant.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Merges another report into this one (summing coverage counters).
+    pub fn merge(&mut self, other: ScheduleReport) {
+        self.batches += other.batches;
+        self.intervals += other.intervals;
+        self.violations.extend(other.violations);
+    }
+}
+
+impl fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule report: {} batches, {} intervals, {} violation(s)",
+            self.batches,
+            self.intervals,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Verifies the scheduler trace against the service's cumulative stats.
+///
+/// `pending_ops` is the service's live op count (queued + in flight) at
+/// the moment `stats` was taken; `devices` bounds placement indices.
+/// Pass the trace of a *quiescent or mid-drain* service — the checks are
+/// valid at any point, since every record is final once joined.
+#[must_use]
+pub fn verify_schedule(
+    trace: &[BatchRecord],
+    stats: &ServiceStats,
+    pending_ops: usize,
+    devices: usize,
+) -> ScheduleReport {
+    let mut report = ScheduleReport {
+        batches: trace.len(),
+        ..ScheduleReport::default()
+    };
+    let v = &mut report.violations;
+
+    // --- Ordering: one global tick orders admissions and joins. ---
+    for (k, rec) in trace.iter().enumerate() {
+        if rec.seq != k {
+            v.push(Violation::OutOfOrder {
+                seq: rec.seq,
+                detail: format!("trace position {k} holds seq {}", rec.seq),
+            });
+        }
+        if rec.admitted_at >= rec.joined_at {
+            v.push(Violation::OutOfOrder {
+                seq: rec.seq,
+                detail: format!(
+                    "joined (tick {}) before admitted (tick {})",
+                    rec.joined_at, rec.admitted_at
+                ),
+            });
+        }
+        if k > 0 {
+            let prev = &trace[k - 1];
+            if prev.admitted_at >= rec.admitted_at {
+                v.push(Violation::OutOfOrder {
+                    seq: rec.seq,
+                    detail: "admitted out of submission order".into(),
+                });
+            }
+            if prev.joined_at >= rec.joined_at {
+                v.push(Violation::OutOfOrder {
+                    seq: rec.seq,
+                    detail: "joined out of submission order".into(),
+                });
+            }
+        }
+        let joins_before = trace[..k]
+            .iter()
+            .filter(|r| r.joined_at < rec.admitted_at)
+            .count();
+        if joins_before != rec.joins_at_admit {
+            v.push(Violation::OutOfOrder {
+                seq: rec.seq,
+                detail: format!(
+                    "claims {} joins at admission, ticks say {joins_before}",
+                    rec.joins_at_admit
+                ),
+            });
+        }
+    }
+
+    // --- Frontier, stall, placement, and per-batch consistency. ---
+    let mut free_at = vec![0.0f64; devices];
+    for rec in trace {
+        // Frontier: max completion over exactly the joined-before prefix.
+        let expected_frontier = trace[..rec.joins_at_admit.min(trace.len())]
+            .iter()
+            .fold(0.0f64, |m, r| m.max(r.completion_us));
+        if expected_frontier != rec.frontier_us {
+            v.push(Violation::FrontierMismatch {
+                seq: rec.seq,
+                expected_us: expected_frontier,
+                got_us: rec.frontier_us,
+            });
+        }
+        // Stall: frontier joined with the chosen devices' free times.
+        let mut expected_stall = rec.frontier_us;
+        let mut seen = Vec::new();
+        for &(d, start, dur) in &rec.placements {
+            report.intervals += 1;
+            if d >= devices {
+                v.push(Violation::BatchInconsistent {
+                    seq: rec.seq,
+                    detail: format!("placement on device {d} of {devices}"),
+                });
+                continue;
+            }
+            if seen.contains(&d) {
+                v.push(Violation::BatchInconsistent {
+                    seq: rec.seq,
+                    detail: format!("two shards on device {d}"),
+                });
+            }
+            seen.push(d);
+            if !(start.is_finite() && dur.is_finite()) || dur < 0.0 {
+                v.push(Violation::BatchInconsistent {
+                    seq: rec.seq,
+                    detail: format!("degenerate interval ({start}, {dur}) on device {d}"),
+                });
+                continue;
+            }
+            expected_stall = expected_stall.max(free_at[d]);
+            if start < free_at[d] {
+                v.push(Violation::DeviceOverlap {
+                    seq: rec.seq,
+                    device: d,
+                    start_us: start,
+                    free_us: free_at[d],
+                });
+            }
+            if start != rec.start_us {
+                v.push(Violation::UploadMisapplied {
+                    seq: rec.seq,
+                    detail: format!(
+                        "shard on device {d} starts at {start} µs, not at the post-upload \
+                         gang start {} µs (uploads must precede all compute)",
+                        rec.start_us
+                    ),
+                });
+            }
+        }
+        if expected_stall != rec.stall_us {
+            v.push(Violation::StallMismatch {
+                seq: rec.seq,
+                expected_us: expected_stall,
+                got_us: rec.stall_us,
+            });
+        }
+        for &(d, start, dur) in &rec.placements {
+            if d < devices && dur >= 0.0 && start.is_finite() {
+                free_at[d] = start + dur;
+            }
+        }
+        // Upload charging.
+        if !(rec.upload_us.is_finite() && rec.upload_us >= 0.0) {
+            v.push(Violation::UploadMisapplied {
+                seq: rec.seq,
+                detail: format!("degenerate upload charge {} µs", rec.upload_us),
+            });
+        } else if !rec.sessioned && rec.upload_us != 0.0 {
+            v.push(Violation::UploadMisapplied {
+                seq: rec.seq,
+                detail: format!("anonymous plan charged a {} µs key upload", rec.upload_us),
+            });
+        } else {
+            let expected_start = if rec.upload_us > 0.0 {
+                rec.stall_us + rec.upload_us
+            } else {
+                rec.stall_us
+            };
+            if expected_start != rec.start_us {
+                v.push(Violation::UploadMisapplied {
+                    seq: rec.seq,
+                    detail: format!(
+                        "gang start {} µs ≠ stall {} µs + upload {} µs",
+                        rec.start_us, rec.stall_us, rec.upload_us
+                    ),
+                });
+            }
+        }
+        // Internal consistency.
+        if rec.start_us + rec.wall_us != rec.completion_us {
+            v.push(Violation::BatchInconsistent {
+                seq: rec.seq,
+                detail: format!(
+                    "completion {} µs ≠ start {} µs + wall {} µs",
+                    rec.completion_us, rec.start_us, rec.wall_us
+                ),
+            });
+        }
+        if !rec.placements.is_empty() {
+            let longest = rec
+                .placements
+                .iter()
+                .fold(0.0f64, |m, &(_, _, dur)| m.max(dur));
+            if !close(longest, rec.wall_us) {
+                v.push(Violation::BatchInconsistent {
+                    seq: rec.seq,
+                    detail: format!("wall {} µs ≠ longest shard {longest} µs", rec.wall_us),
+                });
+            }
+        }
+    }
+
+    // --- Window independence. ---
+    for (k, rec) in trace.iter().enumerate() {
+        // In flight at rec's admission: every earlier batch not yet joined.
+        for prev in trace[..k].iter().rev() {
+            if prev.joined_at < rec.admitted_at {
+                break; // joins are in order: everything earlier left too
+            }
+            if let Some(shared) = prev.keys.iter().find(|k| rec.keys.contains(k)) {
+                v.push(Violation::WindowConflict {
+                    first: prev.seq,
+                    second: rec.seq,
+                    key: (shared.0.to_string(), shared.1),
+                });
+            }
+        }
+    }
+
+    // --- Accounting closure. ---
+    let busy: f64 = trace.iter().fold(0.0, |acc, r| acc + r.wall_us);
+    if busy != stats.busy_us {
+        v.push(Violation::AccountingMismatch {
+            stat: "busy_us",
+            expected: busy,
+            got: stats.busy_us,
+        });
+    }
+    let makespan = trace.iter().fold(0.0f64, |m, r| m.max(r.completion_us));
+    if makespan != stats.elapsed_us {
+        v.push(Violation::AccountingMismatch {
+            stat: "elapsed_us",
+            expected: makespan,
+            got: stats.elapsed_us,
+        });
+    }
+    let interval_sum: f64 = trace
+        .iter()
+        .flat_map(|r| r.placements.iter())
+        .map(|&(_, _, dur)| dur)
+        .sum();
+    let attributed: f64 = stats.device_busy_us.iter().sum();
+    if !close(interval_sum, attributed) {
+        v.push(Violation::AccountingMismatch {
+            stat: "interval sum vs device attribution",
+            expected: interval_sum,
+            got: attributed,
+        });
+    }
+    let uploads = trace.iter().filter(|r| r.upload_us > 0.0).count();
+    if uploads != stats.key_uploads {
+        v.push(Violation::AccountingMismatch {
+            stat: "key_uploads",
+            expected: uploads as f64,
+            got: stats.key_uploads as f64,
+        });
+    }
+    let upload_us: f64 = trace.iter().fold(0.0, |acc, r| acc + r.upload_us);
+    if upload_us != stats.key_upload_us {
+        v.push(Violation::AccountingMismatch {
+            stat: "key_upload_us",
+            expected: upload_us,
+            got: stats.key_upload_us,
+        });
+    }
+    let widths: usize = trace.iter().map(|r| r.width).sum();
+    if widths != stats.ops_completed {
+        v.push(Violation::AccountingMismatch {
+            stat: "ops_completed",
+            expected: widths as f64,
+            got: stats.ops_completed as f64,
+        });
+    }
+    if trace.len() != stats.batches_dispatched {
+        v.push(Violation::AccountingMismatch {
+            stat: "batches_dispatched",
+            expected: trace.len() as f64,
+            got: stats.batches_dispatched as f64,
+        });
+    }
+    if stats.ops_submitted
+        != stats.ops_completed + stats.ops_shed + stats.ops_rejected + pending_ops
+    {
+        v.push(Violation::OpsNotClosed {
+            submitted: stats.ops_submitted,
+            completed: stats.ops_completed,
+            shed: stats.ops_shed,
+            rejected: stats.ops_rejected,
+            pending: pending_ops,
+        });
+    }
+
+    report
+}
+
+/// Verifies a service end to end: its scheduler trace against its own
+/// cumulative stats. Call at any drain point; a clean report means the
+/// overlap clock, residency charging, window discipline, and accounting
+/// all reconcile.
+#[must_use]
+pub fn verify_service(svc: &FheService) -> ScheduleReport {
+    verify_schedule(
+        svc.schedule_trace(),
+        &svc.stats(),
+        svc.pending_ops(),
+        svc.devices(),
+    )
+}
+
+/// Verifies `(stream, start_us, end_us)` launch records — e.g. from
+/// [`tensorfhe_gpu::DeviceSim::intervals`] — against the FIFO-stream
+/// contract: within a stream, kernels run forward in time and never
+/// overlap.
+#[must_use]
+pub fn verify_launch_intervals(
+    intervals: impl IntoIterator<Item = (usize, f64, f64)>,
+) -> ScheduleReport {
+    let mut report = ScheduleReport::default();
+    let mut streams: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+    for (stream, start, end) in intervals {
+        streams.entry(stream).or_default().push((start, end));
+    }
+    for (stream, kernels) in &streams {
+        let mut prev_end = f64::NEG_INFINITY;
+        for (i, &(start, end)) in kernels.iter().enumerate() {
+            report.intervals += 1;
+            if !(start.is_finite() && end.is_finite()) || end < start {
+                report.violations.push(Violation::StreamOverlap {
+                    stream: *stream,
+                    index: i,
+                    detail: format!("degenerate interval [{start}, {end}]"),
+                });
+                continue;
+            }
+            if start < prev_end {
+                report.violations.push(Violation::StreamOverlap {
+                    stream: *stream,
+                    index: i,
+                    detail: format!(
+                        "starts at {start} µs before the previous kernel ends at {prev_end} µs"
+                    ),
+                });
+            }
+            prev_end = prev_end.max(end);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_stream_intervals_pass() {
+        let r = verify_launch_intervals(vec![(0, 0.0, 1.0), (0, 1.0, 2.5), (1, 0.5, 3.0)]);
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.intervals, 3);
+    }
+
+    #[test]
+    fn overlapping_stream_intervals_fail() {
+        let r = verify_launch_intervals(vec![(0, 0.0, 2.0), (0, 1.5, 3.0)]);
+        assert_eq!(r.violations.len(), 1);
+        assert!(matches!(r.violations[0], Violation::StreamOverlap { .. }));
+    }
+}

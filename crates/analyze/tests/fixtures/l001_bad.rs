@@ -1,0 +1,7 @@
+//! L001 bad: reads the host wall clock outside `crates/bench`.
+
+pub fn elapsed_us() -> f64 {
+    let t0 = std::time::Instant::now();
+    busy_work();
+    t0.elapsed().as_secs_f64() * 1e6
+}

@@ -1,0 +1,6 @@
+//! L001 good: time flows in as simulated microseconds, never from the
+//! host clock.
+
+pub fn elapsed_us(start_us: f64, now_us: f64) -> f64 {
+    now_us - start_us
+}

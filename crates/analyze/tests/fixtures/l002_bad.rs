@@ -1,0 +1,8 @@
+//! L002 bad: ambient OS entropy in result-affecting code.
+
+use rand::Rng;
+
+pub fn noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(-0.5..0.5)
+}

@@ -1,0 +1,9 @@
+//! L002 good: randomness comes from a caller-seeded generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn noise(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(-0.5..0.5)
+}

@@ -1,0 +1,14 @@
+//! L003 bad: unannotated `HashMap` in result-affecting code, then
+//! iterated — completion order leaks the per-process hash seed.
+
+use std::collections::HashMap;
+
+pub fn drain_order(costs: &[(usize, f64)]) -> Vec<usize> {
+    let mut pending: HashMap<usize, f64> = costs.iter().copied().collect();
+    let mut order = Vec::new();
+    for &id in pending.keys() {
+        order.push(id);
+    }
+    pending.clear();
+    order
+}

@@ -1,0 +1,15 @@
+//! L003 good: ordered container where iteration order matters, and an
+//! annotated hash map where only keyed lookup is used.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn drain_order(costs: &[(usize, f64)]) -> Vec<usize> {
+    let pending: BTreeMap<usize, f64> = costs.iter().copied().collect();
+    pending.keys().copied().collect()
+}
+
+pub fn lookup(costs: &[(usize, f64)], id: usize) -> Option<f64> {
+    // lint: ordered-ok (keyed get only; never iterated)
+    let cache: HashMap<usize, f64> = costs.iter().copied().collect();
+    cache.get(&id).copied()
+}

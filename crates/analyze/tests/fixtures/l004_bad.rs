@@ -1,0 +1,7 @@
+//! L004 bad: an `unsafe` block whose proof obligation is nowhere
+//! stated.
+
+pub fn first_lane(xs: &[u64]) -> u64 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! L004 good: the `unsafe` block documents its proof obligation.
+
+pub fn first_lane(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//! L005 bad: a bare `#[allow]` with no justification comment.
+
+#[allow(clippy::too_many_arguments)]
+pub fn step(a: u32, b: u32, c: u32, d: u32, e: u32, f: u32, g: u32, h: u32) -> u32 {
+    a + b + c + d + e + f + g + h
+}

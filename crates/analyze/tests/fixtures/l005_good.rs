@@ -1,0 +1,8 @@
+//! L005 good: the `#[allow]` carries its justification.
+
+// The signature mirrors the paper's algorithm inputs one-to-one;
+// bundling them into a struct would just move the list one level down.
+#[allow(clippy::too_many_arguments)]
+pub fn step(a: u32, b: u32, c: u32, d: u32, e: u32, f: u32, g: u32, h: u32) -> u32 {
+    a + b + c + d + e + f + g + h
+}

@@ -1,0 +1,8 @@
+//! L006 bad: ambient environment probe outside the sanctioned paths.
+
+pub fn workers() -> usize {
+    std::env::var("TENSORFHE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

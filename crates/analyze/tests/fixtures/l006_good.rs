@@ -1,0 +1,12 @@
+//! L006 good: configuration arrives explicitly through the builder.
+
+pub struct Builder {
+    workers: usize,
+}
+
+impl Builder {
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+}

@@ -1,0 +1,141 @@
+//! Lint self-test: one bad and one good fixture per lint id.
+//!
+//! The fixtures live under `tests/fixtures/`, a directory name both
+//! `FileScope::classify` and the workspace walker skip — so the bad
+//! snippets exercise the lints here without ever failing the real
+//! `tfhe-lint --deny-all` run.
+
+use tensorfhe_analyze::lint::{lint_source, FileScope, LintId};
+
+/// Scope the fixtures pretend to live in: result-affecting crate source,
+/// neither bench nor test code — the strictest classification, where
+/// every lint is armed.
+fn strict() -> FileScope {
+    FileScope {
+        bench_crate: false,
+        test_code: false,
+        result_affecting: true,
+    }
+}
+
+fn check(lint: LintId, bad: &str, good: &str) {
+    let rel = format!("crates/fake/src/{}.rs", lint.code());
+    let bad_hits: Vec<_> = lint_source(&rel, bad, strict())
+        .into_iter()
+        .filter(|d| d.lint == lint)
+        .collect();
+    assert!(
+        !bad_hits.is_empty(),
+        "{} bad fixture should fire {}, got nothing",
+        lint.code(),
+        lint.code()
+    );
+    let good_hits = lint_source(&rel, good, strict());
+    assert!(
+        good_hits.is_empty(),
+        "{} good fixture should be clean, got: {:?}",
+        lint.code(),
+        good_hits
+    );
+}
+
+#[test]
+fn l001_ambient_time_fixtures() {
+    check(
+        LintId::AmbientTime,
+        include_str!("fixtures/l001_bad.rs"),
+        include_str!("fixtures/l001_good.rs"),
+    );
+}
+
+#[test]
+fn l002_ambient_randomness_fixtures() {
+    check(
+        LintId::AmbientRandomness,
+        include_str!("fixtures/l002_bad.rs"),
+        include_str!("fixtures/l002_good.rs"),
+    );
+}
+
+#[test]
+fn l003_ordered_iteration_fixtures() {
+    check(
+        LintId::OrderedIteration,
+        include_str!("fixtures/l003_bad.rs"),
+        include_str!("fixtures/l003_good.rs"),
+    );
+}
+
+#[test]
+fn l004_undocumented_unsafe_fixtures() {
+    check(
+        LintId::UndocumentedUnsafe,
+        include_str!("fixtures/l004_bad.rs"),
+        include_str!("fixtures/l004_good.rs"),
+    );
+}
+
+#[test]
+fn l005_unjustified_allow_fixtures() {
+    check(
+        LintId::UnjustifiedAllow,
+        include_str!("fixtures/l005_bad.rs"),
+        include_str!("fixtures/l005_good.rs"),
+    );
+}
+
+#[test]
+fn l006_ambient_env_fixtures() {
+    check(
+        LintId::AmbientEnv,
+        include_str!("fixtures/l006_bad.rs"),
+        include_str!("fixtures/l006_good.rs"),
+    );
+}
+
+#[test]
+fn bad_fixtures_fire_only_their_own_lint() {
+    // Each bad fixture is a *focused* reproducer: it must not trip
+    // unrelated lints, or a fixture edit could silently change which
+    // lint the suite actually covers.
+    let cases: [(LintId, &str); 6] = [
+        (LintId::AmbientTime, include_str!("fixtures/l001_bad.rs")),
+        (
+            LintId::AmbientRandomness,
+            include_str!("fixtures/l002_bad.rs"),
+        ),
+        (
+            LintId::OrderedIteration,
+            include_str!("fixtures/l003_bad.rs"),
+        ),
+        (
+            LintId::UndocumentedUnsafe,
+            include_str!("fixtures/l004_bad.rs"),
+        ),
+        (
+            LintId::UnjustifiedAllow,
+            include_str!("fixtures/l005_bad.rs"),
+        ),
+        (LintId::AmbientEnv, include_str!("fixtures/l006_bad.rs")),
+    ];
+    for (lint, text) in cases {
+        let rel = format!("crates/fake/src/{}.rs", lint.code());
+        let stray: Vec<_> = lint_source(&rel, text, strict())
+            .into_iter()
+            .filter(|d| d.lint != lint)
+            .collect();
+        assert!(
+            stray.is_empty(),
+            "{} bad fixture tripped unrelated lints: {:?}",
+            lint.code(),
+            stray
+        );
+    }
+}
+
+#[test]
+fn fixtures_are_out_of_workspace_scope() {
+    // The walker and classifier must both skip `fixtures/` paths, or the
+    // bad snippets above would fail the workspace `--deny-all` run.
+    assert!(FileScope::classify("crates/analyze/tests/fixtures/l001_bad.rs").is_none());
+}

@@ -12,6 +12,14 @@
 //! reported but not gated (that's how new benches enter the trajectory:
 //! land the metric first, pin it into the baseline next PR).
 //!
+//! Besides the ratio gate, the binary rebuilds smoke-scale service
+//! schedules in-process — a pipelined anonymous stream and a
+//! multi-tenant session stream, at both matrix corners — and replays
+//! them through the `tensorfhe-analyze` schedule verifier. A structural
+//! violation (overlapping device intervals, a misapplied key upload, an
+//! unclosed ops ledger) fails the gate even when every pinned ratio
+//! still holds.
+//!
 //! Exit status: 0 when every pinned metric holds, 1 on any regression or
 //! missing metric, 2 on usage/IO errors.
 
@@ -21,6 +29,54 @@ use tensorfhe_bench::{print_table, report};
 
 /// Pinned ratios may drop at most this fraction below the baseline.
 const ALLOWED_DROP: f64 = 0.25;
+
+/// Rebuilds the bench-smoke schedule shapes in-process and audits them
+/// with the structural verifier. Returns the joined violation reports on
+/// failure.
+fn verify_smoke_schedules() -> Result<(), String> {
+    use tensorfhe_ckks::CkksParams;
+    use tensorfhe_core::api::{FheOp, TensorFhe};
+    use tensorfhe_core::service::FheRequest;
+    use tensorfhe_core::SessionConfig;
+
+    let mut failures = Vec::new();
+    for &(workers, depth) in &[(1usize, 1usize), (4, 4)] {
+        let mut svc = TensorFhe::builder(&CkksParams::test_small())
+            .workers(workers)
+            .pipeline_depth(depth)
+            .service()
+            .map_err(|e| e.to_string())?;
+        let level = svc.params().max_level();
+        let cap = svc.batch_cap();
+        // The fig11/fig12 smoke shapes: a deadline-bound tenant, a
+        // weighted heavy hitter, and anonymous pipelined traffic.
+        let rt = svc
+            .register_session(SessionConfig::new("rt").deadline_us(20_000.0))
+            .map_err(|e| e.to_string())?;
+        let be = svc
+            .register_session(SessionConfig::new("be").weight(2.0))
+            .map_err(|e| e.to_string())?;
+        for i in 0..12 {
+            let req = match i % 3 {
+                0 => FheRequest::in_session(FheOp::HMult, level, cap, rt),
+                1 => FheRequest::in_session(FheOp::HRotate, level, cap / 2 + 1, be),
+                _ => FheRequest::new(FheOp::HAdd, level, cap, "anon"),
+            };
+            svc.submit(req).map_err(|e| e.to_string())?;
+        }
+        // Shedding can leave later work runnable; drain to a fixpoint.
+        while !svc.drain().is_empty() {}
+        let report = tensorfhe_analyze::verify_service(&svc);
+        if !report.is_clean() {
+            failures.push(format!("workers={workers} depth={depth}:\n{report}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -121,7 +177,13 @@ fn main() -> ExitCode {
             eprintln!("  - {key}");
         }
     }
-    if !missing.is_empty() || !regressed.is_empty() {
+    let schedule_audit = verify_smoke_schedules();
+    if let Err(violations) = &schedule_audit {
+        eprintln!("schedule verifier found structural violations:\n{violations}");
+    } else {
+        println!("schedule verifier: smoke schedules clean at both matrix corners");
+    }
+    if !missing.is_empty() || !regressed.is_empty() || schedule_audit.is_err() {
         ExitCode::FAILURE
     } else {
         println!("all pinned metrics within {max_drop_pct:.0}% of baseline");

@@ -87,6 +87,7 @@ pub fn dft_transform(n: usize, which: DftMatrix) -> LinearTransform {
 /// materialisation.
 #[must_use]
 pub fn dft_transform_cached(n: usize, which: DftMatrix) -> Arc<LinearTransform> {
+    // lint: ordered-ok (keyed get/entry only; never iterated)
     type DftCache = Mutex<HashMap<(usize, DftMatrix), Arc<LinearTransform>>>;
     static CACHE: OnceLock<DftCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));

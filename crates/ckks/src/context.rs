@@ -71,9 +71,9 @@ pub struct CkksContext {
     ntt_p: Vec<OnceLock<Arc<BatchedGemmNtt>>>,
     encoder: OnceLock<Encoder>,
     rns_per_level: Vec<OnceLock<RnsBasis>>,
-    modup: Mutex<HashMap<(usize, usize), Arc<ModUpTable>>>,
-    moddown: Mutex<HashMap<usize, Arc<ModDownTable>>>,
-    galois: Mutex<HashMap<u64, Arc<GaloisTables>>>,
+    modup: Mutex<HashMap<(usize, usize), Arc<ModUpTable>>>, // lint: ordered-ok (keyed get/insert only)
+    moddown: Mutex<HashMap<usize, Arc<ModDownTable>>>, // lint: ordered-ok (keyed get/insert only)
+    galois: Mutex<HashMap<u64, Arc<GaloisTables>>>,    // lint: ordered-ok (keyed get/insert only)
     /// `rescale_inv[l][j] = q_l^{-1} mod q_j` for `j < l`.
     rescale_inv: Vec<Vec<u64>>,
 }

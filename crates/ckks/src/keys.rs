@@ -60,6 +60,7 @@ pub struct KeyChain<'a> {
     /// Relinearisation key (encrypts `s²`).
     relin: KsKey,
     /// Rotation/conjugation keys by Galois element.
+    // lint: ordered-ok (keyed contains_key/insert/get only; never iterated)
     rot: HashMap<u64, KsKey>,
 }
 

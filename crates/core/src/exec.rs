@@ -252,6 +252,7 @@ pub struct SimExecutor {
     cfg: EngineConfig,
     engines: Vec<Engine>,
     next: u64,
+    // lint: ordered-ok (keyed insert/remove by handle only; never iterated)
     done: HashMap<u64, BatchResult>,
 }
 
@@ -391,6 +392,7 @@ pub struct ThreadedPool {
     next: u64,
     /// Outstanding submissions: receiver plus the number of worker replies
     /// the merge must wait for.
+    // lint: ordered-ok (keyed insert/remove by handle only; never iterated)
     pending: HashMap<u64, PendingBatch>,
 }
 
@@ -417,6 +419,7 @@ impl ThreadedPool {
                 .spawn(move || {
                     // Engines live inside the thread: the simulator state
                     // never crosses thread boundaries, only plain results.
+                    // lint: ordered-ok (keyed get_mut by device id only; never iterated)
                     let mut engines: HashMap<usize, Engine> = my_devices
                         .iter()
                         .map(|&d| (d, Engine::new(worker_cfg.clone())))

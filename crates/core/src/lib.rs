@@ -167,6 +167,61 @@
 //! without being charged deficit; expired untouched work is shed, late
 //! completions count as [`service::ServiceStats::deadline_misses`].
 //!
+//! # Determinism invariants and how they're enforced
+//!
+//! Every number this crate reports is a pure function of the request
+//! stream and the configuration — never of wall-clock time, hash seeds,
+//! thread interleaving, or the environment. The invariants:
+//!
+//! * **No ambient time.** Simulated microseconds flow through explicit
+//!   state (`DeviceSim`, the overlap clock); only `crates/bench` may read
+//!   the host clock.
+//! * **No ambient randomness.** Every RNG is caller-seeded
+//!   (`StdRng::seed_from_u64`); OS entropy never reaches a result.
+//! * **No order-dependent hash iteration.** Result-affecting collections
+//!   that are iterated use `Vec`/`BTreeMap` (e.g.
+//!   [`service::ServiceStats::per_session_ops`] is a `Vec` pinned to
+//!   session registration order); `HashMap`s survive only for keyed
+//!   lookup and say so at their declaration.
+//! * **Bit-identity across the matrix.** Worker count
+//!   (`TENSORFHE_WORKERS`) and pipeline depth (`TENSORFHE_PIPELINE`)
+//!   change wall-clock overlap, never result bits — enforced by the
+//!   determinism/pipeline test suites over the {1,4} × {1,4} grid.
+//! * **Schedule structure.** The [`sched::Scheduler`] records a
+//!   [`sched::BatchRecord`] trace (admission/join ticks, window
+//!   membership, gang placements, upload charges) that
+//!   `tensorfhe-analyze` replays structurally: per-device intervals
+//!   non-overlapping and monotone, gang starts at
+//!   `max(join frontier, device free times)`, joins in submission order,
+//!   key uploads charged exactly once per sessioned gang and never for
+//!   anonymous plans, no two in-flight batches sharing a
+//!   `(client, level)` key, and the ops ledger closed
+//!   (`submitted = completed + shed + rejected + pending`).
+//!
+//! They are enforced mechanically, not by convention. The
+//! `tensorfhe-analyze` crate ships `tfhe-lint`, which walks the
+//! workspace in CI (`--deny-all`) with six lints:
+//!
+//! | id | name | rule |
+//! |---|---|---|
+//! | L001 | `ambient-time` | no `Instant`/`SystemTime` outside `crates/bench` |
+//! | L002 | `ambient-randomness` | no `thread_rng`/`from_entropy`/`OsRng`… in crate src |
+//! | L003 | `ordered-iteration` | no iterated `HashMap`/`HashSet` in result-affecting src |
+//! | L004 | `undocumented-unsafe` | `unsafe` needs a `// SAFETY:` comment |
+//! | L005 | `unjustified-allow` | `#[allow]` needs a justification comment |
+//! | L006 | `ambient-env` | `env::var` only in sanctioned paths |
+//!
+//! Sanctioned exceptions are either inline —
+//! `// lint: <slug> (reason)` on or directly above the line, where
+//! `<slug>` is the lint's suppression name (`ordered-ok`, `time-ok`,
+//! `random-ok`, `env-ok`) and the parenthesized reason is mandatory — or
+//! an entry in the workspace-root `tfhe-lint.allow` file
+//! (`<code|*> <path> [# why]`). The schedule invariants are checked by
+//! `tensorfhe_analyze::verify_service` in the integration suites here,
+//! fuzzed across random multi-session streams in
+//! `tensorfhe-analyze`'s own tests, and re-audited on the bench-smoke
+//! schedules by the `check_regression` perf gate.
+//!
 //! # Migrating from `run_op` to `submit`/`drain`
 //!
 //! Seed-era code chose its own batch and called `run_op`:

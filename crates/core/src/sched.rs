@@ -88,9 +88,69 @@ pub struct BatchPlan {
     /// the service after residency placement; the overlap clock delays
     /// the batch's gang start by exactly this amount.
     pub upload_us: f64,
+    /// Whether any contributing request rides in a registered session.
+    /// Set by the service during residency placement; anonymous plans
+    /// must never be charged a key upload, and the schedule verifier
+    /// ([`crate::sched::BatchRecord::sessioned`]) holds it to that.
+    pub sessioned: bool,
     /// Independence keys — the `(client, level)` pairs of every
     /// contributing request.
     keys: BTreeSet<(Arc<str>, usize)>,
+}
+
+impl BatchPlan {
+    /// The `(client, level)` independence keys of every contributing
+    /// request, in key order. Exposed for the schedule verifier.
+    pub fn independence_keys(&self) -> impl Iterator<Item = &(Arc<str>, usize)> {
+        self.keys.iter()
+    }
+}
+
+/// The structural trace of one batch through the window and the overlap
+/// clock, recorded at admission and completed at join. `tensorfhe-analyze`
+/// replays these records to prove the schedule well-formed: intervals
+/// non-overlapping, gang starts legal, joins in submission order, uploads
+/// charged only where the residency model says they exist, and the
+/// accounting closed. Recording is always on — it is a handful of copies
+/// per *batch* (not per kernel) and performs no float arithmetic of its
+/// own, so the clocks it snapshots stay bit-identical with and without a
+/// verifier attached.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Submission index (0-based). Batches are admitted, joined, and
+    /// settled in this order.
+    pub seq: usize,
+    /// Global window-event tick at admission (admissions and joins share
+    /// one counter, so window membership can be reconstructed exactly).
+    pub admitted_at: u64,
+    /// Global window-event tick at join.
+    pub joined_at: u64,
+    /// Number of batches already joined when this one was admitted; the
+    /// join frontier is the max completion over exactly that prefix.
+    pub joins_at_admit: usize,
+    /// The join frontier snapshotted at admission (µs).
+    pub frontier_us: f64,
+    /// Instances coalesced into the batch.
+    pub width: usize,
+    /// The `(client, level)` independence keys of the plan.
+    pub keys: Vec<(Arc<str>, usize)>,
+    /// Whether any contributing request rides in a registered session.
+    pub sessioned: bool,
+    /// Key-staging time charged before the gang start (µs).
+    pub upload_us: f64,
+    /// `max(frontier, chosen device free times)` — where the gang would
+    /// start if every key were resident (µs).
+    pub stall_us: f64,
+    /// The actual gang start: `stall_us` plus the upload charge (µs).
+    pub start_us: f64,
+    /// The batch's wall time — its longest shard (µs).
+    pub wall_us: f64,
+    /// `start_us + wall_us`: when the batch's last shard retired (µs).
+    pub completion_us: f64,
+    /// `(device, start, duration)` per placed shard (µs). Durations are
+    /// kept instead of end times so `Σ duration` matches the attributed
+    /// busy time without float cancellation.
+    pub placements: Vec<(usize, f64, f64)>,
 }
 
 /// Outcome of one planning walk.
@@ -140,6 +200,8 @@ struct InFlight {
     /// The join frontier at admission: completion time of the newest batch
     /// joined before this one entered the window.
     frontier_us: f64,
+    /// The partially-filled trace record (clock fields land at join).
+    record: BatchRecord,
 }
 
 /// The in-flight window plus the overlap clock.
@@ -165,6 +227,14 @@ pub struct Scheduler {
     elapsed_us: f64,
     /// Most batches ever simultaneously in flight.
     inflight_hwm: usize,
+    /// Window-event tick: one counter over admissions *and* joins, so the
+    /// trace can reconstruct exact window membership.
+    event_tick: u64,
+    /// Batches joined so far (the next record's `seq`).
+    joined_count: usize,
+    /// Structural trace of every joined batch, in join (= submission)
+    /// order; see [`BatchRecord`].
+    trace: Vec<BatchRecord>,
 }
 
 impl Scheduler {
@@ -187,7 +257,17 @@ impl Scheduler {
             joined_frontier: 0.0,
             elapsed_us: 0.0,
             inflight_hwm: 0,
+            event_tick: 0,
+            joined_count: 0,
+            trace: Vec::new(),
         }
+    }
+
+    /// The structural trace of every joined batch, in join (= submission)
+    /// order. `tensorfhe-analyze::verify` consumes this.
+    #[must_use]
+    pub fn trace(&self) -> &[BatchRecord] {
+        &self.trace
     }
 
     /// Configured window depth.
@@ -277,6 +357,7 @@ impl Scheduler {
             width,
             takes,
             upload_us: 0.0,
+            sessioned: false,
             keys,
         })
     }
@@ -294,11 +375,29 @@ impl Scheduler {
             let fresh = self.keys.insert(k.clone());
             debug_assert!(fresh, "dependent batch admitted: {k:?}");
         }
+        let record = BatchRecord {
+            seq: self.joined_count + self.window.len(),
+            admitted_at: self.event_tick,
+            joined_at: 0,
+            joins_at_admit: self.joined_count,
+            frontier_us: self.joined_frontier,
+            width: plan.width,
+            keys: plan.keys.iter().cloned().collect(),
+            sessioned: plan.sessioned,
+            upload_us: plan.upload_us,
+            stall_us: 0.0,
+            start_us: 0.0,
+            wall_us: 0.0,
+            completion_us: 0.0,
+            placements: Vec::new(),
+        };
+        self.event_tick += 1;
         self.window.push_back(InFlight {
             plan,
             work,
             ready: None,
             frontier_us: self.joined_frontier,
+            record,
         });
         self.inflight_hwm = self.inflight_hwm.max(self.window.len());
     }
@@ -354,7 +453,17 @@ impl Scheduler {
         for k in &inflight.plan.keys {
             self.keys.remove(k);
         }
-        self.advance_clock(inflight.frontier_us, inflight.plan.upload_us, &result);
+        let mut record = inflight.record;
+        record.joined_at = self.event_tick;
+        self.event_tick += 1;
+        self.joined_count += 1;
+        self.advance_clock(
+            inflight.frontier_us,
+            inflight.plan.upload_us,
+            &result,
+            &mut record,
+        );
+        self.trace.push(record);
         Some(Finished {
             plan: inflight.plan,
             result,
@@ -373,7 +482,13 @@ impl Scheduler {
     /// clock and the makespan accumulates exactly `Σ wall` — the same
     /// float additions, in the same order, as the service's busy-time
     /// accounting.
-    fn advance_clock(&mut self, frontier_us: f64, upload_us: f64, result: &BatchResult) {
+    fn advance_clock(
+        &mut self,
+        frontier_us: f64,
+        upload_us: f64,
+        result: &BatchResult,
+        record: &mut BatchRecord,
+    ) {
         let mut shards: Vec<f64> = result
             .per_device_us
             .iter()
@@ -396,6 +511,7 @@ impl Scheduler {
         for &d in chosen {
             start = start.max(self.free_at[d]);
         }
+        record.stall_us = start;
         // Non-resident keys stall the gang on the copy engine before any
         // shard can launch. The guard keeps the anonymous/no-session path
         // bit-identical: `start + 0.0` is a float op this clock never did.
@@ -405,8 +521,12 @@ impl Scheduler {
         // Longest shard onto the least-loaded device keeps queues level.
         for (&d, &t) in chosen.iter().zip(&shards) {
             self.free_at[d] = start + t;
+            record.placements.push((d, start, t));
         }
         let completion = start + result.stats.time_us;
+        record.start_us = start;
+        record.wall_us = result.stats.time_us;
+        record.completion_us = completion;
         self.elapsed_us = self.elapsed_us.max(completion);
         self.joined_frontier = self.joined_frontier.max(completion);
     }

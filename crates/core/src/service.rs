@@ -172,8 +172,18 @@ pub enum RequestStatus {
 pub struct ServiceStats {
     /// Requests fully served.
     pub requests_completed: usize,
+    /// Operation instances ever submitted (accepted *or* refused): every
+    /// op is conserved — `ops_submitted = ops_completed + ops_shed +
+    /// ops_rejected + pending`, the closure the schedule verifier holds
+    /// the service to.
+    pub ops_submitted: usize,
     /// Operation instances executed.
     pub ops_completed: usize,
+    /// Operation instances dropped when their request was shed (deadline
+    /// budget expired unserved).
+    pub ops_shed: usize,
+    /// Operation instances refused at submission by admission control.
+    pub ops_rejected: usize,
     /// Device batches dispatched.
     pub batches_dispatched: usize,
     /// Kernel launches across all dispatched batches. Per-request launch
@@ -324,7 +334,10 @@ pub struct FheService {
     clock_us: f64,
     // Cumulative accounting.
     requests_completed: usize,
+    ops_submitted: usize,
     ops_completed: usize,
+    ops_shed: usize,
+    ops_rejected: usize,
     batches_dispatched: usize,
     launches_total: usize,
     fill_sum: f64,
@@ -333,6 +346,7 @@ pub struct FheService {
     device_busy_us: Vec<f64>,
     energy_j: f64,
     queue_latency_sum_us: f64,
+    // lint: ordered-ok (keyed get/insert only; never iterated)
     cost_cache: HashMap<(FheOp, usize, usize), BatchResult>,
     // --- Session tier (all inert while `sessions` is empty) ---
     /// Device model, kept for key-upload costing (launch overhead + DMA).
@@ -488,7 +502,10 @@ impl FheService {
             next_id: 0,
             clock_us: 0.0,
             requests_completed: 0,
+            ops_submitted: 0,
             ops_completed: 0,
+            ops_shed: 0,
+            ops_rejected: 0,
             batches_dispatched: 0,
             launches_total: 0,
             fill_sum: 0.0,
@@ -626,6 +643,15 @@ impl FheService {
         self.key_cache.trace()
     }
 
+    /// The scheduler's structural trace: one [`crate::sched::BatchRecord`]
+    /// per joined batch, in join (= submission) order. The schedule
+    /// verifier in `tensorfhe-analyze` replays this against
+    /// [`FheService::stats`] to prove the overlap clock well-formed.
+    #[must_use]
+    pub fn schedule_trace(&self) -> &[crate::sched::BatchRecord] {
+        self.sched.trace()
+    }
+
     /// Operation instances not yet completed (queued or in flight).
     #[must_use]
     pub fn pending_ops(&self) -> usize {
@@ -717,6 +743,7 @@ impl FheService {
         }
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        self.ops_submitted += req.count;
         if let Some(sid) = req.session {
             let s = &self.sessions[sid.0 as usize];
             let over_session = s
@@ -727,6 +754,7 @@ impl FheService {
                 .is_some_and(|cap| self.queued_session_ops + req.count > cap);
             if over_session || over_global {
                 self.rejected.insert(id);
+                self.ops_rejected += req.count;
                 return Ok(id);
             }
             self.sessions[sid.0 as usize].queued_ops += req.count;
@@ -1004,6 +1032,7 @@ impl FheService {
                         }
                     }
                     keys.sort_by_key(|&(s, _)| s);
+                    plan.sessioned = !keys.is_empty();
                     if !keys.is_empty() {
                         let shards = crate::exec::shard_widths(plan.width, self.devices())
                             .iter()
@@ -1047,6 +1076,7 @@ impl FheService {
             if p.executing == 0 && p.batches == 0 && self.clock_us - p.submitted_us > deadline {
                 let p = self.queue[i].take().expect("checked live");
                 self.shed.insert(p.id);
+                self.ops_shed += p.remaining;
                 self.sessions[sid.0 as usize].queued_ops -= p.remaining;
                 self.queued_session_ops -= p.remaining;
             }
@@ -1186,7 +1216,10 @@ impl FheService {
         };
         ServiceStats {
             requests_completed: self.requests_completed,
+            ops_submitted: self.ops_submitted,
             ops_completed: self.ops_completed,
+            ops_shed: self.ops_shed,
+            ops_rejected: self.ops_rejected,
             batches_dispatched: self.batches_dispatched,
             launches: self.launches_total,
             batch_cap: self.batch_cap,

@@ -81,6 +81,15 @@ impl GpuTracer {
         self.batch
     }
 
+    /// The shared device simulator this tracer lowers onto. Exposed so
+    /// the schedule verifier can replay [`DeviceSim::intervals`] after a
+    /// traced run and hold the launch streams to the per-stream
+    /// structural invariants.
+    #[must_use]
+    pub fn device(&self) -> Rc<RefCell<DeviceSim>> {
+        Rc::clone(&self.sim)
+    }
+
     /// Stages a client key-set upload on the main stream (the session
     /// tier's residency model in a Full-mode trace): one
     /// [`KernelClass::KeyUpload`] DMA, costed by the copy-engine model

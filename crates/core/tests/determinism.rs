@@ -157,6 +157,29 @@ fn single_device_utilization_is_exactly_one() {
 }
 
 #[test]
+fn traced_launch_streams_are_fifo_clean_per_stream() {
+    // Every kernel the engine lowers onto the device must land in its
+    // stream in FIFO order with non-negative, finite durations — the
+    // structural invariant `verify_launch_intervals` pins, here checked
+    // over a real traced schedule rather than a synthetic interval list.
+    use tensorfhe_core::api::schedule_events;
+    use tensorfhe_core::{Engine, EngineConfig, Variant};
+
+    let params = CkksParams::test_small();
+    let mut engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
+    let level = params.max_level();
+    for op in [FheOp::HMult, FheOp::HRotate, FheOp::Rescale] {
+        let events = schedule_events(&params, op, level);
+        engine.run_schedule(op.name(), &events, 4);
+    }
+    let dev = engine.device();
+    let intervals: Vec<_> = dev.borrow().intervals().collect();
+    assert!(!intervals.is_empty(), "the traced run must launch kernels");
+    let report = tensorfhe_analyze::verify_launch_intervals(intervals);
+    assert!(report.is_clean(), "launch-stream violations:\n{report}");
+}
+
+#[test]
 fn device_utilizations_sum_match_attributed_launch_time() {
     // The invariant behind `ServiceStats::device_utilization`: per-device
     // busy times sum exactly to the total device time the executor

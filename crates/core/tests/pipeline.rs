@@ -136,6 +136,16 @@ fn assert_identical(reference: &mut FheService, pipelined: &mut FheService, seed
         stats_bits(&st),
         "service stats diverged at seed {seed}: {ss:?} vs {st:?}"
     );
+    // Both drains must also replay clean through the structural
+    // schedule verifier — bit-identity alone would not catch a legally
+    // reordered but overlap-violating clock.
+    for (label, svc) in [("reference", &*reference), ("pipelined", &*pipelined)] {
+        let report = tensorfhe_analyze::verify_service(svc);
+        assert!(
+            report.is_clean(),
+            "{label} schedule has violations at seed {seed}:\n{report}"
+        );
+    }
 }
 
 #[test]

@@ -632,5 +632,43 @@ proptest! {
             .map(|r| r.report.batch)
             .sum();
         prop_assert_eq!(ledger, session_ops);
+        // The whole shed/reject/complete stream must also replay clean
+        // through the structural schedule verifier.
+        let report = tensorfhe_analyze::verify_service(&svc);
+        prop_assert!(report.is_clean(), "schedule violations:\n{}", report);
     }
+}
+
+#[test]
+fn per_session_ops_order_is_registration_order() {
+    // The stats ledger is a result-bearing Vec, not a hash map: its
+    // order is pinned to session registration order regardless of the
+    // alphabet or of which session is served first.
+    let mut svc = service();
+    let level = svc.params().max_level();
+    let zeta = svc
+        .register_session(SessionConfig::new("zeta"))
+        .expect("valid");
+    let alpha = svc
+        .register_session(SessionConfig::new("alpha"))
+        .expect("valid");
+    let mid = svc
+        .register_session(SessionConfig::new("mid"))
+        .expect("valid");
+    // Submit in neither registration nor alphabetical order.
+    svc.submit(FheRequest::in_session(FheOp::HMult, level, 3, mid))
+        .expect("valid");
+    svc.submit(FheRequest::in_session(FheOp::HMult, level, 2, zeta))
+        .expect("valid");
+    svc.submit(FheRequest::in_session(FheOp::HMult, level, 1, alpha))
+        .expect("valid");
+    svc.drain();
+    assert_eq!(
+        svc.stats().per_session_ops,
+        vec![
+            ("zeta".to_string(), 2),
+            ("alpha".to_string(), 1),
+            ("mid".to_string(), 3),
+        ]
+    );
 }

@@ -19,7 +19,7 @@ use crate::device::DeviceConfig;
 use crate::kernel::{KernelClass, KernelDesc};
 use crate::stall::{StallBreakdown, StallKind};
 use crate::warp_sim::simulate_scheduler;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Handle to a CUDA stream created by [`DeviceSim::create_stream`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,6 +160,7 @@ pub struct DeviceSim {
     queues: Vec<std::collections::VecDeque<Pending>>,
     pending_count: usize,
     completed: Vec<KernelStats>,
+    // lint: ordered-ok (keyed get/insert only; never iterated)
     cost_cache: HashMap<CostKey, CostProfile>,
     op_tag: String,
     seq: usize,
@@ -303,6 +304,16 @@ impl DeviceSim {
         &self.completed
     }
 
+    /// The launch-interval records of every retired kernel:
+    /// `(stream, start_us, end_us)` in retirement order. This is the raw
+    /// material for the schedule verifier's per-stream structural checks
+    /// (FIFO streams must produce non-overlapping, monotone intervals).
+    pub fn intervals(&self) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        self.completed
+            .iter()
+            .map(|k| (k.stream, k.start_us, k.end_us))
+    }
+
     /// Clears recorded stats and clocks, keeping the cost cache.
     pub fn reset(&mut self) {
         assert!(self.pending_count == 0, "reset with kernels in flight");
@@ -335,8 +346,14 @@ impl DeviceSim {
             return;
         }
 
-        // Water-fill each pool independently over the active heads.
-        let mut alloc: HashMap<usize, f64> = HashMap::new();
+        // Water-fill each pool independently over the active heads. Keyed
+        // by stream index in a `BTreeMap` deliberately: the retire loop
+        // below iterates it, and pushing simultaneous completions into
+        // `completed` in hash order would survive the stable end-time sort
+        // in `synchronize` and leak a per-process-random tiebreak into
+        // completion order (a `HashMap` here is exactly the bug the L003
+        // lint exists to catch).
+        let mut alloc: BTreeMap<usize, f64> = BTreeMap::new();
         for pool in [Pool::Cuda, Pool::Tcu] {
             let mut caps: Vec<(usize, f64)> = active
                 .iter()

@@ -345,6 +345,9 @@ fn classify(
     (WarpBlock::Ready, true)
 }
 
+// Issue threads the whole per-cycle pipeline state (warp, template,
+// device, scoreboard, counters) by reference; a context struct would
+// borrow-conflict with the mutable warp updates below.
 #[allow(clippy::too_many_arguments)]
 fn issue(
     w: &mut WarpState,

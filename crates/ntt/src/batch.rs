@@ -411,9 +411,9 @@ type BconvKey = (Vec<u64>, Vec<u64>);
 /// [`Arc`]s.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<(usize, u64, NttAlgorithm), Arc<BatchedGemmNtt>>>,
+    plans: Mutex<HashMap<(usize, u64, NttAlgorithm), Arc<BatchedGemmNtt>>>, // lint: ordered-ok (keyed entry/len only)
     /// Basis-conversion GEMM plans keyed on `(src primes, dst primes)`.
-    bconv: Mutex<HashMap<BconvKey, Arc<BasisConvGemm>>>,
+    bconv: Mutex<HashMap<BconvKey, Arc<BasisConvGemm>>>, // lint: ordered-ok (keyed entry/len only)
 }
 
 impl PlanCache {

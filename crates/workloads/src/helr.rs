@@ -99,6 +99,9 @@ fn broadcast_sum(
 /// # Errors
 ///
 /// Propagates evaluator errors (missing keys, level exhaustion).
+// The signature mirrors Algorithm 1's inputs one-to-one (evaluator, keys,
+// features, labels, weights, rate, sample count); bundling them into a
+// struct would just move the argument list one level down.
 #[allow(clippy::too_many_arguments)]
 pub fn train_step(
     eval: &mut Evaluator<'_>,
@@ -190,6 +193,8 @@ pub fn train_step_clear(data: &Dataset, ws: &[f64], learning_rate: f64) -> Vec<f
 /// # Errors
 ///
 /// Fails if the dataset exceeds the slot capacity.
+// The (features, labels, weights) ciphertext triple is the natural return
+// shape here; a named struct for one call site would not pay its way.
 #[allow(clippy::type_complexity)]
 pub fn encrypt_problem<R: Rng + ?Sized>(
     ctx: &CkksContext,
