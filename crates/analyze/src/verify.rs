@@ -29,6 +29,21 @@
 //!    `elapsed_us` = makespan (exact fold), Σ intervals ≈ Σ per-device
 //!    attribution, upload count/time match, and
 //!    `ops_submitted = completed + shed + rejected + pending`.
+//! 7. **Program order**: two batches sharing a `(client, level)` key are
+//!    admitted in serial plan order — the scoreboard never reorders one
+//!    client stream against itself.
+//! 8. **Reorder accounting**: every plan is frozen before it is admitted,
+//!    no plan is bypassed more than the aging bound, the frontier never
+//!    moves backwards while a plan is pending, and
+//!    `reorder_distance` / `head_blocked_us` replay from the trace. Under
+//!    in-order admission the records must be degenerate: planned =
+//!    admitted, serial order = admission order, zero bypasses.
+//! 9. **Priority-rule replay** (quiescent out-of-order traces): the
+//!    verifier re-simulates every freeze/admit/join event against the
+//!    scheduler's documented greedy-then-oldest rule — lookahead bound,
+//!    key eligibility, aging gate, greedy group preference with
+//!    reset-on-empty-window, bypass bumping — and rejects any admission
+//!    the rule would not have made.
 //!
 //! [`verify_launch_intervals`] holds a [`DeviceSim`]'s per-stream launch
 //! records to the FIFO-stream contract (non-overlapping, monotone).
@@ -37,7 +52,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use tensorfhe_core::sched::BatchRecord;
+use tensorfhe_core::sched::{AdmissionMode, BatchRecord};
 use tensorfhe_core::service::{FheService, ServiceStats};
 
 /// Relative tolerance for sums folded in a different order than the
@@ -132,6 +147,44 @@ pub enum Violation {
         /// Ops still queued or in flight.
         pending: usize,
     },
+    /// Two batches sharing a `(client, level)` key were admitted out of
+    /// serial plan order — one client stream was reordered against
+    /// itself.
+    ProgramOrderViolated {
+        /// The batch planned first (by serial index).
+        first: usize,
+        /// The batch planned later but admitted earlier.
+        second: usize,
+        /// The shared `(client, level)` key.
+        key: (String, usize),
+    },
+    /// A plan was bypassed more times than the scheduler's aging bound
+    /// permits.
+    AgingExceeded {
+        /// Batch admission index.
+        seq: usize,
+        /// Recorded bypass count.
+        bypassed: usize,
+        /// The scheduler's aging bound.
+        bound: usize,
+    },
+    /// An admission disagrees with the greedy-then-oldest priority rule
+    /// (or was made while key-blocked / nothing was admissible).
+    PriorityViolated {
+        /// Batch admission index.
+        seq: usize,
+        /// What the rule replay says instead.
+        detail: String,
+    },
+    /// The reorder bookkeeping is internally inconsistent (freeze/admit
+    /// tick relations, serial permutation, lookahead or window bounds,
+    /// bypass counts, pending-frontier snapshots).
+    ReorderInconsistent {
+        /// Batch admission index.
+        seq: usize,
+        /// The broken relation.
+        detail: String,
+    },
     /// Two kernels on one FIFO stream overlapped or ran backwards.
     StreamOverlap {
         /// The stream id.
@@ -196,6 +249,22 @@ impl fmt::Display for Violation {
                 "op conservation broken: submitted {submitted} ≠ completed {completed} + \
                  shed {shed} + rejected {rejected} + pending {pending}"
             ),
+            Violation::ProgramOrderViolated { first, second, key } => write!(
+                f,
+                "batches {first} and {second} share key ({}, {}) but admitted out of serial \
+                 plan order",
+                key.0, key.1
+            ),
+            Violation::AgingExceeded {
+                seq,
+                bypassed,
+                bound,
+            } => write!(
+                f,
+                "batch {seq}: bypassed {bypassed} times, aging bound is {bound}"
+            ),
+            Violation::PriorityViolated { seq, detail } => write!(f, "batch {seq}: {detail}"),
+            Violation::ReorderInconsistent { seq, detail } => write!(f, "batch {seq}: {detail}"),
             Violation::StreamOverlap {
                 stream,
                 index,
@@ -251,6 +320,176 @@ impl fmt::Display for ScheduleReport {
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= REL_EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Re-simulates the scoreboard against a quiescent trace: freezes,
+/// admissions and joins share one tick counter, so sorting the per-record
+/// ticks totally orders every scoreboard event (an in-order fallback
+/// record freezes and admits on the same tick and replays as an immediate
+/// pick from a one-plan scoreboard). Each replayed admission must be
+/// exactly the plan the documented greedy-then-oldest rule picks.
+fn replay_scoreboard(trace: &[BatchRecord], stats: &ServiceStats, v: &mut Vec<Violation>) {
+    use std::collections::{BTreeSet, VecDeque};
+    use std::sync::Arc;
+
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum Ev {
+        Freeze,
+        Admit,
+        Join,
+    }
+
+    let mut events: Vec<(u64, Ev, usize)> = Vec::with_capacity(trace.len() * 3);
+    for (k, rec) in trace.iter().enumerate() {
+        events.push((rec.planned_at, Ev::Freeze, k));
+        events.push((rec.admitted_at, Ev::Admit, k));
+        events.push((rec.joined_at, Ev::Join, k));
+    }
+    events.sort_unstable();
+
+    // `pending` holds trace indices in freeze (= serial) order, so
+    // position order is age order, exactly like the scheduler's deque.
+    let mut pending: Vec<usize> = Vec::new();
+    let mut bypassed = vec![0usize; trace.len()];
+    let mut window: VecDeque<usize> = VecDeque::new();
+    let mut inflight: BTreeSet<(Arc<str>, usize)> = BTreeSet::new();
+    let mut last_group: Option<(tensorfhe_core::FheOp, usize)> = None;
+    let mut next_serial = 0usize;
+
+    for (_, ev, k) in events {
+        let rec = &trace[k];
+        match ev {
+            Ev::Freeze => {
+                if rec.serial_seq != next_serial {
+                    v.push(Violation::ReorderInconsistent {
+                        seq: rec.seq,
+                        detail: format!(
+                            "frozen as serial {} but {next_serial} plans froze before it",
+                            rec.serial_seq
+                        ),
+                    });
+                }
+                next_serial += 1;
+                if pending.len() >= stats.lookahead {
+                    v.push(Violation::ReorderInconsistent {
+                        seq: rec.seq,
+                        detail: format!("frozen past the lookahead bound {}", stats.lookahead),
+                    });
+                }
+                pending.push(k);
+            }
+            Ev::Admit => {
+                let Some(pos) = pending.iter().position(|&i| i == k) else {
+                    v.push(Violation::ReorderInconsistent {
+                        seq: rec.seq,
+                        detail: "admitted without a pending freeze".into(),
+                    });
+                    continue;
+                };
+                if window.len() >= stats.pipeline_depth {
+                    v.push(Violation::ReorderInconsistent {
+                        seq: rec.seq,
+                        detail: format!(
+                            "admitted into a full depth-{} window",
+                            stats.pipeline_depth
+                        ),
+                    });
+                }
+                // Key eligibility: disjoint from every in-flight batch
+                // and from every older pending plan (program order).
+                let eligible: Vec<bool> = (0..pending.len())
+                    .map(|p| {
+                        let r = &trace[pending[p]];
+                        r.keys.iter().all(|key| !inflight.contains(key))
+                            && pending[..p]
+                                .iter()
+                                .all(|&o| trace[o].keys.iter().all(|key| !r.keys.contains(key)))
+                    })
+                    .collect();
+                // Aging gate: once any plan starves, only plans at or
+                // before its serial position may admit.
+                let starve_min = pending
+                    .iter()
+                    .filter(|&&i| bypassed[i] >= stats.aging_bound)
+                    .map(|&i| trace[i].serial_seq)
+                    .min();
+                let gated: Vec<usize> = (0..pending.len())
+                    .filter(|&p| eligible[p])
+                    .filter(|&p| starve_min.is_none_or(|m| trace[pending[p]].serial_seq <= m))
+                    .collect();
+                // Greedy-then-oldest: prefer the last admitted
+                // `(op, level)` group, oldest among matches; else oldest.
+                let expected = last_group
+                    .and_then(|g| {
+                        gated.iter().copied().find(|&p| {
+                            let r = &trace[pending[p]];
+                            (r.op, r.level) == g
+                        })
+                    })
+                    .or_else(|| gated.first().copied());
+                match expected {
+                    None => v.push(Violation::PriorityViolated {
+                        seq: rec.seq,
+                        detail: "admitted while no pending plan was admissible".into(),
+                    }),
+                    Some(e) if e != pos => v.push(Violation::PriorityViolated {
+                        seq: rec.seq,
+                        detail: format!(
+                            "rule picks serial {}, schedule admitted serial {}",
+                            trace[pending[e]].serial_seq, rec.serial_seq
+                        ),
+                    }),
+                    Some(_) => {}
+                }
+                // Only key-eligible older plans age.
+                for p in 0..pos {
+                    if eligible[p] {
+                        bypassed[pending[p]] += 1;
+                    }
+                }
+                if bypassed[k] != rec.bypassed {
+                    v.push(Violation::ReorderInconsistent {
+                        seq: rec.seq,
+                        detail: format!(
+                            "records {} bypasses, replay counts {}",
+                            rec.bypassed, bypassed[k]
+                        ),
+                    });
+                }
+                pending.remove(pos);
+                for key in &rec.keys {
+                    inflight.insert(key.clone());
+                }
+                window.push_back(k);
+                last_group = Some((rec.op, rec.level));
+            }
+            Ev::Join => {
+                if window.front() != Some(&k) {
+                    v.push(Violation::ReorderInconsistent {
+                        seq: rec.seq,
+                        detail: "joined out of admission order".into(),
+                    });
+                    window.retain(|&i| i != k);
+                } else {
+                    window.pop_front();
+                }
+                for key in &rec.keys {
+                    inflight.remove(key);
+                }
+                // An empty window starts a fresh schedule epoch: the
+                // greedy preference does not leak across it.
+                if window.is_empty() {
+                    last_group = None;
+                }
+            }
+        }
+    }
+    if !pending.is_empty() || !window.is_empty() {
+        v.push(Violation::ReorderInconsistent {
+            seq: 0,
+            detail: "quiescent trace left plans pending or in flight after replay".into(),
+        });
+    }
 }
 
 /// Verifies the scheduler trace against the service's cumulative stats.
@@ -459,8 +698,152 @@ pub fn verify_schedule(
         }
     }
 
-    // --- Accounting closure. ---
-    let busy: f64 = trace.iter().fold(0.0, |acc, r| acc + r.wall_us);
+    // --- Reorder invariants: per-record relations (valid mid-drain). ---
+    for rec in trace {
+        if rec.planned_at > rec.admitted_at {
+            v.push(Violation::ReorderInconsistent {
+                seq: rec.seq,
+                detail: format!(
+                    "admitted (tick {}) before planned (tick {})",
+                    rec.admitted_at, rec.planned_at
+                ),
+            });
+        }
+        if rec.frontier_us < rec.planned_frontier_us {
+            v.push(Violation::ReorderInconsistent {
+                seq: rec.seq,
+                detail: format!(
+                    "join frontier moved backwards while pending ({} µs at freeze, {} µs at \
+                     admission)",
+                    rec.planned_frontier_us, rec.frontier_us
+                ),
+            });
+        }
+        // Pending-frontier snapshot: max completion over exactly the
+        // batches joined before the freeze tick (joins are monotone, so
+        // that set is a trace prefix).
+        let joins_before_freeze = trace
+            .iter()
+            .filter(|r| r.joined_at < rec.planned_at)
+            .count();
+        let expected = trace[..joins_before_freeze.min(trace.len())]
+            .iter()
+            .fold(0.0f64, |m, r| m.max(r.completion_us));
+        if expected != rec.planned_frontier_us {
+            v.push(Violation::ReorderInconsistent {
+                seq: rec.seq,
+                detail: format!(
+                    "pending frontier {} µs, replay says {expected} µs",
+                    rec.planned_frontier_us
+                ),
+            });
+        }
+        if rec.bypassed > stats.aging_bound {
+            v.push(Violation::AgingExceeded {
+                seq: rec.seq,
+                bypassed: rec.bypassed,
+                bound: stats.aging_bound,
+            });
+        }
+        if stats.admission == AdmissionMode::InOrder {
+            // In-order admission must be degenerate: planning and
+            // admission are one step and nothing is ever bypassed.
+            if rec.serial_seq != rec.seq {
+                v.push(Violation::ReorderInconsistent {
+                    seq: rec.seq,
+                    detail: format!("in-order batch admitted as serial {}", rec.serial_seq),
+                });
+            }
+            if rec.planned_at != rec.admitted_at {
+                v.push(Violation::ReorderInconsistent {
+                    seq: rec.seq,
+                    detail: format!(
+                        "in-order batch planned at tick {} but admitted at tick {}",
+                        rec.planned_at, rec.admitted_at
+                    ),
+                });
+            }
+            if rec.bypassed != 0 {
+                v.push(Violation::ReorderInconsistent {
+                    seq: rec.seq,
+                    detail: format!("in-order batch claims {} bypasses", rec.bypassed),
+                });
+            }
+        }
+    }
+
+    // --- Program order: one client stream is never reordered. ---
+    for (k, rec) in trace.iter().enumerate() {
+        for prev in &trace[..k] {
+            if prev.serial_seq >= rec.serial_seq
+                && prev.keys.iter().any(|key| rec.keys.contains(key))
+            {
+                let shared = prev
+                    .keys
+                    .iter()
+                    .find(|key| rec.keys.contains(key))
+                    .expect("checked above");
+                v.push(Violation::ProgramOrderViolated {
+                    first: rec.seq,
+                    second: prev.seq,
+                    key: (shared.0.to_string(), shared.1),
+                });
+            }
+        }
+    }
+
+    // --- Priority-rule replay (quiescent traces only: a mid-drain trace
+    // --- is missing the frozen-but-unjoined plans the rule saw). ---
+    if pending_ops == 0 {
+        let mut serials: Vec<usize> = trace.iter().map(|r| r.serial_seq).collect();
+        serials.sort_unstable();
+        if serials.iter().enumerate().any(|(i, &s)| i != s) {
+            v.push(Violation::ReorderInconsistent {
+                seq: 0,
+                detail: "serial indices of a drained trace are not a permutation of 0..n".into(),
+            });
+        }
+        if stats.admission == AdmissionMode::OutOfOrder {
+            replay_scoreboard(trace, stats, v);
+        }
+    }
+
+    // --- Reorder accounting. The service accumulates both stats at
+    // --- admission (= trace order), so a mid-drain trace replays a
+    // --- prefix: the replay may trail the stat but never exceed it.
+    let head_blocked: f64 = trace
+        .iter()
+        .fold(0.0, |acc, r| acc + (r.frontier_us - r.planned_frontier_us));
+    if head_blocked > stats.head_blocked_us
+        || (pending_ops == 0 && head_blocked != stats.head_blocked_us)
+    {
+        v.push(Violation::AccountingMismatch {
+            stat: "head_blocked_us",
+            expected: head_blocked,
+            got: stats.head_blocked_us,
+        });
+    }
+    let reorder = trace
+        .iter()
+        .map(|r| r.seq.abs_diff(r.serial_seq))
+        .max()
+        .unwrap_or(0);
+    if reorder > stats.reorder_distance || (pending_ops == 0 && reorder != stats.reorder_distance) {
+        v.push(Violation::AccountingMismatch {
+            stat: "reorder_distance",
+            expected: reorder as f64,
+            got: stats.reorder_distance as f64,
+        });
+    }
+
+    // --- Accounting closure. The service accumulates `busy_us` at
+    // --- settle time, and the reorder buffer settles in *serial* plan
+    // --- order — so the exact-equality fold must run over the trace
+    // --- sorted by `serial_seq`, not by admission. (In-order traces are
+    // --- unchanged: there the two orders coincide.) ---
+    let mut settle_order: Vec<&BatchRecord> = trace.iter().collect();
+    settle_order.sort_by_key(|r| r.serial_seq);
+    let busy: f64 = settle_order.iter().fold(0.0, |acc, r| acc + r.wall_us);
     if busy != stats.busy_us {
         v.push(Violation::AccountingMismatch {
             stat: "busy_us",
@@ -497,7 +880,9 @@ pub fn verify_schedule(
             got: stats.key_uploads as f64,
         });
     }
-    let upload_us: f64 = trace.iter().fold(0.0, |acc, r| acc + r.upload_us);
+    // Uploads are charged when a plan *freezes*, i.e. along the serial
+    // walk — fold in serial order for the same reason as `busy_us`.
+    let upload_us: f64 = settle_order.iter().fold(0.0, |acc, r| acc + r.upload_us);
     if upload_us != stats.key_upload_us {
         v.push(Violation::AccountingMismatch {
             stat: "key_upload_us",

@@ -1,0 +1,213 @@
+//! Reorder-invariant fuzzing and tamper checks: out-of-order drains must
+//! replay clean through the structural verifier at every matrix corner,
+//! and a doctored trace must trip the *specific* reorder invariant it
+//! breaks — program order per key, the aging bound, the greedy-then-oldest
+//! priority rule, and the freeze/admit tick bookkeeping.
+
+use proptest::prelude::*;
+use tensorfhe_analyze::{verify_schedule, verify_service, Violation};
+use tensorfhe_ckks::CkksParams;
+use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::sched::{AdmissionMode, BatchRecord, SchedPolicy};
+use tensorfhe_core::service::{FheRequest, FheService, ServiceStats};
+use tensorfhe_core::SessionConfig;
+
+fn service(admission: AdmissionMode, workers: usize, depth: usize) -> FheService {
+    TensorFhe::builder(&CkksParams::test_small())
+        .devices(4)
+        .sched(
+            SchedPolicy::new()
+                .workers(workers)
+                .pipeline_depth(depth)
+                .admission(admission),
+        )
+        .service()
+        .expect("valid service config")
+}
+
+/// The workers × depth corners the CI matrix pins for the OOO dimension.
+const MATRIX: [(usize, usize); 4] = [(1, 2), (1, 4), (4, 4), (4, 8)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any non-deadline stream shape — weighted sessions, anonymous
+    /// traffic, interleaved pumps, ragged widths — must replay clean
+    /// through the reorder-aware verifier when the scoreboard is allowed
+    /// to admit past a blocked head. (Deadline sessions are excluded:
+    /// they force the documented in-order fallback, which the base
+    /// matrix fuzz already covers.)
+    #[test]
+    fn ooo_streams_verify_clean_across_the_matrix(
+        seed in 0u64..10_000,
+        queue_cap in 4usize..32,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for &(workers, depth) in &MATRIX {
+            let mut svc = service(AdmissionMode::OutOfOrder, workers, depth);
+            let max_level = svc.params().max_level();
+            let cap = svc.batch_cap();
+            let heavy = svc
+                .register_session(
+                    SessionConfig::new("heavy").weight(2.0).queue_cap(queue_cap),
+                )
+                .expect("valid");
+            let light = svc
+                .register_session(SessionConfig::new("light"))
+                .expect("valid");
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ops = [FheOp::HMult, FheOp::HAdd, FheOp::HRotate, FheOp::Rescale];
+            for i in 0..rng.gen_range(6..20) {
+                let op = ops[rng.gen_range(0..ops.len())];
+                let level = rng.gen_range(1..=max_level);
+                let count = rng.gen_range(1..=cap * 2);
+                let req = match i % 3 {
+                    0 => FheRequest::in_session(op, level, count, heavy),
+                    1 => FheRequest::in_session(op, level, count, light),
+                    _ => FheRequest::new(op, level, count, format!("anon{}", i % 5)),
+                };
+                svc.submit(req).expect("admission never errors");
+                if i % 3 == 2 {
+                    svc.pump();
+                }
+            }
+            loop {
+                if svc.drain().is_empty() {
+                    break;
+                }
+            }
+            let report = verify_service(&svc);
+            prop_assert!(
+                report.is_clean(),
+                "workers={workers} depth={depth} seed={seed}:\n{report}"
+            );
+        }
+    }
+}
+
+/// One clean quiescent OOO drain of the adversarial head-blocked stream:
+/// dependent `HMult → Rescale` client pairs at distinct levels, so the
+/// scoreboard genuinely reorders (later clients' HMults overtake each
+/// blocked Rescale link).
+fn reordered_fixture() -> (Vec<BatchRecord>, ServiceStats) {
+    let mut svc = service(AdmissionMode::OutOfOrder, 1, 4);
+    let max_level = svc.params().max_level();
+    for k in 1..=max_level {
+        svc.submit(FheRequest::new(FheOp::HMult, k, 1, format!("c{k}")))
+            .expect("valid");
+        svc.submit(FheRequest::new(FheOp::Rescale, k, 1, format!("c{k}")))
+            .expect("valid");
+    }
+    let _ = svc.drain();
+    let trace = svc.schedule_trace().to_vec();
+    let stats = svc.stats();
+    assert!(
+        stats.reorder_distance > 0,
+        "the fixture must actually reorder"
+    );
+    assert!(
+        verify_schedule(&trace, &stats, 0, 4).is_clean(),
+        "the untampered fixture must verify clean"
+    );
+    (trace, stats)
+}
+
+#[test]
+fn swapped_serials_on_one_key_trip_program_order() {
+    let (mut trace, stats) = reordered_fixture();
+    // A client's Rescale always plans after its HMult; swapping the two
+    // serial indices claims the dependent link was planned first.
+    let (a, b) = {
+        let hmult = trace
+            .iter()
+            .position(|r| r.op == FheOp::HMult && r.level == 1)
+            .expect("fixture has the pair");
+        let rescale = trace
+            .iter()
+            .position(|r| r.op == FheOp::Rescale && r.level == 1)
+            .expect("fixture has the pair");
+        (hmult, rescale)
+    };
+    let (sa, sb) = (trace[a].serial_seq, trace[b].serial_seq);
+    trace[a].serial_seq = sb;
+    trace[b].serial_seq = sa;
+    let report = verify_schedule(&trace, &stats, 0, 4);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ProgramOrderViolated { .. })),
+        "swapped serials on a shared key must trip program order:\n{report}"
+    );
+}
+
+#[test]
+fn inflated_bypass_count_trips_the_aging_bound() {
+    let (mut trace, stats) = reordered_fixture();
+    let victim = trace
+        .iter()
+        .position(|r| r.seq != r.serial_seq)
+        .expect("fixture reorders");
+    trace[victim].bypassed = stats.aging_bound + 1;
+    let report = verify_schedule(&trace, &stats, 0, 4);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::AgingExceeded { .. })),
+        "a bypass count past the bound must trip aging:\n{report}"
+    );
+}
+
+#[test]
+fn faked_freeze_tick_trips_reorder_bookkeeping() {
+    let (mut trace, stats) = reordered_fixture();
+    // Claim a batch was frozen only after it was admitted.
+    trace[1].planned_at = trace[1].admitted_at + 1;
+    let report = verify_schedule(&trace, &stats, 0, 4);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReorderInconsistent { .. })),
+        "an admit-before-freeze tick must trip bookkeeping:\n{report}"
+    );
+}
+
+#[test]
+fn swapped_admissions_trip_the_priority_rule() {
+    let (mut trace, stats) = reordered_fixture();
+    // Swap two independent-key admissions wholesale (records, admission
+    // indices, and ticks): the replayed scoreboard now sees a younger
+    // eligible plan admitted while a strictly older one — the pick the
+    // greedy-then-oldest rule dictates — was left pending.
+    let i = trace
+        .iter()
+        .zip(trace.iter().skip(1))
+        .position(|(a, b)| {
+            a.serial_seq < b.serial_seq
+                && a.op == FheOp::HMult
+                && b.op == FheOp::HMult
+                && a.keys.iter().all(|k| !b.keys.contains(k))
+        })
+        .expect("fixture admits independent HMults back to back");
+    let (sa, sb) = (trace[i].seq, trace[i + 1].seq);
+    let (aa, ab) = (trace[i].admitted_at, trace[i + 1].admitted_at);
+    let (ja, jb) = (trace[i].joined_at, trace[i + 1].joined_at);
+    trace.swap(i, i + 1);
+    trace[i].seq = sa;
+    trace[i + 1].seq = sb;
+    trace[i].admitted_at = aa;
+    trace[i + 1].admitted_at = ab;
+    trace[i].joined_at = ja;
+    trace[i + 1].joined_at = jb;
+    let report = verify_schedule(&trace, &stats, 0, 4);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::PriorityViolated { .. })),
+        "an admission against the priority rule must be flagged:\n{report}"
+    );
+}

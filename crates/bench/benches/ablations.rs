@@ -7,7 +7,7 @@
 //! 3. **Stream overlap** — the 16-stream plane-GEMM dispatch vs a single
 //!    serialised stream (only visible below the saturation batch).
 
-use tensorfhe_bench::{fmt, print_table};
+use tensorfhe_bench::{cost_op, fmt, print_table};
 use tensorfhe_ckks::{CkksParams, KernelEvent};
 use tensorfhe_core::api::{FheOp, TensorFhe};
 use tensorfhe_core::engine::{Engine, EngineConfig, Layout, Variant};
@@ -21,7 +21,7 @@ fn dnum_ablation() {
         let mut api = TensorFhe::builder(&params)
             .build()
             .expect("single-device build");
-        let r = api.run_op(FheOp::HMult, params.max_level(), 128);
+        let r = cost_op(&mut api, FheOp::HMult, params.max_level(), 128);
         rows.push(vec![
             dnum.to_string(),
             k.to_string(),

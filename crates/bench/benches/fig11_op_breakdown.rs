@@ -1,6 +1,6 @@
 //! Figure 11: kernel-level execution-time breakdown of each CKKS operation.
 
-use tensorfhe_bench::print_table;
+use tensorfhe_bench::{cost_op, print_table};
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
 
@@ -29,7 +29,7 @@ fn main() {
         let mut api = TensorFhe::builder(&params)
             .build()
             .expect("single-device build");
-        let r = api.run_op(op, level, 128);
+        let r = cost_op(&mut api, op, level, 128);
         let total: f64 = r.by_kernel.iter().map(|(_, t)| t).sum();
         let share = |pred: &dyn Fn(&str) -> bool| -> f64 {
             r.by_kernel

@@ -3,7 +3,7 @@
 //! the paper's baselines (CPU, PrivFT, 100x and its own measurements).
 
 use tensorfhe_bench::baselines::{TABLE6, TABLE6_OPS};
-use tensorfhe_bench::{fmt, fmt_opt, print_table};
+use tensorfhe_bench::{cost_op, fmt, fmt_opt, print_table};
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe, TensorFheBuilder};
 use tensorfhe_core::engine::Variant;
@@ -20,7 +20,7 @@ fn run_row(builder: TensorFheBuilder, params: &CkksParams) -> Vec<f64> {
         FheOp::CMult,
     ]
     .iter()
-    .map(|&op| api.run_op(op, level, 128).time_us / 1e3)
+    .map(|&op| cost_op(&mut api, op, level, 128).time_us / 1e3)
     .collect()
 }
 

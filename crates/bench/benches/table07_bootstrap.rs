@@ -2,7 +2,7 @@
 //! dnum = 5).
 
 use tensorfhe_bench::baselines::TABLE7;
-use tensorfhe_bench::{fmt, print_table};
+use tensorfhe_bench::{cost_op, fmt, print_table};
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
 use tensorfhe_core::engine::Variant;
@@ -28,7 +28,7 @@ fn main() {
             .variant(variant)
             .build()
             .expect("single-device build");
-        let r = api.run_op(op, params.max_level(), 128);
+        let r = cost_op(&mut api, op, params.max_level(), 128);
         rows.push(vec![name.to_string(), fmt(r.time_us / 1e3)]);
         if variant == Variant::TensorCore {
             println!(

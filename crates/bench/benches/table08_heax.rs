@@ -2,7 +2,7 @@
 //! (A: N=2^12, B: N=2^13, C: N=2^14).
 
 use tensorfhe_bench::baselines::TABLE8;
-use tensorfhe_bench::{fmt, print_table};
+use tensorfhe_bench::{cost_op, fmt, print_table};
 use tensorfhe_ckks::{CkksParams, KernelEvent};
 use tensorfhe_core::api::{FheOp, TensorFhe};
 use tensorfhe_core::engine::{Engine, EngineConfig, Variant};
@@ -25,7 +25,7 @@ fn hmult_throughput(params: &CkksParams) -> f64 {
     let mut api = TensorFhe::builder(params)
         .build()
         .expect("single-device build");
-    let r = api.run_op(FheOp::HMult, params.max_level(), 128);
+    let r = cost_op(&mut api, FheOp::HMult, params.max_level(), 128);
     r.ops_per_second
 }
 

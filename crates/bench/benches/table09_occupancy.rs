@@ -1,7 +1,7 @@
 //! Table IX: GPGPU occupancy of the batched TensorFHE operations.
 
 use tensorfhe_bench::baselines::TABLE9;
-use tensorfhe_bench::print_table;
+use tensorfhe_bench::{cost_op, print_table};
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
 
@@ -21,12 +21,12 @@ fn main() {
 
     let mut rows = Vec::new();
     for (i, op) in ops.iter().enumerate() {
-        let r = api.run_op(*op, level, 128);
+        let r = cost_op(&mut api, *op, level, 128);
         let unbatched = {
             let mut solo = TensorFhe::builder(&params)
                 .build()
                 .expect("single-device build");
-            solo.run_op(*op, level, 1).occupancy
+            cost_op(&mut solo, *op, level, 1).occupancy
         };
         rows.push(vec![
             op.name().to_string(),

@@ -2,7 +2,7 @@
 //! per workload.
 
 use tensorfhe_bench::baselines::{TABLE11_J_PER_ITER, TABLE11_OPS_PER_WATT};
-use tensorfhe_bench::{fmt, fmt_opt, print_table};
+use tensorfhe_bench::{cost_op, fmt, fmt_opt, print_table};
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
 use tensorfhe_core::engine::Variant;
@@ -25,7 +25,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (i, op) in ops.iter().enumerate() {
-        let r = api.run_op(*op, level, 128);
+        let r = cost_op(&mut api, *op, level, 128);
         rows.push(vec![
             op.name().to_string(),
             fmt(TABLE11_OPS_PER_WATT[i].1),

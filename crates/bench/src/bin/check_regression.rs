@@ -14,8 +14,9 @@
 //!
 //! Besides the ratio gate, the binary rebuilds smoke-scale service
 //! schedules in-process — a pipelined anonymous stream and a
-//! multi-tenant session stream, at both matrix corners — and replays
-//! them through the `tensorfhe-analyze` schedule verifier. A structural
+//! multi-tenant session stream at both matrix corners, plus the
+//! adversarial head-blocked stream under out-of-order admission — and
+//! replays them through the `tensorfhe-analyze` schedule verifier. A structural
 //! violation (overlapping device intervals, a misapplied key upload, an
 //! unclosed ops ledger) fails the gate even when every pinned ratio
 //! still holds.
@@ -36,6 +37,7 @@ const ALLOWED_DROP: f64 = 0.25;
 fn verify_smoke_schedules() -> Result<(), String> {
     use tensorfhe_ckks::CkksParams;
     use tensorfhe_core::api::{FheOp, TensorFhe};
+    use tensorfhe_core::sched::{AdmissionMode, SchedPolicy};
     use tensorfhe_core::service::FheRequest;
     use tensorfhe_core::SessionConfig;
 
@@ -69,6 +71,42 @@ fn verify_smoke_schedules() -> Result<(), String> {
         let report = tensorfhe_analyze::verify_service(&svc);
         if !report.is_clean() {
             failures.push(format!("workers={workers} depth={depth}:\n{report}"));
+        }
+    }
+    // The fig13 smoke shape: the adversarial head-blocked stream under
+    // out-of-order admission (non-deadline traffic — deadline sessions
+    // force the in-order fallback), re-verified structurally so the
+    // scoreboard's reorder invariants are audited by the gate, not just
+    // by the bench's bit-identity asserts.
+    for &(workers, depth) in &[(1usize, 4usize), (4, 4)] {
+        let mut svc = TensorFhe::builder(&CkksParams::test_small())
+            .sched(
+                SchedPolicy::new()
+                    .workers(workers)
+                    .pipeline_depth(depth)
+                    .admission(AdmissionMode::OutOfOrder),
+            )
+            .devices(4)
+            .service()
+            .map_err(|e| e.to_string())?;
+        let max_level = svc.params().max_level();
+        for k in 1..=max_level {
+            svc.submit(FheRequest::new(FheOp::HMult, k, 1, format!("c{k}")))
+                .map_err(|e| e.to_string())?;
+            svc.submit(FheRequest::new(FheOp::Rescale, k, 1, format!("c{k}")))
+                .map_err(|e| e.to_string())?;
+        }
+        while !svc.drain().is_empty() {}
+        let stats = svc.stats();
+        if stats.reorder_distance == 0 {
+            failures.push(format!(
+                "ooo workers={workers} depth={depth}: the adversarial stream \
+                 must reorder (reorder_distance == 0)"
+            ));
+        }
+        let report = tensorfhe_analyze::verify_service(&svc);
+        if !report.is_clean() {
+            failures.push(format!("ooo workers={workers} depth={depth}:\n{report}"));
         }
     }
     if failures.is_empty() {
@@ -181,7 +219,7 @@ fn main() -> ExitCode {
     if let Err(violations) = &schedule_audit {
         eprintln!("schedule verifier found structural violations:\n{violations}");
     } else {
-        println!("schedule verifier: smoke schedules clean at both matrix corners");
+        println!("schedule verifier: smoke schedules clean at every matrix corner (incl. ooo)");
     }
     if !missing.is_empty() || !regressed.is_empty() || schedule_audit.is_err() {
         ExitCode::FAILURE

@@ -13,6 +13,18 @@
 pub mod baselines;
 pub mod report;
 
+use tensorfhe_core::api::{FheOp, OpReport, TensorFhe};
+
+/// Costs one fixed-width schedule run at the engine level — the
+/// bench-harness replacement for the retired `run_op` shim: build the
+/// kernel workflow, run it at `batch`, report at the device's power draw.
+pub fn cost_op(api: &mut TensorFhe, op: FheOp, level: usize, batch: usize) -> OpReport {
+    let events = api.schedule_of(op, level);
+    let stats = api.engine_mut().run_schedule(op.name(), &events, batch);
+    let power = api.engine().config().device.power_watts;
+    OpReport::from_stats(op, batch, power, stats)
+}
+
 /// Prints a fixed-width table: header row plus data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

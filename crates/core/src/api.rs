@@ -5,10 +5,13 @@
 //! … and sequentially invokes the kernels in the workflow". Two entry
 //! points build on it:
 //!
-//! * [`TensorFhe`] — a direct, single-caller handle over one engine. Its
-//!   [`TensorFhe::run_op`] / [`TensorFhe::run_op_auto`] remain as thin
-//!   shims for costing one batched operation at a time (the figure/table
-//!   benches drive these).
+//! * [`TensorFhe`] — a direct, single-caller handle over one engine, for
+//!   costing one schedule at a time: [`TensorFhe::schedule_of`] builds the
+//!   kernel workflow, [`crate::engine::Engine::run_schedule`] costs it,
+//!   and [`OpReport::from_stats`] turns the window statistics into a
+//!   report. (The PR 1-era `run_op`/`run_op_auto` shims that bundled
+//!   those three calls are gone; callers that want batching, coalescing
+//!   or scheduling belong on the service.)
 //! * [`crate::service::FheService`] — the request-stream front end: many
 //!   clients submit [`crate::service::FheRequest`]s and the *service*
 //!   coalesces them into batches. New code should prefer it; see the
@@ -19,6 +22,7 @@
 
 use crate::engine::{Engine, EngineConfig, ExecMode, Layout, OpStats, Variant};
 use crate::error::{CoreError, CoreResult};
+use crate::sched::{AdmissionMode, SchedPolicy};
 use crate::schedule;
 use crate::service::FheService;
 use crate::session::CoalescePolicy;
@@ -109,31 +113,44 @@ pub struct OpReport {
     pub by_kernel: Vec<(String, f64)>,
 }
 
-/// Builds an [`OpReport`] from raw window statistics at a given device
-/// power draw.
-pub(crate) fn report_from_stats(
-    op: FheOp,
-    batch: usize,
-    power_watts: f64,
-    stats: OpStats,
-) -> OpReport {
-    let per_op = stats.time_us / batch.max(1) as f64;
-    let ops_per_second = if stats.time_us > 0.0 {
-        batch as f64 / (stats.time_us * 1e-6)
-    } else {
-        0.0
-    };
-    OpReport {
-        op,
-        batch,
-        time_us: stats.time_us,
-        per_op_us: per_op,
-        occupancy: stats.occupancy,
-        energy_j: stats.energy_j,
-        ops_per_second,
-        ops_per_watt: ops_per_second / power_watts,
-        launches: stats.launches,
-        by_kernel: stats.by_kernel,
+impl OpReport {
+    /// Builds a report from raw window statistics at a given device power
+    /// draw — the canonical way to cost one engine-level schedule run:
+    ///
+    /// ```
+    /// use tensorfhe_core::{FheOp, OpReport, TensorFhe};
+    /// use tensorfhe_ckks::CkksParams;
+    ///
+    /// let params = CkksParams::test_small();
+    /// let mut api = TensorFhe::builder(&params).build()?;
+    /// let (op, level, batch) = (FheOp::HMult, params.max_level(), 8);
+    /// let events = api.schedule_of(op, level);
+    /// let stats = api.engine_mut().run_schedule(op.name(), &events, batch);
+    /// let power = api.engine().config().device.power_watts;
+    /// let report = OpReport::from_stats(op, batch, power, stats);
+    /// assert_eq!(report.batch, 8);
+    /// # Ok::<(), tensorfhe_core::CoreError>(())
+    /// ```
+    #[must_use]
+    pub fn from_stats(op: FheOp, batch: usize, power_watts: f64, stats: OpStats) -> OpReport {
+        let per_op = stats.time_us / batch.max(1) as f64;
+        let ops_per_second = if stats.time_us > 0.0 {
+            batch as f64 / (stats.time_us * 1e-6)
+        } else {
+            0.0
+        };
+        OpReport {
+            op,
+            batch,
+            time_us: stats.time_us,
+            per_op_us: per_op,
+            occupancy: stats.occupancy,
+            energy_j: stats.energy_j,
+            ops_per_second,
+            ops_per_watt: ops_per_second / power_watts,
+            launches: stats.launches,
+            by_kernel: stats.by_kernel,
+        }
     }
 }
 
@@ -147,8 +164,7 @@ pub struct TensorFheBuilder {
     pub(crate) layout: Layout,
     pub(crate) exec_mode: ExecMode,
     pub(crate) devices: usize,
-    pub(crate) workers: Option<usize>,
-    pub(crate) pipeline: Option<usize>,
+    pub(crate) sched: SchedPolicy,
     pub(crate) batch_cap: Option<usize>,
     pub(crate) key_cache_mb: Option<u64>,
     pub(crate) coalesce: Option<CoalescePolicy>,
@@ -167,8 +183,7 @@ impl TensorFheBuilder {
             layout: Layout::Lbn,
             exec_mode: ExecMode::TimingOnly,
             devices: 1,
-            workers: None,
-            pipeline: None,
+            sched: SchedPolicy::default(),
             batch_cap: None,
             key_cache_mb: None,
             coalesce: None,
@@ -208,8 +223,8 @@ impl TensorFheBuilder {
     /// Execution mode. [`ExecMode::Full`] is for driving the engine with
     /// [`Engine::make_tracer`] attached to a `tensorfhe_ckks::Evaluator`
     /// (real arithmetic, every kernel costed); the costing paths —
-    /// [`TensorFhe::run_op`] and the request service — are schedule-only,
-    /// so [`TensorFheBuilder::service`] rejects `Full`.
+    /// [`crate::engine::Engine::run_schedule`] and the request service —
+    /// are schedule-only, so [`TensorFheBuilder::service`] rejects `Full`.
     #[must_use]
     pub fn exec_mode(mut self, exec_mode: ExecMode) -> Self {
         self.exec_mode = exec_mode;
@@ -223,21 +238,50 @@ impl TensorFheBuilder {
         self
     }
 
+    /// The unified scheduler policy: worker threads, pipeline depth,
+    /// admission mode, scoreboard lookahead and aging bound, as one typed
+    /// [`SchedPolicy`] value. Replaces the whole policy (unset fields
+    /// resolve through their env var, then their default).
+    ///
+    /// Resolution order for every knob is *builder → environment →
+    /// default*, with malformed or zero values a hard
+    /// [`CoreError::InvalidConfig`] at [`TensorFheBuilder::service`] time:
+    ///
+    /// | knob | env var | default |
+    /// |---|---|---|
+    /// | `workers` | `TENSORFHE_WORKERS` | 1 (serial executor) |
+    /// | `pipeline_depth` | `TENSORFHE_PIPELINE` | 1 (synchronous) |
+    /// | `admission` | `TENSORFHE_ADMISSION` (`inorder`/`ooo`) | in-order |
+    /// | `lookahead` | — | [`crate::sched::DEFAULT_LOOKAHEAD`] |
+    /// | `aging_bound` | — | [`crate::sched::DEFAULT_AGING_BOUND`] |
+    ///
+    /// Every policy choice is deterministic and leaves drain reports and
+    /// [`ServiceStats`] request accounting bit-identical; workers change
+    /// host wall-clock only, while depth and admission move only the
+    /// overlap metrics ([`crate::service::ServiceStats::elapsed_us`],
+    /// [`crate::service::ServiceStats::overlap_fraction`],
+    /// [`crate::service::ServiceStats::pipelined_ops_per_second`],
+    /// [`crate::service::ServiceStats::inflight_hwm`],
+    /// [`crate::service::ServiceStats::reorder_distance`],
+    /// [`crate::service::ServiceStats::head_blocked_us`]).
+    ///
+    /// [`ServiceStats`]: crate::service::ServiceStats
+    #[must_use]
+    pub fn sched(mut self, policy: SchedPolicy) -> Self {
+        self.sched = policy;
+        self
+    }
+
     /// Number of host worker threads driving the service's devices.
     ///
     /// `1` (the default) selects the serial [`crate::exec::SimExecutor`];
     /// more selects the [`crate::exec::ThreadedPool`], which shards every
     /// coalesced batch across one worker per device (clamped to the device
-    /// count). Executors are deterministic, so the worker count changes
-    /// host wall-clock only — drain reports and [`ServiceStats`] are
-    /// bit-identical either way. When unset, the `TENSORFHE_WORKERS`
-    /// environment variable (the CI matrix knob) provides the default.
-    /// A zero count is rejected at [`TensorFheBuilder::service`] time.
-    ///
-    /// [`ServiceStats`]: crate::service::ServiceStats
+    /// count). Thin shim over [`TensorFheBuilder::sched`]'s `workers`
+    /// field; see that method for the resolution rules.
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = Some(workers);
+        self.sched.workers = Some(workers);
         self
     }
 
@@ -249,21 +293,22 @@ impl TensorFheBuilder {
     /// `n` *independent* coalesced batches submitted-but-unjoined at once
     /// (no two in-flight batches may contain requests from the same client
     /// stream at the same ciphertext level, so chained operations observe
-    /// program order). The scheduler joins in submission order, so drain
-    /// reports and [`ServiceStats`] request accounting are bit-identical
-    /// at every depth — only the overlap metrics
-    /// ([`crate::service::ServiceStats::elapsed_us`],
-    /// [`crate::service::ServiceStats::overlap_fraction`],
-    /// [`crate::service::ServiceStats::pipelined_ops_per_second`],
-    /// [`crate::service::ServiceStats::inflight_hwm`]) move. When unset, the
-    /// `TENSORFHE_PIPELINE` environment variable (the CI matrix knob)
-    /// provides the default. A zero depth is rejected at
-    /// [`TensorFheBuilder::service`] time.
-    ///
-    /// [`ServiceStats`]: crate::service::ServiceStats
+    /// program order). Thin shim over [`TensorFheBuilder::sched`]'s
+    /// `pipeline_depth` field; see that method for the resolution rules.
     #[must_use]
     pub fn pipeline_depth(mut self, depth: usize) -> Self {
-        self.pipeline = Some(depth);
+        self.sched.pipeline = Some(depth);
+        self
+    }
+
+    /// Window-admission mode: in-order (the default) or the scoreboarded
+    /// out-of-order mode that admits independent batches past a blocked
+    /// head (see [`crate::sched`]'s module docs). Thin shim over
+    /// [`TensorFheBuilder::sched`]'s `admission` field; see that method
+    /// for the resolution rules.
+    #[must_use]
+    pub fn admission(mut self, mode: AdmissionMode) -> Self {
+        self.sched.admission = Some(mode);
         self
     }
 
@@ -401,24 +446,6 @@ impl TensorFhe {
     pub fn auto_batch(&self) -> usize {
         self.engine.auto_batch(&self.params)
     }
-
-    /// Executes one batched operation in TimingOnly mode and reports.
-    ///
-    /// Legacy shim kept for the figure/table benches: one caller, one
-    /// operation, caller-chosen batch. Streams of requests belong on
-    /// [`crate::service::FheService`].
-    pub fn run_op(&mut self, op: FheOp, level: usize, batch: usize) -> OpReport {
-        let events = self.schedule_of(op, level);
-        let stats = self.engine.run_schedule(op.name(), &events, batch);
-        let power = self.engine.config().device.power_watts;
-        report_from_stats(op, batch, power, stats)
-    }
-
-    /// Executes with the automatically chosen batch size.
-    pub fn run_op_auto(&mut self, op: FheOp, level: usize) -> OpReport {
-        let b = self.auto_batch();
-        self.run_op(op, level, b)
-    }
 }
 
 #[cfg(test)]
@@ -431,6 +458,15 @@ mod tests {
             .variant(variant)
             .build()
             .expect("single-device build")
+    }
+
+    /// Engine-level costing of one batched operation — the three-call
+    /// sequence `run_op` used to bundle.
+    fn cost(a: &mut TensorFhe, op: FheOp, level: usize, batch: usize) -> OpReport {
+        let events = a.schedule_of(op, level);
+        let stats = a.engine_mut().run_schedule(op.name(), &events, batch);
+        let power = a.engine().config().device.power_watts;
+        OpReport::from_stats(op, batch, power, stats)
     }
 
     #[test]
@@ -461,7 +497,7 @@ mod tests {
     fn reports_are_self_consistent() {
         let mut a = api(Variant::TensorCore);
         let level = a.params().max_level();
-        let r = a.run_op(FheOp::HMult, level, 8);
+        let r = cost(&mut a, FheOp::HMult, level, 8);
         assert_eq!(r.batch, 8);
         assert!((r.per_op_us - r.time_us / 8.0).abs() < 1e-9);
         assert!(r.ops_per_second > 0.0);
@@ -476,7 +512,7 @@ mod tests {
         // HMULT … 92.1%".
         let mut a = api(Variant::TensorCore);
         let level = a.params().max_level();
-        let r = a.run_op(FheOp::HMult, level, 32);
+        let r = cost(&mut a, FheOp::HMult, level, 32);
         let ntt_time: f64 = r
             .by_kernel
             .iter()
@@ -505,8 +541,9 @@ mod tests {
         let params = CkksParams::new("api-boot", 1 << 10, 19, 4, 5, 28, 26, 8).expect("valid");
         let mut a = TensorFhe::builder(&params).build().expect("build");
         let level = params.max_level();
-        let mult = a.run_op(FheOp::HMult, level, 4);
-        let boot = a.run_op(
+        let mult = cost(&mut a, FheOp::HMult, level, 4);
+        let boot = cost(
+            &mut a,
             FheOp::Bootstrap {
                 taylor_degree: 7,
                 double_angles: 3,
@@ -527,8 +564,8 @@ mod tests {
         // Fig. 14: larger batches raise kernel throughput until saturation.
         let mut a = api(Variant::TensorCore);
         let level = a.params().max_level();
-        let b1 = a.run_op(FheOp::HMult, level, 1);
-        let b32 = a.run_op(FheOp::HMult, level, 32);
+        let b1 = cost(&mut a, FheOp::HMult, level, 1);
+        let b32 = cost(&mut a, FheOp::HMult, level, 32);
         assert!(
             b32.ops_per_second > b1.ops_per_second * 2.0,
             "batched throughput {} vs single {}",

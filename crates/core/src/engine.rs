@@ -154,15 +154,33 @@ impl Engine {
 
     /// Executes a synthetic kernel schedule (TimingOnly mode) under the
     /// given operation tag and batch, returning the window statistics.
+    ///
+    /// The window runs on a *fresh, zero-based* device clock: the result is
+    /// a pure function of `(device config, events, batch)`, never of what
+    /// the engine ran before. Executors and the service's dispatch cache
+    /// rely on this — identical batches must cost bit-identically even when
+    /// an out-of-order scoreboard dispatches them in a different order, and
+    /// `span_us` over a persistent clock would leak the absolute offset
+    /// into the last ulp of the window span. Full-mode tracing through
+    /// [`Engine::make_tracer`] keeps the engine's persistent sim and
+    /// profiler; only synthetic costing windows are isolated.
     pub fn run_schedule(&mut self, tag: &str, events: &[KernelEvent], batch: usize) -> OpStats {
-        let first = self.sim.borrow().stats().len();
-        let mut tracer = self.make_tracer(batch);
+        let sim = Rc::new(RefCell::new(DeviceSim::new(self.cfg.device.clone())));
+        let mut tracer = GpuTracer::new(Rc::clone(&sim), self.cfg.variant, self.cfg.layout, batch);
         tracer.op_begin(tag);
         for &e in events {
             tracer.kernel(e);
         }
-        self.sim.borrow_mut().synchronize();
-        self.window_stats(first)
+        sim.borrow_mut().synchronize();
+        let sim = sim.borrow();
+        let p = Profiler::new(sim.stats().to_vec());
+        OpStats {
+            time_us: p.span_us(),
+            occupancy: p.occupancy(),
+            energy_j: p.energy_j(),
+            launches: sim.stats().len(),
+            by_kernel: p.time_by_kernel(),
+        }
     }
 
     /// Statistics over launches recorded since index `first`.

@@ -18,8 +18,12 @@
 //!   batch 128) be *costed* without executing the arithmetic
 //!   (`ExecMode::TimingOnly`).
 //! * **API layer** ([`api`]) — [`TensorFhe::builder`] configures params,
-//!   device model, NTT variant, layout, execution mode and device count;
-//!   [`api::TensorFhe::run_op`] remains as the single-caller shim.
+//!   device model, NTT variant, layout, execution mode, device count and
+//!   the scheduler policy ([`TensorFheBuilder::sched`] takes a typed
+//!   [`SchedPolicy`]); [`api::TensorFhe`] remains as the single-caller
+//!   handle for costing one schedule at a time
+//!   ([`api::TensorFhe::schedule_of`] → `run_schedule` →
+//!   [`OpReport::from_stats`]).
 //! * **Request service** ([`service`]) — the batching front end:
 //!   [`service::FheService`] enqueues [`service::FheRequest`]s from many
 //!   clients, coalesces compatible ones (same op, same level) into
@@ -30,8 +34,10 @@
 //! * **Pipelined scheduler** ([`sched`]) — the in-flight window between
 //!   the queue and the executor: up to `depth` independent coalesced
 //!   batches stay submitted-but-unjoined at once (GME-style multi-queue
-//!   dispatch), joined in submission order; see the architecture section
-//!   below.
+//!   dispatch), joined in submission order. An opt-in out-of-order
+//!   admission mode ([`sched::AdmissionMode::OutOfOrder`]) adds a
+//!   scoreboard that admits past a key-blocked head; see the
+//!   architecture section below.
 //! * **Executor seam** ([`exec`]) — the pluggable "run a scheduled batch on
 //!   a device" contract; see the architecture section below.
 //! * **Operation-level batching** ([`engine`]) — the `(L, B, N)` vs
@@ -113,6 +119,36 @@
 //!    bought ([`service::ServiceStats::elapsed_us`] /
 //!    [`service::ServiceStats::overlap_fraction`] /
 //!    [`service::ServiceStats::pipelined_ops_per_second`]).
+//!
+//!    5a. **Scoreboard admission** (opt-in,
+//!    [`SchedPolicy::admission`]`(`[`sched::AdmissionMode::OutOfOrder`]`)`
+//!    / `TENSORFHE_ADMISSION=ooo`): when the *next serial* plan is
+//!    key-blocked, the serial planning walk keeps running speculatively —
+//!    each planned batch is *frozen* into a bounded pending scoreboard
+//!    ([`SchedPolicy::lookahead`] deep) with its reservations, key
+//!    placements and DRR charges already applied, so batch composition is
+//!    identical to in-order mode. Admission then picks from the
+//!    scoreboard under a fixed **greedy-then-oldest** rule: prefer a
+//!    key-eligible plan in the same `(op, level)` group as the most
+//!    recently admitted batch (back-to-back same-shape gangs), else the
+//!    oldest key-eligible plan — where *key-eligible* means the plan's
+//!    `(client, level)` keys are disjoint from every in-flight batch
+//!    *and* every older pending plan (program order within a client
+//!    stream is never reordered). Every admission bumps a `bypassed`
+//!    counter on each older plan that was eligible at that instant; once
+//!    any counter reaches [`SchedPolicy::aging_bound`], only plans at or
+//!    before the starving one may admit, so no plan is bypassed more
+//!    than `aging_bound` times. Joins still pop the window in admission
+//!    order, but results park in a reorder buffer and **settle in serial
+//!    plan order** — the float folds that produce reports and stats run
+//!    in exactly the in-order sequence, which is why out-of-order drains
+//!    are report-bit-identical to in-order at every depth/worker count.
+//!    [`service::ServiceStats::reorder_distance`] and
+//!    [`service::ServiceStats::head_blocked_us`] report what the
+//!    scoreboard did; deadline sessions are refused while out-of-order
+//!    work is in flight (their urgency clock reads settle time), and a
+//!    service with deadline sessions registered falls back to the
+//!    in-order fill verbatim.
 //! 6. **Executor**: every batch crosses the [`exec::Executor`] seam —
 //!    `submit(batch) → ExecHandle`, `join`/`try_join``(handle) →
 //!    BatchResult`, any number of batches outstanding, FIFO per device —
@@ -184,9 +220,10 @@
 //!   session registration order); `HashMap`s survive only for keyed
 //!   lookup and say so at their declaration.
 //! * **Bit-identity across the matrix.** Worker count
-//!   (`TENSORFHE_WORKERS`) and pipeline depth (`TENSORFHE_PIPELINE`)
-//!   change wall-clock overlap, never result bits — enforced by the
-//!   determinism/pipeline test suites over the {1,4} × {1,4} grid.
+//!   (`TENSORFHE_WORKERS`), pipeline depth (`TENSORFHE_PIPELINE`) and
+//!   admission mode (`TENSORFHE_ADMISSION`) change wall-clock overlap,
+//!   never result bits — enforced by the determinism/pipeline/ooo test
+//!   suites over the workers × depth × admission grid.
 //! * **Schedule structure.** The [`sched::Scheduler`] records a
 //!   [`sched::BatchRecord`] trace (admission/join ticks, window
 //!   membership, gang placements, upload charges) that
@@ -197,6 +234,15 @@
 //!   anonymous plans, no two in-flight batches sharing a
 //!   `(client, level)` key, and the ops ledger closed
 //!   (`submitted = completed + shed + rejected + pending`).
+//! * **Reorder invariants.** Under out-of-order admission the trace
+//!   additionally proves: program order within a client stream is never
+//!   violated (same-key batches admit in serial plan order), no plan is
+//!   bypassed more than the aging bound, the greedy-then-oldest priority
+//!   rule replays *exactly* (the verifier re-simulates every
+//!   freeze/admit/join event and rejects any admission the rule would
+//!   not have made), and in-order mode stays degenerate (every batch
+//!   admits the instant it is planned, zero reorder distance). See
+//!   `tensorfhe_analyze::verify`.
 //!
 //! They are enforced mechanically, not by convention. The
 //! `tensorfhe-analyze` crate ships `tfhe-lint`, which walks the
@@ -224,20 +270,26 @@
 //!
 //! # Migrating from `run_op` to `submit`/`drain`
 //!
-//! Seed-era code chose its own batch and called `run_op`:
+//! Seed-era code chose its own batch and called the (now removed)
+//! `run_op` shim. Code that genuinely wants to *cost one schedule at a
+//! fixed width* — benchmarks, calibration — makes the three underlying
+//! calls itself:
 //!
 //! ```
-//! use tensorfhe_core::api::{FheOp, TensorFhe};
+//! use tensorfhe_core::api::{FheOp, OpReport, TensorFhe};
 //! use tensorfhe_ckks::CkksParams;
 //!
 //! let params = CkksParams::test_small();
 //! let mut api = TensorFhe::builder(&params).build()?;
-//! let report = api.run_op(FheOp::HMult, params.max_level(), 8);
+//! let (op, level, batch) = (FheOp::HMult, params.max_level(), 8);
+//! let events = api.schedule_of(op, level);
+//! let stats = api.engine_mut().run_schedule(op.name(), &events, batch);
+//! let report = OpReport::from_stats(op, batch, api.engine().config().device.power_watts, stats);
 //! assert!(report.time_us > 0.0);
 //! # Ok::<(), tensorfhe_core::error::CoreError>(())
 //! ```
 //!
-//! Service-era code submits requests and lets the system batch:
+//! Everything else submits requests and lets the system batch:
 //!
 //! ```
 //! use tensorfhe_core::api::{FheOp, TensorFhe};
@@ -260,6 +312,8 @@
 //! | `TensorFhe::new(&params, EngineConfig::a100(v))` | `TensorFhe::builder(&params).variant(v).build()?` |
 //! | `MultiGpu::new(cfg, n, &params)` (panicked on 0) | `MultiGpu::new(cfg, n, &params)?` or `builder.devices(n).service()?` |
 //! | caller-chosen `run_op(op, level, batch)` | `submit(FheRequest)` + `drain()` |
+//! | fixed-width costing via `run_op` | `schedule_of` + `run_schedule` + `OpReport::from_stats` |
+//! | `.workers(w).pipeline_depth(d)` | `.sched(SchedPolicy::new().workers(w).pipeline_depth(d))` (shims remain) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -280,6 +334,7 @@ pub use engine::{Engine, EngineConfig, ExecMode, Layout, Variant};
 pub use error::{CoreError, CoreResult};
 pub use exec::{BatchResult, ExecBatch, ExecHandle, Executor, SimExecutor, ThreadedPool};
 pub use multi_gpu::{MultiGpu, MultiGpuStats};
+pub use sched::{AdmissionMode, SchedPolicy};
 pub use service::{FheRequest, FheService, RequestId, RequestReport, RequestStatus, ServiceStats};
 pub use session::{
     ClientSession, CoalescePolicy, KeyCache, ResidencyEvent, SessionConfig, SessionId,

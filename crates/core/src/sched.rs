@@ -37,19 +37,146 @@
 //!   depths narrow independent batches land on idle devices and
 //!   [`Scheduler::elapsed_us`] (the makespan) falls below the busy time.
 //!
+//! # Out-of-order scoreboard admission
+//!
+//! In-order admission stalls the whole window whenever the *next serial*
+//! batch is dependent — one chatty chained client collapses depth-4
+//! overlap back toward 1×. The opt-in [`AdmissionMode::OutOfOrder`] mode
+//! (configured through [`SchedPolicy`]) closes that gap with a scoreboard
+//! modeled on GPU warp schedulers:
+//!
+//! * **Freeze** ([`Scheduler::freeze`]) — the exact serial planning walk
+//!   runs speculatively ahead of admission, freezing up to `lookahead`
+//!   planned batches into a pending scoreboard. Reservations, key-cache
+//!   residency and fair-queue charges are applied at freeze time, so
+//!   *batch composition is identical to in-order mode*: the walk's inputs
+//!   mutate only when plans are made, never when batches complete.
+//! * **Admission** ([`Scheduler::admit_pending`]) — a pending plan is
+//!   *key-eligible* when its `(client, level)` keys are disjoint from
+//!   every in-flight batch **and from every older pending plan** (the
+//!   program-order guard: a younger batch may never overtake an older one
+//!   it shares a stream with). Among eligible plans the pick follows a
+//!   fixed **greedy-then-oldest** rule: prefer the plan whose `(op,
+//!   level)` group matches the most recently admitted batch (oldest among
+//!   matches), else the oldest eligible plan. The greedy preference
+//!   resets whenever a join empties the window, which makes depth-1
+//!   out-of-order admission bitwise identical to in-order.
+//! * **Aging bound** — each admission bumps `bypassed` on every *older*
+//!   pending plan that was key-eligible at that instant. Once any plan's
+//!   `bypassed` reaches `aging_bound`, only plans at or before the oldest
+//!   starving plan's serial position may admit, so the starving plan is
+//!   forced through next and no plan's `bypassed` ever exceeds the bound.
+//!   (Key-*blocked* plans don't age: they are not being skipped unfairly,
+//!   they are waiting on program order.)
+//! * **Submission-ordered settles** ([`Scheduler::join_next`] /
+//!   [`Scheduler::drain_settleable`]) — joins still pop the window front
+//!   (admission order), but finished batches park in a reorder buffer and
+//!   settle strictly in *serial plan order*. Attribution, reports and
+//!   [`ServiceStats`] therefore fold in exactly the in-order sequence and
+//!   stay **bit-identical to in-order mode at every depth and worker
+//!   count** — reordering changes when device work overlaps, never what a
+//!   request is charged.
+//!
 //! The *request-accounting* clock (queue latency, `busy_us`, ops/s) is
 //! deliberately left on the serial reference semantics so reports and
 //! stats stay depth-invariant; the overlap clock surfaces separately as
 //! [`ServiceStats`] `elapsed_us` / `overlap_fraction` /
 //! `pipelined_ops_per_second` — the honest schedule-level throughput the
-//! `fig11_pipeline` bench pins.
+//! `fig11_pipeline` and `fig13_ooo_window` benches pin.
 //!
 //! [`ServiceStats`]: crate::service::ServiceStats
 
 use crate::api::FheOp;
 use crate::exec::{BatchResult, ExecHandle, Executor};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+
+/// Default scoreboard lookahead (pending plans) for out-of-order mode.
+pub const DEFAULT_LOOKAHEAD: usize = 8;
+
+/// Default aging bound (bypasses before a plan must be admitted next).
+pub const DEFAULT_AGING_BOUND: usize = 4;
+
+/// Window-admission discipline: the order in which planned batches enter
+/// the in-flight window.
+///
+/// Both modes produce **bit-identical reports and stats** for the same
+/// submitted stream: out-of-order admission reorders only the overlap
+/// clock's schedule, never batch composition or settlement order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AdmissionMode {
+    /// Strictly serial admission: a blocked head plan stalls the window
+    /// until its keys release (PR 5 semantics; the default).
+    #[default]
+    InOrder,
+    /// Scoreboard admission: the serial planning walk freezes up to
+    /// `lookahead` plans ahead, and independent plans may be admitted past
+    /// a blocked head under the greedy-then-oldest rule with an aging
+    /// bound. See the [module docs](self).
+    OutOfOrder,
+}
+
+/// The unified scheduler-policy surface: every knob that shapes how work
+/// moves from the queue onto devices, in one typed value.
+///
+/// Unset fields resolve through the documented chain *builder → env var →
+/// default* (see [`crate::api::TensorFheBuilder::sched`]); zero or
+/// malformed values are hard configuration errors, never silently
+/// clamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedPolicy {
+    pub(crate) workers: Option<usize>,
+    pub(crate) pipeline: Option<usize>,
+    pub(crate) admission: Option<AdmissionMode>,
+    pub(crate) lookahead: Option<usize>,
+    pub(crate) aging_bound: Option<usize>,
+}
+
+impl SchedPolicy {
+    /// An empty policy: every knob resolves via env var then default.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker threads (devices) — overrides `TENSORFHE_WORKERS`.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// In-flight window depth — overrides `TENSORFHE_PIPELINE`.
+    #[must_use]
+    pub fn pipeline_depth(mut self, n: usize) -> Self {
+        self.pipeline = Some(n);
+        self
+    }
+
+    /// Window-admission mode — overrides `TENSORFHE_ADMISSION`.
+    #[must_use]
+    pub fn admission(mut self, mode: AdmissionMode) -> Self {
+        self.admission = Some(mode);
+        self
+    }
+
+    /// Scoreboard lookahead (pending plans) for out-of-order mode;
+    /// defaults to [`DEFAULT_LOOKAHEAD`]. Zero is a configuration error.
+    #[must_use]
+    pub fn lookahead(mut self, n: usize) -> Self {
+        self.lookahead = Some(n);
+        self
+    }
+
+    /// Aging bound (eligible bypasses before a plan must be admitted
+    /// next) for out-of-order mode; defaults to [`DEFAULT_AGING_BOUND`].
+    /// Zero is a configuration error.
+    #[must_use]
+    pub fn aging_bound(mut self, n: usize) -> Self {
+        self.aging_bound = Some(n);
+        self
+    }
+}
 
 /// Planning view of one queue slot: what the scheduler needs to know about
 /// a pending request (tombstones appear as `None` at the call site).
@@ -109,19 +236,45 @@ impl BatchPlan {
 /// The structural trace of one batch through the window and the overlap
 /// clock, recorded at admission and completed at join. `tensorfhe-analyze`
 /// replays these records to prove the schedule well-formed: intervals
-/// non-overlapping, gang starts legal, joins in submission order, uploads
-/// charged only where the residency model says they exist, and the
+/// non-overlapping, gang starts legal, joins in admission order, uploads
+/// charged only where the residency model says they exist, the
+/// out-of-order priority rule and aging bound obeyed exactly, and the
 /// accounting closed. Recording is always on — it is a handful of copies
 /// per *batch* (not per kernel) and performs no float arithmetic of its
 /// own, so the clocks it snapshots stay bit-identical with and without a
 /// verifier attached.
 #[derive(Debug, Clone)]
 pub struct BatchRecord {
-    /// Submission index (0-based). Batches are admitted, joined, and
-    /// settled in this order.
+    /// Admission index (0-based). Batches are admitted and joined in this
+    /// order. Equals [`BatchRecord::serial_seq`] under in-order admission;
+    /// under out-of-order admission the two may differ, and settlement
+    /// follows `serial_seq`.
     pub seq: usize,
-    /// Global window-event tick at admission (admissions and joins share
-    /// one counter, so window membership can be reconstructed exactly).
+    /// Serial plan order (0-based): the position this batch was planned
+    /// at by the serial coalescing walk. Settlement (attribution) always
+    /// happens in this order, which is what keeps reports bit-identical
+    /// across admission modes.
+    pub serial_seq: usize,
+    /// Global window-event tick when the plan was frozen by the serial
+    /// walk. Equals [`BatchRecord::admitted_at`] under in-order admission
+    /// (planning and admission are one step); strictly earlier when the
+    /// scoreboard held the plan pending.
+    pub planned_at: u64,
+    /// The join frontier snapshotted at freeze time (µs). The difference
+    /// `frontier_us − planned_frontier_us` is the head-blocked time this
+    /// batch spent pending in the scoreboard (0.0 in-order).
+    pub planned_frontier_us: f64,
+    /// How many younger plans were admitted past this one *while it was
+    /// key-eligible*. Bounded by the scheduler's aging bound; always 0
+    /// under in-order admission.
+    pub bypassed: usize,
+    /// The batch's operation (the greedy rule keys on `(op, level)`).
+    pub op: FheOp,
+    /// The batch's ciphertext level.
+    pub level: usize,
+    /// Global window-event tick at admission (freezes, admissions and
+    /// joins share one counter, so scoreboard and window membership can
+    /// be reconstructed exactly).
     pub admitted_at: u64,
     /// Global window-event tick at join.
     pub joined_at: u64,
@@ -204,7 +357,26 @@ struct InFlight {
     record: BatchRecord,
 }
 
-/// The in-flight window plus the overlap clock.
+/// A plan frozen by the serial walk but not yet admitted: the scoreboard's
+/// unit of lookahead. Reservations, residency and fair-queue charges were
+/// already applied when it was frozen, so the serial walk behind it sees
+/// exactly the queue state in-order admission would.
+#[derive(Debug)]
+struct PendingPlan {
+    plan: BatchPlan,
+    /// Serial plan order (monotone across freezes).
+    serial_seq: usize,
+    /// Event tick at freeze.
+    planned_at: u64,
+    /// Join frontier at freeze (µs).
+    planned_frontier_us: f64,
+    /// Times a younger plan was admitted past this one while it was
+    /// key-eligible.
+    bypassed: usize,
+}
+
+/// The in-flight window plus the overlap clock (and, in out-of-order
+/// mode, the pending scoreboard and the serial reorder buffer).
 ///
 /// See the [module docs](self) for the scheduling model. The scheduler is
 /// deliberately queue-agnostic: the service feeds it [`SlotView`]s and
@@ -227,19 +399,46 @@ pub struct Scheduler {
     elapsed_us: f64,
     /// Most batches ever simultaneously in flight.
     inflight_hwm: usize,
-    /// Window-event tick: one counter over admissions *and* joins, so the
-    /// trace can reconstruct exact window membership.
+    /// Window-event tick: one counter over freezes, admissions *and*
+    /// joins, so the trace can reconstruct exact scoreboard and window
+    /// membership.
     event_tick: u64,
-    /// Batches joined so far (the next record's `seq`).
+    /// Batches joined so far.
     joined_count: usize,
-    /// Structural trace of every joined batch, in join (= submission)
+    /// Structural trace of every joined batch, in join (= admission)
     /// order; see [`BatchRecord`].
     trace: Vec<BatchRecord>,
+    /// Window-admission discipline.
+    admission: AdmissionMode,
+    /// Scoreboard lookahead: max plans frozen but not yet admitted.
+    lookahead: usize,
+    /// Aging bound: max eligible bypasses before forced admission.
+    aging_bound: usize,
+    /// Frozen-but-unadmitted plans, in serial order.
+    pending: VecDeque<PendingPlan>,
+    /// Reorder buffer: joined batches keyed by `serial_seq`, waiting to
+    /// settle in serial order.
+    rob: BTreeMap<usize, Finished>,
+    /// Plans frozen so far (the next plan's `serial_seq`).
+    serial_count: usize,
+    /// Batches settled so far (the next settleable `serial_seq`).
+    settled_count: usize,
+    /// `(op, level)` of the most recently admitted batch — the greedy
+    /// preference. Reset to `None` whenever a join empties the window, so
+    /// an empty window always admits the oldest plan (this is what makes
+    /// depth-1 out-of-order bitwise identical to in-order).
+    last_group: Option<(FheOp, usize)>,
+    /// Max `|admission index − serial_seq|` over all admissions.
+    reorder_max: usize,
+    /// Σ over admitted batches of (admission frontier − freeze frontier):
+    /// total head-blocked time spent pending in the scoreboard (µs).
+    /// Exactly 0.0 under in-order admission.
+    head_blocked_us: f64,
 }
 
 impl Scheduler {
-    /// Creates a scheduler with the given window depth over `devices`
-    /// virtual device queues.
+    /// Creates an in-order scheduler with the given window depth over
+    /// `devices` virtual device queues.
     ///
     /// # Panics
     ///
@@ -247,8 +446,37 @@ impl Scheduler {
     /// validates both and returns a typed error first).
     #[must_use]
     pub fn new(depth: usize, devices: usize) -> Self {
+        Self::with_policy(
+            depth,
+            devices,
+            AdmissionMode::InOrder,
+            DEFAULT_LOOKAHEAD,
+            DEFAULT_AGING_BOUND,
+        )
+    }
+
+    /// Creates a scheduler with an explicit admission policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero depth, device count, lookahead or aging bound
+    /// (the service builder validates all four and returns a typed error
+    /// first).
+    #[must_use]
+    pub fn with_policy(
+        depth: usize,
+        devices: usize,
+        admission: AdmissionMode,
+        lookahead: usize,
+        aging_bound: usize,
+    ) -> Self {
         assert!(depth > 0, "need a window of at least one batch");
         assert!(devices > 0, "need at least one device");
+        assert!(lookahead > 0, "need a lookahead of at least one plan");
+        assert!(
+            aging_bound > 0,
+            "need an aging bound of at least one bypass"
+        );
         Self {
             depth,
             window: VecDeque::with_capacity(depth),
@@ -260,10 +488,20 @@ impl Scheduler {
             event_tick: 0,
             joined_count: 0,
             trace: Vec::new(),
+            admission,
+            lookahead,
+            aging_bound,
+            pending: VecDeque::new(),
+            rob: BTreeMap::new(),
+            serial_count: 0,
+            settled_count: 0,
+            last_group: None,
+            reorder_max: 0,
+            head_blocked_us: 0.0,
         }
     }
 
-    /// The structural trace of every joined batch, in join (= submission)
+    /// The structural trace of every joined batch, in join (= admission)
     /// order. `tensorfhe-analyze::verify` consumes this.
     #[must_use]
     pub fn trace(&self) -> &[BatchRecord] {
@@ -276,16 +514,68 @@ impl Scheduler {
         self.depth
     }
 
+    /// Configured admission mode.
+    #[must_use]
+    pub fn admission(&self) -> AdmissionMode {
+        self.admission
+    }
+
+    /// Configured scoreboard lookahead.
+    #[must_use]
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+
+    /// Configured aging bound.
+    #[must_use]
+    pub fn aging_bound(&self) -> usize {
+        self.aging_bound
+    }
+
+    /// Max `|admission index − serial plan index|` observed so far: how
+    /// far the scoreboard has actually reordered admissions.
+    #[must_use]
+    pub fn reorder_distance(&self) -> usize {
+        self.reorder_max
+    }
+
+    /// Total time admitted batches spent frozen in the scoreboard behind
+    /// a blocked head (µs). Exactly 0.0 under in-order admission.
+    #[must_use]
+    pub fn head_blocked_us(&self) -> f64 {
+        self.head_blocked_us
+    }
+
     /// Batches currently submitted but not yet joined.
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.window.len()
     }
 
+    /// Plans currently frozen in the scoreboard but not yet admitted.
+    #[must_use]
+    pub fn pending_plans(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the scoreboard holds no speculative state: no frozen
+    /// pending plans and no joined-but-unsettled batches. In-order
+    /// schedulers are always idle.
+    #[must_use]
+    pub fn scoreboard_idle(&self) -> bool {
+        self.pending.is_empty() && self.rob.is_empty()
+    }
+
     /// Whether another batch may be admitted.
     #[must_use]
     pub fn has_room(&self) -> bool {
         self.window.len() < self.depth
+    }
+
+    /// Whether another plan may be frozen into the scoreboard.
+    #[must_use]
+    pub fn can_freeze(&self) -> bool {
+        self.admission == AdmissionMode::OutOfOrder && self.pending.len() < self.lookahead
     }
 
     /// Most batches ever simultaneously in flight.
@@ -302,23 +592,21 @@ impl Scheduler {
         self.elapsed_us
     }
 
-    /// Operation instances currently inside in-flight batches.
+    /// Operation instances currently inside in-flight batches, frozen
+    /// pending plans, or joined-but-unsettled batches — everything the
+    /// service has reserved out of the queue but not yet attributed.
     #[must_use]
     pub fn in_flight_ops(&self) -> usize {
-        self.window.iter().map(|f| f.plan.width).sum()
+        self.window.iter().map(|f| f.plan.width).sum::<usize>()
+            + self.pending.iter().map(|p| p.plan.width).sum::<usize>()
+            + self.rob.values().map(|f| f.plan.width).sum::<usize>()
     }
 
-    /// The FIFO coalescing walk over the queue (the serial `drain`'s exact
-    /// batch-formation rule): the first slot with instances left defines
-    /// the `(op, level)` group, then every matching slot contributes in
-    /// submission order up to `cap` instances. The planned batch is then
-    /// checked against the in-flight independence keys.
-    ///
-    /// `slots` yields `(queue index, slot)` pairs; tombstones and
-    /// fully-reserved requests pass `None` / `remaining == 0` and are
-    /// skipped. Planning never mutates — the service applies the
-    /// reservation itself when it admits the plan.
-    pub fn plan<'a, I>(&self, cap: usize, slots: I) -> Plan
+    /// The serial FIFO coalescing walk shared by every admission mode:
+    /// the first slot with instances left defines the `(op, level)`
+    /// group, then every matching slot contributes in submission order up
+    /// to `cap` instances.
+    fn plan_walk<'a, I>(cap: usize, slots: I) -> Option<BatchPlan>
     where
         I: IntoIterator<Item = (usize, Option<SlotView<'a>>)>,
     {
@@ -345,13 +633,8 @@ impl Scheduler {
                 break;
             }
         }
-        let Some((op, level)) = group else {
-            return Plan::Empty;
-        };
-        if keys.iter().any(|k| self.keys.contains(k)) {
-            return Plan::Blocked;
-        }
-        Plan::Batch(BatchPlan {
+        let (op, level) = group?;
+        Some(BatchPlan {
             op,
             level,
             width,
@@ -362,7 +645,177 @@ impl Scheduler {
         })
     }
 
-    /// Admits a planned batch into the window.
+    /// The FIFO coalescing walk over the queue (the serial `drain`'s exact
+    /// batch-formation rule): the first slot with instances left defines
+    /// the `(op, level)` group, then every matching slot contributes in
+    /// submission order up to `cap` instances. The planned batch is then
+    /// checked against the in-flight independence keys.
+    ///
+    /// `slots` yields `(queue index, slot)` pairs; tombstones and
+    /// fully-reserved requests pass `None` / `remaining == 0` and are
+    /// skipped. Planning never mutates — the service applies the
+    /// reservation itself when it admits the plan.
+    pub fn plan<'a, I>(&self, cap: usize, slots: I) -> Plan
+    where
+        I: IntoIterator<Item = (usize, Option<SlotView<'a>>)>,
+    {
+        match Self::plan_walk(cap, slots) {
+            None => Plan::Empty,
+            Some(p) => {
+                if p.keys.iter().any(|k| self.keys.contains(k)) {
+                    Plan::Blocked
+                } else {
+                    Plan::Batch(p)
+                }
+            }
+        }
+    }
+
+    /// The same serial coalescing walk as [`Scheduler::plan`] but without
+    /// the in-flight independence check: out-of-order freezing wants the
+    /// next serial plan whether or not its keys are currently busy — the
+    /// scoreboard enforces independence at *admission* instead. Returns
+    /// `None` when no request has instances left.
+    pub fn plan_unchecked<'a, I>(&self, cap: usize, slots: I) -> Option<BatchPlan>
+    where
+        I: IntoIterator<Item = (usize, Option<SlotView<'a>>)>,
+    {
+        Self::plan_walk(cap, slots)
+    }
+
+    /// Freezes the next serial plan into the scoreboard. The caller must
+    /// have applied the reservation (and residency/fair-queue charges)
+    /// already, exactly as it would before an in-order admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scoreboard is full or the scheduler is in-order
+    /// ([`Scheduler::can_freeze`] gates every freeze).
+    pub fn freeze(&mut self, plan: BatchPlan) {
+        assert!(self.can_freeze(), "scoreboard is full or in-order");
+        let pp = PendingPlan {
+            plan,
+            serial_seq: self.serial_count,
+            planned_at: self.event_tick,
+            planned_frontier_us: self.joined_frontier,
+            bypassed: 0,
+        };
+        self.serial_count += 1;
+        self.event_tick += 1;
+        self.pending.push_back(pp);
+    }
+
+    /// Whether pending plan `idx` is key-eligible: disjoint from every
+    /// in-flight batch *and* from every older pending plan (the
+    /// program-order guard).
+    fn keys_eligible(&self, idx: usize) -> bool {
+        let p = &self.pending[idx];
+        if p.plan.keys.iter().any(|k| self.keys.contains(k)) {
+            return false;
+        }
+        self.pending
+            .iter()
+            .take(idx)
+            .all(|older| older.plan.keys.is_disjoint(&p.plan.keys))
+    }
+
+    /// The scoreboard pick: the pending index the greedy-then-oldest rule
+    /// (with the aging gate) would admit next, or `None` when the window
+    /// is full or nothing is eligible.
+    fn pick_admissible(&self) -> Option<usize> {
+        if !self.has_room() {
+            return None;
+        }
+        let eligible: Vec<usize> = (0..self.pending.len())
+            .filter(|&i| self.keys_eligible(i))
+            .collect();
+        // Aging gate: once any plan has been bypassed `aging_bound`
+        // times, only plans at or before the oldest starving plan's
+        // serial position may admit. A starving plan is always eligible
+        // (eligibility is monotone: younger admissions are key-disjoint
+        // from it by the program-order guard, and joins only release
+        // keys), so the gate forces it through.
+        let starve_min = self
+            .pending
+            .iter()
+            .filter(|p| p.bypassed >= self.aging_bound)
+            .map(|p| p.serial_seq)
+            .min();
+        let gated: Vec<usize> = match starve_min {
+            Some(m) => eligible
+                .into_iter()
+                .filter(|&i| self.pending[i].serial_seq <= m)
+                .collect(),
+            None => eligible,
+        };
+        let first = *gated.first()?;
+        // Greedy: prefer the most recently admitted `(op, level)` group,
+        // oldest among matches; else oldest eligible. `pending` is in
+        // serial order, so index order is age order.
+        if let Some(g) = self.last_group {
+            if let Some(&i) = gated
+                .iter()
+                .find(|&&i| (self.pending[i].plan.op, self.pending[i].plan.level) == g)
+            {
+                return Some(i);
+            }
+        }
+        Some(first)
+    }
+
+    /// The `(op, level, width)` of the pending plan the scoreboard would
+    /// admit next, or `None` when the window is full or no pending plan
+    /// is eligible. The service dispatches work for exactly this plan and
+    /// then calls [`Scheduler::admit_pending`].
+    #[must_use]
+    pub fn peek_admissible(&self) -> Option<(FheOp, usize, usize)> {
+        let i = self.pick_admissible()?;
+        let p = &self.pending[i].plan;
+        Some((p.op, p.level, p.width))
+    }
+
+    /// Admits the scoreboard's current pick (the plan
+    /// [`Scheduler::peek_admissible`] reported) into the window, bumping
+    /// the bypass count of every older pending plan that was key-eligible
+    /// at this instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pending plan is admissible — the caller must have
+    /// observed a `Some` from [`Scheduler::peek_admissible`] with no
+    /// intervening scheduler mutation.
+    pub fn admit_pending(&mut self, work: Work) {
+        let idx = self
+            .pick_admissible()
+            .expect("admit_pending without an admissible plan");
+        // Only key-*eligible* older plans age: a key-blocked plan is
+        // waiting on program order, not being skipped unfairly — and
+        // counting it would let a long dependent chain trip the aging
+        // gate while unadmittable, strangling all younger admissions.
+        let bumps: Vec<bool> = (0..idx).map(|i| self.keys_eligible(i)).collect();
+        for (i, bump) in bumps.into_iter().enumerate() {
+            if bump {
+                self.pending[i].bypassed += 1;
+            }
+        }
+        let pp = self.pending.remove(idx).expect("pick index in range");
+        debug_assert!(
+            pp.bypassed <= self.aging_bound,
+            "aging bound violated at admission"
+        );
+        self.admit_at(
+            pp.plan,
+            work,
+            pp.serial_seq,
+            pp.planned_at,
+            pp.planned_frontier_us,
+            pp.bypassed,
+        );
+    }
+
+    /// Admits a planned batch into the window (in-order admission:
+    /// planning and admission are one step, so the serial index advances
+    /// here and the freeze snapshot equals the admission snapshot).
     ///
     /// # Panics
     ///
@@ -370,13 +823,44 @@ impl Scheduler {
     /// admission) — admitting past `depth` would silently void the
     /// window-constraint semantics the overlap clock models.
     pub fn admit(&mut self, plan: BatchPlan, work: Work) {
+        let serial_seq = self.serial_count;
+        self.serial_count += 1;
+        let planned_at = self.event_tick;
+        let planned_frontier_us = self.joined_frontier;
+        self.admit_at(plan, work, serial_seq, planned_at, planned_frontier_us, 0);
+    }
+
+    /// The shared admission step: inserts keys, builds the trace record,
+    /// pushes the batch into the window, and updates the greedy
+    /// preference and reorder stats.
+    fn admit_at(
+        &mut self,
+        plan: BatchPlan,
+        work: Work,
+        serial_seq: usize,
+        planned_at: u64,
+        planned_frontier_us: f64,
+        bypassed: usize,
+    ) {
         assert!(self.has_room(), "window is full");
         for k in &plan.keys {
             let fresh = self.keys.insert(k.clone());
             debug_assert!(fresh, "dependent batch admitted: {k:?}");
         }
+        let seq = self.joined_count + self.window.len();
+        self.reorder_max = self.reorder_max.max(seq.abs_diff(serial_seq));
+        // Same monotone variable sampled at freeze and at admission, so
+        // the in-order difference is exactly 0.0 and the accumulator
+        // never perturbs bit-identity.
+        self.head_blocked_us += self.joined_frontier - planned_frontier_us;
         let record = BatchRecord {
-            seq: self.joined_count + self.window.len(),
+            seq,
+            serial_seq,
+            planned_at,
+            planned_frontier_us,
+            bypassed,
+            op: plan.op,
+            level: plan.level,
             admitted_at: self.event_tick,
             joined_at: 0,
             joins_at_admit: self.joined_count,
@@ -392,6 +876,7 @@ impl Scheduler {
             placements: Vec::new(),
         };
         self.event_tick += 1;
+        self.last_group = Some((plan.op, plan.level));
         self.window.push_back(InFlight {
             plan,
             work,
@@ -402,25 +887,36 @@ impl Scheduler {
         self.inflight_hwm = self.inflight_hwm.max(self.window.len());
     }
 
-    /// Shifts every in-flight plan's take indices down by `popped` after
-    /// the caller removed that many leading (dead) queue slots. Keeping
-    /// indices rebasable lets the service compact tombstones *while*
-    /// batches are in flight, so a pump-driven service under sustained
-    /// load reclaims its queue instead of growing a dead prefix forever.
+    /// Shifts every live plan's take indices down by `popped` after the
+    /// caller removed that many leading (dead) queue slots — in-flight
+    /// window batches, frozen pending plans, and joined-but-unsettled
+    /// batches alike. Keeping indices rebasable lets the service compact
+    /// tombstones *while* batches are in flight, so a pump-driven service
+    /// under sustained load reclaims its queue instead of growing a dead
+    /// prefix forever.
     ///
     /// # Panics
     ///
-    /// Panics (debug) if any in-flight take still points into the removed
+    /// Panics (debug) if any live take still points into the removed
     /// prefix — the caller may only pop slots no plan references.
     pub fn rebase(&mut self, popped: usize) {
         if popped == 0 {
             return;
         }
-        for f in &mut self.window {
-            for (i, _) in &mut f.plan.takes {
-                debug_assert!(*i >= popped, "popped a slot an in-flight plan references");
+        let shift = |takes: &mut Vec<(usize, usize)>| {
+            for (i, _) in takes {
+                debug_assert!(*i >= popped, "popped a slot a live plan references");
                 *i -= popped;
             }
+        };
+        for f in &mut self.window {
+            shift(&mut f.plan.takes);
+        }
+        for p in &mut self.pending {
+            shift(&mut p.plan.takes);
+        }
+        for f in self.rob.values_mut() {
+            shift(&mut f.plan.takes);
         }
     }
 
@@ -428,7 +924,7 @@ impl Scheduler {
     /// window buffer via the non-blocking [`Executor::try_join`]. Purely a
     /// latency courtesy to the backend (worker reply channels drain
     /// early); consumption order — and therefore every result and stat —
-    /// is fixed by [`Scheduler::complete_next`].
+    /// is fixed by the settle path.
     pub fn harvest(&mut self, exec: &mut dyn Executor) {
         for f in &mut self.window {
             if f.ready.is_none() {
@@ -440,10 +936,10 @@ impl Scheduler {
     }
 
     /// Joins the *oldest* in-flight batch (blocking if it is still
-    /// executing), releases its independence keys, advances the overlap
-    /// clock, and hands it back for attribution. Returns `None` when
-    /// nothing is in flight.
-    pub fn complete_next(&mut self, exec: &mut dyn Executor) -> Option<Finished> {
+    /// executing), releases its independence keys, and advances the
+    /// overlap clock. Returns the batch's serial index alongside the
+    /// finished work; `None` when nothing is in flight.
+    fn join_front(&mut self, exec: &mut dyn Executor) -> Option<(usize, Finished)> {
         let mut inflight = self.window.pop_front()?;
         let (result, executed) = match (inflight.ready.take(), inflight.work) {
             (Some(r), _) => (r, true),
@@ -463,12 +959,64 @@ impl Scheduler {
             &result,
             &mut record,
         );
+        let serial_seq = record.serial_seq;
+        // An empty window means the next admission starts a fresh
+        // schedule epoch: the greedy preference must not leak across it,
+        // or depth-1 out-of-order would reorder admissions and break
+        // bit-identity with in-order mode.
+        if self.window.is_empty() {
+            self.last_group = None;
+        }
         self.trace.push(record);
-        Some(Finished {
-            plan: inflight.plan,
-            result,
-            executed,
-        })
+        Some((
+            serial_seq,
+            Finished {
+                plan: inflight.plan,
+                result,
+                executed,
+            },
+        ))
+    }
+
+    /// Joins the oldest in-flight batch and hands it straight back for
+    /// attribution (in-order settlement: admission order *is* serial
+    /// order). Returns `None` when nothing is in flight.
+    pub fn complete_next(&mut self, exec: &mut dyn Executor) -> Option<Finished> {
+        debug_assert!(
+            self.scoreboard_idle(),
+            "in-order settle with live scoreboard state"
+        );
+        let (serial_seq, fin) = self.join_front(exec)?;
+        debug_assert_eq!(serial_seq, self.settled_count, "in-order settle reordered");
+        self.settled_count += 1;
+        Some(fin)
+    }
+
+    /// Joins the oldest in-flight batch into the reorder buffer
+    /// (out-of-order settlement). Returns `false` when nothing was in
+    /// flight. Settleable batches are then drained in serial order by
+    /// [`Scheduler::drain_settleable`].
+    pub fn join_next(&mut self, exec: &mut dyn Executor) -> bool {
+        match self.join_front(exec) {
+            Some((serial_seq, fin)) => {
+                let prev = self.rob.insert(serial_seq, fin);
+                debug_assert!(prev.is_none(), "duplicate serial index in reorder buffer");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops every reorder-buffer batch that is next in *serial* order.
+    /// Settling strictly serially is what keeps attribution folds — and
+    /// therefore reports and stats — bit-identical to in-order mode.
+    pub fn drain_settleable(&mut self) -> Vec<Finished> {
+        let mut out = Vec::new();
+        while let Some(fin) = self.rob.remove(&self.settled_count) {
+            self.settled_count += 1;
+            out.push(fin);
+        }
+        out
     }
 
     /// The overlap-clock step for one joined batch: place its shards on
@@ -566,6 +1114,19 @@ mod tests {
 
     fn sched(depth: usize, devices: usize) -> Scheduler {
         Scheduler::new(depth, devices)
+    }
+
+    fn ooo(depth: usize, devices: usize, lookahead: usize, aging: usize) -> Scheduler {
+        Scheduler::with_policy(depth, devices, AdmissionMode::OutOfOrder, lookahead, aging)
+    }
+
+    /// Plans the single-slot batch `(op, level, n, client)` without the
+    /// in-flight key check and freezes it.
+    fn freeze_one(s: &mut Scheduler, i: usize, op: FheOp, level: usize, client: &str) {
+        let p = s
+            .plan_unchecked(4, vec![(i, view(op, level, 1, client))])
+            .expect("planned");
+        s.freeze(p);
     }
 
     #[test]
@@ -692,5 +1253,123 @@ mod tests {
         s.admit(p, Work::Cached(result(vec![10.0, 0.0, 0.0, 0.0])));
         let _ = s.complete_next(&mut exec).expect("in flight");
         assert_eq!(s.elapsed_us(), 20.0, "fifth batch queues behind the window");
+    }
+
+    #[test]
+    fn scoreboard_admits_past_a_blocked_head() {
+        // Chain: two same-(client, level) plans; the second is
+        // key-blocked behind the first in flight. An independent tenant
+        // frozen behind them admits past the blocked head.
+        let mut s = ooo(4, 2, 8, 4);
+        freeze_one(&mut s, 0, FheOp::HMult, 3, "chain");
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        freeze_one(&mut s, 1, FheOp::Rescale, 3, "chain");
+        freeze_one(&mut s, 2, FheOp::HMult, 5, "tenant");
+        // The chain link is key-blocked (in-flight key); the tenant is
+        // eligible and admits past it.
+        let (op, level, _) = s.peek_admissible().expect("tenant admissible");
+        assert_eq!((op, level), (FheOp::HMult, 5));
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        assert_eq!(s.reorder_distance(), 1, "tenant overtook one plan");
+        // The blocked chain link never aged: it was key-blocked, not
+        // bypassed while eligible.
+        assert_eq!(s.pending_plans(), 1);
+        assert!(
+            s.peek_admissible().is_none(),
+            "chain link still key-blocked"
+        );
+    }
+
+    #[test]
+    fn greedy_prefers_the_last_admitted_group() {
+        let mut s = ooo(8, 2, 8, 16);
+        freeze_one(&mut s, 0, FheOp::HMult, 3, "a");
+        freeze_one(&mut s, 1, FheOp::Rescale, 4, "b");
+        freeze_one(&mut s, 2, FheOp::HMult, 3, "c");
+        // Nothing in flight, no last group: oldest eligible wins.
+        let (op, level, _) = s.peek_admissible().expect("admissible");
+        assert_eq!((op, level), (FheOp::HMult, 3));
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        // Greedy: the (HMult, 3) plan from "c" jumps the older Rescale.
+        let (op, level, _) = s.peek_admissible().expect("admissible");
+        assert_eq!((op, level), (FheOp::HMult, 3), "greedy group match");
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        assert_eq!(s.reorder_distance(), 1);
+        // Bypassed while eligible: the Rescale plan aged once.
+        let (op, level, _) = s.peek_admissible().expect("admissible");
+        assert_eq!((op, level), (FheOp::Rescale, 4));
+    }
+
+    #[test]
+    fn aging_bound_forces_the_oldest_starving_plan() {
+        // Aging bound 1: one eligible bypass and the gate closes around
+        // the starving plan.
+        let mut s = ooo(8, 2, 8, 1);
+        freeze_one(&mut s, 0, FheOp::HMult, 3, "a");
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        freeze_one(&mut s, 1, FheOp::Rescale, 4, "b");
+        freeze_one(&mut s, 2, FheOp::HMult, 3, "c");
+        // Greedy admits the (HMult, 3) group match, bypassing the
+        // eligible Rescale.
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        // The Rescale plan hit the bound: even after freezing another
+        // greedy match, the gate forces the starving plan through.
+        freeze_one(&mut s, 3, FheOp::HMult, 3, "d");
+        let (op, level, _) = s.peek_admissible().expect("admissible");
+        assert_eq!((op, level), (FheOp::Rescale, 4), "aging gate wins");
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        assert_eq!(s.pending_plans(), 1, "only the last greedy match waits");
+    }
+
+    #[test]
+    fn rob_settles_in_serial_order() {
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let mut exec = SimExecutor::new(cfg, 2);
+        let mut s = ooo(4, 2, 8, 4);
+        // Chain blocks serial 1 behind serial 0; tenant (serial 2)
+        // admits second. Joins pop admission order (0 then 2), but
+        // settles must come out 0, then — only after 1 settles — 2.
+        freeze_one(&mut s, 0, FheOp::HMult, 3, "chain");
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        freeze_one(&mut s, 1, FheOp::Rescale, 3, "chain");
+        freeze_one(&mut s, 2, FheOp::HMult, 5, "tenant");
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+
+        assert!(s.join_next(&mut exec), "serial 0 joins");
+        let first = s.drain_settleable();
+        assert_eq!(first.len(), 1, "serial 0 settles immediately");
+        // Chain link (serial 1) is now eligible and admits.
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        // Joins pop admission order: tenant (serial 2) joins next and
+        // parks in the reorder buffer until serial 1 settles.
+        assert!(s.join_next(&mut exec));
+        assert!(s.drain_settleable().is_empty(), "serial 2 waits for 1");
+        assert!(s.join_next(&mut exec));
+        let rest = s.drain_settleable();
+        assert_eq!(rest.len(), 2, "serial 1 unblocks 2");
+        assert!(s.scoreboard_idle());
+        assert_eq!(
+            s.trace().iter().map(|r| r.serial_seq).collect::<Vec<_>>(),
+            vec![0, 2, 1],
+            "trace is join-ordered; serial order lives in serial_seq"
+        );
+        assert!(s.head_blocked_us() > 0.0, "chain link waited pending");
+    }
+
+    #[test]
+    fn program_order_guard_holds_same_key_plans_back() {
+        // Two same-key pending plans with nothing in flight: the younger
+        // is never eligible while the older is pending, even though the
+        // in-flight key set is empty.
+        let mut s = ooo(4, 2, 8, 4);
+        freeze_one(&mut s, 0, FheOp::HMult, 3, "a");
+        freeze_one(&mut s, 1, FheOp::Rescale, 3, "a");
+        let (op, _, _) = s.peek_admissible().expect("oldest admissible");
+        assert_eq!(op, FheOp::HMult, "program order picks the older plan");
+        s.admit_pending(Work::Cached(result(vec![1.0, 0.0])));
+        assert!(
+            s.peek_admissible().is_none(),
+            "younger same-key plan blocked behind in-flight older"
+        );
     }
 }

@@ -32,7 +32,12 @@
 //!    **bit-identical at every depth and worker count**; pipelining only
 //!    moves the schedule-level overlap accounting
 //!    ([`ServiceStats::elapsed_us`], [`ServiceStats::overlap_fraction`],
-//!    [`ServiceStats::pipelined_ops_per_second`]).
+//!    [`ServiceStats::pipelined_ops_per_second`]). Every scheduler knob —
+//!    workers, depth, and the opt-in out-of-order admission mode
+//!    ([`crate::sched::AdmissionMode`], `TENSORFHE_ADMISSION`) with its
+//!    lookahead and aging bound — is configured through one typed
+//!    [`crate::sched::SchedPolicy`] on the builder
+//!    ([`TensorFheBuilder::sched`]).
 //!
 //! Time is *virtual* (simulated-device microseconds), consistent with the
 //! rest of the reproduction: the service clock advances by the wall time of
@@ -49,7 +54,10 @@ use crate::api::{schedule_events, FheOp, OpReport, TensorFheBuilder};
 use crate::engine::ExecMode;
 use crate::error::{CoreError, CoreResult};
 use crate::exec::{build_executor, BatchResult, ExecBatch, Executor};
-use crate::sched::{BatchPlan, Finished, Plan, Scheduler, SlotView, Work};
+use crate::sched::{
+    AdmissionMode, BatchPlan, Finished, Plan, Scheduler, SlotView, Work, DEFAULT_AGING_BOUND,
+    DEFAULT_LOOKAHEAD,
+};
 use crate::session::{
     default_galois_steps, jain_index, key_set_bytes, ClientSession, CoalescePolicy, DrrState,
     KeyCache, ResidencyEvent, SessionConfig, SessionId, KEY_CACHE_VRAM_FRACTION,
@@ -147,10 +155,13 @@ pub enum RequestStatus {
         /// Instances not yet dispatched.
         remaining: usize,
     },
-    /// Part of the request rides in a submitted-but-unjoined batch (a
-    /// mid-drain state, observable between [`FheService::pump`] steps).
+    /// Part of the request is reserved by the scheduler (a mid-drain
+    /// state, observable between [`FheService::pump`] steps): inside a
+    /// submitted-but-unjoined batch, or — under out-of-order admission —
+    /// a plan frozen in the scoreboard or a batch awaiting serial
+    /// settlement.
     InFlight {
-        /// Instances inside in-flight batches.
+        /// Instances inside in-flight batches (or scoreboard plans).
         executing: usize,
         /// Instances still queued behind them.
         remaining: usize,
@@ -199,6 +210,24 @@ pub struct ServiceStats {
     /// Configured in-flight window depth (1 = strictly synchronous
     /// rounds, the pre-scheduler behaviour).
     pub pipeline_depth: usize,
+    /// Configured window-admission mode. Both modes produce bit-identical
+    /// reports and request-accounting stats; out-of-order admission moves
+    /// only the overlap clock (and the two reorder stats below).
+    pub admission: AdmissionMode,
+    /// Configured scoreboard lookahead (pending plans); only consulted
+    /// under out-of-order admission.
+    pub lookahead: usize,
+    /// Configured aging bound (eligible bypasses before forced
+    /// admission); only consulted under out-of-order admission.
+    pub aging_bound: usize,
+    /// Max `|admission index − serial plan index|` the scoreboard
+    /// actually reordered by. Always 0 under in-order admission.
+    pub reorder_distance: usize,
+    /// Total time admitted batches spent frozen in the scoreboard behind
+    /// a blocked head (µs, virtual). Exactly 0.0 under in-order
+    /// admission. A schedule-level diagnostic, excluded — like
+    /// `elapsed_us` — from the depth-invariant request accounting.
+    pub head_blocked_us: f64,
     /// Most batches ever simultaneously submitted-but-unjoined. `≤ 1`
     /// under a depth-1 window; larger values mean the scheduler really
     /// overlapped independent batches.
@@ -397,7 +426,7 @@ impl FheService {
         // silently falling back to the serial executor would let the CI
         // determinism matrix pass vacuously. Executors are deterministic,
         // so the choice only changes host wall-clock, never results.
-        let workers = match b.workers {
+        let workers = match b.sched.workers {
             Some(w) => w,
             None => match std::env::var("TENSORFHE_WORKERS") {
                 Ok(v) => v.trim().parse::<usize>().map_err(|_| {
@@ -413,7 +442,7 @@ impl FheService {
         // knob, then the depth-1 (strictly synchronous) default. The
         // scheduler is deterministic at every depth, so the choice moves
         // only the overlap accounting, never reports.
-        let depth = match b.pipeline {
+        let depth = match b.sched.pipeline {
             Some(d) => d,
             None => match std::env::var("TENSORFHE_PIPELINE") {
                 Ok(v) => v.trim().parse::<usize>().map_err(|_| {
@@ -427,6 +456,38 @@ impl FheService {
         if depth == 0 {
             return Err(CoreError::InvalidConfig(
                 "pipeline depth must be non-zero".into(),
+            ));
+        }
+        // Admission mode: builder, then the `TENSORFHE_ADMISSION` CI
+        // matrix knob, then the in-order default. Anything but the two
+        // documented spellings is a hard error — the same strictness as
+        // the other environment knobs. Both modes are deterministic and
+        // report-bit-identical; the choice moves only the overlap clock.
+        let admission = match b.sched.admission {
+            Some(m) => m,
+            None => match std::env::var("TENSORFHE_ADMISSION") {
+                Ok(v) => match v.trim() {
+                    "inorder" => AdmissionMode::InOrder,
+                    "ooo" => AdmissionMode::OutOfOrder,
+                    _ => {
+                        return Err(CoreError::InvalidConfig(format!(
+                            "TENSORFHE_ADMISSION must be \"inorder\" or \"ooo\", got {v:?}"
+                        )))
+                    }
+                },
+                Err(_) => AdmissionMode::InOrder,
+            },
+        };
+        let lookahead = b.sched.lookahead.unwrap_or(DEFAULT_LOOKAHEAD);
+        if lookahead == 0 {
+            return Err(CoreError::InvalidConfig(
+                "scoreboard lookahead must be non-zero".into(),
+            ));
+        }
+        let aging_bound = b.sched.aging_bound.unwrap_or(DEFAULT_AGING_BOUND);
+        if aging_bound == 0 {
+            return Err(CoreError::InvalidConfig(
+                "scoreboard aging bound must be non-zero".into(),
             ));
         }
         let executor = build_executor(&cfg, b.devices, workers)?;
@@ -498,7 +559,7 @@ impl FheService {
             power_watts,
             queue: VecDeque::new(),
             head: 0,
-            sched: Scheduler::new(depth, b.devices),
+            sched: Scheduler::with_policy(depth, b.devices, admission, lookahead, aging_bound),
             next_id: 0,
             clock_us: 0.0,
             requests_completed: 0,
@@ -565,6 +626,24 @@ impl FheService {
         self.sched.depth()
     }
 
+    /// Configured window-admission mode.
+    #[must_use]
+    pub fn admission(&self) -> AdmissionMode {
+        self.sched.admission()
+    }
+
+    /// Whether out-of-order admission is actually driving the fill:
+    /// configured out-of-order *and* no registered session carries a
+    /// deadline. Deadline urgency and shedding read the settle clock,
+    /// which under reordering would see a different (though equally
+    /// valid) time at each decision point — so any deadline session
+    /// drops the service back to the verbatim in-order fill, keeping
+    /// deadline semantics exact.
+    fn ooo_active(&self) -> bool {
+        self.sched.admission() == AdmissionMode::OutOfOrder
+            && self.sessions.iter().all(|s| s.deadline_us.is_none())
+    }
+
     /// Registers a client session, deriving its simulated key-set
     /// footprint (galois + relinearisation keys) from the service's
     /// parameter set. Registration is what opts the service into the
@@ -592,6 +671,20 @@ impl FheService {
                 return Err(CoreError::InvalidConfig(format!(
                     "session deadline must be positive and finite, got {d}"
                 )));
+            }
+            // A deadline session switches an out-of-order service back to
+            // the in-order fill (deadline urgency/shedding read the
+            // settle clock, which reordering would skew). The switch is
+            // only sound from a fully quiescent scheduler: a reordered
+            // window or live scoreboard cannot be settled in-order.
+            if self.sched.admission() == AdmissionMode::OutOfOrder
+                && !(self.sched.scoreboard_idle() && self.sched.in_flight() == 0)
+            {
+                return Err(CoreError::InvalidConfig(
+                    "cannot register a deadline session while out-of-order \
+                     batches are in flight; drain the service first"
+                        .into(),
+                ));
             }
         }
         if cfg.queue_cap == Some(0) {
@@ -644,9 +737,11 @@ impl FheService {
     }
 
     /// The scheduler's structural trace: one [`crate::sched::BatchRecord`]
-    /// per joined batch, in join (= submission) order. The schedule
-    /// verifier in `tensorfhe-analyze` replays this against
-    /// [`FheService::stats`] to prove the overlap clock well-formed.
+    /// per joined batch, in join (= admission) order; under out-of-order
+    /// admission the serial plan order lives in each record's
+    /// `serial_seq`. The schedule verifier in `tensorfhe-analyze` replays
+    /// this against [`FheService::stats`] to prove the overlap clock —
+    /// and the reorder rule — well-formed.
     #[must_use]
     pub fn schedule_trace(&self) -> &[crate::sched::BatchRecord] {
         self.sched.trace()
@@ -823,14 +918,27 @@ impl FheService {
     }
 
     /// The drain step: fill the window, settle one batch. `false` once
-    /// nothing is in flight (the queue holds no plannable work).
+    /// nothing is in flight (the queue holds no plannable work). Under
+    /// out-of-order admission the joined batch may park in the reorder
+    /// buffer, so one step can settle zero requests (the settle lands on
+    /// a later step, once the serial predecessor joins) or several.
     fn pump_into(&mut self, done: &mut Vec<RequestReport>) -> bool {
         self.fill_window();
-        let Some(fin) = self.sched.complete_next(self.executor.as_mut()) else {
-            return false;
-        };
-        self.settle(fin, done);
-        true
+        if self.ooo_active() {
+            if !self.sched.join_next(self.executor.as_mut()) {
+                return false;
+            }
+            for fin in self.sched.drain_settleable() {
+                self.settle(fin, done);
+            }
+            true
+        } else {
+            let Some(fin) = self.sched.complete_next(self.executor.as_mut()) else {
+                return false;
+            };
+            self.settle(fin, done);
+            true
+        }
     }
 
     /// Plans and admits batches until the window is full, the next batch
@@ -841,7 +949,9 @@ impl FheService {
     /// registered sessions the pre-session FIFO walk runs verbatim; with
     /// sessions the fair-share/residency walk takes over.
     fn fill_window(&mut self) {
-        if self.sessions.is_empty() {
+        if self.ooo_active() {
+            self.fill_window_ooo();
+        } else if self.sessions.is_empty() {
             self.fill_window_fifo();
         } else {
             self.fill_window_sessions();
@@ -893,105 +1003,9 @@ impl FheService {
     /// key-cache placement to the planned batch before admitting it.
     fn fill_window_sessions(&mut self) {
         while self.sched.has_room() {
-            self.advance_head();
-            self.shed_expired();
-            // Per-bucket backlog: bucket 0 is anonymous, session `s` is
-            // bucket `s + 1`.
-            let buckets = self.sessions.len() + 1;
-            let mut pending = vec![0usize; buckets];
-            let mut first_slot = vec![usize::MAX; buckets];
-            for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
-                let Some(p) = slot else { continue };
-                if p.remaining == 0 {
-                    continue;
-                }
-                let b = p.session.map_or(0, |s| s.0 as usize + 1);
-                pending[b] += p.remaining;
-                if first_slot[b] == usize::MAX {
-                    first_slot[b] = i;
-                }
-            }
-            // Urgent pass: a deadline session whose oldest pending
-            // request's slack dips below URGENCY_FRACTION of its budget
-            // jumps the fair-share rotation (earliest slack first) and
-            // ships alone — partially filled beats late.
-            let mut urgent: Option<(f64, usize)> = None;
-            for s in &self.sessions {
-                let b = s.id.0 as usize + 1;
-                let (Some(deadline), true) = (s.deadline_us, pending[b] > 0) else {
-                    continue;
-                };
-                let oldest = self.queue[first_slot[b]]
-                    .as_ref()
-                    .expect("first slot is live");
-                let slack = deadline - (self.clock_us - oldest.submitted_us);
-                if slack <= deadline * URGENCY_FRACTION {
-                    let better = match urgent {
-                        Some((best, _)) => slack < best,
-                        None => true,
-                    };
-                    if better {
-                        urgent = Some((slack, b));
-                    }
-                }
-            }
-            let (bucket, same_session_only) = match urgent {
-                Some((_, b)) => (b, true),
-                None => {
-                    let want: Vec<usize> = pending.iter().map(|&p| p.min(self.batch_cap)).collect();
-                    let quantum: Vec<f64> = std::iter::once(1.0)
-                        .chain(self.sessions.iter().map(|s| s.weight))
-                        .map(|w| w * self.batch_cap as f64)
-                        .collect();
-                    match self.drr.select(&want, &quantum) {
-                        Some(b) => (b, false),
-                        None => break,
-                    }
-                }
+            let Some((bucket, same_session_only, order)) = self.session_pick() else {
+                break;
             };
-            // Coalescing order: the chosen bucket's slots lead (they
-            // define the batch's op/level group), then — unless the batch
-            // ships same-session-only — the policy decides the top-up:
-            // KeyAffinity keeps the rest of the chosen bucket first so a
-            // batch spans fewer key sets; Blind tops up in pure queue
-            // order, the fig12 comparison arm.
-            let mut order: Vec<usize> = Vec::new();
-            for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
-                let Some(p) = slot else { continue };
-                if p.remaining == 0 {
-                    continue;
-                }
-                if p.session.map_or(0, |s| s.0 as usize + 1) == bucket {
-                    order.push(i);
-                }
-            }
-            if !same_session_only {
-                match self.policy {
-                    CoalescePolicy::KeyAffinity => {
-                        for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
-                            let Some(p) = slot else { continue };
-                            if p.remaining == 0 {
-                                continue;
-                            }
-                            if p.session.map_or(0, |s| s.0 as usize + 1) != bucket {
-                                order.push(i);
-                            }
-                        }
-                    }
-                    CoalescePolicy::Blind => {
-                        let lead = first_slot[bucket];
-                        order.clear();
-                        order.push(lead);
-                        for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
-                            let Some(p) = slot else { continue };
-                            if p.remaining == 0 || i == lead {
-                                continue;
-                            }
-                            order.push(i);
-                        }
-                    }
-                }
-            }
             let plan = {
                 let queue = &self.queue;
                 let slots = order.iter().map(|&i| {
@@ -1009,55 +1023,272 @@ impl FheService {
             };
             match plan {
                 Plan::Batch(mut plan) => {
-                    for &(i, take) in &plan.takes {
-                        let p = self.queue[i].as_mut().expect("take targets a live slot");
-                        p.remaining -= take;
-                        p.executing += take;
-                    }
-                    // Residency: the distinct session key sets riding
-                    // this batch (id order) are placed on the shard
-                    // devices; non-resident sets pay the upload on the
-                    // batch's critical path.
-                    let mut keys: Vec<(SessionId, u64)> = Vec::new();
-                    let mut charged = 0usize;
-                    for &(i, take) in &plan.takes {
-                        let p = self.queue[i].as_ref().expect("take targets a live slot");
-                        if p.session.map_or(0, |s| s.0 as usize + 1) == bucket {
-                            charged += take;
-                        }
-                        if let Some(sid) = p.session {
-                            if !keys.iter().any(|&(s, _)| s == sid) {
-                                keys.push((sid, self.sessions[sid.0 as usize].key_bytes));
-                            }
-                        }
-                    }
-                    keys.sort_by_key(|&(s, _)| s);
-                    plan.sessioned = !keys.is_empty();
-                    if !keys.is_empty() {
-                        let shards = crate::exec::shard_widths(plan.width, self.devices())
-                            .iter()
-                            .filter(|&&w| w > 0)
-                            .count();
-                        let upload_bytes = self.key_cache.place(&keys, shards);
-                        if upload_bytes > 0 {
-                            plan.upload_us =
-                                crate::engine::key_upload_us(upload_bytes, &self.device);
-                            self.key_upload_us_total += plan.upload_us;
-                            self.key_upload_count += 1;
-                        }
-                    }
-                    // Urgent batches jump the rotation without spending
-                    // credit; fair-share batches are charged only the
-                    // width their own bucket contributed (top-up from
-                    // other sessions is their service, not this one's).
-                    if !same_session_only {
-                        self.drr.charge(bucket, charged);
-                    }
+                    self.apply_session_plan(&mut plan, bucket, same_session_only);
                     let work = self.dispatch(plan.op, plan.level, plan.width);
                     self.sched.admit(plan, work);
                 }
                 Plan::Blocked | Plan::Empty => break,
             }
+        }
+    }
+
+    /// The out-of-order fill: run the *serial* planning walk speculatively
+    /// ahead (freezing up to `lookahead` plans with their reservations and
+    /// charges applied, exactly as in-order admission would), then let the
+    /// scoreboard admit whatever eligible plan the greedy-then-oldest rule
+    /// picks — possibly past a key-blocked head. Admissions free scoreboard
+    /// slots and freezes create admission candidates, so the loop
+    /// alternates until neither side progresses.
+    fn fill_window_ooo(&mut self) {
+        loop {
+            let mut progressed = false;
+            while self.sched.can_freeze() {
+                let froze = if self.sessions.is_empty() {
+                    self.freeze_next_fifo()
+                } else {
+                    self.freeze_next_session()
+                };
+                if !froze {
+                    break;
+                }
+                progressed = true;
+            }
+            while let Some((op, level, width)) = self.sched.peek_admissible() {
+                let work = self.dispatch(op, level, width);
+                self.sched.admit_pending(work);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Freezes the next serial FIFO plan into the scoreboard (the exact
+    /// [`FheService::fill_window_fifo`] walk, minus the in-flight key
+    /// check the scoreboard enforces at admission instead). `false` when
+    /// the queue has nothing left to plan.
+    fn freeze_next_fifo(&mut self) -> bool {
+        self.advance_head();
+        let plan = {
+            let slots = self.queue.iter().enumerate().skip(self.head).map(|(i, s)| {
+                (
+                    i,
+                    s.as_ref().map(|p| SlotView {
+                        op: p.req.op,
+                        level: p.req.level,
+                        remaining: p.remaining,
+                        client: &p.client_key,
+                    }),
+                )
+            });
+            self.sched.plan_unchecked(self.batch_cap, slots)
+        };
+        match plan {
+            Some(plan) => {
+                for &(i, take) in &plan.takes {
+                    let p = self.queue[i].as_mut().expect("take targets a live slot");
+                    p.remaining -= take;
+                    p.executing += take;
+                }
+                self.sched.freeze(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Freezes the next serial session-tier plan into the scoreboard: the
+    /// same bucket selection, coalescing order and residency/fair-share
+    /// charges as [`FheService::fill_window_sessions`], applied at freeze
+    /// time so the serial walk behind it sees identical queue state.
+    /// (Deadline shedding and urgency inside the shared walk are inert
+    /// here: out-of-order filling only runs with no deadline sessions.)
+    /// `false` when no bucket has plannable work.
+    fn freeze_next_session(&mut self) -> bool {
+        let Some((bucket, same_session_only, order)) = self.session_pick() else {
+            return false;
+        };
+        let plan = {
+            let queue = &self.queue;
+            let slots = order.iter().map(|&i| {
+                (
+                    i,
+                    queue[i].as_ref().map(|p| SlotView {
+                        op: p.req.op,
+                        level: p.req.level,
+                        remaining: p.remaining,
+                        client: &p.client_key,
+                    }),
+                )
+            });
+            self.sched.plan_unchecked(self.batch_cap, slots)
+        };
+        match plan {
+            Some(mut plan) => {
+                self.apply_session_plan(&mut plan, bucket, same_session_only);
+                self.sched.freeze(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One session-walk selection, shared by the in-order fill and
+    /// out-of-order freezing: shed expired deadline work, pick the next
+    /// bucket (urgent deadline sessions earliest-slack-first, otherwise
+    /// deficit round robin), and compute the policy-ordered coalescing
+    /// order. Returns `(bucket, same_session_only, order)` or `None` when
+    /// no bucket has plannable work.
+    fn session_pick(&mut self) -> Option<(usize, bool, Vec<usize>)> {
+        self.advance_head();
+        self.shed_expired();
+        // Per-bucket backlog: bucket 0 is anonymous, session `s` is
+        // bucket `s + 1`.
+        let buckets = self.sessions.len() + 1;
+        let mut pending = vec![0usize; buckets];
+        let mut first_slot = vec![usize::MAX; buckets];
+        for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
+            let Some(p) = slot else { continue };
+            if p.remaining == 0 {
+                continue;
+            }
+            let b = p.session.map_or(0, |s| s.0 as usize + 1);
+            pending[b] += p.remaining;
+            if first_slot[b] == usize::MAX {
+                first_slot[b] = i;
+            }
+        }
+        // Urgent pass: a deadline session whose oldest pending
+        // request's slack dips below URGENCY_FRACTION of its budget
+        // jumps the fair-share rotation (earliest slack first) and
+        // ships alone — partially filled beats late.
+        let mut urgent: Option<(f64, usize)> = None;
+        for s in &self.sessions {
+            let b = s.id.0 as usize + 1;
+            let (Some(deadline), true) = (s.deadline_us, pending[b] > 0) else {
+                continue;
+            };
+            let oldest = self.queue[first_slot[b]]
+                .as_ref()
+                .expect("first slot is live");
+            let slack = deadline - (self.clock_us - oldest.submitted_us);
+            if slack <= deadline * URGENCY_FRACTION {
+                let better = match urgent {
+                    Some((best, _)) => slack < best,
+                    None => true,
+                };
+                if better {
+                    urgent = Some((slack, b));
+                }
+            }
+        }
+        let (bucket, same_session_only) = match urgent {
+            Some((_, b)) => (b, true),
+            None => {
+                let want: Vec<usize> = pending.iter().map(|&p| p.min(self.batch_cap)).collect();
+                let quantum: Vec<f64> = std::iter::once(1.0)
+                    .chain(self.sessions.iter().map(|s| s.weight))
+                    .map(|w| w * self.batch_cap as f64)
+                    .collect();
+                self.drr.select(&want, &quantum).map(|b| (b, false))?
+            }
+        };
+        // Coalescing order: the chosen bucket's slots lead (they
+        // define the batch's op/level group), then — unless the batch
+        // ships same-session-only — the policy decides the top-up:
+        // KeyAffinity keeps the rest of the chosen bucket first so a
+        // batch spans fewer key sets; Blind tops up in pure queue
+        // order, the fig12 comparison arm.
+        let mut order: Vec<usize> = Vec::new();
+        for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
+            let Some(p) = slot else { continue };
+            if p.remaining == 0 {
+                continue;
+            }
+            if p.session.map_or(0, |s| s.0 as usize + 1) == bucket {
+                order.push(i);
+            }
+        }
+        if !same_session_only {
+            match self.policy {
+                CoalescePolicy::KeyAffinity => {
+                    for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
+                        let Some(p) = slot else { continue };
+                        if p.remaining == 0 {
+                            continue;
+                        }
+                        if p.session.map_or(0, |s| s.0 as usize + 1) != bucket {
+                            order.push(i);
+                        }
+                    }
+                }
+                CoalescePolicy::Blind => {
+                    let lead = first_slot[bucket];
+                    order.clear();
+                    order.push(lead);
+                    for (i, slot) in self.queue.iter().enumerate().skip(self.head) {
+                        let Some(p) = slot else { continue };
+                        if p.remaining == 0 || i == lead {
+                            continue;
+                        }
+                        order.push(i);
+                    }
+                }
+            }
+        }
+        Some((bucket, same_session_only, order))
+    }
+
+    /// Applies a planned session batch's plan-time side effects exactly
+    /// once — reservation, key-cache residency placement (with the upload
+    /// charge on the batch's critical path), and the fair-share credit
+    /// charge. In-order admission runs this immediately before admitting;
+    /// out-of-order freezing runs it at freeze time, so the serial walk's
+    /// inputs evolve identically in both modes.
+    fn apply_session_plan(&mut self, plan: &mut BatchPlan, bucket: usize, same_session_only: bool) {
+        for &(i, take) in &plan.takes {
+            let p = self.queue[i].as_mut().expect("take targets a live slot");
+            p.remaining -= take;
+            p.executing += take;
+        }
+        // Residency: the distinct session key sets riding
+        // this batch (id order) are placed on the shard
+        // devices; non-resident sets pay the upload on the
+        // batch's critical path.
+        let mut keys: Vec<(SessionId, u64)> = Vec::new();
+        let mut charged = 0usize;
+        for &(i, take) in &plan.takes {
+            let p = self.queue[i].as_ref().expect("take targets a live slot");
+            if p.session.map_or(0, |s| s.0 as usize + 1) == bucket {
+                charged += take;
+            }
+            if let Some(sid) = p.session {
+                if !keys.iter().any(|&(s, _)| s == sid) {
+                    keys.push((sid, self.sessions[sid.0 as usize].key_bytes));
+                }
+            }
+        }
+        keys.sort_by_key(|&(s, _)| s);
+        plan.sessioned = !keys.is_empty();
+        if !keys.is_empty() {
+            let shards = crate::exec::shard_widths(plan.width, self.devices())
+                .iter()
+                .filter(|&&w| w > 0)
+                .count();
+            let upload_bytes = self.key_cache.place(&keys, shards);
+            if upload_bytes > 0 {
+                plan.upload_us = crate::engine::key_upload_us(upload_bytes, &self.device);
+                self.key_upload_us_total += plan.upload_us;
+                self.key_upload_count += 1;
+            }
+        }
+        // Urgent batches jump the rotation without spending
+        // credit; fair-share batches are charged only the
+        // width their own bucket contributed (top-up from
+        // other sessions is their service, not this one's).
+        if !same_session_only {
+            self.drr.charge(bucket, charged);
         }
     }
 
@@ -1226,6 +1457,11 @@ impl FheService {
             devices: self.devices(),
             workers: self.workers(),
             pipeline_depth: self.sched.depth(),
+            admission: self.sched.admission(),
+            lookahead: self.sched.lookahead(),
+            aging_bound: self.sched.aging_bound(),
+            reorder_distance: self.sched.reorder_distance(),
+            head_blocked_us: self.sched.head_blocked_us(),
             inflight_hwm: self.sched.inflight_hwm(),
             device_busy_us: self.device_busy_us.clone(),
             device_utilization,

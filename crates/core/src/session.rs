@@ -22,7 +22,15 @@
 //!   starve the rest; weights scale each session's quantum. Sessions may
 //!   also carry a deadline class ([`SessionConfig::deadline_us`]) the
 //!   service schedules urgently (earliest slack first, partially-filled
-//!   batches allowed) and accounts misses for.
+//!   batches allowed) and accounts misses for. Under out-of-order
+//!   admission ([`crate::sched::AdmissionMode::OutOfOrder`]) the DRR pick
+//!   and charge run at plan-*freeze* time along the serial walk — the
+//!   scoreboard reorders only which frozen plan reaches the devices
+//!   first, never which bucket the walk serves next, so fairness shares
+//!   are identical across admission modes. Deadline classes are the
+//!   exception: their urgency clock reads settle time, so the service
+//!   refuses to register one while out-of-order work is in flight and
+//!   falls back to the in-order fill while any is registered.
 //! * **Fairness metric** ([`jain_index`]) — Jain's index over per-session
 //!   serviced ops, surfaced through `ServiceStats`.
 //!

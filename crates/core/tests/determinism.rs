@@ -162,17 +162,26 @@ fn traced_launch_streams_are_fifo_clean_per_stream() {
     // stream in FIFO order with non-negative, finite durations — the
     // structural invariant `verify_launch_intervals` pins, here checked
     // over a real traced schedule rather than a synthetic interval list.
+    use tensorfhe_ckks::KernelTracer;
     use tensorfhe_core::api::schedule_events;
     use tensorfhe_core::{Engine, EngineConfig, Variant};
 
     let params = CkksParams::test_small();
-    let mut engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
+    let engine = Engine::new(EngineConfig::a100(Variant::TensorCore));
     let level = params.max_level();
+    // Trace through the engine's persistent sim (the Full-mode path);
+    // `run_schedule` costing windows run on an isolated zero-based clock
+    // and leave no launches behind.
     for op in [FheOp::HMult, FheOp::HRotate, FheOp::Rescale] {
         let events = schedule_events(&params, op, level);
-        engine.run_schedule(op.name(), &events, 4);
+        let mut tracer = engine.make_tracer(4);
+        tracer.op_begin(op.name());
+        for &e in &events {
+            tracer.kernel(e);
+        }
     }
     let dev = engine.device();
+    dev.borrow_mut().synchronize();
     let intervals: Vec<_> = dev.borrow().intervals().collect();
     assert!(!intervals.is_empty(), "the traced run must launch kernels");
     let report = tensorfhe_analyze::verify_launch_intervals(intervals);

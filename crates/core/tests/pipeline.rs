@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tensorfhe_ckks::CkksParams;
 use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::sched::AdmissionMode;
 use tensorfhe_core::service::{FheRequest, FheService, RequestReport, RequestStatus, ServiceStats};
 
 const OPS: [FheOp; 6] = [
@@ -66,10 +67,12 @@ fn report_bits(r: &RequestReport) -> Vec<u64> {
 
 /// The result-bearing stats fields as raw bits. `pipeline_depth`,
 /// `inflight_hwm`, `elapsed_us`, `overlap_fraction`,
-/// `pipelined_ops_per_second` and `workers` are deliberately excluded:
-/// they describe the schedule the service ran (window depth, achieved
-/// overlap), not what any request was charged — the overlap-clock
-/// invariant tests below pin their behaviour instead.
+/// `pipelined_ops_per_second`, `workers`, `admission`, `lookahead`,
+/// `aging_bound`, `reorder_distance` and `head_blocked_us` are
+/// deliberately excluded: they describe the schedule the service ran
+/// (window depth, admission mode, achieved overlap), not what any
+/// request was charged — the overlap-clock invariant tests below and
+/// the `ooo` suite pin their behaviour instead.
 fn stats_bits(s: &ServiceStats) -> Vec<u64> {
     let mut v = vec![
         s.requests_completed as u64,
@@ -264,7 +267,15 @@ fn pump_exposes_in_flight_status_mid_drain() {
     // depth-4 window over four independent single-instance groups, the
     // first pump fills the window and settles exactly one batch, leaving
     // the other three requests InFlight — not lumped in with Queued.
-    let mut svc = service(4, 1, 4);
+    // Admission mode is pinned: the counts below assume the in-order
+    // window shape regardless of any ambient TENSORFHE_ADMISSION.
+    let mut svc = TensorFhe::builder(&CkksParams::test_small())
+        .devices(4)
+        .workers(1)
+        .pipeline_depth(4)
+        .admission(AdmissionMode::InOrder)
+        .service()
+        .expect("valid service config");
     let level = svc.params().max_level();
     let ids: Vec<_> = [FheOp::HMult, FheOp::HAdd, FheOp::Rescale, FheOp::HRotate]
         .into_iter()
@@ -347,8 +358,15 @@ fn sustained_pump_load_keeps_the_queue_compacted() {
     // request arrives before every pump, so at depth 4 there is always
     // work in flight. Leading tombstones must be reclaimed anyway (take
     // indices rebase mid-flight) — the queue tracks the live requests,
-    // not the total ever served.
-    let mut svc = service(4, 1, 4);
+    // not the total ever served. Admission mode is pinned: the in-flight
+    // bound below assumes the in-order window shape.
+    let mut svc = TensorFhe::builder(&CkksParams::test_small())
+        .devices(4)
+        .workers(1)
+        .pipeline_depth(4)
+        .admission(AdmissionMode::InOrder)
+        .service()
+        .expect("valid service config");
     let max_level = svc.params().max_level();
     let mut completed = 0usize;
     for round in 0..200usize {

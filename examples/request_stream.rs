@@ -5,8 +5,8 @@
 //! batch size". Three simulated tenants submit interleaved heterogeneous
 //! requests; the service coalesces compatible ones into VRAM-feasible
 //! batches and reports per-request latency plus aggregate throughput —
-//! then the same stream is replayed one-by-one through the legacy
-//! `run_op` path to show the batching win (Fig. 14 behaviour).
+//! then the same stream is replayed one-by-one through the engine-level
+//! costing path to show the batching win (Fig. 14 behaviour).
 //!
 //! Run with: `cargo run --release --example request_stream`
 
@@ -157,12 +157,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tstats.fairness_index, tstats.deadline_misses, tstats.shed_count, tstats.rejected_count,
     );
 
-    // Legacy path: the same stream, one operation at a time, caller-driven.
+    // Legacy path: the same stream, one operation at a time, caller-driven
+    // through the engine (width-1 schedules, no coalescing).
     let mut api = TensorFhe::builder(&params).build()?;
     let mut legacy_us = 0.0;
     for req in &stream {
+        let events = api.schedule_of(req.op, req.level);
         for _ in 0..req.count {
-            legacy_us += api.run_op(req.op, req.level, 1).time_us;
+            legacy_us += api
+                .engine_mut()
+                .run_schedule(req.op.name(), &events, 1)
+                .time_us;
         }
     }
     let legacy_ops_s = total_ops as f64 / (legacy_us * 1e-6);

@@ -35,8 +35,9 @@
 //!
 //! `TensorFhe::new(&params, EngineConfig::…)` became
 //! [`core::TensorFhe::builder`]; caller-batched `run_op` calls become
-//! service `submit`/`drain` streams (the shim remains for one-off costing).
-//! See the [`core`] crate docs for the full migration table.
+//! service `submit`/`drain` streams (the shim is gone — one-off costing
+//! calls `schedule_of` + `run_schedule` + `OpReport::from_stats`
+//! directly). See the [`core`] crate docs for the full migration table.
 //!
 //! See `examples/` for runnable entry points — `examples/request_stream.rs`
 //! demonstrates the multi-tenant service front end.

@@ -9,6 +9,15 @@ use tensorfhe::core::engine::{Engine, EngineConfig, Variant};
 use tensorfhe::gpu::Profiler;
 use tensorfhe::math::Complex64;
 
+/// Engine-level costing of one fixed-width schedule run — what the
+/// retired `run_op` shim used to bundle.
+fn cost(api: &mut TensorFhe, op: FheOp, level: usize, batch: usize) -> tensorfhe::core::OpReport {
+    let events = api.schedule_of(op, level);
+    let stats = api.engine_mut().run_schedule(op.name(), &events, batch);
+    let power = api.engine().config().device.power_watts;
+    tensorfhe::core::OpReport::from_stats(op, batch, power, stats)
+}
+
 /// Full-mode execution: real homomorphic math with every kernel costed on
 /// the simulated device, then decrypt and check both the value and the
 /// profile.
@@ -74,7 +83,7 @@ fn timing_only_matches_traced_execution() {
     let mut api = TensorFhe::builder(&params)
         .build()
         .expect("single-device build");
-    let report = api.run_op(FheOp::HMult, params.max_level(), 1);
+    let report = cost(&mut api, FheOp::HMult, params.max_level(), 1);
 
     assert_eq!(
         full_stats.launches, report.launches,
@@ -138,8 +147,8 @@ fn operation_level_batching_amortises() {
         .build()
         .expect("single-device build");
     let level = params.max_level();
-    let single = api.run_op(FheOp::HMult, level, 1);
-    let batched = api.run_op(FheOp::HMult, level, 64);
+    let single = cost(&mut api, FheOp::HMult, level, 1);
+    let batched = cost(&mut api, FheOp::HMult, level, 64);
     assert!(batched.time_us < single.time_us * 64.0 * 0.5);
     assert!(batched.occupancy > single.occupancy);
 }
@@ -147,9 +156,9 @@ fn operation_level_batching_amortises() {
 /// The acceptance path of the request-stream redesign: three simulated
 /// clients submit interleaved HMULT / HROTATE / RESCALE requests; the
 /// service coalesces them into batches and must beat the same stream issued
-/// one-by-one through the legacy `run_op` path (Fig. 14 behaviour).
+/// one-by-one through engine-level width-1 schedules (Fig. 14 behaviour).
 #[test]
-fn request_stream_service_beats_one_by_one_run_op() {
+fn request_stream_service_beats_one_by_one_costing() {
     use tensorfhe::core::service::FheRequest;
 
     let params = CkksParams::test_small();
@@ -188,7 +197,7 @@ fn request_stream_service_beats_one_by_one_run_op() {
     let mut legacy_us = 0.0;
     for req in &stream {
         for _ in 0..req.count {
-            legacy_us += api.run_op(req.op, req.level, 1).time_us;
+            legacy_us += cost(&mut api, req.op, req.level, 1).time_us;
         }
     }
     let legacy_ops_per_second = total_ops as f64 / (legacy_us * 1e-6);
@@ -221,8 +230,8 @@ fn service_totals_match_legacy_batched_costs() {
     svc.drain();
 
     let mut api = TensorFhe::builder(&params).build().expect("build");
-    let want = api.run_op(FheOp::HMult, level, cap).time_us
-        + api.run_op(FheOp::HRotate, level, cap).time_us;
+    let want = cost(&mut api, FheOp::HMult, level, cap).time_us
+        + cost(&mut api, FheOp::HRotate, level, cap).time_us;
     let got = svc.stats().busy_us;
     let rel = (got - want).abs() / want;
     assert!(
