@@ -20,6 +20,7 @@
 use crate::context::CkksContext;
 use crate::poly::{Domain, RnsPoly};
 use crate::trace::{KernelEvent, Tracing};
+use tensorfhe_math::scratch;
 use tensorfhe_ntt::{NttBatchOps, NttOps};
 
 /// A polynomial over the extended basis `{q_0..q_l} ∪ {p_0..p_{K-1}}`.
@@ -307,18 +308,24 @@ pub fn mod_down_batch(
     for acc in &work {
         assert_eq!(acc.level(), l, "level mismatch in ModDown batch");
     }
+    // Stage the concatenated special-prime block and the conversion output
+    // in pooled scratch: repeated drains reuse the same two wide buffers
+    // instead of reallocating `K + (l+1)` rows per batch.
     let width = work.len() * n;
-    let src_cat: Vec<Vec<u64>> = (0..k)
-        .map(|kk| {
-            let mut row = Vec::with_capacity(width);
-            for acc in &work {
-                row.extend_from_slice(&acc.p_limbs[kk]);
-            }
-            row
-        })
-        .collect();
-    let src_rows: Vec<&[u64]> = src_cat.iter().map(Vec::as_slice).collect();
-    let conv_wide = table.conv.convert_block(&src_rows);
+    let mut src_cat = scratch::take_u64(k * width);
+    for (kk, row) in src_cat.chunks_mut(width).enumerate() {
+        for (b, acc) in work.iter().enumerate() {
+            row[b * n..(b + 1) * n].copy_from_slice(&acc.p_limbs[kk]);
+        }
+    }
+    let l_dst = table.conv.l_dst();
+    let mut conv_flat = scratch::take_u64(l_dst * width);
+    {
+        let src_rows: Vec<&[u64]> = src_cat.chunks(width).collect();
+        let mut out_rows: Vec<&mut [u64]> = conv_flat.chunks_mut(width).collect();
+        table.conv.convert_block_into(&src_rows, &mut out_rows);
+    }
+    let conv_wide: Vec<&[u64]> = conv_flat.chunks(width).collect();
 
     let mut outs: Vec<RnsPoly> = Vec::with_capacity(work.len());
     for (b, acc) in work.iter().enumerate() {
@@ -343,6 +350,9 @@ pub fn mod_down_batch(
         tracing.emit(KernelEvent::EleSub { n, limbs: l + 1 });
         outs.push(RnsPoly::from_limbs(out_limbs, Domain::Coeff));
     }
+    drop(conv_wide);
+    scratch::give_u64(conv_flat);
+    scratch::give_u64(src_cat);
 
     {
         let mut views: Vec<&mut RnsPoly> = outs.iter_mut().collect();

@@ -1,0 +1,176 @@
+//! Cross-kernel bit-identity: the cache-blocked Montgomery fast kernels
+//! (host backend) vs the Barrett scalar reference, across the conversion
+//! shapes of all nine paper presets and the batched-NTT block shapes —
+//! plus the no-allocation-growth property of the pooled scratch arenas
+//! under repeated key-switch drains.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use tensorfhe_ckks::keyswitch::{mod_down_batch, ExtPoly};
+use tensorfhe_ckks::trace::Tracing;
+use tensorfhe_ckks::{CkksContext, CkksParams, Domain};
+use tensorfhe_math::prime::generate_ntt_primes;
+use tensorfhe_math::scratch;
+use tensorfhe_ntt::{NttAlgorithm, NttBatchOps, PlanCache};
+
+/// All nine paper parameter presets (Table V, Table VII, HEAX sets).
+fn presets() -> [CkksParams; 9] {
+    [
+        CkksParams::table_v_default(),
+        CkksParams::table_v_resnet20(),
+        CkksParams::table_v_lr(),
+        CkksParams::table_v_lstm(),
+        CkksParams::table_v_packed_boot(),
+        CkksParams::table_vii_bootstrap(),
+        CkksParams::heax_set_a(),
+        CkksParams::heax_set_b(),
+        CkksParams::heax_set_c(),
+    ]
+}
+
+/// Every `(L_src, L_dst)` conversion shape a parameter set exercises
+/// (ModUp digits at every level, ModDown at every level).
+fn conversion_shapes(params: &CkksParams) -> BTreeSet<(usize, usize)> {
+    let (alpha, k) = (params.alpha(), params.special_primes());
+    let mut shapes = BTreeSet::new();
+    for level in 0..=params.max_level() {
+        let limbs = level + 1;
+        for digit in 0..limbs.div_ceil(alpha) {
+            let src = alpha.min(limbs - digit * alpha);
+            shapes.insert((src, limbs - src + k));
+        }
+        shapes.insert((k, limbs));
+    }
+    shapes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The Montgomery conversion kernel must be bit-identical to the
+    /// Barrett path on every conversion shape any paper preset uses, at
+    /// arbitrary block widths (tile-edge widths included).
+    #[test]
+    fn mont_conv_bit_identical_across_paper_presets(
+        width in 1usize..80,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut shapes = BTreeSet::new();
+        for p in &presets() {
+            shapes.extend(conversion_shapes(p));
+        }
+        let max_src = shapes.iter().map(|&(s, _)| s).max().expect("non-empty");
+        let max_dst = shapes.iter().map(|&(_, d)| d).max().expect("non-empty");
+        let pool = generate_ntt_primes(max_src + max_dst, 28, 1 << 10);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &(l_src, l_dst) in &shapes {
+            let (src, rest) = pool.split_at(l_src);
+            let dst = &rest[..l_dst];
+            // Shared through the process-wide cache, like the service path.
+            let gemm = PlanCache::global().get_bconv(src, dst);
+            let src_rows: Vec<Vec<u64>> = src
+                .iter()
+                .map(|&q| (0..width).map(|_| rng.gen_range(0..q)).collect())
+                .collect();
+            let views: Vec<&[u64]> = src_rows.iter().map(Vec::as_slice).collect();
+            let barrett = gemm.convert_block(&views);
+            let mut mont = vec![vec![0u64; width]; l_dst];
+            {
+                let mut out: Vec<&mut [u64]> =
+                    mont.iter_mut().map(Vec::as_mut_slice).collect();
+                gemm.convert_block_into_mont(&views, &mut out);
+            }
+            prop_assert_eq!(
+                mont, barrett,
+                "shape ({} → {}) width {}", l_src, l_dst, width
+            );
+        }
+    }
+
+    /// The fast batched-NTT pipeline must be bit-identical to the scalar
+    /// batch path (and invert it) at every degree/batch/algorithm corner.
+    #[test]
+    fn fast_ntt_batch_bit_identical_to_scalar(
+        log_n in 6u32..11,
+        b in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let n = 1usize << log_n;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for algo in [
+            NttAlgorithm::Butterfly,
+            NttAlgorithm::FourStep,
+            NttAlgorithm::TensorCore,
+        ] {
+            let plan = PlanCache::global().get(n, q, algo);
+            let orig: Vec<Vec<u64>> = (0..b)
+                .map(|_| (0..n).map(|_| rng.gen_range(0..q)).collect())
+                .collect();
+            let mut scalar = orig.clone();
+            let mut fast = orig.clone();
+            {
+                let mut rows: Vec<&mut [u64]> =
+                    scalar.iter_mut().map(Vec::as_mut_slice).collect();
+                plan.forward_batch(&mut rows);
+            }
+            {
+                let mut rows: Vec<&mut [u64]> =
+                    fast.iter_mut().map(Vec::as_mut_slice).collect();
+                plan.forward_batch_fast(&mut rows);
+            }
+            prop_assert_eq!(&scalar, &fast, "{:?} forward n={} b={}", algo, n, b);
+            {
+                let mut rows: Vec<&mut [u64]> =
+                    fast.iter_mut().map(Vec::as_mut_slice).collect();
+                plan.inverse_batch_fast(&mut rows);
+            }
+            prop_assert_eq!(&fast, &orig, "{:?} roundtrip n={} b={}", algo, n, b);
+        }
+    }
+}
+
+/// Repeated `mod_down_batch` drains must reach a scratch steady state: the
+/// pooled staging buffers (concatenated special-prime block, conversion
+/// output, NTT intermediates) are reused, not re-grown, per drain.
+#[test]
+fn repeated_mod_down_drains_do_not_grow_scratch_state() {
+    let ctx = CkksContext::new(&CkksParams::toy()).expect("ctx");
+    let level = ctx.params().max_level();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut accs = Vec::new();
+    for _ in 0..3 {
+        let mut e = ExtPoly::zero(&ctx, level, Domain::Ntt);
+        for (i, limb) in e.q_limbs.iter_mut().enumerate() {
+            let q = ctx.q_mod(i).value();
+            limb.iter_mut().for_each(|x| *x = rng.gen_range(0..q));
+        }
+        for (k, limb) in e.p_limbs.iter_mut().enumerate() {
+            let p = ctx.p_mod(k).value();
+            limb.iter_mut().for_each(|x| *x = rng.gen_range(0..p));
+        }
+        accs.push(e);
+    }
+    let views: Vec<&ExtPoly> = accs.iter().collect();
+
+    let drain = || {
+        let mut tr = Tracing::new(None);
+        let out = mod_down_batch(&ctx, &mut tr, &views);
+        assert_eq!(out.len(), views.len());
+    };
+    scratch::clear_thread_pool();
+    drain();
+    drain();
+    let warm = scratch::thread_stats();
+    for _ in 0..10 {
+        drain();
+    }
+    assert_eq!(
+        scratch::thread_stats(),
+        warm,
+        "ModDown drains must reuse pooled scratch, not grow it"
+    );
+}

@@ -22,6 +22,7 @@
 
 use crate::engine::{Engine, EngineConfig, ExecMode, Layout, OpStats, Variant};
 use crate::error::{CoreError, CoreResult};
+use crate::exec::ExecBackend;
 use crate::sched::{AdmissionMode, SchedPolicy};
 use crate::schedule;
 use crate::service::FheService;
@@ -165,6 +166,7 @@ pub struct TensorFheBuilder {
     pub(crate) exec_mode: ExecMode,
     pub(crate) devices: usize,
     pub(crate) sched: SchedPolicy,
+    pub(crate) backend: Option<ExecBackend>,
     pub(crate) batch_cap: Option<usize>,
     pub(crate) key_cache_mb: Option<u64>,
     pub(crate) coalesce: Option<CoalescePolicy>,
@@ -184,6 +186,7 @@ impl TensorFheBuilder {
             exec_mode: ExecMode::TimingOnly,
             devices: 1,
             sched: SchedPolicy::default(),
+            backend: None,
             batch_cap: None,
             key_cache_mb: None,
             coalesce: None,
@@ -255,6 +258,10 @@ impl TensorFheBuilder {
     /// | `lookahead` | — | [`crate::sched::DEFAULT_LOOKAHEAD`] |
     /// | `aging_bound` | — | [`crate::sched::DEFAULT_AGING_BOUND`] |
     ///
+    /// The execution backend resolves the same way (builder →
+    /// `TENSORFHE_BACKEND` → simulated default) but lives outside
+    /// [`SchedPolicy`]; see [`TensorFheBuilder::backend`].
+    ///
     /// Every policy choice is deterministic and leaves drain reports and
     /// [`ServiceStats`] request accounting bit-identical; workers change
     /// host wall-clock only, while depth and admission move only the
@@ -269,6 +276,31 @@ impl TensorFheBuilder {
     #[must_use]
     pub fn sched(mut self, policy: SchedPolicy) -> Self {
         self.sched = policy;
+        self
+    }
+
+    /// Execution backend behind the [`crate::exec::Executor`] seam.
+    ///
+    /// [`ExecBackend::Sim`] (the default) is the pure timing model —
+    /// serial [`crate::exec::SimExecutor`] or the
+    /// [`crate::exec::ThreadedPool`] when workers are configured.
+    /// [`ExecBackend::HostParallel`] routes every batch through the
+    /// [`crate::exec::HostParallelExecutor`], whose per-device worker
+    /// threads execute the batched-NTT and basis-conversion GEMMs with
+    /// real cache-blocked Montgomery arithmetic on the host;
+    /// [`ExecBackend::HostScalar`] is the same executor pinned to the
+    /// Barrett scalar reference kernels (the fast kernels' baseline).
+    /// Reports and [`crate::service::ServiceStats`] stay bit-identical
+    /// across all three — the host backends add only wall-clock and the
+    /// [`crate::exec::HostWorkStats`] counters.
+    ///
+    /// The `TENSORFHE_BACKEND` environment variable (`sim`,
+    /// `host-parallel`, `host-scalar`) overrides the default but not this
+    /// builder call; malformed spellings are a hard
+    /// [`CoreError::InvalidConfig`] at [`TensorFheBuilder::service`] time.
+    #[must_use]
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = Some(backend);
         self
     }
 

@@ -1,0 +1,540 @@
+//! The host-parallel backend: the first executor that *computes* instead
+//! of simulating.
+//!
+//! [`HostParallelExecutor`] reuses the [`super::ThreadedPool`]-style job/reply
+//! machinery — one worker thread per (group of) device(s), batches sharded
+//! by [`shard_widths`], results merged in device order — but each worker
+//! additionally **executes** the batch's GEMM-shaped kernel events with
+//! real `u64` arithmetic on the host:
+//!
+//! * `NTT`/`INTT` events run the batched four-step pipeline
+//!   (`tensorfhe_ntt::BatchedGemmNtt`) over a `B×L` row block — through
+//!   the cache-blocked Montgomery fast kernels
+//!   ([`ExecBackend::HostParallel`]) or the Barrett scalar reference
+//!   ([`ExecBackend::HostScalar`], the baseline `fig14_host_gemm`
+//!   measures against).
+//! * `Conv` events run the wide basis-conversion GEMM
+//!   (`BasisConvGemm`) over the event's `(L_dst × L_src) × (L_src × W)`
+//!   shape, fast (`convert_block_into_mont`) or scalar.
+//! * Element-wise events are counted but not executed — the issue scope
+//!   is the two GEMM families, which dominate the arithmetic.
+//!
+//! Inputs are generated deterministically per `(device, event, row)` from
+//! a splitmix64 stream, so the real-work [`HostWorkStats`] checksum is a
+//! pure function of the submitted batch sequence: independent of worker
+//! count, join order, and kernel flavour (fast and scalar kernels are
+//! bit-identical, a property the cross-backend suite pins). Real row
+//! counts are capped per event shard (`rows_cap`) so paper-scale widths
+//! stay tractable on CI hosts; benches raise the cap for honest timing.
+//!
+//! The *simulated* reports are produced by exactly the same per-device
+//! [`Engine`] launch sequences as [`super::SimExecutor`], so every report
+//! and stat above the seam stays bit-identical at every workers × depth ×
+//! admission point — host arithmetic buys wall-clock measurements, never
+//! result drift.
+
+use super::{
+    merge_shards, shard_widths, worker_thread_name, BatchResult, ExecBackend, ExecBatch, ExecCaps,
+    ExecHandle, Executor, Job, PendingBatch,
+};
+use crate::engine::{Engine, EngineConfig, OpStats};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use tensorfhe_ckks::KernelEvent;
+use tensorfhe_math::prime::generate_ntt_primes;
+use tensorfhe_ntt::{NttAlgorithm, NttBatchOps, PlanCache};
+
+/// Default cap on real rows (NTT) / block columns-per-degree (Conv)
+/// executed per kernel event shard. Keeps service-level drains at paper
+/// widths tractable; benches construct the executor with a higher cap.
+pub const DEFAULT_ROWS_CAP: usize = 4;
+
+/// Counters for the real arithmetic a host backend executed, plus a
+/// fold of every output residue produced.
+///
+/// All fields merge by wrapping addition, so totals are independent of
+/// shard merge order and join order; the checksum is bit-identical across
+/// worker counts and across the fast/scalar kernel flavours.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostWorkStats {
+    /// Polynomial rows transformed through the batched NTT pipeline.
+    pub ntt_rows: u64,
+    /// Coefficient columns converted through the basis-conversion GEMM.
+    pub conv_cols: u64,
+    /// Elements of element-wise kernel events (counted, not executed).
+    pub elems: u64,
+    /// Order-insensitive fold of every output residue produced.
+    pub checksum: u64,
+}
+
+impl HostWorkStats {
+    /// Merges another counter set in (wrapping, commutative).
+    pub fn absorb(&mut self, other: HostWorkStats) {
+        self.ntt_rows = self.ntt_rows.wrapping_add(other.ntt_rows);
+        self.conv_cols = self.conv_cols.wrapping_add(other.conv_cols);
+        self.elems = self.elems.wrapping_add(other.elems);
+        self.checksum = self.checksum.wrapping_add(other.checksum);
+    }
+
+    /// Whether any real arithmetic was executed.
+    #[must_use]
+    pub fn did_work(&self) -> bool {
+        self.ntt_rows > 0 || self.conv_cols > 0
+    }
+}
+
+/// splitmix64 step — the deterministic input stream for real kernel work.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seed for `(device, event index, row)` — worker-count independent by
+/// construction (devices are fixed to their data, not to their workers).
+fn row_seed(device: usize, event: usize, row: usize) -> u64 {
+    (device as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((event as u64) << 24)
+        .wrapping_add(row as u64)
+}
+
+fn fill_row(out: &mut [u64], q: u64, seed: u64) {
+    let mut state = seed;
+    for x in out.iter_mut() {
+        *x = splitmix(&mut state) % q;
+    }
+}
+
+/// Order-insensitive residue fold (wrapping sum of a position-salted mix,
+/// so swapped values do not cancel).
+fn fold_checksum(acc: &mut u64, values: &[u64]) {
+    for (i, &v) in values.iter().enumerate() {
+        let mut state = v.wrapping_add((i as u64) << 32);
+        *acc = acc.wrapping_add(splitmix(&mut state));
+    }
+}
+
+/// Per-worker real-arithmetic state: the kernel flavour, the real-row
+/// cap, and caches of the deterministic primes backing the work (the
+/// plans themselves are shared through [`PlanCache::global`]).
+struct RealWork {
+    backend: ExecBackend,
+    rows_cap: usize,
+    // lint: ordered-ok (keyed entry by degree only; never iterated)
+    ntt_primes: HashMap<usize, u64>,
+    // lint: ordered-ok (keyed entry by shape only; never iterated)
+    conv_primes: HashMap<(usize, usize), Vec<u64>>,
+}
+
+impl RealWork {
+    fn new(backend: ExecBackend, rows_cap: usize) -> Self {
+        Self {
+            backend,
+            rows_cap,
+            ntt_primes: HashMap::new(),
+            conv_primes: HashMap::new(),
+        }
+    }
+
+    fn ntt_prime(&mut self, n: usize) -> u64 {
+        *self
+            .ntt_primes
+            .entry(n)
+            .or_insert_with(|| generate_ntt_primes(1, 28, n as u64)[0])
+    }
+
+    /// Executes one kernel event's real work for one device shard.
+    fn run_event(
+        &mut self,
+        device: usize,
+        event_idx: usize,
+        ev: &KernelEvent,
+        width: usize,
+        work: &mut HostWorkStats,
+    ) {
+        let fast = self.backend == ExecBackend::HostParallel;
+        match *ev {
+            KernelEvent::Ntt { n, limbs, inverse } => {
+                if n < 4 || !n.is_power_of_two() {
+                    return;
+                }
+                let q = self.ntt_prime(n);
+                let plan = PlanCache::global().get(n, q, NttAlgorithm::FourStep);
+                let rows = (width * limbs).clamp(1, self.rows_cap);
+                let mut block = vec![0u64; rows * n];
+                for (r, row) in block.chunks_mut(n).enumerate() {
+                    fill_row(row, q, row_seed(device, event_idx, r));
+                }
+                {
+                    let mut views: Vec<&mut [u64]> = block.chunks_mut(n).collect();
+                    match (fast, inverse) {
+                        (true, false) => plan.forward_batch_fast(&mut views),
+                        (true, true) => plan.inverse_batch_fast(&mut views),
+                        (false, false) => plan.forward_batch(&mut views),
+                        (false, true) => plan.inverse_batch(&mut views),
+                    }
+                }
+                fold_checksum(&mut work.checksum, &block);
+                work.ntt_rows = work.ntt_rows.wrapping_add(rows as u64);
+            }
+            KernelEvent::Conv { n, l_src, l_dst } => {
+                if l_src == 0 || l_dst == 0 {
+                    return;
+                }
+                let pool = self
+                    .conv_primes
+                    .entry((l_src, l_dst))
+                    .or_insert_with(|| generate_ntt_primes(l_src + l_dst, 28, 1 << 10))
+                    .clone();
+                let (src, rest) = pool.split_at(l_src);
+                let dst = &rest[..l_dst];
+                let plan = PlanCache::global().get_bconv(src, dst);
+                let cols = width.clamp(1, self.rows_cap) * n.max(1);
+                let mut src_flat = vec![0u64; l_src * cols];
+                for (i, (row, &q)) in src_flat.chunks_mut(cols).zip(src).enumerate() {
+                    fill_row(row, q, row_seed(device, event_idx, i));
+                }
+                let mut out_flat = vec![0u64; l_dst * cols];
+                {
+                    let src_rows: Vec<&[u64]> = src_flat.chunks(cols).collect();
+                    let mut out_rows: Vec<&mut [u64]> = out_flat.chunks_mut(cols).collect();
+                    if fast {
+                        plan.convert_block_into_mont(&src_rows, &mut out_rows);
+                    } else {
+                        plan.convert_block_into(&src_rows, &mut out_rows);
+                    }
+                }
+                fold_checksum(&mut work.checksum, &out_flat);
+                work.conv_cols = work.conv_cols.wrapping_add(cols as u64);
+            }
+            KernelEvent::HadaMult { n, limbs }
+            | KernelEvent::EleAdd { n, limbs }
+            | KernelEvent::EleSub { n, limbs }
+            | KernelEvent::FrobeniusMap { n, limbs }
+            | KernelEvent::Conjugate { n, limbs } => {
+                work.elems = work.elems.wrapping_add((n * limbs * width) as u64);
+            }
+        }
+    }
+}
+
+/// Data-parallel CPU backend: per-device worker threads that execute the
+/// batched-NTT and basis-conversion GEMMs with real host arithmetic (see
+/// the module docs) while reproducing [`super::SimExecutor`]'s simulated
+/// reports bit-for-bit.
+#[derive(Debug)]
+pub struct HostParallelExecutor {
+    cfg: EngineConfig,
+    devices: usize,
+    backend: ExecBackend,
+    rows_cap: usize,
+    senders: Vec<mpsc::Sender<Job<(OpStats, HostWorkStats)>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    next: u64,
+    // lint: ordered-ok (keyed insert/remove by handle only; never iterated)
+    pending: HashMap<u64, PendingBatch<(OpStats, HostWorkStats)>>,
+    /// Real work accumulated across joined batches (join-order
+    /// insensitive: all fields merge by wrapping addition).
+    work: HostWorkStats,
+}
+
+impl HostParallelExecutor {
+    /// Spawns `workers` threads driving `devices` engines with the default
+    /// per-event real-row cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` or `workers` is zero, or if `backend` is
+    /// [`ExecBackend::Sim`] (build that through
+    /// [`super::build_executor`]).
+    #[must_use]
+    pub fn new(cfg: EngineConfig, devices: usize, workers: usize, backend: ExecBackend) -> Self {
+        Self::with_rows_cap(cfg, devices, workers, backend, DEFAULT_ROWS_CAP)
+    }
+
+    /// [`HostParallelExecutor::new`] with an explicit cap on real rows
+    /// (NTT) / width factor (Conv) executed per kernel event shard —
+    /// benches raise it for honest kernel timing.
+    #[must_use]
+    pub fn with_rows_cap(
+        cfg: EngineConfig,
+        devices: usize,
+        workers: usize,
+        backend: ExecBackend,
+        rows_cap: usize,
+    ) -> Self {
+        assert!(devices > 0, "need at least one device");
+        assert!(workers > 0, "need at least one worker");
+        assert!(
+            backend != ExecBackend::Sim,
+            "host executor needs a host backend"
+        );
+        assert!(rows_cap > 0, "need a positive real-row cap");
+        let workers = workers.min(devices);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job<(OpStats, HostWorkStats)>>();
+            let my_devices: Vec<usize> = (0..devices).filter(|d| d % workers == w).collect();
+            let worker_cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(worker_thread_name(&my_devices))
+                .spawn(move || {
+                    // Engines and prime caches live inside the thread; the
+                    // scratch arenas the kernels stage through are
+                    // thread-local by design.
+                    // lint: ordered-ok (keyed get_mut by device id only; never iterated)
+                    let mut engines: HashMap<usize, Engine> = my_devices
+                        .iter()
+                        .map(|&d| (d, Engine::new(worker_cfg.clone())))
+                        .collect();
+                    let mut real = RealWork::new(backend, rows_cap);
+                    while let Ok(job) = rx.recv() {
+                        let mut out = Vec::with_capacity(job.shards.len());
+                        for (d, width) in job.shards {
+                            let engine = engines.get_mut(&d).expect("shard for owned device");
+                            let stats = engine.run_schedule(&job.tag, &job.events, width);
+                            let mut work = HostWorkStats::default();
+                            for (ei, ev) in job.events.iter().enumerate() {
+                                real.run_event(d, ei, ev, width, &mut work);
+                            }
+                            out.push((d, (stats, work)));
+                        }
+                        let _ = job.reply.send(out);
+                    }
+                })
+                .expect("spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            cfg,
+            devices,
+            backend,
+            rows_cap,
+            senders,
+            handles,
+            next: 0,
+            pending: HashMap::new(),
+            work: HostWorkStats::default(),
+        }
+    }
+
+    /// Worker thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The per-event real-row cap.
+    #[must_use]
+    pub fn rows_cap(&self) -> usize {
+        self.rows_cap
+    }
+
+    fn settle(&mut self, batch: PendingBatch<(OpStats, HostWorkStats)>) -> BatchResult {
+        let collected = batch.into_device_order();
+        let mut stats = Vec::with_capacity(collected.len());
+        for (d, (s, w)) in collected {
+            self.work.absorb(w);
+            stats.push((d, s));
+        }
+        merge_shards(stats, self.devices)
+    }
+}
+
+impl Executor for HostParallelExecutor {
+    fn submit(&mut self, batch: ExecBatch) -> ExecHandle {
+        let widths = shard_widths(batch.width, self.devices);
+        let workers = self.senders.len();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut replies = 0usize;
+        for (w, tx) in self.senders.iter().enumerate() {
+            let shards: Vec<(usize, usize)> = widths
+                .iter()
+                .enumerate()
+                .filter(|&(d, &width)| d % workers == w && width > 0)
+                .map(|(d, &width)| (d, width))
+                .collect();
+            if shards.is_empty() {
+                continue;
+            }
+            tx.send(Job {
+                tag: Arc::clone(&batch.tag),
+                events: Arc::clone(&batch.events),
+                shards,
+                reply: reply_tx.clone(),
+            })
+            .expect("worker thread alive");
+            replies += 1;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.pending.insert(
+            id,
+            PendingBatch {
+                rx: reply_rx,
+                awaited: replies,
+                collected: Vec::new(),
+            },
+        );
+        ExecHandle(id)
+    }
+
+    fn join(&mut self, handle: ExecHandle) -> BatchResult {
+        let mut batch = self
+            .pending
+            .remove(&handle.0)
+            .expect("join of an unknown or already-joined handle");
+        batch.wait();
+        self.settle(batch)
+    }
+
+    fn try_join(&mut self, handle: ExecHandle) -> Option<BatchResult> {
+        let batch = self
+            .pending
+            .get_mut(&handle.0)
+            .expect("try_join of an unknown or already-joined handle");
+        if !batch.poll() {
+            return None;
+        }
+        let batch = self.pending.remove(&handle.0).expect("present");
+        Some(self.settle(batch))
+    }
+
+    fn caps(&self) -> ExecCaps {
+        ExecCaps {
+            devices: self.devices,
+            workers: self.senders.len(),
+            vram_bytes_per_device: self.cfg.device.vram_bytes(),
+            power_watts: self.cfg.device.power_watts * self.devices as f64,
+            device_name: self.cfg.device.name.clone(),
+            backend: self.backend.label(),
+        }
+    }
+
+    fn host_work(&self) -> Option<HostWorkStats> {
+        Some(self.work)
+    }
+}
+
+impl Drop for HostParallelExecutor {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes the channels; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SimExecutor;
+    use super::*;
+    use crate::engine::Variant;
+    use crate::schedule::hmult_schedule;
+    use tensorfhe_ckks::CkksParams;
+
+    fn batch(params: &CkksParams, width: usize) -> ExecBatch {
+        ExecBatch {
+            tag: "HMULT".into(),
+            events: hmult_schedule(params, params.max_level()).into(),
+            width,
+        }
+    }
+
+    fn bits(r: &BatchResult) -> Vec<u64> {
+        let mut v = vec![
+            r.stats.time_us.to_bits(),
+            r.stats.occupancy.to_bits(),
+            r.stats.energy_j.to_bits(),
+            r.stats.launches as u64,
+        ];
+        v.extend(r.per_device_us.iter().map(|t| t.to_bits()));
+        for (k, t) in &r.stats.by_kernel {
+            v.extend(k.bytes().map(u64::from));
+            v.push(t.to_bits());
+        }
+        v
+    }
+
+    fn drain(exec: &mut dyn Executor, params: &CkksParams, widths: &[usize]) -> Vec<Vec<u64>> {
+        let handles: Vec<ExecHandle> = widths
+            .iter()
+            .map(|&w| exec.submit(batch(params, w)))
+            .collect();
+        handles.into_iter().map(|h| bits(&exec.join(h))).collect()
+    }
+
+    #[test]
+    fn host_backends_report_bit_identical_to_sim() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let widths = [1usize, 7, 16, 5];
+        for devices in [1usize, 3] {
+            let mut sim = SimExecutor::new(cfg.clone(), devices);
+            let want = drain(&mut sim, &params, &widths);
+            for backend in [ExecBackend::HostParallel, ExecBackend::HostScalar] {
+                for workers in [1usize, devices] {
+                    let mut host =
+                        HostParallelExecutor::new(cfg.clone(), devices, workers, backend);
+                    let got = drain(&mut host, &params, &widths);
+                    assert_eq!(
+                        got, want,
+                        "{backend:?} workers={workers} devices={devices} diverged from sim"
+                    );
+                    assert!(
+                        host.host_work().expect("host backend").did_work(),
+                        "host backend must execute real arithmetic"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksums_agree_across_kernels_and_worker_counts() {
+        let params = CkksParams::test_small();
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let widths = [4usize, 9, 2];
+        let mut reference = None;
+        for backend in [ExecBackend::HostParallel, ExecBackend::HostScalar] {
+            for workers in [1usize, 2, 4] {
+                let mut host = HostParallelExecutor::new(cfg.clone(), 4, workers, backend);
+                let _ = drain(&mut host, &params, &widths);
+                let work = host.host_work().expect("host backend");
+                assert!(work.ntt_rows > 0 && work.conv_cols > 0, "did real work");
+                match &reference {
+                    None => reference = Some(work),
+                    Some(want) => assert_eq!(
+                        &work, want,
+                        "{backend:?} workers={workers}: host work diverged"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caps_name_the_backend() {
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let host = HostParallelExecutor::new(cfg.clone(), 2, 2, ExecBackend::HostParallel);
+        assert_eq!(host.caps().backend, "host-parallel");
+        assert_eq!(host.caps().devices, 2);
+        assert_eq!(host.workers(), 2);
+        assert_eq!(host.rows_cap(), DEFAULT_ROWS_CAP);
+        let scalar = HostParallelExecutor::new(cfg, 1, 1, ExecBackend::HostScalar);
+        assert_eq!(scalar.caps().backend, "host-scalar");
+    }
+
+    #[test]
+    #[should_panic(expected = "host backend")]
+    fn sim_backend_rejected() {
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let _ = HostParallelExecutor::new(cfg, 1, 1, ExecBackend::Sim);
+    }
+}

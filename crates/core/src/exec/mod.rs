@@ -15,10 +15,21 @@
 //!   one: each device's simulator sees exactly the same launch sequence
 //!   either way, and the merge folds floats in the same order.
 //!
-//! A real CUDA/CUTLASS (or wgpu) backend slots in by implementing
-//! [`Executor`] over real streams: `submit` enqueues the kernel workflow,
-//! [`Executor::join`] synchronizes and reports. Everything above the seam —
-//! coalescing, attribution, stats — is backend-agnostic.
+//! * [`host::HostParallelExecutor`] — the first backend that *computes*
+//!   instead of simulating: per-device worker threads execute the
+//!   batched-NTT and basis-conversion GEMMs with real host arithmetic
+//!   (cache-blocked Montgomery fast kernels, or the Barrett scalar
+//!   reference for comparison) while producing the same simulated reports
+//!   as [`SimExecutor`], so host wall-clock becomes measurable without
+//!   perturbing a single pinned ratio.
+//!
+//! Backends are selected by [`ExecBackend`] (builder `backend(..)` /
+//! `TENSORFHE_BACKEND`). A real CUDA/CUTLASS (or wgpu) backend slots in by
+//! implementing [`Executor`] over real streams: `submit` enqueues the
+//! kernel workflow, [`Executor::join`] synchronizes and reports — the same
+//! grouped-GEMM shapes the host backend drives map 1:1 onto device queues.
+//! Everything above the seam — coalescing, attribution, stats — is
+//! backend-agnostic.
 //!
 //! Determinism contract: for a fixed executor configuration, `submit`ting
 //! the same sequence of batches must yield the same [`BatchResult`]s. The
@@ -44,6 +55,54 @@ use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Arc;
 use tensorfhe_ckks::KernelEvent;
+
+pub mod host;
+
+pub use host::{HostParallelExecutor, HostWorkStats};
+
+/// Which execution backend serves the batches behind the seam.
+///
+/// Selected on the builder (`TensorFheBuilder::backend`) or via the
+/// `TENSORFHE_BACKEND` environment variable (`sim`, `host-parallel`,
+/// `host-scalar`). Every backend produces bit-identical reports — the
+/// host backends additionally *execute* the GEMM kernel families with real
+/// arithmetic on the worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecBackend {
+    /// Simulated launches only (serial or thread-pooled): the default.
+    #[default]
+    Sim,
+    /// Real host arithmetic through the cache-blocked Montgomery fast
+    /// kernels (`tensorfhe_math::gemm_fast`).
+    HostParallel,
+    /// Real host arithmetic through the Barrett scalar reference kernels —
+    /// the baseline the fast path is measured against.
+    HostScalar,
+}
+
+impl ExecBackend {
+    /// The stable name used by `TENSORFHE_BACKEND`, `ServiceStats` and
+    /// bench output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecBackend::Sim => "sim",
+            ExecBackend::HostParallel => "host-parallel",
+            ExecBackend::HostScalar => "host-scalar",
+        }
+    }
+
+    /// Parses a `TENSORFHE_BACKEND` value; `None` for unknown names.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(ExecBackend::Sim),
+            "host-parallel" => Some(ExecBackend::HostParallel),
+            "host-scalar" => Some(ExecBackend::HostScalar),
+            _ => None,
+        }
+    }
+}
 
 /// A coalesced batch scheduled onto an execution backend: `width`
 /// independent instances of one operation's kernel workflow.
@@ -93,6 +152,8 @@ pub struct ExecCaps {
     pub power_watts: f64,
     /// Device model name, as reports print it.
     pub device_name: String,
+    /// Stable backend name (`sim`, `host-parallel`, `host-scalar`).
+    pub backend: &'static str,
 }
 
 /// The "run a scheduled batch on a device" contract.
@@ -128,6 +189,13 @@ pub trait Executor: std::fmt::Debug {
     /// Device count behind the seam.
     fn devices(&self) -> usize {
         self.caps().devices
+    }
+
+    /// Accumulated real-arithmetic work counters, for backends that
+    /// execute kernels on the host ([`host::HostParallelExecutor`]).
+    /// Simulation-only backends return `None`.
+    fn host_work(&self) -> Option<HostWorkStats> {
+        None
     }
 }
 
@@ -213,9 +281,11 @@ pub fn merge_shards(per_device: Vec<(usize, OpStats)>, devices: usize) -> BatchR
     }
 }
 
-/// Builds the executor a configuration describes: serial simulated launches
-/// for one worker, a sharded thread pool otherwise (never more workers than
-/// devices).
+/// Builds the executor a configuration describes. For [`ExecBackend::Sim`]:
+/// serial simulated launches for one worker, a sharded thread pool
+/// otherwise (never more workers than devices). The host backends always
+/// build a [`HostParallelExecutor`] (its worker threads do real arithmetic
+/// even with one worker).
 ///
 /// # Errors
 ///
@@ -224,6 +294,7 @@ pub fn build_executor(
     cfg: &EngineConfig,
     devices: usize,
     workers: usize,
+    backend: ExecBackend,
 ) -> CoreResult<Box<dyn Executor>> {
     if devices == 0 {
         return Err(CoreError::InvalidConfig("need at least one device".into()));
@@ -233,15 +304,31 @@ pub fn build_executor(
             "need at least one worker thread".into(),
         ));
     }
-    if workers.min(devices) == 1 {
-        Ok(Box::new(SimExecutor::new(cfg.clone(), devices)))
-    } else {
-        Ok(Box::new(ThreadedPool::new(
-            cfg.clone(),
-            devices,
-            workers.min(devices),
-        )))
+    match backend {
+        ExecBackend::Sim => {
+            if workers.min(devices) == 1 {
+                Ok(Box::new(SimExecutor::new(cfg.clone(), devices)))
+            } else {
+                Ok(Box::new(ThreadedPool::new(
+                    cfg.clone(),
+                    devices,
+                    workers.min(devices),
+                )))
+            }
+        }
+        ExecBackend::HostParallel | ExecBackend::HostScalar => Ok(Box::new(
+            HostParallelExecutor::new(cfg.clone(), devices, workers.min(devices), backend),
+        )),
     }
+}
+
+/// Profile-friendly worker thread name: `tfhe-worker-{devices}` with the
+/// owned device indices joined by `+` (one device per worker in the common
+/// square configuration), so host profiles and stack dumps attribute time
+/// to devices.
+pub(crate) fn worker_thread_name(devices: &[usize]) -> String {
+    let ids: Vec<String> = devices.iter().map(ToString::to_string).collect();
+    format!("tfhe-worker-{}", ids.join("+"))
 }
 
 /// Serial executor over per-device simulated engines — today's launch path
@@ -311,37 +398,39 @@ impl Executor for SimExecutor {
             vram_bytes_per_device: self.cfg.device.vram_bytes(),
             power_watts: self.cfg.device.power_watts * self.engines.len() as f64,
             device_name: self.cfg.device.name.clone(),
+            backend: ExecBackend::Sim.label(),
         }
     }
 }
 
 /// One unit of work for a pool worker: run `shards` (pairs of global device
 /// index and shard width, all owned by that worker) of a batch and reply
-/// with the per-device statistics.
-struct Job {
-    tag: Arc<str>,
-    events: Arc<[KernelEvent]>,
+/// with the per-device payloads (`T` = shard statistics; the host backend
+/// piggybacks its real-work counters on the same reply).
+pub(crate) struct Job<T> {
+    pub(crate) tag: Arc<str>,
+    pub(crate) events: Arc<[KernelEvent]>,
     /// `(global_device_index, shard_width)` in increasing device order.
-    shards: Vec<(usize, usize)>,
-    reply: mpsc::Sender<Vec<(usize, OpStats)>>,
+    pub(crate) shards: Vec<(usize, usize)>,
+    pub(crate) reply: mpsc::Sender<Vec<(usize, T)>>,
 }
 
 /// An in-flight batch: the reply channel, how many worker replies the merge
 /// must collect, and the replies harvested so far (so a non-blocking
 /// [`Executor::try_join`] can drain partial progress without losing it).
 #[derive(Debug)]
-struct PendingBatch {
-    rx: mpsc::Receiver<Vec<(usize, OpStats)>>,
+pub(crate) struct PendingBatch<T> {
+    pub(crate) rx: mpsc::Receiver<Vec<(usize, T)>>,
     /// Worker replies still outstanding.
-    awaited: usize,
-    /// Per-device shard statistics harvested so far.
-    collected: Vec<(usize, OpStats)>,
+    pub(crate) awaited: usize,
+    /// Per-device shard payloads harvested so far.
+    pub(crate) collected: Vec<(usize, T)>,
 }
 
-impl PendingBatch {
+impl<T> PendingBatch<T> {
     /// Harvests worker replies without blocking; `true` once every awaited
     /// reply has arrived.
-    fn poll(&mut self) -> bool {
+    pub(crate) fn poll(&mut self) -> bool {
         while self.awaited > 0 {
             match self.rx.try_recv() {
                 Ok(shards) => {
@@ -358,7 +447,7 @@ impl PendingBatch {
     }
 
     /// Blocks until every awaited reply has arrived.
-    fn wait(&mut self) {
+    pub(crate) fn wait(&mut self) {
         while self.awaited > 0 {
             self.collected
                 .extend(self.rx.recv().expect("worker thread died mid-batch"));
@@ -366,12 +455,20 @@ impl PendingBatch {
         }
     }
 
-    /// Device-order merge of the collected shards (workers answer in
-    /// completion order; the merge is defined in device order so the result
-    /// is independent of thread scheduling).
-    fn finish(mut self, devices: usize) -> BatchResult {
+    /// Sorts the collected shards into device order (workers answer in
+    /// completion order; downstream merges are defined in device order so
+    /// results are independent of thread scheduling).
+    pub(crate) fn into_device_order(mut self) -> Vec<(usize, T)> {
         self.collected.sort_by_key(|&(d, _)| d);
-        merge_shards(self.collected, devices)
+        self.collected
+    }
+}
+
+impl PendingBatch<OpStats> {
+    /// Device-order merge of the collected shards.
+    fn finish(self, devices: usize) -> BatchResult {
+        let collected = self.into_device_order();
+        merge_shards(collected, devices)
     }
 }
 
@@ -387,13 +484,13 @@ impl PendingBatch {
 pub struct ThreadedPool {
     cfg: EngineConfig,
     devices: usize,
-    senders: Vec<mpsc::Sender<Job>>,
+    senders: Vec<mpsc::Sender<Job<OpStats>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     next: u64,
     /// Outstanding submissions: receiver plus the number of worker replies
     /// the merge must wait for.
     // lint: ordered-ok (keyed insert/remove by handle only; never iterated)
-    pending: HashMap<u64, PendingBatch>,
+    pending: HashMap<u64, PendingBatch<OpStats>>,
 }
 
 impl ThreadedPool {
@@ -411,11 +508,11 @@ impl ThreadedPool {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let (tx, rx) = mpsc::channel::<Job>();
+            let (tx, rx) = mpsc::channel::<Job<OpStats>>();
             let my_devices: Vec<usize> = (0..devices).filter(|d| d % workers == w).collect();
             let worker_cfg = cfg.clone();
             let handle = std::thread::Builder::new()
-                .name(format!("tensorfhe-worker-{w}"))
+                .name(worker_thread_name(&my_devices))
                 .spawn(move || {
                     // Engines live inside the thread: the simulator state
                     // never crosses thread boundaries, only plain results.
@@ -522,6 +619,7 @@ impl Executor for ThreadedPool {
             vram_bytes_per_device: self.cfg.device.vram_bytes(),
             power_watts: self.cfg.device.power_watts * self.devices as f64,
             device_name: self.cfg.device.name.clone(),
+            backend: ExecBackend::Sim.label(),
         }
     }
 }
@@ -752,11 +850,43 @@ mod tests {
     #[test]
     fn build_executor_rejects_zero_configs() {
         let cfg = EngineConfig::a100(Variant::TensorCore);
-        assert!(build_executor(&cfg, 0, 1).is_err());
-        assert!(build_executor(&cfg, 1, 0).is_err());
-        let serial = build_executor(&cfg, 1, 8).expect("clamped to devices");
+        assert!(build_executor(&cfg, 0, 1, ExecBackend::Sim).is_err());
+        assert!(build_executor(&cfg, 1, 0, ExecBackend::Sim).is_err());
+        let serial = build_executor(&cfg, 1, 8, ExecBackend::Sim).expect("clamped to devices");
         assert_eq!(serial.caps().workers, 1, "1 device → serial executor");
-        let pool = build_executor(&cfg, 4, 8).expect("clamped to devices");
+        assert_eq!(serial.caps().backend, "sim");
+        assert!(serial.host_work().is_none(), "sim backends do no host work");
+        let pool = build_executor(&cfg, 4, 8, ExecBackend::Sim).expect("clamped to devices");
         assert_eq!(pool.caps().workers, 4);
+    }
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for b in [
+            ExecBackend::Sim,
+            ExecBackend::HostParallel,
+            ExecBackend::HostScalar,
+        ] {
+            assert_eq!(ExecBackend::parse(b.label()), Some(b));
+        }
+        assert_eq!(ExecBackend::parse("cuda"), None);
+        assert_eq!(ExecBackend::default(), ExecBackend::Sim);
+    }
+
+    #[test]
+    fn worker_threads_are_named_after_their_devices() {
+        assert_eq!(worker_thread_name(&[0]), "tfhe-worker-0");
+        assert_eq!(worker_thread_name(&[1, 3]), "tfhe-worker-1+3");
+        // The pool names real threads with it (observable via the panic
+        // path and profilers; here we just pin the scheme on the spawned
+        // thread itself).
+        let cfg = EngineConfig::a100(Variant::TensorCore);
+        let pool = ThreadedPool::new(cfg, 4, 2);
+        let names: Vec<Option<&str>> = pool.handles.iter().map(|h| h.thread().name()).collect();
+        assert_eq!(
+            names,
+            vec![Some("tfhe-worker-0+2"), Some("tfhe-worker-1+3")],
+            "worker threads must carry device-attributing names"
+        );
     }
 }

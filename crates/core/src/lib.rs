@@ -70,13 +70,14 @@
 //!                                          │  independent batches only  │
 //!                                          └─────────────┬──────────────┘
 //!                                                        │ Executor::submit / try_join
-//!                            ┌───────────────────────────┴────────────┐
-//!                            ▼                                        ▼
-//!                      SimExecutor                               ThreadedPool
-//!                 (serial, calling thread)             (one worker thread per device)
-//!                            │                                        │
-//!                            └───────────── per-device ───────────────┘
-//!                                       Engine → DeviceSim
+//!                  ┌─────────────────────────┬───────────┴────────────┐
+//!                  ▼                         ▼                        ▼
+//!            SimExecutor               ThreadedPool          HostParallelExecutor
+//!       (serial, calling thread)  (one worker thread     (worker threads + real
+//!                  │                  per device)          Montgomery/Barrett GEMMs)
+//!                  │                         │                        │
+//!                  └────────────── per-device ────────────────────────┘
+//!                                Engine → DeviceSim
 //! ```
 //!
 //! 1. **Request**: clients [`service::FheService::submit`] typed
@@ -159,6 +160,25 @@
 //!    `TENSORFHE_WORKERS`) runs one worker thread per device with
 //!    bit-identical results, because each device's simulator sees the same
 //!    launch sequence and the merge folds in the same order.
+//!
+//!    6a. **Backend selection** ([`TensorFheBuilder::backend`] /
+//!    `TENSORFHE_BACKEND`): [`exec::ExecBackend::Sim`] (the default)
+//!    picks between the two simulated executors above by worker count.
+//!    [`exec::ExecBackend::HostParallel`] routes every batch through the
+//!    [`exec::HostParallelExecutor`] — the same sharding, worker-thread
+//!    and device-order-merge machinery, but each worker additionally
+//!    *executes* the batch's batched-NTT and basis-conversion GEMMs with
+//!    real cache-blocked, register-tiled Montgomery `u64` arithmetic
+//!    (`tensorfhe_math::gemm_fast`), staged through thread-local scratch
+//!    arenas (`tensorfhe_math::scratch`);
+//!    [`exec::ExecBackend::HostScalar`] pins the same executor to the
+//!    Barrett scalar reference kernels, the baseline the
+//!    `fig14_host_gemm` bench measures the fast kernels against. Reports
+//!    and stats stay bit-identical across all three backends — the host
+//!    backends add only wall-clock and the [`exec::HostWorkStats`]
+//!    counters, whose checksum is itself invariant across worker counts
+//!    and kernel flavours (the Montgomery kernels are proven
+//!    bit-identical to Barrett).
 //! 7. **Device**: each shard becomes kernel launches on a per-device
 //!    [`Engine`]/`DeviceSim` pair. A real CUDA/CUTLASS or wgpu backend
 //!    slots in *here*: implement [`exec::Executor`] over real device
@@ -166,7 +186,9 @@
 //!    calls, and the multi-outstanding `submit`/`try_join` contract maps
 //!    onto stream events) and hand it the same `ExecBatch`es —
 //!    coalescing, scheduling, attribution and reporting above the seam
-//!    are backend-agnostic. Contexts, NTT and basis-conversion plans, and
+//!    are backend-agnostic. The [`exec::HostParallelExecutor`] is the
+//!    working template: it already runs real GEMM arithmetic behind the
+//!    seam with bit-identical reports. Contexts, NTT and basis-conversion plans, and
 //!    DFT matrices are shared across workers through the `Send + Sync`
 //!    process-wide `PlanCache` / DFT caches.
 //!
@@ -332,7 +354,10 @@ pub mod tracer;
 pub use api::{FheOp, OpReport, TensorFhe, TensorFheBuilder};
 pub use engine::{Engine, EngineConfig, ExecMode, Layout, Variant};
 pub use error::{CoreError, CoreResult};
-pub use exec::{BatchResult, ExecBatch, ExecHandle, Executor, SimExecutor, ThreadedPool};
+pub use exec::{
+    BatchResult, ExecBackend, ExecBatch, ExecHandle, Executor, HostParallelExecutor, HostWorkStats,
+    SimExecutor, ThreadedPool,
+};
 pub use multi_gpu::{MultiGpu, MultiGpuStats};
 pub use sched::{AdmissionMode, SchedPolicy};
 pub use service::{FheRequest, FheService, RequestId, RequestReport, RequestStatus, ServiceStats};

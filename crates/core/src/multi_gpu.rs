@@ -20,7 +20,7 @@
 
 use crate::engine::{EngineConfig, OpStats};
 use crate::error::CoreResult;
-use crate::exec::{build_executor, ExecBatch, Executor};
+use crate::exec::{build_executor, ExecBackend, ExecBatch, Executor};
 use std::sync::Arc;
 use tensorfhe_ckks::{CkksParams, KernelEvent};
 
@@ -60,7 +60,7 @@ impl MultiGpu {
         workers: usize,
         params: &CkksParams,
     ) -> CoreResult<Self> {
-        let executor = build_executor(cfg, devices, workers)?;
+        let executor = build_executor(cfg, devices, workers, ExecBackend::Sim)?;
         // Key material ≈ dnum digit keys × 2 polys × (L+1+K) limbs × N × 4 B.
         let key_bytes = params.dnum() as u64
             * 2

@@ -53,7 +53,7 @@
 use crate::api::{schedule_events, FheOp, OpReport, TensorFheBuilder};
 use crate::engine::ExecMode;
 use crate::error::{CoreError, CoreResult};
-use crate::exec::{build_executor, BatchResult, ExecBatch, Executor};
+use crate::exec::{build_executor, BatchResult, ExecBackend, ExecBatch, Executor};
 use crate::sched::{
     AdmissionMode, BatchPlan, Finished, Plan, Scheduler, SlotView, Work, DEFAULT_AGING_BOUND,
     DEFAULT_LOOKAHEAD,
@@ -207,6 +207,10 @@ pub struct ServiceStats {
     pub devices: usize,
     /// Host worker threads driving the devices (1 = serial executor).
     pub workers: usize,
+    /// Execution backend label ([`crate::exec::ExecBackend::label`]):
+    /// `"sim"`, `"host-parallel"` or `"host-scalar"`. Every other field
+    /// in this struct is bit-identical across all three.
+    pub backend: &'static str,
     /// Configured in-flight window depth (1 = strictly synchronous
     /// rounds, the pre-scheduler behaviour).
     pub pipeline_depth: usize,
@@ -351,6 +355,11 @@ pub struct FheService {
     /// service's lifetime; avoids re-querying `caps()` on every stats
     /// call).
     caps: crate::exec::ExecCaps,
+    /// Resolved execution backend. Gates the dispatch cache: only the
+    /// simulated backend replays costs without touching the executor —
+    /// the host backends must execute real arithmetic on every dispatch,
+    /// or benches and `host_work` counters would measure cache hits.
+    backend: ExecBackend,
     batch_cap: usize,
     power_watts: f64,
     queue: VecDeque<Option<Pending>>,
@@ -490,7 +499,25 @@ impl FheService {
                 "scoreboard aging bound must be non-zero".into(),
             ));
         }
-        let executor = build_executor(&cfg, b.devices, workers)?;
+        // Execution backend: builder, then the `TENSORFHE_BACKEND` CI
+        // matrix knob, then the simulated default. The host backends
+        // execute real GEMM arithmetic behind the same seam; reports stay
+        // bit-identical, so the choice moves only host wall-clock and the
+        // `host_work` counters. Malformed spellings are hard errors, like
+        // every other environment knob.
+        let backend = match b.backend {
+            Some(be) => be,
+            None => match std::env::var("TENSORFHE_BACKEND") {
+                Ok(v) => ExecBackend::parse(v.trim()).ok_or_else(|| {
+                    CoreError::InvalidConfig(format!(
+                        "TENSORFHE_BACKEND must be \"sim\", \"host-parallel\" or \
+                         \"host-scalar\", got {v:?}"
+                    ))
+                })?,
+                Err(_) => ExecBackend::Sim,
+            },
+        };
+        let executor = build_executor(&cfg, b.devices, workers, backend)?;
         // The executor owns the capability queries: a backend with
         // different board power or VRAM reports it through `caps()`, and
         // the batch policy / ops/W follow automatically.
@@ -555,6 +582,7 @@ impl FheService {
             params: b.params,
             executor,
             caps,
+            backend,
             batch_cap,
             power_watts,
             queue: VecDeque::new(),
@@ -606,6 +634,15 @@ impl FheService {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.caps.workers
+    }
+
+    /// Real-arithmetic counters from the executor, when the service runs
+    /// on a host backend ([`crate::exec::HostParallelExecutor`]); `None`
+    /// under the simulated backend. The checksum is bit-identical across
+    /// worker counts and across the fast/scalar kernel flavours.
+    #[must_use]
+    pub fn host_work(&self) -> Option<crate::exec::HostWorkStats> {
+        self.executor.host_work()
     }
 
     /// Device model name behind the executor, as reports print it.
@@ -1331,7 +1368,7 @@ impl FheService {
             ref takes,
             ..
         } = plan;
-        if executed {
+        if executed && self.backend == ExecBackend::Sim {
             self.cost_cache.insert((op, level, width), result.clone());
         }
         let cap = self.batch_cap;
@@ -1456,6 +1493,7 @@ impl FheService {
             batch_cap: self.batch_cap,
             devices: self.devices(),
             workers: self.workers(),
+            backend: self.backend.label(),
             pipeline_depth: self.sched.depth(),
             admission: self.sched.admission(),
             lookahead: self.sched.lookahead(),
@@ -1537,8 +1575,14 @@ impl FheService {
     /// contract), otherwise a live executor submission joined later in
     /// submission order.
     fn dispatch(&mut self, op: FheOp, level: usize, width: usize) -> Work {
-        if let Some(hit) = self.cost_cache.get(&(op, level, width)) {
-            return Work::Cached(hit.clone());
+        // Only the simulated backend replays from the dispatch cache: the
+        // host backends exist to *execute* the batch, so every dispatch
+        // must reach the executor (reports are identical either way — the
+        // cache is purely a simulation shortcut).
+        if self.backend == ExecBackend::Sim {
+            if let Some(hit) = self.cost_cache.get(&(op, level, width)) {
+                return Work::Cached(hit.clone());
+            }
         }
         let events = schedule_events(&self.params, op, level);
         let handle = self.executor.submit(ExecBatch {

@@ -1,0 +1,274 @@
+//! Cross-backend bit-identity: the real-arithmetic host backends vs the
+//! simulated executor, across the full scheduler matrix.
+//!
+//! The backend seam promises that [`ExecBackend`] changes host wall-clock
+//! (and the [`HostWorkStats`] counters) only: a `drain` served by the
+//! [`tensorfhe_core::exec::HostParallelExecutor`] — fast Montgomery or
+//! Barrett scalar kernels — must produce **bit-identical**
+//! `RequestReport`s and `ServiceStats` to the simulated path at every
+//! workers × pipeline-depth × admission point. These tests pin that
+//! contract over seeded pseudo-random streams, plus the worker-count and
+//! kernel-flavour independence of the real-work checksum and the
+//! `TENSORFHE_BACKEND` env-knob resolution rules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tensorfhe_ckks::CkksParams;
+use tensorfhe_core::api::{FheOp, TensorFhe};
+use tensorfhe_core::exec::ExecBackend;
+use tensorfhe_core::sched::{AdmissionMode, SchedPolicy};
+use tensorfhe_core::service::{FheRequest, FheService, RequestReport, ServiceStats};
+
+const OPS: [FheOp; 6] = [
+    FheOp::HAdd,
+    FheOp::HMult,
+    FheOp::CMult,
+    FheOp::HRotate,
+    FheOp::Rescale,
+    FheOp::Conjugate,
+];
+
+fn service(
+    backend: ExecBackend,
+    workers: usize,
+    depth: usize,
+    admission: AdmissionMode,
+) -> FheService {
+    TensorFhe::builder(&CkksParams::test_small())
+        .devices(4)
+        .backend(backend)
+        .sched(
+            SchedPolicy::new()
+                .workers(workers)
+                .pipeline_depth(depth)
+                .admission(admission),
+        )
+        .service()
+        .expect("valid service config")
+}
+
+/// Every float as raw bits: equality below means bit-identity, not an
+/// epsilon test.
+fn report_bits(r: &RequestReport) -> Vec<u64> {
+    let mut v = vec![
+        r.id.raw(),
+        r.client.len() as u64,
+        r.level as u64,
+        r.queue_us.to_bits(),
+        r.batches as u64,
+        r.report.batch as u64,
+        r.report.time_us.to_bits(),
+        r.report.per_op_us.to_bits(),
+        r.report.occupancy.to_bits(),
+        r.report.energy_j.to_bits(),
+        r.report.ops_per_second.to_bits(),
+        r.report.ops_per_watt.to_bits(),
+        r.report.launches as u64,
+    ];
+    for (k, t) in &r.report.by_kernel {
+        v.extend(k.bytes().map(u64::from));
+        v.push(t.to_bits());
+    }
+    v
+}
+
+fn stats_bits(s: &ServiceStats) -> Vec<u64> {
+    let mut v = vec![
+        s.requests_completed as u64,
+        s.ops_completed as u64,
+        s.batches_dispatched as u64,
+        s.launches as u64,
+        s.batch_cap as u64,
+        s.devices as u64,
+        s.pipeline_depth as u64,
+        s.reorder_distance as u64,
+        s.head_blocked_us.to_bits(),
+        s.inflight_hwm as u64,
+        s.batch_fill.to_bits(),
+        s.busy_us.to_bits(),
+        s.energy_j.to_bits(),
+        s.mean_queue_us.to_bits(),
+        s.ops_per_second.to_bits(),
+        s.ops_per_watt.to_bits(),
+        s.elapsed_us.to_bits(),
+        s.overlap_fraction.to_bits(),
+        s.pipelined_ops_per_second.to_bits(),
+    ];
+    // Per-device accounting must agree too (`workers`/`backend` are
+    // allowed to differ — they name the executor, not the results).
+    v.extend(s.device_busy_us.iter().map(|t| t.to_bits()));
+    v.extend(s.device_utilization.iter().map(|u| u.to_bits()));
+    v
+}
+
+/// Drives one seeded pseudo-random stream through a service, with a
+/// mid-stream drain so queue/clock state is exercised across drains.
+fn run_stream(svc: &mut FheService, seed: u64) -> (Vec<RequestReport>, ServiceStats) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_level = svc.params().max_level();
+    let cap = svc.batch_cap();
+    let mut reports = Vec::new();
+    for phase in 0..2 {
+        let requests = rng.gen_range(4..10);
+        for i in 0..requests {
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            let level = rng.gen_range(1..=max_level);
+            let count = rng.gen_range(1..=cap * 2);
+            svc.submit(FheRequest::new(op, level, count, format!("c{phase}-{i}")))
+                .expect("valid request");
+        }
+        reports.extend(svc.drain());
+    }
+    (reports, svc.stats())
+}
+
+/// The full drain matrix: for each workers × depth × admission point,
+/// both host backends must reproduce the simulated backend's reports and
+/// stats bit-for-bit (only the `backend` label and `workers` knob may
+/// differ), while actually executing real arithmetic.
+#[test]
+fn host_backends_match_sim_across_sched_matrix() {
+    for depth in [1usize, 4] {
+        for admission in [AdmissionMode::InOrder, AdmissionMode::OutOfOrder] {
+            for workers in [1usize, 4] {
+                let mut sim = service(ExecBackend::Sim, workers, depth, admission);
+                let (want_reports, want_stats) = run_stream(&mut sim, 0xF1C0 + depth as u64);
+                assert!(sim.host_work().is_none(), "sim backend does no host work");
+                assert_eq!(want_stats.backend, "sim");
+
+                for backend in [ExecBackend::HostParallel, ExecBackend::HostScalar] {
+                    let mut host = service(backend, workers, depth, admission);
+                    let (got_reports, got_stats) = run_stream(&mut host, 0xF1C0 + depth as u64);
+                    let point =
+                        format!("{backend:?} workers={workers} depth={depth} {admission:?}");
+                    assert_eq!(
+                        got_reports.len(),
+                        want_reports.len(),
+                        "{point}: report count"
+                    );
+                    for (g, w) in got_reports.iter().zip(&want_reports) {
+                        assert_eq!(report_bits(g), report_bits(w), "{point}: report bits");
+                    }
+                    assert_eq!(
+                        stats_bits(&got_stats),
+                        stats_bits(&want_stats),
+                        "{point}: stats bits"
+                    );
+                    assert_eq!(got_stats.backend, backend.label(), "{point}: stats label");
+                    let work = host.host_work().expect("host backends report work");
+                    assert!(
+                        work.ntt_rows > 0 && work.conv_cols > 0,
+                        "{point}: must execute real GEMM arithmetic"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The real-work checksum is a pure function of the submitted stream:
+/// identical across worker counts (shards are per-device, not
+/// per-worker) and across the fast/scalar kernel flavours (the
+/// Montgomery kernels are bit-identical to Barrett).
+#[test]
+fn host_work_checksum_is_worker_and_kernel_invariant() {
+    let mut reference = None;
+    for backend in [ExecBackend::HostParallel, ExecBackend::HostScalar] {
+        for workers in [1usize, 4] {
+            let mut svc = service(backend, workers, 1, AdmissionMode::InOrder);
+            let _ = run_stream(&mut svc, 0xBEEF);
+            let work = svc.host_work().expect("host backend");
+            assert!(work.did_work());
+            match &reference {
+                None => reference = Some(work),
+                Some(want) => assert_eq!(
+                    &work, want,
+                    "{backend:?} workers={workers}: host work diverged"
+                ),
+            }
+        }
+    }
+}
+
+/// The dispatch cache must stay disabled on host backends: every repeat
+/// of an identical batch re-executes, so the work counters keep growing.
+#[test]
+fn host_backend_executes_every_repeated_dispatch() {
+    let mut svc = service(ExecBackend::HostParallel, 1, 1, AdmissionMode::InOrder);
+    let submit_drain = |svc: &mut FheService| {
+        svc.submit(FheRequest::new(FheOp::HMult, 3, 2, "repeat"))
+            .expect("valid request");
+        let _ = svc.drain();
+        svc.host_work().expect("host backend")
+    };
+    let first = submit_drain(&mut svc);
+    let second = submit_drain(&mut svc);
+    assert!(
+        second.ntt_rows > first.ntt_rows,
+        "identical batches must re-execute on host backends \
+         (first {first:?}, second {second:?})"
+    );
+}
+
+#[test]
+fn env_var_selects_the_default_backend() {
+    // `TENSORFHE_BACKEND` joins the `TENSORFHE_WORKERS` / `…_PIPELINE` /
+    // `…_ADMISSION` family: it supplies the default when the builder does
+    // not set one, and never overrides an explicit `.backend(..)`. Env is
+    // process-global and other threads of this test binary read it
+    // concurrently, so the assertions run in child processes (re-exec of
+    // this binary in probe mode with the env fixed at spawn) — this
+    // process never mutates its own environment.
+    if let Ok(expected) = std::env::var("TENSORFHE_BACKEND_PROBE") {
+        let build = |backend: Option<ExecBackend>| {
+            let mut b = TensorFhe::builder(&CkksParams::toy());
+            if let Some(be) = backend {
+                b = b.backend(be);
+            }
+            b.service()
+        };
+        if expected == "err" {
+            // A malformed override must be a hard error, not a silent
+            // simulated fallback that would void the CI matrix.
+            let err = build(None).expect_err("unknown backend must be rejected");
+            assert!(matches!(err, tensorfhe_core::CoreError::InvalidConfig(_)));
+            assert!(
+                err.to_string().contains("TENSORFHE_BACKEND"),
+                "error names the knob: {err}"
+            );
+            return;
+        }
+        let svc = build(None).expect("valid backend spelling");
+        assert_eq!(svc.stats().backend, expected);
+        assert_eq!(svc.host_work().is_some(), expected != "sim");
+        let svc = build(Some(ExecBackend::Sim)).expect("builder wins");
+        assert_eq!(
+            svc.stats().backend,
+            "sim",
+            "builder setting must win over env"
+        );
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    for (backend_env, expected) in [
+        (Some("host-parallel"), "host-parallel"),
+        (Some("host-scalar"), "host-scalar"),
+        (Some("sim"), "sim"),
+        (None, "sim"),
+        (Some("cuda"), "err"),
+    ] {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(["env_var_selects_the_default_backend", "--exact"])
+            .env("TENSORFHE_BACKEND_PROBE", expected)
+            .env_remove("TENSORFHE_BACKEND");
+        if let Some(v) = backend_env {
+            cmd.env("TENSORFHE_BACKEND", v);
+        }
+        let out = cmd.output().expect("spawn env probe child");
+        assert!(
+            out.status.success(),
+            "probe with TENSORFHE_BACKEND={backend_env:?} failed:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}

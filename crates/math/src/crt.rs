@@ -32,6 +32,8 @@
 //! [`BasisConvTable::convert_coeff`].
 
 use crate::modulus::Modulus;
+use crate::montgomery::Montgomery;
+use crate::scratch;
 
 /// A little-endian multi-word unsigned integer, just big enough for CRT
 /// composition (`Π q_i` for ≲ 64 thirty-bit primes).
@@ -450,6 +452,11 @@ pub struct BasisConvGemm {
     /// Row-major `(L_dst × L_src)` GEMM operand: `mat[j·L_src + i]` =
     /// `q̂_i mod p_j`.
     mat: Vec<u64>,
+    /// Per-target-limb Montgomery contexts and matrix rows in Montgomery
+    /// form (`(q̂_i mod p_j)·R mod p_j`). Each target row reduces by its own
+    /// `p_j`, so the fast path needs one context per row rather than a
+    /// single [`crate::gemm_fast::MontOperand`].
+    mont_rows: Vec<(Montgomery, Vec<u64>)>,
 }
 
 impl BasisConvGemm {
@@ -486,7 +493,21 @@ impl BasisConvGemm {
         for row in &table.qhat_mod_p {
             mat.extend_from_slice(row);
         }
-        Self { table, mat }
+        let mont_rows = table
+            .dst_moduli()
+            .iter()
+            .zip(&table.qhat_mod_p)
+            .map(|(pj, row)| {
+                let mont = Montgomery::new(pj.value());
+                let mrow = row.iter().map(|&m| mont.to_mont(m)).collect();
+                (mont, mrow)
+            })
+            .collect();
+        Self {
+            table,
+            mat,
+            mont_rows,
+        }
     }
 
     /// The underlying scalar conversion table (reference path, `Q mod p_j`
@@ -554,43 +575,89 @@ impl BasisConvGemm {
     /// Panics on limb-count or width mismatches between `src_rows` and
     /// `out_rows`.
     pub fn convert_block_into(&self, src_rows: &[&[u64]], out_rows: &mut [&mut [u64]]) {
+        self.convert_block_impl(src_rows, out_rows, false);
+    }
+
+    /// Montgomery-kernel variant of [`BasisConvGemm::convert_block_into`]:
+    /// identical tiling and accumulation order, but each target row
+    /// multiplies against its pre-converted Montgomery-form matrix row and
+    /// folds the accumulator with one `REDC` instead of a Barrett
+    /// reduction. `REDC(Σ y_i·m′_ji) = Σ y_i·m_ji mod p_j`, so outputs are
+    /// bit-identical to the Barrett path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on limb-count or width mismatches between `src_rows` and
+    /// `out_rows`.
+    pub fn convert_block_into_mont(&self, src_rows: &[&[u64]], out_rows: &mut [&mut [u64]]) {
+        self.convert_block_impl(src_rows, out_rows, true);
+    }
+
+    fn convert_block_impl(&self, src_rows: &[&[u64]], out_rows: &mut [&mut [u64]], mont: bool) {
         assert_eq!(out_rows.len(), self.l_dst(), "target limb count mismatch");
-        let y = self.y_rows(src_rows);
-        let width = y.first().map_or(0, Vec::len);
+        assert_eq!(src_rows.len(), self.l_src(), "source limb count mismatch");
+        let width = src_rows.first().map_or(0, |r| r.len());
         for out in out_rows.iter_mut() {
             assert_eq!(out.len(), width, "ragged target block");
         }
         let l_src = self.l_src();
+        // y stage into pooled scratch (flattened L_src × W): repeated
+        // drains reuse the same staging allocation instead of growing the
+        // heap per call.
+        let mut y = scratch::take_u64(l_src * width);
+        for (i, row) in src_rows.iter().enumerate() {
+            assert_eq!(row.len(), width, "ragged source block");
+            let m = &self.table.src_moduli[i];
+            let inv = self.table.src_qhat_inv[i];
+            for (yv, &x) in y[i * width..(i + 1) * width].iter_mut().zip(row.iter()) {
+                *yv = m.mul(m.reduce(x), inv);
+            }
+        }
         // Column-tiled t-j-i-c loops: within one column tile, the y block
         // and the accumulator row stay cache-resident while every target
         // limb streams over them — the GEMM operand-reuse argument of
         // §IV-B applied to the conversion matrix. Products are < 2^64
         // (32-bit residues), so `L_src` terms never overflow the u128
-        // accumulator and a single Barrett reduction per output element
-        // suffices — the paper's "one modulo per A_k" argument applied to
-        // the Conv kernel.
+        // accumulator and a single reduction per output element suffices
+        // — the paper's "one modulo per A_k" argument applied to the Conv
+        // kernel.
         const TILE: usize = 1 << 11;
-        let mut acc = vec![0u128; TILE.min(width)];
+        let mut acc = scratch::take_u128(TILE.min(width));
         for start in (0..width).step_by(TILE) {
             let end = (start + TILE).min(width);
             let acc = &mut acc[..end - start];
             for (j, out) in out_rows.iter_mut().enumerate() {
-                let pj = &self.table.dst_moduli[j];
+                let row = if mont {
+                    &self.mont_rows[j].1[..]
+                } else {
+                    &self.mat[j * l_src..(j + 1) * l_src]
+                };
                 acc.iter_mut().for_each(|a| *a = 0);
-                for (yi, &mji) in y.iter().zip(&self.mat[j * l_src..(j + 1) * l_src]) {
+                for (i, &mji) in row.iter().enumerate() {
                     if mji == 0 {
                         continue;
                     }
                     let m = mji as u128;
-                    for (a, &yv) in acc.iter_mut().zip(&yi[start..end]) {
+                    let yi = &y[i * width + start..i * width + end];
+                    for (a, &yv) in acc.iter_mut().zip(yi.iter()) {
                         *a += m * yv as u128;
                     }
                 }
-                for (o, &a) in out[start..end].iter_mut().zip(acc.iter()) {
-                    *o = pj.reduce_u128(a);
+                if mont {
+                    let ctx = &self.mont_rows[j].0;
+                    for (o, &a) in out[start..end].iter_mut().zip(acc.iter()) {
+                        *o = ctx.redc(a);
+                    }
+                } else {
+                    let pj = &self.table.dst_moduli[j];
+                    for (o, &a) in out[start..end].iter_mut().zip(acc.iter()) {
+                        *o = pj.reduce_u128(a);
+                    }
                 }
             }
         }
+        scratch::give_u128(acc);
+        scratch::give_u64(y);
     }
 
     /// Allocating variant of [`BasisConvGemm::convert_block_into`].
@@ -781,6 +848,36 @@ mod tests {
         let block = gemm.convert_block(&empty);
         assert_eq!(block.len(), 2);
         assert!(block.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn mont_conversion_is_bit_identical_to_barrett() {
+        let primes = generate_ntt_primes(9, 30, 1 << 10);
+        let (src, dst) = primes.split_at(5);
+        let gemm = BasisConvGemm::new(src, dst);
+        let width = 70usize; // spans a register-tile edge
+        let src_rows: Vec<Vec<u64>> = src
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                (0..width)
+                    .map(|c| {
+                        ((c as u64)
+                            .wrapping_mul(0x9e37_79b9)
+                            .wrapping_add(i as u64 * 31))
+                            % q
+                    })
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[u64]> = src_rows.iter().map(Vec::as_slice).collect();
+        let barrett = gemm.convert_block(&views);
+        let mut mont = vec![vec![0u64; width]; gemm.l_dst()];
+        {
+            let mut out: Vec<&mut [u64]> = mont.iter_mut().map(Vec::as_mut_slice).collect();
+            gemm.convert_block_into_mont(&views, &mut out);
+        }
+        assert_eq!(mont, barrett, "mont kernel must match Barrett bit-for-bit");
     }
 
     #[test]

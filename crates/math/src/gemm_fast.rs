@@ -1,0 +1,316 @@
+//! Cache-blocked, register-tiled Montgomery GEMM over `Z_q`.
+//!
+//! The four-step NTT and the fast basis conversion both bottom out in
+//! dense `u64` matrix products against a *constant* operand (twiddle or
+//! conversion matrices). The scalar reference path accumulates each output
+//! in 128 bits and pays one Barrett reduction per element; this module is
+//! the host fast path for the same products:
+//!
+//! * The constant operand is pre-converted to Montgomery form once per
+//!   plan ([`MontOperand`], `b′ = b·R mod q`), so the inner kernel's only
+//!   reduction is a single `REDC` per output element:
+//!   `REDC(Σ aᵢ·b′ᵢ) = Σ aᵢ·bᵢ mod q` — the lazy-reduction identity that
+//!   makes the result **bit-identical** to the Barrett path (both produce
+//!   the canonical residue).
+//! * The kernel is blocked for the memory hierarchy: the constant operand
+//!   is packed into `k×8` column panels that stay L1-resident while every
+//!   row of the data operand streams through, and each `4×8` output tile
+//!   is accumulated in registers (`u128` lanes) before its eight `REDC`s.
+//!
+//! Overflow never occurs: residues are `< 2^32` (asserted), so `k` terms
+//! accumulate to `< k·q² < q·2^64`, within `REDC`'s `t < q·R` domain for
+//! every supported inner dimension.
+//!
+//! The kernel is symmetric in which side carries the Montgomery form —
+//! exactly one operand must. [`gemm_rm`] keeps the *right* operand
+//! constant (`stacked × W`), [`gemm_lm`] the *left* (`W × wide`), covering
+//! both GEMM orientations of the batched NTT pipeline.
+
+use crate::montgomery::Montgomery;
+use crate::scratch;
+
+/// Register-tile height (data rows per tile).
+const MR: usize = 4;
+/// Register-tile width (panel columns per tile).
+const NR: usize = 8;
+
+/// A constant GEMM operand held in Montgomery form.
+///
+/// Built once per plan from canonical residues; [`gemm_rm`] / [`gemm_lm`]
+/// then multiply plain data against it with one `REDC` per output.
+#[derive(Debug, Clone)]
+pub struct MontOperand {
+    mont: Montgomery,
+    rows: usize,
+    cols: usize,
+    /// Row-major `rows × cols`, each entry `b·R mod q`.
+    data: Vec<u64>,
+}
+
+impl MontOperand {
+    /// Converts a row-major `rows × cols` matrix of canonical residues
+    /// into Montgomery form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is even or `≥ 2^32` (the lazy-reduction overflow
+    /// argument needs 32-bit residues), if `data.len() ≠ rows·cols`, or if
+    /// any entry is `≥ q`.
+    #[must_use]
+    pub fn new(q: u64, data: &[u64], rows: usize, cols: usize) -> Self {
+        assert!(q < (1 << 32), "Montgomery GEMM requires q < 2^32");
+        assert_eq!(data.len(), rows * cols, "operand shape mismatch");
+        let mont = Montgomery::new(q);
+        let data = data
+            .iter()
+            .map(|&b| {
+                assert!(b < q, "operand entry {b} not reduced mod {q}");
+                mont.to_mont(b)
+            })
+            .collect();
+        Self {
+            mont,
+            rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The modulus the operand is reduced by.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.mont.modulus()
+    }
+}
+
+/// `C (m×n) = A (m×k) × B (k×n) mod q` where the **right** operand is the
+/// Montgomery-form constant: the `stacked × W_n2` orientation.
+///
+/// Outputs are canonical residues, bit-identical to the Barrett reference.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (`a.len() ≠ m·k`, `out.len() ≠ m·n`).
+pub fn gemm_rm(a: &[u64], m: usize, b: &MontOperand, out: &mut [u64]) {
+    gemm_tiled(a, m, b.rows, &b.data, b.cols, &b.mont, out);
+}
+
+/// `C (m×n) = A (m×k) × B (k×n) mod q` where the **left** operand is the
+/// Montgomery-form constant: the `W_dft × wide` orientation.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (`b.len() ≠ k·n`, `out.len() ≠ m·n`).
+pub fn gemm_lm(a: &MontOperand, b: &[u64], n: usize, out: &mut [u64]) {
+    assert_eq!(b.len(), a.cols * n, "data operand shape mismatch");
+    gemm_tiled(&a.data, a.rows, a.cols, b, n, &a.mont, out);
+}
+
+/// Scalar (untiled) reference of the same lazy-reduction product, for the
+/// equivalence proofs: identical math, no blocking.
+#[must_use]
+pub fn gemm_rm_ref(a: &[u64], m: usize, b: &MontOperand) -> Vec<u64> {
+    assert_eq!(a.len(), m * b.rows, "data operand shape mismatch");
+    let (k, n) = (b.rows, b.cols);
+    let mut out = vec![0u64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0u128;
+            for kk in 0..k {
+                acc += a[i * k + kk] as u128 * b.data[kk * n + j] as u128;
+            }
+            out[i * n + j] = b.mont.redc(acc);
+        }
+    }
+    out
+}
+
+/// The shared tiled kernel. Exactly one of `a`/`b` is in Montgomery form;
+/// `REDC` folds the `R` factor away either way.
+fn gemm_tiled(
+    a: &[u64],
+    m: usize,
+    k: usize,
+    b: &[u64],
+    n: usize,
+    mont: &Montgomery,
+    out: &mut [u64],
+) {
+    assert_eq!(a.len(), m * k, "left operand shape mismatch");
+    assert_eq!(b.len(), k * n, "right operand shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    // k terms of a·b′ < q² each: k·q² < q·2^64 ⇔ k·q < 2^64.
+    assert!(
+        (k as u128) * (mont.modulus() as u128) < (1u128 << 64),
+        "inner dimension too large for lazy reduction"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut pack = scratch::take_u64(k * NR);
+    for j0 in (0..n).step_by(NR) {
+        let nr = NR.min(n - j0);
+        // Pack the k×nr column panel contiguously; it stays L1-resident
+        // while every data row streams through it.
+        for kk in 0..k {
+            pack[kk * nr..kk * nr + nr].copy_from_slice(&b[kk * n + j0..kk * n + j0 + nr]);
+        }
+        let mut i0 = 0;
+        // Full MR×NR register tiles: fixed-size accumulator arrays the
+        // compiler keeps in registers and unrolls.
+        if nr == NR {
+            while i0 + MR <= m {
+                let mut acc = [[0u128; NR]; MR];
+                for kk in 0..k {
+                    let prow: &[u64; NR] = pack[kk * NR..(kk + 1) * NR]
+                        .try_into()
+                        .expect("panel row width");
+                    for (ii, acc_row) in acc.iter_mut().enumerate() {
+                        let av = a[(i0 + ii) * k + kk] as u128;
+                        for (jj, lane) in acc_row.iter_mut().enumerate() {
+                            *lane += av * prow[jj] as u128;
+                        }
+                    }
+                }
+                for (ii, acc_row) in acc.iter().enumerate() {
+                    let orow = &mut out[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + NR];
+                    for (o, &lane) in orow.iter_mut().zip(acc_row.iter()) {
+                        *o = mont.redc(lane);
+                    }
+                }
+                i0 += MR;
+            }
+        }
+        // Edge rows (and edge panels): same math, dynamic tile bounds.
+        for i in i0..m {
+            let mut acc = [0u128; NR];
+            let arow = &a[i * k..(i + 1) * k];
+            for (kk, &av) in arow.iter().enumerate() {
+                let av = av as u128;
+                let prow = &pack[kk * nr..kk * nr + nr];
+                for (lane, &p) in acc[..nr].iter_mut().zip(prow.iter()) {
+                    *lane += av * p as u128;
+                }
+            }
+            let orow = &mut out[i * n + j0..i * n + j0 + nr];
+            for (o, &lane) in orow.iter_mut().zip(acc[..nr].iter()) {
+                *o = mont.redc(lane);
+            }
+        }
+    }
+    scratch::give_u64(pack);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::Modulus;
+    use crate::prime::generate_ntt_primes;
+
+    /// Naive Barrett schoolbook — the value-level ground truth.
+    fn barrett_gemm(a: &[u64], m: usize, k: usize, b: &[u64], n: usize, q: u64) -> Vec<u64> {
+        let md = Modulus::new(q);
+        let mut out = vec![0u64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0u128;
+                for kk in 0..k {
+                    acc += a[i * k + kk] as u128 * b[kk * n + j] as u128;
+                }
+                out[i * n + j] = md.reduce_u128(acc);
+            }
+        }
+        out
+    }
+
+    fn fill(m: usize, k: usize, q: u64, seed: u64) -> Vec<u64> {
+        // Deterministic splitmix64 stream reduced mod q.
+        let mut state = seed;
+        (0..m * k)
+            .map(|_| {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                (z ^ (z >> 31)) % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_barrett_across_shapes() {
+        let q = generate_ntt_primes(1, 28, 1 << 8)[0];
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 8, 8),
+            (5, 3, 9),
+            (13, 16, 17),
+            (64, 16, 16),
+            (3, 60, 40),
+            (7, 1, 12),
+        ] {
+            let a = fill(m, k, q, 11);
+            let b = fill(k, n, q, 23);
+            let want = barrett_gemm(&a, m, k, &b, n, q);
+
+            let bm = MontOperand::new(q, &b, k, n);
+            let mut got = vec![0u64; m * n];
+            gemm_rm(&a, m, &bm, &mut got);
+            assert_eq!(got, want, "gemm_rm m={m} k={k} n={n}");
+            assert_eq!(gemm_rm_ref(&a, m, &bm), want, "ref m={m} k={k} n={n}");
+
+            let am = MontOperand::new(q, &a, m, k);
+            let mut got_l = vec![0u64; m * n];
+            gemm_lm(&am, &b, n, &mut got_l);
+            assert_eq!(got_l, want, "gemm_lm m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn saturated_entries_do_not_overflow() {
+        // Worst case: every entry q−1, deep inner dimension.
+        let q = (1u64 << 32) - 5; // odd, < 2^32
+        let (m, k, n) = (5usize, 256usize, 9usize);
+        let a = vec![q - 1; m * k];
+        let b = vec![q - 1; k * n];
+        let want = barrett_gemm(&a, m, k, &b, n, q);
+        let bm = MontOperand::new(q, &b, k, n);
+        let mut got = vec![0u64; m * n];
+        gemm_rm(&a, m, &bm, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let q = generate_ntt_primes(1, 28, 1 << 6)[0];
+        let bm = MontOperand::new(q, &[], 0, 4);
+        let mut out: Vec<u64> = Vec::new();
+        gemm_rm(&[], 0, &bm, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "q < 2^32")]
+    fn wide_modulus_rejected() {
+        let _ = MontOperand::new((1 << 61) - 1, &[0, 0], 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not reduced")]
+    fn unreduced_entries_rejected() {
+        let q = generate_ntt_primes(1, 28, 1 << 6)[0];
+        let _ = MontOperand::new(q, &[q], 1, 1);
+    }
+}

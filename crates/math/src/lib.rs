@@ -13,6 +13,11 @@
 //!   encoder.
 //! * [`sampling`] — the three random distributions CKKS needs (uniform mod
 //!   `q`, ternary secrets, centered discrete Gaussian noise).
+//! * [`gemm_fast`] — cache-blocked, register-tiled Montgomery GEMM kernels,
+//!   the host fast path for the batched-NTT and basis-conversion products
+//!   (bit-identical to the Barrett scalar reference).
+//! * [`scratch`] — thread-local reusable buffer pools backing the hot GEMM
+//!   paths, so steady-state drains stop allocating.
 //!
 //! # Examples
 //!
@@ -31,10 +36,12 @@
 pub mod bitrev;
 pub mod complex;
 pub mod crt;
+pub mod gemm_fast;
 pub mod modulus;
 pub mod montgomery;
 pub mod prime;
 pub mod sampling;
+pub mod scratch;
 
 pub use complex::Complex64;
 pub use modulus::{Modulus, ShoupMul};

@@ -46,12 +46,13 @@
 
 use crate::butterfly::NttTable;
 use crate::four_step::FourStepNtt;
-use crate::mat::{gemm_mod, Mat};
+use crate::mat::{gemm_mod_into, Mat};
 use crate::tensor_core::TensorCoreNtt;
 use crate::{NttAlgorithm, NttOps};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 pub use tensorfhe_math::crt::BasisConvGemm;
+use tensorfhe_math::gemm_fast::{gemm_lm, gemm_rm};
 
 /// Batched companion to [`NttOps`]: transforms a block of same-modulus
 /// residue rows in one call.
@@ -126,19 +127,69 @@ impl WideGemm for FourStepNtt {
     }
 
     fn gemm_n2(&self, stacked: &Mat) -> Mat {
-        gemm_mod(stacked, self.mat_n2(), self.modulus_handle())
+        let mut out = Mat::pooled(stacked.rows, self.mat_n2().cols);
+        gemm_mod_into(stacked, self.mat_n2(), self.modulus_handle(), &mut out);
+        out
     }
 
     fn gemm_dft(&self, wide: &Mat) -> Mat {
-        gemm_mod(self.mat_dft(), wide, self.modulus_handle())
+        let mut out = Mat::pooled(self.mat_dft().rows, wide.cols);
+        gemm_mod_into(self.mat_dft(), wide, self.modulus_handle(), &mut out);
+        out
     }
 
     fn gemm_idft(&self, wide: &Mat) -> Mat {
-        gemm_mod(self.mat_idft(), wide, self.modulus_handle())
+        let mut out = Mat::pooled(self.mat_idft().rows, wide.cols);
+        gemm_mod_into(self.mat_idft(), wide, self.modulus_handle(), &mut out);
+        out
     }
 
     fn gemm_n2_inv(&self, stacked: &Mat) -> Mat {
-        gemm_mod(stacked, self.mat_n2_inv(), self.modulus_handle())
+        let mut out = Mat::pooled(stacked.rows, self.mat_n2_inv().cols);
+        gemm_mod_into(stacked, self.mat_n2_inv(), self.modulus_handle(), &mut out);
+        out
+    }
+}
+
+/// The Montgomery fast-kernel formulation over the same four-step plan:
+/// identical pipeline, but every wide product runs through the
+/// cache-blocked `gemm_fast` kernels against the plan's pre-converted
+/// Montgomery operands. Canonical residues out — bit-identical to the
+/// Barrett [`WideGemm`] impl above, a property the tests pin across every
+/// paper preset.
+pub(crate) struct FastWide<'a>(pub(crate) &'a FourStepNtt);
+
+impl WideGemm for FastWide<'_> {
+    fn four_step_plan(&self) -> &FourStepNtt {
+        self.0
+    }
+
+    fn gemm_n2(&self, stacked: &Mat) -> Mat {
+        let b = self.0.mont_n2();
+        let mut out = Mat::pooled(stacked.rows, b.cols());
+        gemm_rm(&stacked.data, stacked.rows, b, &mut out.data);
+        out
+    }
+
+    fn gemm_dft(&self, wide: &Mat) -> Mat {
+        let a = self.0.mont_dft();
+        let mut out = Mat::pooled(a.rows(), wide.cols);
+        gemm_lm(a, &wide.data, wide.cols, &mut out.data);
+        out
+    }
+
+    fn gemm_idft(&self, wide: &Mat) -> Mat {
+        let a = self.0.mont_idft();
+        let mut out = Mat::pooled(a.rows(), wide.cols);
+        gemm_lm(a, &wide.data, wide.cols, &mut out.data);
+        out
+    }
+
+    fn gemm_n2_inv(&self, stacked: &Mat) -> Mat {
+        let b = self.0.mont_n2_inv();
+        let mut out = Mat::pooled(stacked.rows, b.cols());
+        gemm_rm(&stacked.data, stacked.rows, b, &mut out.data);
+        out
     }
 }
 
@@ -146,7 +197,7 @@ impl WideGemm for FourStepNtt {
 /// input block (`A[n1][n2] = a[n1 + N1·n2]` per row — stage-1 operand).
 fn gather_stacked(plan: &FourStepNtt, rows: &[&mut [u64]]) -> Mat {
     let (n1, n2) = plan.split();
-    let mut stacked = Mat::zeros(rows.len() * n1, n2);
+    let mut stacked = Mat::pooled(rows.len() * n1, n2);
     for (b, row) in rows.iter().enumerate() {
         assert_eq!(row.len(), plan.degree(), "input length mismatch");
         for i in 0..n1 {
@@ -163,7 +214,7 @@ fn gather_stacked(plan: &FourStepNtt, rows: &[&mut [u64]]) -> Mat {
 fn gather_wide(plan: &FourStepNtt, rows: &[&mut [u64]]) -> Mat {
     let (n1, n2) = plan.split();
     let b = rows.len();
-    let mut wide = Mat::zeros(n1, b * n2);
+    let mut wide = Mat::pooled(n1, b * n2);
     for (bi, row) in rows.iter().enumerate() {
         assert_eq!(row.len(), plan.degree(), "input length mismatch");
         for i in 0..n1 {
@@ -186,9 +237,9 @@ fn twiddle_repack(src: &Mat, tw: &Mat, plan: &FourStepNtt, to_wide: bool) -> Mat
         src.cols / n2
     };
     let mut out = if to_wide {
-        Mat::zeros(n1, b * n2)
+        Mat::pooled(n1, b * n2)
     } else {
-        Mat::zeros(b * n1, n2)
+        Mat::pooled(b * n1, n2)
     };
     for bi in 0..b {
         for i in 0..n1 {
@@ -237,9 +288,13 @@ fn wide_forward_batch<G: WideGemm>(g: &G, rows: &mut [&mut [u64]]) {
     let plan = g.four_step_plan();
     let stacked = gather_stacked(plan, rows);
     let t = g.gemm_n2(&stacked);
+    stacked.recycle();
     let wide = twiddle_repack(&t, plan.twiddle_forward(), plan, true);
+    t.recycle();
     let out = g.gemm_dft(&wide);
+    wide.recycle();
     scatter_wide(&out, plan, rows);
+    out.recycle();
 }
 
 /// Batched inverse: the mirrored pipeline with `N^{-1}` folded into the
@@ -248,9 +303,13 @@ fn wide_inverse_batch<G: WideGemm>(g: &G, rows: &mut [&mut [u64]]) {
     let plan = g.four_step_plan();
     let wide = gather_wide(plan, rows);
     let v = g.gemm_idft(&wide);
+    wide.recycle();
     let stacked = twiddle_repack(&v, plan.twiddle_inverse(), plan, false);
+    v.recycle();
     let res = g.gemm_n2_inv(&stacked);
+    stacked.recycle();
     scatter_stacked(&res, plan, rows);
+    res.recycle();
 }
 
 impl NttBatchOps for FourStepNtt {
@@ -293,7 +352,7 @@ impl NttBatchOps for TensorCoreNtt {
 #[derive(Debug, Clone)]
 enum Kernel {
     Butterfly(NttTable),
-    FourStep(FourStepNtt),
+    FourStep(Box<FourStepNtt>),
     TensorCore(Box<TensorCoreNtt>),
 }
 
@@ -322,7 +381,7 @@ impl BatchedGemmNtt {
     pub fn new(n: usize, q: u64, algo: NttAlgorithm) -> Self {
         let kernel = match algo {
             NttAlgorithm::Butterfly => Kernel::Butterfly(NttTable::new(n, q)),
-            NttAlgorithm::FourStep => Kernel::FourStep(FourStepNtt::new(n, q)),
+            NttAlgorithm::FourStep => Kernel::FourStep(Box::new(FourStepNtt::new(n, q))),
             NttAlgorithm::TensorCore => Kernel::TensorCore(Box::new(TensorCoreNtt::new(n, q))),
         };
         Self { algo, kernel }
@@ -393,6 +452,28 @@ impl NttBatchOps for BatchedGemmNtt {
             Kernel::Butterfly(t) => t.inverse_batch(rows),
             Kernel::FourStep(t) => t.inverse_batch(rows),
             Kernel::TensorCore(t) => t.inverse_batch(rows),
+        }
+    }
+}
+
+impl BatchedGemmNtt {
+    /// [`NttBatchOps::forward_batch`] through the cache-blocked Montgomery
+    /// fast kernels (the host backend's path). Only the four-step
+    /// formulation has dense GEMMs to accelerate; the other variants fall
+    /// back to their normal batch path. Bit-identical to
+    /// [`NttBatchOps::forward_batch`] in every case.
+    pub fn forward_batch_fast(&self, rows: &mut [&mut [u64]]) {
+        match &self.kernel {
+            Kernel::FourStep(t) if !rows.is_empty() => wide_forward_batch(&FastWide(t.as_ref()), rows),
+            _ => self.forward_batch(rows),
+        }
+    }
+
+    /// Fast-kernel companion of [`NttBatchOps::inverse_batch`].
+    pub fn inverse_batch_fast(&self, rows: &mut [&mut [u64]]) {
+        match &self.kernel {
+            Kernel::FourStep(t) if !rows.is_empty() => wide_inverse_batch(&FastWide(t.as_ref()), rows),
+            _ => self.inverse_batch(rows),
         }
     }
 }
@@ -604,6 +685,71 @@ mod tests {
         let mut bad = vec![0u64; n / 2];
         let mut rows: Vec<&mut [u64]> = vec![&mut good, &mut bad];
         plan.forward_batch(&mut rows);
+    }
+
+    #[test]
+    fn fast_kernels_bit_identical_to_scalar_batch() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for algo in ALGOS {
+            for b in [1usize, 3, 8] {
+                let n = 256;
+                let q = generate_ntt_primes(1, 28, n as u64)[0];
+                let plan = BatchedGemmNtt::new(n, q, algo);
+                let orig = random_rows(&mut rng, b, n, q);
+
+                let mut scalar = orig.clone();
+                let mut fast = orig.clone();
+                {
+                    let mut rows: Vec<&mut [u64]> =
+                        scalar.iter_mut().map(Vec::as_mut_slice).collect();
+                    plan.forward_batch(&mut rows);
+                }
+                {
+                    let mut rows: Vec<&mut [u64]> =
+                        fast.iter_mut().map(Vec::as_mut_slice).collect();
+                    plan.forward_batch_fast(&mut rows);
+                }
+                assert_eq!(scalar, fast, "{algo:?} forward fast B={b}");
+
+                {
+                    let mut rows: Vec<&mut [u64]> =
+                        fast.iter_mut().map(Vec::as_mut_slice).collect();
+                    plan.inverse_batch_fast(&mut rows);
+                }
+                assert_eq!(fast, orig, "{algo:?} fast roundtrip B={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_batches_do_not_grow_scratch_state() {
+        use tensorfhe_math::scratch;
+        let n = 256;
+        let q = generate_ntt_primes(1, 28, n as u64)[0];
+        let plan = BatchedGemmNtt::new(n, q, NttAlgorithm::FourStep);
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut block = random_rows(&mut rng, 4, n, q);
+        let drain = |block: &mut Vec<Vec<u64>>| {
+            let mut rows: Vec<&mut [u64]> = block.iter_mut().map(Vec::as_mut_slice).collect();
+            plan.forward_batch_fast(&mut rows);
+            let mut rows: Vec<&mut [u64]> = block.iter_mut().map(Vec::as_mut_slice).collect();
+            plan.inverse_batch_fast(&mut rows);
+            let mut rows: Vec<&mut [u64]> = block.iter_mut().map(Vec::as_mut_slice).collect();
+            plan.forward_batch(&mut rows);
+            let mut rows: Vec<&mut [u64]> = block.iter_mut().map(Vec::as_mut_slice).collect();
+            plan.inverse_batch(&mut rows);
+        };
+        scratch::clear_thread_pool();
+        drain(&mut block);
+        let warm = scratch::thread_stats();
+        for _ in 0..20 {
+            drain(&mut block);
+        }
+        assert_eq!(
+            scratch::thread_stats(),
+            warm,
+            "batched NTT drains must reuse pooled scratch, not grow it"
+        );
     }
 
     #[test]

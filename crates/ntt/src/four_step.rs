@@ -25,6 +25,8 @@
 
 use crate::mat::{gemm_mod, hadamard_mod, Mat};
 use crate::NttOps;
+use std::sync::OnceLock;
+use tensorfhe_math::gemm_fast::MontOperand;
 use tensorfhe_math::prime::root_of_unity;
 use tensorfhe_math::Modulus;
 
@@ -46,6 +48,21 @@ pub struct FourStepNtt {
     w_tw_inv: Mat,
     /// Inverse N2-side matrix with `N^{-1}` folded in.
     w_n2_inv: Mat,
+    /// Lazily-built Montgomery-form copies of the four GEMM operands,
+    /// shared by every fast-kernel call against this plan. `OnceLock` keeps
+    /// the plan `Clone` (a cloned plan re-derives them on first use);
+    /// boxed so the cold cache adds one pointer to the plan, not four
+    /// matrices.
+    mont: OnceLock<Box<MontMats>>,
+}
+
+/// The four GEMM constants in Montgomery form (host fast path).
+#[derive(Debug, Clone)]
+struct MontMats {
+    n2: MontOperand,
+    dft: MontOperand,
+    idft: MontOperand,
+    n2_inv: MontOperand,
 }
 
 impl FourStepNtt {
@@ -111,7 +128,40 @@ impl FourStepNtt {
             w_idft,
             w_tw_inv,
             w_n2_inv,
+            mont: OnceLock::new(),
         }
+    }
+
+    /// The Montgomery-form GEMM operands, built on first use and cached on
+    /// the plan (so [`crate::PlanCache`]-shared plans pay the conversion
+    /// once per process).
+    fn mont_mats(&self) -> &MontMats {
+        self.mont.get_or_init(|| {
+            let q = self.q.value();
+            let conv = |m: &Mat| MontOperand::new(q, &m.data, m.rows, m.cols);
+            Box::new(MontMats {
+                n2: conv(&self.w_n2),
+                dft: conv(&self.w_dft),
+                idft: conv(&self.w_idft),
+                n2_inv: conv(&self.w_n2_inv),
+            })
+        })
+    }
+
+    pub(crate) fn mont_n2(&self) -> &MontOperand {
+        &self.mont_mats().n2
+    }
+
+    pub(crate) fn mont_dft(&self) -> &MontOperand {
+        &self.mont_mats().dft
+    }
+
+    pub(crate) fn mont_idft(&self) -> &MontOperand {
+        &self.mont_mats().idft
+    }
+
+    pub(crate) fn mont_n2_inv(&self) -> &MontOperand {
+        &self.mont_mats().n2_inv
     }
 
     /// The `(N1, N2)` split, `N1 ≥ N2`, `N1·N2 = N`.

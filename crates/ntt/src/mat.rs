@@ -1,7 +1,7 @@
 //! Internal dense-matrix helpers shared by the four-step and tensor-core
 //! NTT pipelines.
 
-use tensorfhe_math::Modulus;
+use tensorfhe_math::{scratch, Modulus};
 
 /// A row-major dense matrix over `Z_q` residues.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +18,21 @@ impl Mat {
             cols,
             data: vec![0; rows * cols],
         }
+    }
+
+    /// A zero matrix backed by this thread's scratch pool; pair with
+    /// [`Mat::recycle`] so steady-state batch pipelines stop allocating.
+    pub(crate) fn pooled(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: scratch::take_u64(rows * cols),
+        }
+    }
+
+    /// Returns the backing buffer to this thread's scratch pool.
+    pub(crate) fn recycle(self) {
+        scratch::give_u64(self.data);
     }
 
     pub(crate) fn from_fn(
@@ -48,12 +63,19 @@ impl Mat {
 /// realised with a 128-bit accumulator instead of the paper's 64-bit one so
 /// the property holds for every supported `N`.
 pub(crate) fn gemm_mod(a: &Mat, b: &Mat, q: &Modulus) -> Mat {
+    let mut out = Mat::zeros(a.rows, b.cols);
+    gemm_mod_into(a, b, q, &mut out);
+    out
+}
+
+/// [`gemm_mod`] into a caller-provided (typically pooled) output matrix.
+pub(crate) fn gemm_mod_into(a: &Mat, b: &Mat, q: &Modulus, out: &mut Mat) {
     assert_eq!(a.cols, b.rows, "GEMM dimension mismatch");
     assert!(q.bits() <= 32, "GEMM NTT path requires q < 2^32");
-    let mut out = Mat::zeros(a.rows, b.cols);
+    assert_eq!((out.rows, out.cols), (a.rows, b.cols), "output shape");
     // i-k-j loop order: stream through B rows for cache friendliness while
     // keeping one wide accumulator per output element.
-    let mut acc_row = vec![0u128; b.cols];
+    let mut acc_row = scratch::take_u128(b.cols);
     for i in 0..a.rows {
         acc_row.iter_mut().for_each(|x| *x = 0);
         for k in 0..a.cols {
@@ -70,7 +92,7 @@ pub(crate) fn gemm_mod(a: &Mat, b: &Mat, q: &Modulus) -> Mat {
             out.data[i * b.cols + j] = q.reduce_u128(acc);
         }
     }
-    out
+    scratch::give_u128(acc_row);
 }
 
 /// Element-wise product `(A ⊙ B) mod q` (the Hadamard step between the two
