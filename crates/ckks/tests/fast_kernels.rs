@@ -1,8 +1,10 @@
 //! Cross-kernel bit-identity: the cache-blocked Montgomery fast kernels
 //! (host backend) vs the Barrett scalar reference, across the conversion
 //! shapes of all nine paper presets and the batched-NTT block shapes —
-//! plus the no-allocation-growth property of the pooled scratch arenas
-//! under repeated key-switch drains.
+//! including both register tiles (the 4-lane limb-split SIMD tile and
+//! the scalar `u128` tile) on every preset's GEMM shapes — plus the
+//! no-allocation-growth property of the pooled scratch arenas under
+//! repeated key-switch drains.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -11,8 +13,11 @@ use std::collections::BTreeSet;
 use tensorfhe_ckks::keyswitch::{mod_down_batch, ExtPoly};
 use tensorfhe_ckks::trace::Tracing;
 use tensorfhe_ckks::{CkksContext, CkksParams, Domain};
+use tensorfhe_math::gemm_fast::{gemm_lm_with, gemm_rm_with, MontOperand};
 use tensorfhe_math::prime::generate_ntt_primes;
 use tensorfhe_math::scratch;
+use tensorfhe_math::simd::{scalar_tile, simd4};
+use tensorfhe_math::Modulus;
 use tensorfhe_ntt::{NttAlgorithm, NttBatchOps, PlanCache};
 
 /// All nine paper parameter presets (Table V, Table VII, HEAX sets).
@@ -87,6 +92,64 @@ proptest! {
                 mont, barrett,
                 "shape ({} → {}) width {}", l_src, l_dst, width
             );
+        }
+    }
+
+    /// Both register tiles of the blocked Montgomery GEMM — the 4-lane
+    /// limb-split SIMD tile and the scalar `u128` tile — must reproduce
+    /// the Barrett schoolbook result bit-for-bit on every paper preset's
+    /// GEMM shapes: the preset's widest basis-conversion matrix and its
+    /// four-step NTT twiddle panel (clamped to 64 so the debug-build
+    /// replay stays fast; the full-size panels are covered in release by
+    /// the cross-backend suite and `fig15_simd_steal`). Regression seeds
+    /// live in `proptest-regressions/fast_kernels.txt` and replay first
+    /// on every run.
+    #[test]
+    fn simd_tile_bit_identical_across_paper_presets(
+        width in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let q = generate_ntt_primes(1, 30, 1 << 10)[0];
+        let modulus = Modulus::new(q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for params in &presets() {
+            let (l_src, l_dst) = conversion_shapes(params)
+                .into_iter()
+                .max_by_key(|&(s, d)| s * d)
+                .expect("presets have conversion shapes");
+            let panel = (1usize << (params.n().trailing_zeros() / 2)).min(64);
+            for &(k, n) in &[(l_src, l_dst), (panel, panel)] {
+                let a: Vec<u64> = (0..width * k).map(|_| rng.gen_range(0..q)).collect();
+                let b: Vec<u64> = (0..k * n).map(|_| rng.gen_range(0..q)).collect();
+                let mut want = vec![0u64; width * n];
+                for i in 0..width {
+                    for j in 0..n {
+                        let mut acc = 0u64;
+                        for kk in 0..k {
+                            acc = modulus.mul_add(a[i * k + kk], b[kk * n + j], acc);
+                        }
+                        want[i * n + j] = acc;
+                    }
+                }
+                let bm = MontOperand::new(q, &b, k, n);
+                let am = MontOperand::new(q, &a, width, k);
+                for kernel in [scalar_tile(), simd4()] {
+                    let mut got = vec![0u64; width * n];
+                    gemm_rm_with(&a, width, &bm, kernel, &mut got);
+                    prop_assert_eq!(
+                        &got, &want,
+                        "rm {} n_poly={} k={} n={} width={}",
+                        kernel.label(), params.n(), k, n, width
+                    );
+                    let mut got_l = vec![0u64; width * n];
+                    gemm_lm_with(&am, &b, n, kernel, &mut got_l);
+                    prop_assert_eq!(
+                        &got_l, &want,
+                        "lm {} n_poly={} k={} n={} width={}",
+                        kernel.label(), params.n(), k, n, width
+                    );
+                }
+            }
         }
     }
 

@@ -171,6 +171,7 @@ pub struct TensorFheBuilder {
     pub(crate) key_cache_mb: Option<u64>,
     pub(crate) coalesce: Option<CoalescePolicy>,
     pub(crate) global_queue_cap: Option<usize>,
+    pub(crate) rows_cap: Option<usize>,
 }
 
 impl TensorFheBuilder {
@@ -191,6 +192,7 @@ impl TensorFheBuilder {
             key_cache_mb: None,
             coalesce: None,
             global_queue_cap: None,
+            rows_cap: None,
         }
     }
 
@@ -260,7 +262,9 @@ impl TensorFheBuilder {
     ///
     /// The execution backend resolves the same way (builder →
     /// `TENSORFHE_BACKEND` → simulated default) but lives outside
-    /// [`SchedPolicy`]; see [`TensorFheBuilder::backend`].
+    /// [`SchedPolicy`]; see [`TensorFheBuilder::backend`]. So does the
+    /// host real-row cap (builder → `TENSORFHE_ROWS_CAP` → `0` =
+    /// uncapped); see [`TensorFheBuilder::rows_cap`].
     ///
     /// Every policy choice is deterministic and leaves drain reports and
     /// [`ServiceStats`] request accounting bit-identical; workers change
@@ -301,6 +305,26 @@ impl TensorFheBuilder {
     #[must_use]
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.backend = Some(backend);
+        self
+    }
+
+    /// Cap on real rows (NTT) / width factor (Conv) the host backends
+    /// execute per kernel-event shard. `0` (the default) is uncapped:
+    /// every row of every batch runs through the work-stealing host
+    /// executor at full width. A positive cap bounds the real arithmetic
+    /// so paper-scale widths stay tractable on slow (e.g. debug-build)
+    /// hosts — CI's bounded matrix corners set `TENSORFHE_ROWS_CAP=4`.
+    ///
+    /// Resolution follows the standard order (builder →
+    /// `TENSORFHE_ROWS_CAP` → uncapped), with malformed values a hard
+    /// [`CoreError::InvalidConfig`] at [`TensorFheBuilder::service`]
+    /// time. The cap never changes drain reports or
+    /// [`crate::service::ServiceStats`] — only host wall-clock and the
+    /// [`crate::exec::HostWorkStats`] counters. Simulated backends
+    /// ignore it.
+    #[must_use]
+    pub fn rows_cap(mut self, cap: usize) -> Self {
+        self.rows_cap = Some(cap);
         self
     }
 

@@ -16,11 +16,13 @@
 //!   either way, and the merge folds floats in the same order.
 //!
 //! * [`host::HostParallelExecutor`] — the first backend that *computes*
-//!   instead of simulating: per-device worker threads execute the
-//!   batched-NTT and basis-conversion GEMMs with real host arithmetic
-//!   (cache-blocked Montgomery fast kernels, or the Barrett scalar
-//!   reference for comparison) while producing the same simulated reports
-//!   as [`SimExecutor`], so host wall-clock becomes measurable without
+//!   instead of simulating: worker threads execute the batched-NTT and
+//!   basis-conversion GEMMs with real host arithmetic (cache-blocked
+//!   Montgomery fast kernels on SIMD register tiles, or the Barrett
+//!   scalar reference for comparison) at full width by default, split
+//!   into work-stealing row chunks so no worker idles while another has
+//!   arithmetic left — all while producing the same simulated reports as
+//!   [`SimExecutor`], so host wall-clock becomes measurable without
 //!   perturbing a single pinned ratio.
 //!
 //! Backends are selected by [`ExecBackend`] (builder `backend(..)` /
@@ -58,7 +60,7 @@ use tensorfhe_ckks::KernelEvent;
 
 pub mod host;
 
-pub use host::{HostParallelExecutor, HostWorkStats};
+pub use host::{HostParallelExecutor, HostWorkStats, StealStats};
 
 /// Which execution backend serves the batches behind the seam.
 ///
@@ -197,6 +199,15 @@ pub trait Executor: std::fmt::Debug {
     fn host_work(&self) -> Option<HostWorkStats> {
         None
     }
+
+    /// Work-stealing scheduler counters, for backends that execute real
+    /// arithmetic through stealable chunks. Simulation-only backends
+    /// return `None`. The counters are scheduling telemetry, **not** part
+    /// of the determinism contract (except `planned_rows ==
+    /// executed_rows`, work conservation).
+    fn steal_stats(&self) -> Option<StealStats> {
+        None
+    }
 }
 
 /// Splits a batch of `width` operations across `devices` following the
@@ -283,9 +294,11 @@ pub fn merge_shards(per_device: Vec<(usize, OpStats)>, devices: usize) -> BatchR
 
 /// Builds the executor a configuration describes. For [`ExecBackend::Sim`]:
 /// serial simulated launches for one worker, a sharded thread pool
-/// otherwise (never more workers than devices). The host backends always
-/// build a [`HostParallelExecutor`] (its worker threads do real arithmetic
-/// even with one worker).
+/// otherwise — simulated workers beyond the device count have nothing to
+/// do (each device's launch stream is serial), so they are clamped. The
+/// host backends always build a [`HostParallelExecutor`] with the
+/// *unclamped* worker count (surplus workers steal real-arithmetic
+/// chunks) and the given per-event real-row cap (`0` = uncapped).
 ///
 /// # Errors
 ///
@@ -295,6 +308,7 @@ pub fn build_executor(
     devices: usize,
     workers: usize,
     backend: ExecBackend,
+    rows_cap: usize,
 ) -> CoreResult<Box<dyn Executor>> {
     if devices == 0 {
         return Err(CoreError::InvalidConfig("need at least one device".into()));
@@ -317,7 +331,7 @@ pub fn build_executor(
             }
         }
         ExecBackend::HostParallel | ExecBackend::HostScalar => Ok(Box::new(
-            HostParallelExecutor::new(cfg.clone(), devices, workers.min(devices), backend),
+            HostParallelExecutor::with_rows_cap(cfg.clone(), devices, workers, backend, rows_cap),
         )),
     }
 }
@@ -850,14 +864,19 @@ mod tests {
     #[test]
     fn build_executor_rejects_zero_configs() {
         let cfg = EngineConfig::a100(Variant::TensorCore);
-        assert!(build_executor(&cfg, 0, 1, ExecBackend::Sim).is_err());
-        assert!(build_executor(&cfg, 1, 0, ExecBackend::Sim).is_err());
-        let serial = build_executor(&cfg, 1, 8, ExecBackend::Sim).expect("clamped to devices");
+        assert!(build_executor(&cfg, 0, 1, ExecBackend::Sim, 0).is_err());
+        assert!(build_executor(&cfg, 1, 0, ExecBackend::Sim, 0).is_err());
+        let serial = build_executor(&cfg, 1, 8, ExecBackend::Sim, 0).expect("clamped to devices");
         assert_eq!(serial.caps().workers, 1, "1 device → serial executor");
         assert_eq!(serial.caps().backend, "sim");
         assert!(serial.host_work().is_none(), "sim backends do no host work");
-        let pool = build_executor(&cfg, 4, 8, ExecBackend::Sim).expect("clamped to devices");
+        assert!(serial.steal_stats().is_none(), "sim backends never steal");
+        let pool = build_executor(&cfg, 4, 8, ExecBackend::Sim, 0).expect("clamped to devices");
         assert_eq!(pool.caps().workers, 4);
+        // Host backends keep surplus workers (they steal) and honor the cap.
+        let host = build_executor(&cfg, 4, 8, ExecBackend::HostParallel, 4).expect("host executor");
+        assert_eq!(host.caps().workers, 8, "host workers are not clamped");
+        assert!(host.steal_stats().is_some());
     }
 
     #[test]

@@ -179,6 +179,25 @@
 //!    counters, whose checksum is itself invariant across worker counts
 //!    and kernel flavours (the Montgomery kernels are proven
 //!    bit-identical to Barrett).
+//!
+//!    The host executor runs **full-width by default**
+//!    ([`TensorFheBuilder::rows_cap`] / `TENSORFHE_ROWS_CAP`, `0` =
+//!    uncapped) and drains real work through a **work-stealing chunk
+//!    pool**: at submit time each kernel event's real rows are split
+//!    into fixed-size row-chunks (~16 Ki elements each) and pushed onto
+//!    the owning worker's deque; owners pop their own deque LIFO (the
+//!    freshly pushed chunk is cache-warm), idle workers steal FIFO from
+//!    the most loaded peer, and workers beyond the device count act as
+//!    pure thieves. Stealing crosses devices but only for the *real
+//!    arithmetic* — the stateful device simulators stay pinned to their
+//!    owning worker thread, so the simulated launch sequence (and with
+//!    it every report) is untouched by who computed which rows. Chunk
+//!    checksums are folded with position-salted terms, so the combined
+//!    [`exec::HostWorkStats`] checksum is invariant to chunk boundaries,
+//!    steal interleavings and worker counts; [`exec::StealStats`]
+//!    exposes the telemetry (`steals`, `stolen_rows`) plus the
+//!    work-conservation ledger (`planned_rows == executed_rows`, which
+//!    *is* deterministic and asserted in tests and benches).
 //! 7. **Device**: each shard becomes kernel launches on a per-device
 //!    [`Engine`]/`DeviceSim` pair. A real CUDA/CUTLASS or wgpu backend
 //!    slots in *here*: implement [`exec::Executor`] over real device

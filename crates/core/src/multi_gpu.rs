@@ -60,7 +60,7 @@ impl MultiGpu {
         workers: usize,
         params: &CkksParams,
     ) -> CoreResult<Self> {
-        let executor = build_executor(cfg, devices, workers, ExecBackend::Sim)?;
+        let executor = build_executor(cfg, devices, workers, ExecBackend::Sim, 0)?;
         // Key material ≈ dnum digit keys × 2 polys × (L+1+K) limbs × N × 4 B.
         let key_bytes = params.dnum() as u64
             * 2

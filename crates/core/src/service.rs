@@ -307,6 +307,20 @@ pub struct ServiceStats {
     pub shed_count: usize,
     /// Submissions refused by admission control.
     pub rejected_count: usize,
+    /// Real-work chunks executed by a worker other than their device's
+    /// owner ([`crate::exec::StealStats::steals`]). Always 0 on simulated
+    /// backends. Scheduling telemetry — depends on thread timing, and is
+    /// excluded (like `workers`/`backend`) from bit-identity contracts.
+    pub steals: u64,
+    /// Work units (NTT rows / Conv columns) inside those stolen chunks.
+    /// Always 0 on simulated backends; telemetry like
+    /// [`ServiceStats::steals`].
+    pub stolen_rows: u64,
+    /// Lanes of the register tile the backend's GEMMs run on: 0 for the
+    /// simulated backend (no host arithmetic), 1 for `host-scalar`
+    /// (Barrett reference), [`tensorfhe_math::simd::active_lanes`] for
+    /// `host-parallel`. Names the kernel, never changes results.
+    pub simd_lanes: usize,
 }
 
 /// A queued request with its accumulated attribution.
@@ -517,7 +531,26 @@ impl FheService {
                 Err(_) => ExecBackend::Sim,
             },
         };
-        let executor = build_executor(&cfg, b.devices, workers, backend)?;
+        // Real-row cap for the host backends: builder, then the
+        // `TENSORFHE_ROWS_CAP` CI matrix knob, then uncapped (`0` = every
+        // row executes, the full-width default). A positive cap bounds
+        // real arithmetic per kernel-event shard so paper widths stay
+        // tractable on slow (debug-mode) hosts; it never changes reports
+        // or the simulated stats, only host wall-clock and the
+        // `host_work` counters. Malformed overrides are hard errors, like
+        // every other environment knob. Sim backends ignore it.
+        let rows_cap = match b.rows_cap {
+            Some(cap) => cap,
+            None => match std::env::var("TENSORFHE_ROWS_CAP") {
+                Ok(v) => v.trim().parse::<usize>().map_err(|_| {
+                    CoreError::InvalidConfig(format!(
+                        "TENSORFHE_ROWS_CAP must be a row count (0 = uncapped), got {v:?}"
+                    ))
+                })?,
+                Err(_) => crate::exec::host::DEFAULT_ROWS_CAP,
+            },
+        };
+        let executor = build_executor(&cfg, b.devices, workers, backend, rows_cap)?;
         // The executor owns the capability queries: a backend with
         // different board power or VRAM reports it through `caps()`, and
         // the batch policy / ops/W follow automatically.
@@ -643,6 +676,16 @@ impl FheService {
     #[must_use]
     pub fn host_work(&self) -> Option<crate::exec::HostWorkStats> {
         self.executor.host_work()
+    }
+
+    /// Work-stealing scheduler counters from the executor, when the
+    /// service runs on a host backend; `None` under the simulated
+    /// backend. `steals`/`stolen_rows` are thread-timing telemetry;
+    /// `planned_rows == executed_rows` (work conservation) holds whenever
+    /// every submitted batch has been drained.
+    #[must_use]
+    pub fn steal_stats(&self) -> Option<crate::exec::StealStats> {
+        self.executor.steal_stats()
     }
 
     /// Device model name behind the executor, as reports print it.
@@ -1541,6 +1584,13 @@ impl FheService {
             deadline_misses: self.deadline_misses,
             shed_count: self.shed.len(),
             rejected_count: self.rejected.len(),
+            steals: self.executor.steal_stats().map_or(0, |s| s.steals),
+            stolen_rows: self.executor.steal_stats().map_or(0, |s| s.stolen_rows),
+            simd_lanes: match self.backend {
+                ExecBackend::Sim => 0,
+                ExecBackend::HostScalar => 1,
+                ExecBackend::HostParallel => tensorfhe_math::simd::active_lanes(),
+            },
         }
     }
 

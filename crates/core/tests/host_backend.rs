@@ -28,6 +28,10 @@ const OPS: [FheOp; 6] = [
     FheOp::Conjugate,
 ];
 
+/// Matrix service with a small real-row cap: the raw-bit contracts below
+/// are rows_cap-independent (the cap moves only host wall-clock and the
+/// work counters), and capped arithmetic keeps the big matrix tractable
+/// in debug builds. The dedicated full-width test drains uncapped.
 fn service(
     backend: ExecBackend,
     workers: usize,
@@ -37,6 +41,31 @@ fn service(
     TensorFhe::builder(&CkksParams::test_small())
         .devices(4)
         .backend(backend)
+        .rows_cap(4)
+        .sched(
+            SchedPolicy::new()
+                .workers(workers)
+                .pipeline_depth(depth)
+                .admission(admission),
+        )
+        .service()
+        .expect("valid service config")
+}
+
+/// Full-width service: uncapped real arithmetic (`rows_cap = 0`, the
+/// production default), with the batch cap narrowed so the uncapped
+/// drain stays tractable in debug builds.
+fn full_width_service(
+    backend: ExecBackend,
+    workers: usize,
+    depth: usize,
+    admission: AdmissionMode,
+) -> FheService {
+    TensorFhe::builder(&CkksParams::test_small())
+        .devices(4)
+        .backend(backend)
+        .rows_cap(0)
+        .batch_cap(2)
         .sched(
             SchedPolicy::new()
                 .workers(workers)
@@ -94,8 +123,10 @@ fn stats_bits(s: &ServiceStats) -> Vec<u64> {
         s.overlap_fraction.to_bits(),
         s.pipelined_ops_per_second.to_bits(),
     ];
-    // Per-device accounting must agree too (`workers`/`backend` are
-    // allowed to differ — they name the executor, not the results).
+    // Per-device accounting must agree too. `workers`/`backend` are
+    // allowed to differ — they name the executor, not the results — and
+    // so are `steals`/`stolen_rows`/`simd_lanes`: steal counts depend on
+    // thread timing and the lane count names the kernel flavour.
     v.extend(s.device_busy_us.iter().map(|t| t.to_bits()));
     v.extend(s.device_utilization.iter().map(|u| u.to_bits()));
     v
@@ -162,6 +193,75 @@ fn host_backends_match_sim_across_sched_matrix() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// The full-width corner of the matrix: with `rows_cap = 0` (the
+/// production default) every row of every batch executes through the
+/// work-stealing chunks, and the drain must *still* be bit-identical to
+/// the simulated backend at every workers × depth × admission point —
+/// including workers beyond the device count (pure thieves). Work
+/// conservation must hold at every point too.
+#[test]
+fn full_width_drain_matches_sim_across_sched_matrix() {
+    for depth in [1usize, 4] {
+        for admission in [AdmissionMode::InOrder, AdmissionMode::OutOfOrder] {
+            for workers in [1usize, 6] {
+                let mut sim = full_width_service(ExecBackend::Sim, workers, depth, admission);
+                let (want_reports, want_stats) = run_stream(&mut sim, 0xFA11 + depth as u64);
+                let mut host =
+                    full_width_service(ExecBackend::HostParallel, workers, depth, admission);
+                let (got_reports, got_stats) = run_stream(&mut host, 0xFA11 + depth as u64);
+                let point = format!("full-width workers={workers} depth={depth} {admission:?}");
+                assert_eq!(got_reports.len(), want_reports.len(), "{point}: count");
+                for (g, w) in got_reports.iter().zip(&want_reports) {
+                    assert_eq!(report_bits(g), report_bits(w), "{point}: report bits");
+                }
+                assert_eq!(
+                    stats_bits(&got_stats),
+                    stats_bits(&want_stats),
+                    "{point}: stats bits"
+                );
+                let steals = host.steal_stats().expect("host backend steals");
+                assert!(steals.planned_rows > 0, "{point}: planned real work");
+                assert_eq!(
+                    steals.planned_rows, steals.executed_rows,
+                    "{point}: work conservation (every planned unit executes once)"
+                );
+                assert!(
+                    host.host_work().expect("host backend").did_work(),
+                    "{point}: real arithmetic ran"
+                );
+                assert_eq!(got_stats.simd_lanes, 4, "{point}: SIMD tile label");
+                assert_eq!(want_stats.simd_lanes, 0, "sim does no host arithmetic");
+            }
+        }
+    }
+}
+
+/// The full-width fold is invariant to worker count (and therefore to
+/// chunk placement and steal pattern): the uncapped drains of the matrix
+/// above must all produce one `HostWorkStats`.
+#[test]
+fn full_width_checksum_is_worker_invariant() {
+    let mut reference = None;
+    for workers in [1usize, 4, 6] {
+        let mut svc = full_width_service(
+            ExecBackend::HostParallel,
+            workers,
+            1,
+            AdmissionMode::InOrder,
+        );
+        let _ = run_stream(&mut svc, 0xC0FFEE);
+        let work = svc.host_work().expect("host backend");
+        assert!(work.did_work());
+        match &reference {
+            None => reference = Some(work),
+            Some(want) => assert_eq!(
+                &work, want,
+                "workers={workers}: full-width host work diverged"
+            ),
         }
     }
 }

@@ -15,7 +15,13 @@
 //! * The kernel is blocked for the memory hierarchy: the constant operand
 //!   is packed into `k×8` column panels that stay L1-resident while every
 //!   row of the data operand streams through, and each `4×8` output tile
-//!   is accumulated in registers (`u128` lanes) before its eight `REDC`s.
+//!   is accumulated in registers before its eight `REDC`s. The register
+//!   tile itself is pluggable ([`crate::simd::MicroKernel`]): each
+//!   [`MontOperand`] captures [`crate::simd::active`]'s choice once at
+//!   construction — the lane-parallel [`crate::simd::Simd4`] limb-split
+//!   tile by default — and every product against that operand dispatches
+//!   through it. All tiles are bit-identical; see [`crate::simd`] for the
+//!   limb-splitting derivation.
 //!
 //! Overflow never occurs: residues are `< 2^32` (asserted), so `k` terms
 //! accumulate to `< k·q² < q·2^64`, within `REDC`'s `t < q·R` domain for
@@ -28,11 +34,7 @@
 
 use crate::montgomery::Montgomery;
 use crate::scratch;
-
-/// Register-tile height (data rows per tile).
-const MR: usize = 4;
-/// Register-tile width (panel columns per tile).
-const NR: usize = 8;
+use crate::simd::{MicroKernel, MR, NR};
 
 /// A constant GEMM operand held in Montgomery form.
 ///
@@ -45,6 +47,8 @@ pub struct MontOperand {
     cols: usize,
     /// Row-major `rows × cols`, each entry `b·R mod q`.
     data: Vec<u64>,
+    /// Register tile selected once at construction (plan build time).
+    kernel: &'static dyn MicroKernel,
 }
 
 impl MontOperand {
@@ -73,7 +77,14 @@ impl MontOperand {
             rows,
             cols,
             data,
+            kernel: crate::simd::active(),
         }
+    }
+
+    /// The register tile this operand's products dispatch through.
+    #[must_use]
+    pub fn kernel(&self) -> &'static dyn MicroKernel {
+        self.kernel
     }
 
     /// Row count.
@@ -104,7 +115,19 @@ impl MontOperand {
 ///
 /// Panics on shape mismatches (`a.len() ≠ m·k`, `out.len() ≠ m·n`).
 pub fn gemm_rm(a: &[u64], m: usize, b: &MontOperand, out: &mut [u64]) {
-    gemm_tiled(a, m, b.rows, &b.data, b.cols, &b.mont, out);
+    gemm_rm_with(a, m, b, b.kernel, out);
+}
+
+/// [`gemm_rm`] with an explicit register tile, overriding the one the
+/// operand captured — the A/B hook for benches and equivalence tests.
+pub fn gemm_rm_with(
+    a: &[u64],
+    m: usize,
+    b: &MontOperand,
+    kernel: &dyn MicroKernel,
+    out: &mut [u64],
+) {
+    gemm_tiled(a, m, b.rows, &b.data, b.cols, &b.mont, kernel, out);
 }
 
 /// `C (m×n) = A (m×k) × B (k×n) mod q` where the **left** operand is the
@@ -114,8 +137,19 @@ pub fn gemm_rm(a: &[u64], m: usize, b: &MontOperand, out: &mut [u64]) {
 ///
 /// Panics on shape mismatches (`b.len() ≠ k·n`, `out.len() ≠ m·n`).
 pub fn gemm_lm(a: &MontOperand, b: &[u64], n: usize, out: &mut [u64]) {
+    gemm_lm_with(a, b, n, a.kernel, out);
+}
+
+/// [`gemm_lm`] with an explicit register tile (see [`gemm_rm_with`]).
+pub fn gemm_lm_with(
+    a: &MontOperand,
+    b: &[u64],
+    n: usize,
+    kernel: &dyn MicroKernel,
+    out: &mut [u64],
+) {
     assert_eq!(b.len(), a.cols * n, "data operand shape mismatch");
-    gemm_tiled(&a.data, a.rows, a.cols, b, n, &a.mont, out);
+    gemm_tiled(&a.data, a.rows, a.cols, b, n, &a.mont, kernel, out);
 }
 
 /// Scalar (untiled) reference of the same lazy-reduction product, for the
@@ -138,7 +172,13 @@ pub fn gemm_rm_ref(a: &[u64], m: usize, b: &MontOperand) -> Vec<u64> {
 }
 
 /// The shared tiled kernel. Exactly one of `a`/`b` is in Montgomery form;
-/// `REDC` folds the `R` factor away either way.
+/// `REDC` folds the `R` factor away either way. Full `MR×NR` tiles go
+/// through `kernel`; edge rows and narrow panels share the scalar path
+/// below (bit-identical, off the hot path).
+// The GEMM shape (two operands + dims + modulus + tile) is irreducibly
+// eight values; bundling them into a struct for one private fn obscures
+// the call sites.
+#[allow(clippy::too_many_arguments)]
 fn gemm_tiled(
     a: &[u64],
     m: usize,
@@ -146,6 +186,7 @@ fn gemm_tiled(
     b: &[u64],
     n: usize,
     mont: &Montgomery,
+    kernel: &dyn MicroKernel,
     out: &mut [u64],
 ) {
     assert_eq!(a.len(), m * k, "left operand shape mismatch");
@@ -171,24 +212,20 @@ fn gemm_tiled(
         // Full MR×NR register tiles: fixed-size accumulator arrays the
         // compiler keeps in registers and unrolls.
         if nr == NR {
+            let mut tile = [0u64; MR * NR];
             while i0 + MR <= m {
-                let mut acc = [[0u128; NR]; MR];
-                for kk in 0..k {
-                    let prow: &[u64; NR] = pack[kk * NR..(kk + 1) * NR]
-                        .try_into()
-                        .expect("panel row width");
-                    for (ii, acc_row) in acc.iter_mut().enumerate() {
-                        let av = a[(i0 + ii) * k + kk] as u128;
-                        for (jj, lane) in acc_row.iter_mut().enumerate() {
-                            *lane += av * prow[jj] as u128;
-                        }
-                    }
-                }
-                for (ii, acc_row) in acc.iter().enumerate() {
-                    let orow = &mut out[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + NR];
-                    for (o, &lane) in orow.iter_mut().zip(acc_row.iter()) {
-                        *o = mont.redc(lane);
-                    }
+                // The MR data rows are contiguous in `a` (stride k), which
+                // is exactly the tile contract.
+                kernel.tile(
+                    &a[i0 * k..(i0 + MR) * k],
+                    k,
+                    &pack[..k * NR],
+                    mont,
+                    &mut tile,
+                );
+                for ii in 0..MR {
+                    out[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + NR]
+                        .copy_from_slice(&tile[ii * NR..(ii + 1) * NR]);
                 }
                 i0 += MR;
             }
@@ -275,6 +312,17 @@ mod tests {
             let mut got_l = vec![0u64; m * n];
             gemm_lm(&am, &b, n, &mut got_l);
             assert_eq!(got_l, want, "gemm_lm m={m} k={k} n={n}");
+
+            // Both register tiles must reproduce the same bits through
+            // the full blocked kernel, not just in isolation.
+            for kernel in [crate::simd::scalar_tile(), crate::simd::simd4()] {
+                let mut got_k = vec![0u64; m * n];
+                gemm_rm_with(&a, m, &bm, kernel, &mut got_k);
+                assert_eq!(got_k, want, "{} m={m} k={k} n={n}", kernel.label());
+                let mut got_kl = vec![0u64; m * n];
+                gemm_lm_with(&am, &b, n, kernel, &mut got_kl);
+                assert_eq!(got_kl, want, "lm {} m={m} k={k} n={n}", kernel.label());
+            }
         }
     }
 

@@ -16,6 +16,9 @@
 //! * [`gemm_fast`] — cache-blocked, register-tiled Montgomery GEMM kernels,
 //!   the host fast path for the batched-NTT and basis-conversion products
 //!   (bit-identical to the Barrett scalar reference).
+//! * [`simd`] — the pluggable register tiles behind [`gemm_fast`]: the
+//!   lane-parallel 32×32→64 limb-split Montgomery tile (`Simd4`) and the
+//!   `u128`-accumulator scalar reference tile, selected once per plan.
 //! * [`scratch`] — thread-local reusable buffer pools backing the hot GEMM
 //!   paths, so steady-state drains stop allocating.
 //!
@@ -42,6 +45,7 @@ pub mod montgomery;
 pub mod prime;
 pub mod sampling;
 pub mod scratch;
+pub mod simd;
 
 pub use complex::Complex64;
 pub use modulus::{Modulus, ShoupMul};

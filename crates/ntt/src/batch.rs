@@ -464,7 +464,9 @@ impl BatchedGemmNtt {
     /// [`NttBatchOps::forward_batch`] in every case.
     pub fn forward_batch_fast(&self, rows: &mut [&mut [u64]]) {
         match &self.kernel {
-            Kernel::FourStep(t) if !rows.is_empty() => wide_forward_batch(&FastWide(t.as_ref()), rows),
+            Kernel::FourStep(t) if !rows.is_empty() => {
+                wide_forward_batch(&FastWide(t.as_ref()), rows)
+            }
             _ => self.forward_batch(rows),
         }
     }
@@ -472,7 +474,9 @@ impl BatchedGemmNtt {
     /// Fast-kernel companion of [`NttBatchOps::inverse_batch`].
     pub fn inverse_batch_fast(&self, rows: &mut [&mut [u64]]) {
         match &self.kernel {
-            Kernel::FourStep(t) if !rows.is_empty() => wide_inverse_batch(&FastWide(t.as_ref()), rows),
+            Kernel::FourStep(t) if !rows.is_empty() => {
+                wide_inverse_batch(&FastWide(t.as_ref()), rows)
+            }
             _ => self.inverse_batch(rows),
         }
     }
